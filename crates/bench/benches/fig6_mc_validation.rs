@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 6: runtime of the Monte-Carlo validation of a
+//! detected confidence region as a function of the problem dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use excursion::{correlation_factor_dense, mc_validate};
+use mvn_bench::SyntheticProblem;
+use std::hint::black_box;
+
+fn bench_mc_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_mc_validation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for side in [16usize, 24, 32] {
+        let problem = SyntheticProblem::new(side, 0.1, "medium");
+        let n = problem.n();
+        let cov = problem.kernel.dense_covariance(&problem.locations, 1e-9);
+        let (factor, sd) = correlation_factor_dense(&cov, 64.min(n));
+        let mean = vec![0.6; n];
+        // Validate a region made of the first quarter of the sites.
+        let region: Vec<usize> = (0..n / 4).collect();
+        group.bench_function(BenchmarkId::new("mc_validate_n", n), |bench| {
+            bench.iter(|| {
+                black_box(mc_validate(
+                    &factor, &mean, &sd, &region, 0.5, 5_000, 500, 11,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_validation);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the linear-algebra substrate: tile kernels,
+//! the parallel tiled Cholesky and the TLR compression. These are ablation
+//! benches for the design choices called out in DESIGN.md (tile size, Jacobi
+//! SVD compression cost, dense vs. TLR factorization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tile_la::kernels::{gemm_nt, jacobi_svd, potrf_in_place};
+use tile_la::{potrf_tiled, DenseMatrix, SymTileMatrix};
+use tlr::{compress_dense, potrf_tlr, CompressionTol, TlrMatrix};
+
+fn kernel_matrix(n: usize, offset: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(n, n, |i, j| {
+        (-((i as f64 - (j + offset) as f64).abs()) / (n as f64)).exp()
+    })
+}
+
+fn bench_tile_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_kernels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for nb in [64usize, 128] {
+        let a = kernel_matrix(nb, 0);
+        let b = kernel_matrix(nb, 7);
+        group.bench_function(BenchmarkId::new("gemm_nt", nb), |bench| {
+            bench.iter(|| {
+                let mut cmat = DenseMatrix::zeros(nb, nb);
+                gemm_nt(-1.0, &a, &b, 1.0, &mut cmat);
+                black_box(cmat)
+            });
+        });
+        group.bench_function(BenchmarkId::new("potrf", nb), |bench| {
+            bench.iter(|| {
+                let mut spd = DenseMatrix::from_fn(nb, nb, |i, j| {
+                    (-((i as f64 - j as f64).abs()) / 10.0).exp() + if i == j { 0.1 } else { 0.0 }
+                });
+                potrf_in_place(&mut spd).unwrap();
+                black_box(spd)
+            });
+        });
+        group.bench_function(BenchmarkId::new("jacobi_svd", nb), |bench| {
+            let tile = kernel_matrix(nb, 3 * nb);
+            bench.iter(|| black_box(jacobi_svd(&tile)));
+        });
+        group.bench_function(BenchmarkId::new("compress_1e-3", nb), |bench| {
+            let tile = kernel_matrix(nb, 3 * nb);
+            bench.iter(|| {
+                black_box(compress_dense(
+                    &tile,
+                    CompressionTol::Absolute(1e-3),
+                    usize::MAX,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 768;
+    let nb = 96;
+    let f = |i: usize, j: usize| {
+        (-((i as f64 - j as f64).abs()) / 200.0).exp() + if i == j { 1e-4 } else { 0.0 }
+    };
+    group.bench_function("dense_tiled_cholesky_768", |bench| {
+        bench.iter(|| {
+            let mut a = SymTileMatrix::from_fn(n, nb, f);
+            potrf_tiled(&mut a, 1).unwrap();
+            black_box(a)
+        });
+    });
+    group.bench_function("tlr_cholesky_768_tol1e-3", |bench| {
+        bench.iter(|| {
+            let mut a = TlrMatrix::from_fn(n, nb, CompressionTol::Absolute(1e-3), nb / 2, f);
+            potrf_tlr(&mut a, 1).unwrap();
+            black_box(a)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_kernels, bench_factorizations);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Shared helpers for the benchmark and report harnesses that regenerate the
+//! paper's tables and figures. Each figure/table has a dedicated binary (see
+//! `src/bin/`) or Criterion bench (see `benches/`); `EXPERIMENTS.md` maps them
+//! to the paper.
+
+use geostat::{regular_grid, CovarianceKernel, Location};
+use mvn_core::MvnConfig;
+use std::time::Instant;
+use tile_la::{potrf_tiled, SymTileMatrix};
+use tlr::{potrf_tlr, CompressionTol, TlrMatrix};
+
+/// The paper's three synthetic correlation settings (exponential kernel ranges
+/// 0.033 / 0.1 / 0.234 on the unit square).
+pub const CORRELATION_SETTINGS: &[(&str, f64)] =
+    &[("weak", 0.033), ("medium", 0.1), ("strong", 0.234)];
+
+/// A synthetic spatial problem: grid locations plus the exponential covariance
+/// kernel at one of the paper's correlation ranges.
+pub struct SyntheticProblem {
+    /// Grid locations on the unit square.
+    pub locations: Vec<Location>,
+    /// The covariance kernel.
+    pub kernel: CovarianceKernel,
+    /// Human-readable name of the correlation setting.
+    pub label: String,
+}
+
+impl SyntheticProblem {
+    /// Build a `side × side` regular-grid problem with the given correlation
+    /// range.
+    pub fn new(side: usize, range: f64, label: &str) -> Self {
+        Self {
+            locations: regular_grid(side, side),
+            kernel: CovarianceKernel::Exponential { sigma2: 1.0, range },
+            label: label.to_string(),
+        }
+    }
+
+    /// Number of locations.
+    pub fn n(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Assemble and factor the covariance in dense tiled form; returns the
+    /// factor and the factorization time in seconds.
+    pub fn dense_factor(&self, nb: usize) -> (SymTileMatrix, f64) {
+        let mut sigma = self.kernel.tiled_covariance(&self.locations, nb, 1e-9);
+        let t = Instant::now();
+        potrf_tiled(&mut sigma, 1).expect("covariance must be SPD");
+        (sigma, t.elapsed().as_secs_f64())
+    }
+
+    /// Assemble and factor the covariance in TLR form; returns the factor and
+    /// the factorization time in seconds.
+    pub fn tlr_factor(&self, nb: usize, tol: f64, max_rank: usize) -> (TlrMatrix, f64) {
+        let mut sigma = self.kernel.tlr_covariance(
+            &self.locations,
+            nb,
+            1e-9,
+            CompressionTol::Absolute(tol),
+            max_rank,
+        );
+        let t = Instant::now();
+        potrf_tlr(&mut sigma, 1).expect("covariance must be SPD");
+        (sigma, t.elapsed().as_secs_f64())
+    }
+}
+
+/// Exceedance-style integration limits used by the timing experiments: lower
+/// limit 0 (in standardized units) at every site, upper limit +∞.
+pub fn exceedance_limits(n: usize) -> (Vec<f64>, Vec<f64>) {
+    (vec![0.0; n], vec![f64::INFINITY; n])
+}
+
+/// An `MvnConfig` with the given QMC sample size and a fixed seed (so report
+/// runs are reproducible).
+pub fn mvn_config(samples: usize) -> MvnConfig {
+    MvnConfig {
+        sample_size: samples,
+        panel_width: 64,
+        seed: 20240518,
+        ..Default::default()
+    }
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// `true` if `--full` was passed to a report binary (paper-scale sizes instead
+/// of laptop-scale defaults).
+pub fn full_scale_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_problem_builders_work() {
+        let p = SyntheticProblem::new(8, 0.1, "medium");
+        assert_eq!(p.n(), 64);
+        let (dense, t_dense) = p.dense_factor(16);
+        assert_eq!(dense.n(), 64);
+        assert!(t_dense >= 0.0);
+        let (tlr, _) = p.tlr_factor(16, 1e-6, 16);
+        assert_eq!(tlr.n(), 64);
+        let (a, b) = exceedance_limits(64);
+        assert_eq!(a.len(), 64);
+        assert!(b.iter().all(|&x| x == f64::INFINITY));
+        assert_eq!(mvn_config(100).sample_size, 100);
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

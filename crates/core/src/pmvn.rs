@@ -1,0 +1,462 @@
+//! The tiled, parallel PMVN algorithm (the paper's Algorithms 2 and 3).
+//!
+//! The `N` (quasi-)Monte-Carlo chains are split into independent column panels
+//! of width `m = cfg.panel_width`; each panel is one parallel task (the paper's
+//! step (b)/(d) tasks). Within a panel the SOV recursion advances one row block
+//! of the Cholesky factor at a time:
+//!
+//! 1. the QMC kernel (Algorithm 3) runs the within-block recursion against the
+//!    dense diagonal tile `L_{r,r}`, producing the block of `Y` values and
+//!    multiplying the per-chain probabilities,
+//! 2. the propagation step applies `A_{j,·} ← A_{j,·} − L_{j,r}·Y_{r,·}` for
+//!    every later row block `j > r` (the paper's step (c) GEMMs). With a TLR
+//!    factor these products use the compressed `U·Vᵀ` form.
+//!
+//! The per-panel probability means are combined into the final estimate and a
+//! batch standard error.
+
+use crate::{MvnConfig, MvnResult};
+use mathx::{clamp_unit, norm_cdf, norm_cdf_diff, norm_quantile};
+use qmc::{make_point_set, PointSet};
+use rayon::prelude::*;
+use tile_la::kernels::gemm_nn;
+use tile_la::{DenseMatrix, SymTileMatrix, TileLayout};
+use tlr::{lr_gemm_panel, TlrMatrix};
+
+/// Abstraction over the storage format of the Cholesky factor consumed by the
+/// PMVN sweep: dense tiles ([`SymTileMatrix`]) or tile-low-rank
+/// ([`TlrMatrix`]).
+pub trait CholeskyFactor: Sync {
+    /// Matrix dimension `n`.
+    fn dim(&self) -> usize;
+    /// Row/column tiling of the factor.
+    fn tiling(&self) -> TileLayout;
+    /// The dense diagonal tile `L_{r,r}`.
+    fn diag_block(&self, r: usize) -> &DenseMatrix;
+    /// `acc ← acc − L_{j,r} · y` for a strictly-lower block (`j > r`) and a
+    /// dense panel block `y`.
+    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix);
+}
+
+impl CholeskyFactor for SymTileMatrix {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    fn tiling(&self) -> TileLayout {
+        self.layout()
+    }
+    fn diag_block(&self, r: usize) -> &DenseMatrix {
+        self.tile(r, r)
+    }
+    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
+        gemm_nn(-1.0, self.tile(j, r), y, 1.0, acc);
+    }
+}
+
+impl CholeskyFactor for TlrMatrix {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    fn tiling(&self) -> TileLayout {
+        self.layout()
+    }
+    fn diag_block(&self, r: usize) -> &DenseMatrix {
+        self.diag_tile(r)
+    }
+    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
+        lr_gemm_panel(-1.0, self.off_tile(j, r), y, 1.0, acc);
+    }
+}
+
+/// Algorithm 3: run the within-block SOV recursion for one row block against
+/// the dense diagonal tile `l_rr`.
+///
+/// * `l_rr` — dense lower-triangular diagonal tile (`m × m`),
+/// * `w` — the uniform sample block (`m × cols`),
+/// * `a`, `b` — the conditional limit blocks (`m × cols`, entries may be ±∞),
+/// * `y` — output block of conditioning values (`m × cols`),
+/// * `prob` — running per-chain probabilities (length `cols`), multiplied in
+///   place.
+pub fn qmc_kernel(
+    l_rr: &DenseMatrix,
+    w: &DenseMatrix,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    y: &mut DenseMatrix,
+    prob: &mut [f64],
+) {
+    let m = l_rr.nrows();
+    let cols = w.ncols();
+    debug_assert_eq!(l_rr.ncols(), m);
+    debug_assert_eq!(a.nrows(), m);
+    debug_assert_eq!(b.nrows(), m);
+    debug_assert_eq!(y.nrows(), m);
+    debug_assert_eq!(a.ncols(), cols);
+    debug_assert_eq!(prob.len(), cols);
+
+    for c in 0..cols {
+        if prob[c] == 0.0 {
+            // Dead chain: keep the conditioning values finite and move on.
+            for i in 0..m {
+                y.set(i, c, 0.0);
+            }
+            continue;
+        }
+        for i in 0..m {
+            let mut s = 0.0;
+            for t in 0..i {
+                s += l_rr.get(i, t) * y.get(t, c);
+            }
+            let lii = l_rr.get(i, i);
+            let ai = a.get(i, c);
+            let bi = b.get(i, c);
+            let a_cond = if ai == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                (ai - s) / lii
+            };
+            let b_cond = if bi == f64::INFINITY {
+                f64::INFINITY
+            } else {
+                (bi - s) / lii
+            };
+            let phi_a = norm_cdf(a_cond);
+            let diff = norm_cdf_diff(a_cond, b_cond);
+            prob[c] *= diff;
+            let u = clamp_unit(phi_a + w.get(i, c) * diff);
+            y.set(i, c, norm_quantile(u));
+            if prob[c] == 0.0 {
+                for k in (i + 1)..m {
+                    y.set(k, c, 0.0);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Generic PMVN sweep over any [`CholeskyFactor`] storage.
+pub fn mvn_prob_factored<F: CholeskyFactor>(
+    l: &F,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+) -> MvnResult {
+    let n = l.dim();
+    assert_eq!(a.len(), n, "lower limit length mismatch");
+    assert_eq!(b.len(), n, "upper limit length mismatch");
+    assert!(cfg.sample_size > 0, "sample size must be positive");
+    assert!(cfg.panel_width > 0, "panel width must be positive");
+
+    let layout = l.tiling();
+    let nt = layout.num_tiles();
+    let skip_b_updates = b.iter().all(|&x| x == f64::INFINITY);
+
+    let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+    let points_ref: &dyn PointSet = points.as_ref();
+
+    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+
+    let panel_results: Vec<(f64, usize)> = (0..n_panels)
+        .into_par_iter()
+        .map(|p| {
+            let start = p * cfg.panel_width;
+            let end = ((p + 1) * cfg.panel_width).min(cfg.sample_size);
+            let cols = end - start;
+
+            // Per-row-block panels of the limit matrices A, B and samples W.
+            let mut a_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
+            let mut b_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
+            let mut w_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
+            for r in 0..nt {
+                let rows = layout.tile_size(r);
+                let r0 = layout.tile_start(r);
+                a_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| a[r0 + i]));
+                b_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| b[r0 + i]));
+                w_blocks.push(DenseMatrix::zeros(rows, cols));
+            }
+            // Fill the sample block column by column (one full point per chain).
+            let mut point_buf = vec![0.0; n];
+            for c in 0..cols {
+                points_ref.point(start + c, &mut point_buf);
+                for r in 0..nt {
+                    let r0 = layout.tile_start(r);
+                    for i in 0..layout.tile_size(r) {
+                        w_blocks[r].set(i, c, point_buf[r0 + i]);
+                    }
+                }
+            }
+
+            let mut prob = vec![1.0; cols];
+            let mut y_block = DenseMatrix::zeros(layout.tile_size(0), cols);
+            for r in 0..nt {
+                let rows = layout.tile_size(r);
+                if y_block.nrows() != rows {
+                    y_block = DenseMatrix::zeros(rows, cols);
+                }
+                qmc_kernel(
+                    l.diag_block(r),
+                    &w_blocks[r],
+                    &a_blocks[r],
+                    &b_blocks[r],
+                    &mut y_block,
+                    &mut prob,
+                );
+                // Propagate to the remaining row blocks (the paper's GEMM step).
+                for j in (r + 1)..nt {
+                    l.apply_offdiag(j, r, &y_block, &mut a_blocks[j]);
+                    if !skip_b_updates {
+                        l.apply_offdiag(j, r, &y_block, &mut b_blocks[j]);
+                    }
+                }
+            }
+            (prob.iter().sum::<f64>() / cols as f64, cols)
+        })
+        .collect();
+
+    // Combine panel means into ~10 batches for the error estimate.
+    let n_batches = 10.min(panel_results.len());
+    let mut batch_sum = vec![0.0; n_batches];
+    let mut batch_cnt = vec![0usize; n_batches];
+    for (i, (mean, c)) in panel_results.iter().enumerate() {
+        let bidx = i % n_batches;
+        batch_sum[bidx] += mean * *c as f64;
+        batch_cnt[bidx] += c;
+    }
+    let batches: Vec<(f64, usize)> = batch_sum
+        .iter()
+        .zip(&batch_cnt)
+        .filter(|(_, &c)| c > 0)
+        .map(|(s, &c)| (s / c as f64, c))
+        .collect();
+    MvnResult::from_batches(&batches)
+}
+
+/// Estimate the MVN probability from a dense tiled Cholesky factor
+/// (the paper's "Dense" method).
+pub fn mvn_prob_dense(l: &SymTileMatrix, a: &[f64], b: &[f64], cfg: &MvnConfig) -> MvnResult {
+    mvn_prob_factored(l, a, b, cfg)
+}
+
+/// Estimate the MVN probability from a TLR Cholesky factor
+/// (the paper's "TLR" method).
+pub fn mvn_prob_tlr(l: &TlrMatrix, a: &[f64], b: &[f64], cfg: &MvnConfig) -> MvnResult {
+    mvn_prob_factored(l, a, b, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genz::mvn_prob_genz;
+    use mathx::norm_cdf;
+    use tile_la::potrf_tiled;
+    use tlr::{potrf_tlr, CompressionTol};
+
+    fn exp_cov(range: f64) -> impl Fn(usize, usize) -> f64 + Sync + Copy {
+        move |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs() / 40.0;
+            (-d / range).exp()
+        }
+    }
+
+    fn dense_factor(f: impl Fn(usize, usize) -> f64 + Sync, n: usize, nb: usize) -> SymTileMatrix {
+        let mut s = SymTileMatrix::from_fn(n, nb, f);
+        potrf_tiled(&mut s, 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn independent_case_matches_exact_product() {
+        let n = 12;
+        let l = dense_factor(|i, j| if i == j { 1.0 } else { 0.0 }, n, 5);
+        let a = vec![-1.5; n];
+        let b = vec![0.5; n];
+        let r = mvn_prob_dense(&l, &a, &b, &MvnConfig::with_samples(2000));
+        let want = (norm_cdf(0.5) - norm_cdf(-1.5)).powi(n as i32);
+        assert!((r.prob - want).abs() < 1e-10, "{} vs {want}", r.prob);
+    }
+
+    #[test]
+    fn equicorrelated_orthant_closed_form() {
+        // P(all X_i <= 0) with correlation 0.5 is 1/(n+1).
+        let n = 6;
+        let l = dense_factor(|i, j| if i == j { 1.0 } else { 0.5 }, n, 3);
+        let a = vec![f64::NEG_INFINITY; n];
+        let b = vec![0.0; n];
+        let cfg = MvnConfig {
+            sample_size: 40_000,
+            panel_width: 64,
+            seed: 3,
+            ..Default::default()
+        };
+        let r = mvn_prob_dense(&l, &a, &b, &cfg);
+        let want = 1.0 / (n as f64 + 1.0);
+        assert!((r.prob - want).abs() < 4e-3, "{} vs {want}", r.prob);
+    }
+
+    #[test]
+    fn agrees_with_sequential_genz_reference() {
+        let n = 60;
+        let f = exp_cov(0.5);
+        let l_tiled = dense_factor(f, n, 16);
+        let l_dense = l_tiled.to_dense_lower();
+        let a = vec![-0.3; n];
+        let b = vec![f64::INFINITY; n];
+        let cfg = MvnConfig {
+            sample_size: 30_000,
+            seed: 11,
+            ..Default::default()
+        };
+        let tiled = mvn_prob_dense(&l_tiled, &a, &b, &cfg);
+        let seq = mvn_prob_genz(&l_dense, &a, &b, &cfg);
+        let tol = 4.0 * (tiled.std_error + seq.std_error).max(2e-3);
+        assert!(
+            (tiled.prob - seq.prob).abs() < tol,
+            "tiled {} vs sequential {} (tol {tol})",
+            tiled.prob,
+            seq.prob
+        );
+    }
+
+    #[test]
+    fn result_is_invariant_to_panel_width_and_tile_size() {
+        let n = 45;
+        let f = exp_cov(0.3);
+        let a = vec![-0.5; n];
+        let b = vec![1.0; n];
+        let mut probs = Vec::new();
+        for (nb, panel) in [(9, 16), (15, 50), (45, 128)] {
+            let l = dense_factor(f, n, nb);
+            let cfg = MvnConfig {
+                sample_size: 8000,
+                panel_width: panel,
+                seed: 21,
+                ..Default::default()
+            };
+            probs.push(mvn_prob_dense(&l, &a, &b, &cfg).prob);
+        }
+        // Same sample set, same chain values => identical estimates up to
+        // floating-point reassociation.
+        for w in probs.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-10, "{probs:?}");
+        }
+    }
+
+    #[test]
+    fn tlr_factor_gives_same_probability_as_dense_factor() {
+        let n = 100;
+        let f = exp_cov(0.8);
+        let l_dense = dense_factor(f, n, 25);
+        let mut tlr = TlrMatrix::from_fn(n, 25, CompressionTol::Absolute(1e-8), usize::MAX, f);
+        potrf_tlr(&mut tlr, 1).unwrap();
+        let a = vec![-0.2; n];
+        let b = vec![f64::INFINITY; n];
+        let cfg = MvnConfig {
+            sample_size: 10_000,
+            seed: 5,
+            ..Default::default()
+        };
+        let rd = mvn_prob_dense(&l_dense, &a, &b, &cfg);
+        let rt = mvn_prob_tlr(&tlr, &a, &b, &cfg);
+        assert!(
+            (rd.prob - rt.prob).abs() < 1e-3,
+            "dense {} vs TLR {}",
+            rd.prob,
+            rt.prob
+        );
+    }
+
+    #[test]
+    fn loose_tlr_tolerance_still_close_as_in_the_paper() {
+        // The paper's qualitative finding: 1e-3 (even 1e-1 for weak/medium
+        // correlation) compression is enough for confidence-region accuracy.
+        let n = 100;
+        let f = exp_cov(0.8);
+        let l_dense = dense_factor(f, n, 25);
+        let mut tlr = TlrMatrix::from_fn(n, 25, CompressionTol::Absolute(1e-3), 20, f);
+        potrf_tlr(&mut tlr, 1).unwrap();
+        let a = vec![0.0; n];
+        let b = vec![f64::INFINITY; n];
+        let cfg = MvnConfig {
+            sample_size: 10_000,
+            seed: 6,
+            ..Default::default()
+        };
+        let rd = mvn_prob_dense(&l_dense, &a, &b, &cfg);
+        let rt = mvn_prob_tlr(&tlr, &a, &b, &cfg);
+        assert!(
+            (rd.prob - rt.prob).abs() < 5e-3,
+            "dense {} vs TLR {}",
+            rd.prob,
+            rt.prob
+        );
+    }
+
+    #[test]
+    fn finite_upper_limits_exercise_the_b_update_path() {
+        let n = 40;
+        let f = exp_cov(0.4);
+        let l_tiled = dense_factor(f, n, 10);
+        let l_dense = l_tiled.to_dense_lower();
+        let a = vec![-1.0; n];
+        let b = vec![0.8; n];
+        let cfg = MvnConfig {
+            sample_size: 20_000,
+            seed: 13,
+            ..Default::default()
+        };
+        let tiled = mvn_prob_dense(&l_tiled, &a, &b, &cfg);
+        let seq = mvn_prob_genz(&l_dense, &a, &b, &cfg);
+        assert!(
+            (tiled.prob - seq.prob).abs() < 4.0 * (tiled.std_error + seq.std_error).max(1e-3),
+            "tiled {} vs sequential {}",
+            tiled.prob,
+            seq.prob
+        );
+    }
+
+    #[test]
+    fn probability_bounds_are_respected() {
+        let n = 30;
+        let l = dense_factor(exp_cov(0.6), n, 8);
+        let cfg = MvnConfig::with_samples(4000);
+        let whole = mvn_prob_dense(
+            &l,
+            &vec![f64::NEG_INFINITY; n],
+            &vec![f64::INFINITY; n],
+            &cfg,
+        );
+        assert!((whole.prob - 1.0).abs() < 1e-12);
+        let r = mvn_prob_dense(&l, &vec![0.0; n], &vec![f64::INFINITY; n], &cfg);
+        assert!(r.prob > 0.0 && r.prob < 1.0);
+    }
+
+    #[test]
+    fn qmc_kernel_matches_scalar_recursion_on_one_block() {
+        use crate::sov::sov_sample_probability;
+        let m = 10;
+        let f = exp_cov(0.5);
+        let l_tiled = dense_factor(f, m, m);
+        let l_rr = l_tiled.tile(0, 0).clone();
+        let a = vec![-0.7; m];
+        let b = vec![1.2; m];
+        let w: Vec<f64> = (0..m).map(|i| (i as f64 + 0.5) / m as f64).collect();
+
+        // Kernel path (single column).
+        let a_blk = DenseMatrix::from_fn(m, 1, |i, _| a[i]);
+        let b_blk = DenseMatrix::from_fn(m, 1, |i, _| b[i]);
+        let w_blk = DenseMatrix::from_fn(m, 1, |i, _| w[i]);
+        let mut y_blk = DenseMatrix::zeros(m, 1);
+        let mut prob = vec![1.0];
+        qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+
+        // Scalar reference path.
+        let mut y = vec![0.0; m];
+        let p_ref = sov_sample_probability(&l_rr, &a, &b, &w, &mut y);
+
+        assert!((prob[0] - p_ref).abs() < 1e-12);
+        for i in 0..m {
+            assert!((y_blk.get(i, 0) - y[i]).abs() < 1e-12);
+        }
+    }
+}

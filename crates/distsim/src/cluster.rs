@@ -1,0 +1,135 @@
+//! Machine model: node and cluster parameters used to convert task flop counts
+//! and tile sizes into simulated execution and transfer times.
+
+/// Per-node hardware parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    /// Number of cores per node.
+    pub cores: usize,
+    /// Sustained double-precision rate per core, in flop/s.
+    pub flops_per_core: f64,
+}
+
+impl NodeSpec {
+    /// A dual-socket 16-core Intel Haswell node as in Shaheen-II (Cray XC40):
+    /// 32 cores, ≈2.3 GHz × 16 flop/cycle, derated to a realistic sustained
+    /// fraction for compute-bound BLAS-3 kernels.
+    pub fn cray_xc40_haswell() -> Self {
+        Self {
+            cores: 32,
+            flops_per_core: 2.3e9 * 16.0 * 0.7,
+        }
+    }
+}
+
+/// Cluster-level parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Point-to-point network bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Point-to-point latency in seconds.
+    pub latency: f64,
+}
+
+impl ClusterSpec {
+    /// A Shaheen-II-like configuration with the given node count (Cray Aries
+    /// interconnect: ~8 GB/s effective per-node injection, ~1.5 µs latency).
+    pub fn cray_xc40(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        Self {
+            nodes,
+            node: NodeSpec::cray_xc40_haswell(),
+            bandwidth: 8.0e9,
+            latency: 1.5e-6,
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.node.cores
+    }
+
+    /// Time to execute `flops` floating-point operations on one core.
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        flops / self.node.flops_per_core
+    }
+
+    /// Time to transfer `bytes` between two distinct nodes.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// The (pr, pc) 2-D process grid used for block-cyclic tile distribution:
+    /// the most square factorization of the node count.
+    pub fn process_grid(&self) -> (usize, usize) {
+        let mut pr = (self.nodes as f64).sqrt().floor() as usize;
+        while pr > 1 && self.nodes % pr != 0 {
+            pr -= 1;
+        }
+        (pr.max(1), self.nodes / pr.max(1))
+    }
+
+    /// Owner node of tile `(i, j)` under the 2-D block-cyclic distribution.
+    pub fn tile_owner(&self, i: usize, j: usize) -> usize {
+        let (pr, pc) = self.process_grid();
+        (i % pr) * pc + (j % pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cray_defaults_are_plausible() {
+        let c = ClusterSpec::cray_xc40(16);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.total_cores(), 512);
+        assert!(c.node.flops_per_core > 1e10);
+        // Transfer of an 820 KB tile takes on the order of 100 microseconds.
+        let t = c.transfer_time(320 * 320 * 8);
+        assert!(t > 1e-5 && t < 1e-3, "{t}");
+    }
+
+    #[test]
+    fn process_grid_is_a_factorization_and_square_when_possible() {
+        for nodes in [1, 4, 16, 64, 128, 256, 512, 6, 12] {
+            let c = ClusterSpec::cray_xc40(nodes);
+            let (pr, pc) = c.process_grid();
+            assert_eq!(pr * pc, nodes, "nodes={nodes}");
+            assert!(pr <= pc);
+        }
+        assert_eq!(ClusterSpec::cray_xc40(16).process_grid(), (4, 4));
+        assert_eq!(ClusterSpec::cray_xc40(512).process_grid(), (16, 32));
+    }
+
+    #[test]
+    fn tile_owner_covers_all_nodes_cyclically() {
+        let c = ClusterSpec::cray_xc40(8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let o = c.tile_owner(i, j);
+                assert!(o < 8);
+                seen.insert(o);
+            }
+        }
+        assert_eq!(seen.len(), 8, "every node owns at least one tile");
+    }
+
+    #[test]
+    fn compute_time_scales_linearly_with_flops() {
+        let c = ClusterSpec::cray_xc40(1);
+        assert!((c.compute_time(2e9) / c.compute_time(1e9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_panics() {
+        ClusterSpec::cray_xc40(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # distsim — distributed-memory performance model
+//!
+//! The paper evaluates the PMVN algorithm on up to 512 nodes of a Cray XC40
+//! (Shaheen-II). We do not have a distributed machine, so this crate *models*
+//! that execution: it generates exactly the task graphs a distributed run would
+//! execute (tiled Cholesky — dense or TLR — followed by the PMVN sweep), maps
+//! tiles to nodes with a 2-D block-cyclic distribution, and replays the DAG
+//! through a communication-aware list scheduler with per-task flop costs and
+//! per-edge transfer costs calibrated to Haswell-era node parameters.
+//!
+//! The absolute times are only as good as the calibration, but the *shape* of
+//! the curves — how dense and TLR scale with the node count and the problem
+//! dimension (the paper's Fig. 7 and Table III) — is driven by the DAG
+//! structure, the tile counts and the communication volume, all of which are
+//! modelled faithfully. See `DESIGN.md` §4 for the substitution rationale.
+
+pub mod cluster;
+pub mod sim;
+pub mod taskgen;
+
+pub use cluster::{ClusterSpec, NodeSpec};
+pub use sim::{simulate, SimulationReport};
+pub use taskgen::{
+    cholesky_task_graph, pmvn_task_graph, typical_mean_rank, DistributedWorkload, FactorKind,
+    ProblemSpec,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_trend_matches_the_paper() {
+        // For a fixed problem, the simulated time should drop substantially
+        // when going from 16 to 128 nodes (the paper's Fig. 7, left panel).
+        let spec = ProblemSpec {
+            n: 25_600,
+            tile_size: 320,
+            qmc_samples: 10_000,
+            panel_width: 320,
+            kind: FactorKind::Dense,
+        };
+        let t16 = {
+            let c = ClusterSpec::cray_xc40(16);
+            simulate(&pmvn_task_graph(&spec, &c), &c).makespan
+        };
+        let t128 = {
+            let c = ClusterSpec::cray_xc40(128);
+            simulate(&pmvn_task_graph(&spec, &c), &c).makespan
+        };
+        assert!(
+            t128 < t16 * 0.5,
+            "128 nodes ({t128:.2}s) should be much faster than 16 nodes ({t16:.2}s)"
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Communication-aware list-scheduling simulator.
+//!
+//! Tasks are replayed in submission (topological) order. Each task executes on
+//! its assigned node (owner-computes on the tile it writes); it may start once
+//! all its dependencies have finished *and* every remote input has been
+//! transferred to the node (transfers are cached: a handle is shipped to a
+//! given node at most once per producing write). Each node has a fixed number
+//! of cores; a task occupies one core for `flops / flops_per_core` seconds.
+
+use crate::cluster::ClusterSpec;
+use crate::taskgen::DistributedWorkload;
+use std::collections::HashMap;
+
+/// Outcome of one simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Simulated wall-clock time in seconds.
+    pub makespan: f64,
+    /// Total bytes moved between nodes.
+    pub comm_bytes: usize,
+    /// Total compute time summed over all tasks (core-seconds).
+    pub compute_core_seconds: f64,
+    /// Number of tasks simulated.
+    pub tasks: usize,
+    /// Parallel efficiency: compute time / (makespan × total cores).
+    pub efficiency: f64,
+}
+
+/// Simulate the execution of a distributed workload on the given cluster.
+pub fn simulate(workload: &DistributedWorkload, cluster: &ClusterSpec) -> SimulationReport {
+    let graph = &workload.graph;
+    let n = graph.len();
+    assert_eq!(workload.exec_node.len(), n, "exec_node length mismatch");
+
+    // Per-node core availability times.
+    let mut cores: Vec<Vec<f64>> = (0..cluster.nodes)
+        .map(|_| vec![0.0; cluster.node.cores])
+        .collect();
+    // Completion time of every task.
+    let mut finish = vec![0.0f64; n];
+    // Where the latest version of each handle lives and when it became
+    // available there: (writer task finish time). Also a cache of nodes that
+    // already received that version.
+    let mut handle_version: HashMap<usize, (f64, usize)> = HashMap::new(); // handle -> (avail time, producer node)
+    let mut handle_cached_at: HashMap<(usize, usize), f64> = HashMap::new(); // (handle, node) -> available time
+
+    let mut comm_bytes = 0usize;
+    let mut compute_core_seconds = 0.0;
+
+    for t in 0..n {
+        let spec = graph.spec(t);
+        let node = workload.exec_node[t];
+
+        // Dependency readiness.
+        let mut ready = graph
+            .dependencies(t)
+            .iter()
+            .map(|&d| finish[d])
+            .fold(0.0f64, f64::max);
+
+        // Remote input transfers.
+        for h in spec.read_handles() {
+            let hid = h.id();
+            let (avail, producer_node) = handle_version
+                .get(&hid)
+                .copied()
+                .unwrap_or((0.0, workload.owner.get(hid).copied().unwrap_or(node)));
+            if producer_node == node {
+                ready = ready.max(avail);
+                continue;
+            }
+            let key = (hid, node);
+            let cached = handle_cached_at.get(&key).copied();
+            let arrival = match cached {
+                Some(time) if time >= avail => time,
+                _ => {
+                    let bytes = workload.registry.size_bytes(h);
+                    comm_bytes += bytes;
+                    let arrive = avail + cluster.transfer_time(bytes);
+                    handle_cached_at.insert(key, arrive);
+                    arrive
+                }
+            };
+            ready = ready.max(arrival);
+        }
+
+        // Pick the earliest-free core on the execution node.
+        let node_cores = &mut cores[node];
+        let (core_idx, core_free) = node_cores
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let start = ready.max(core_free);
+        let duration = cluster.compute_time(spec.cost);
+        let end = start + duration;
+        node_cores[core_idx] = end;
+        finish[t] = end;
+        compute_core_seconds += duration;
+
+        // Record the new versions produced by this task.
+        for h in spec.written_handles() {
+            handle_version.insert(h.id(), (end, node));
+            // Invalidate stale cached copies elsewhere by bumping the version
+            // availability time; entries with older times will be refreshed.
+        }
+    }
+
+    let makespan = finish.iter().copied().fold(0.0f64, f64::max);
+    let efficiency = if makespan > 0.0 {
+        compute_core_seconds / (makespan * cluster.total_cores() as f64)
+    } else {
+        0.0
+    };
+    SimulationReport {
+        makespan,
+        comm_bytes,
+        compute_core_seconds,
+        tasks: n,
+        efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::taskgen::{pmvn_task_graph, FactorKind, ProblemSpec};
+
+    fn spec(n: usize, kind: FactorKind) -> ProblemSpec {
+        ProblemSpec {
+            n,
+            tile_size: 320,
+            qmc_samples: 1000,
+            panel_width: 100,
+            kind,
+        }
+    }
+
+    #[test]
+    fn more_nodes_do_not_slow_down_the_same_problem() {
+        let s = spec(6400, FactorKind::Dense);
+        let mut prev = f64::INFINITY;
+        for nodes in [1usize, 4, 16] {
+            let cluster = ClusterSpec::cray_xc40(nodes);
+            let wl = pmvn_task_graph(&s, &cluster);
+            let r = simulate(&wl, &cluster);
+            assert!(r.makespan > 0.0);
+            assert!(
+                r.makespan <= prev * 1.05,
+                "makespan should not grow with node count: {nodes} nodes -> {}",
+                r.makespan
+            );
+            prev = r.makespan;
+        }
+    }
+
+    #[test]
+    fn tlr_is_faster_than_dense_in_simulation() {
+        // The paper's headline distributed result: TLR beats dense by 1.3-1.8x.
+        let cluster = ClusterSpec::cray_xc40(16);
+        let dense = simulate(&pmvn_task_graph(&spec(12800, FactorKind::Dense), &cluster), &cluster);
+        let tlr = simulate(
+            &pmvn_task_graph(&spec(12800, FactorKind::Tlr { mean_rank: 20 }), &cluster),
+            &cluster,
+        );
+        assert!(
+            tlr.makespan < dense.makespan,
+            "TLR {} should beat dense {}",
+            tlr.makespan,
+            dense.makespan
+        );
+    }
+
+    #[test]
+    fn communication_appears_only_with_multiple_nodes() {
+        let s = spec(3200, FactorKind::Dense);
+        let single = ClusterSpec::cray_xc40(1);
+        let multi = ClusterSpec::cray_xc40(8);
+        let r1 = simulate(&pmvn_task_graph(&s, &single), &single);
+        let r8 = simulate(&pmvn_task_graph(&s, &multi), &multi);
+        assert_eq!(r1.comm_bytes, 0);
+        assert!(r8.comm_bytes > 0);
+    }
+
+    #[test]
+    fn efficiency_is_between_zero_and_one() {
+        let s = spec(6400, FactorKind::Dense);
+        let cluster = ClusterSpec::cray_xc40(4);
+        let r = simulate(&pmvn_task_graph(&s, &cluster), &cluster);
+        assert!(r.efficiency > 0.0 && r.efficiency <= 1.0, "{}", r.efficiency);
+        assert_eq!(r.tasks, pmvn_task_graph(&s, &cluster).graph.len());
+    }
+
+    #[test]
+    fn makespan_is_bounded_below_by_critical_path_and_above_by_serial_time() {
+        let s = spec(3200, FactorKind::Dense);
+        let cluster = ClusterSpec::cray_xc40(4);
+        let wl = pmvn_task_graph(&s, &cluster);
+        let r = simulate(&wl, &cluster);
+        let critical = cluster.compute_time(wl.graph.critical_path_cost());
+        let serial = cluster.compute_time(wl.graph.total_cost());
+        assert!(r.makespan >= critical * 0.999, "{} < {critical}", r.makespan);
+        assert!(r.makespan <= serial * 1.2 + 1e-6, "{} > serial {serial}", r.makespan);
+    }
+
+    #[test]
+    fn larger_dimension_takes_longer() {
+        let cluster = ClusterSpec::cray_xc40(16);
+        let small = simulate(&pmvn_task_graph(&spec(6400, FactorKind::Dense), &cluster), &cluster);
+        let large = simulate(&pmvn_task_graph(&spec(19200, FactorKind::Dense), &cluster), &cluster);
+        assert!(large.makespan > small.makespan * 2.0);
+    }
+}

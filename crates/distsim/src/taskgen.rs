@@ -1,0 +1,337 @@
+//! Generation of the distributed task graphs: the tiled Cholesky factorization
+//! (dense or TLR) followed by the PMVN sweep, with per-task flop costs and
+//! per-handle byte sizes.
+//!
+//! Task costs are expressed in *flops* (the simulator converts them into
+//! seconds using the node specification), handle sizes in bytes (used for
+//! communication costs).
+
+use crate::cluster::ClusterSpec;
+use task_runtime::{AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec};
+
+/// Storage format of the factorization being modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactorKind {
+    /// Dense tiles everywhere.
+    Dense,
+    /// Tile low-rank off-diagonal tiles with the given mean rank.
+    Tlr {
+        /// Mean rank of the compressed off-diagonal tiles (cf. the paper's
+        /// Fig. 5: single digits to a few tens at tolerance 1e-3).
+        mean_rank: usize,
+    },
+}
+
+/// Description of the problem whose execution is being modelled.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemSpec {
+    /// MVN dimension `n` (number of spatial locations).
+    pub n: usize,
+    /// Tile size `nb`.
+    pub tile_size: usize,
+    /// QMC sample count `N`.
+    pub qmc_samples: usize,
+    /// Sample-panel width `m`.
+    pub panel_width: usize,
+    /// Dense or TLR factorization.
+    pub kind: FactorKind,
+}
+
+/// A task graph together with the data-placement information the simulator
+/// needs.
+pub struct DistributedWorkload {
+    /// The dependency graph with flop costs.
+    pub graph: TaskGraph,
+    /// Registered data handles (tiles, panel blocks) with byte sizes.
+    pub registry: HandleRegistry,
+    /// Owner node of each handle, indexed by handle id.
+    pub owner: Vec<usize>,
+    /// Node on which each task executes, indexed by task id.
+    pub exec_node: Vec<usize>,
+}
+
+/// A plausible mean off-diagonal rank at compression tolerance 1e-3, given the
+/// tile size and the correlation strength (matching the trend of Fig. 5).
+pub fn typical_mean_rank(tile_size: usize, strong_correlation: bool) -> usize {
+    let base = (tile_size as f64).sqrt() * if strong_correlation { 0.4 } else { 1.2 };
+    (base.round() as usize).clamp(2, tile_size)
+}
+
+fn tile_bytes(rows: usize, cols: usize) -> usize {
+    rows * cols * 8
+}
+
+/// Generate the tiled Cholesky factorization DAG for the given problem, mapped
+/// onto the cluster with the 2-D block-cyclic distribution.
+pub fn cholesky_task_graph(spec: &ProblemSpec, cluster: &ClusterSpec) -> DistributedWorkload {
+    cholesky_with_tiles(spec, cluster).0
+}
+
+/// Internal builder that also returns the per-tile data handles, so the PMVN
+/// sweep can reference the factor tiles it reads.
+fn cholesky_with_tiles(
+    spec: &ProblemSpec,
+    cluster: &ClusterSpec,
+) -> (DistributedWorkload, Vec<Vec<DataHandle>>) {
+    let nb = spec.tile_size;
+    let nt = spec.n.div_ceil(nb);
+    let nbf = nb as f64;
+
+    let mut registry = HandleRegistry::new();
+    let mut owner = Vec::new();
+    // Handle per lower tile (i, j), j <= i.
+    let mut tiles: Vec<Vec<DataHandle>> = vec![Vec::new(); nt];
+    for i in 0..nt {
+        for j in 0..=i {
+            let bytes = match spec.kind {
+                FactorKind::Dense => tile_bytes(nb, nb),
+                FactorKind::Tlr { mean_rank } => {
+                    if i == j {
+                        tile_bytes(nb, nb)
+                    } else {
+                        2 * tile_bytes(nb, mean_rank)
+                    }
+                }
+            };
+            let h = registry.register_sized(format!("L[{i},{j}]"), bytes);
+            tiles[i].push(h);
+            owner.push(cluster.tile_owner(i, j));
+        }
+    }
+    let tile = |i: usize, j: usize| tiles[i][j];
+
+    let mut graph = TaskGraph::new();
+    let mut exec_node = Vec::new();
+
+    for k in 0..nt {
+        // POTRF on the diagonal tile (always dense).
+        let potrf_cost = nbf * nbf * nbf / 3.0;
+        graph.submit(
+            TaskSpec::new("potrf")
+                .access(tile(k, k), AccessMode::ReadWrite)
+                .cost(potrf_cost),
+            None,
+        );
+        exec_node.push(cluster.tile_owner(k, k));
+
+        for i in (k + 1)..nt {
+            // TRSM of the panel tile.
+            let cost = match spec.kind {
+                FactorKind::Dense => nbf * nbf * nbf,
+                FactorKind::Tlr { mean_rank } => nbf * nbf * mean_rank as f64,
+            };
+            graph.submit(
+                TaskSpec::new("trsm")
+                    .access(tile(k, k), AccessMode::Read)
+                    .access(tile(i, k), AccessMode::ReadWrite)
+                    .cost(cost),
+                None,
+            );
+            exec_node.push(cluster.tile_owner(i, k));
+        }
+        for i in (k + 1)..nt {
+            for j in (k + 1)..=i {
+                let (name, cost) = if i == j {
+                    let c = match spec.kind {
+                        FactorKind::Dense => nbf * nbf * nbf,
+                        FactorKind::Tlr { mean_rank } => {
+                            let r = mean_rank as f64;
+                            2.0 * nbf * r * r + 2.0 * nbf * nbf * r
+                        }
+                    };
+                    ("syrk", c)
+                } else {
+                    let c = match spec.kind {
+                        FactorKind::Dense => 2.0 * nbf * nbf * nbf,
+                        FactorKind::Tlr { mean_rank } => {
+                            // Low-rank product + QR-based recompression.
+                            let r = mean_rank as f64;
+                            30.0 * nbf * r * r
+                        }
+                    };
+                    ("lr_gemm", c)
+                };
+                let mut t = TaskSpec::new(name)
+                    .access(tile(i, k), AccessMode::Read)
+                    .access(tile(i, j), AccessMode::ReadWrite)
+                    .cost(cost);
+                if i != j {
+                    t = t.access(tile(j, k), AccessMode::Read);
+                }
+                graph.submit(t, None);
+                exec_node.push(cluster.tile_owner(i, j));
+            }
+        }
+    }
+
+    (
+        DistributedWorkload {
+            graph,
+            registry,
+            owner,
+            exec_node,
+        },
+        tiles,
+    )
+}
+
+/// Generate the full MVN-integration DAG: Cholesky factorization followed by
+/// the PMVN sweep over all sample panels.
+pub fn pmvn_task_graph(spec: &ProblemSpec, cluster: &ClusterSpec) -> DistributedWorkload {
+    let (mut wl, tiles) = cholesky_with_tiles(spec, cluster);
+    let nb = spec.tile_size;
+    let nt = spec.n.div_ceil(nb);
+    let nbf = nb as f64;
+    let w = spec.panel_width;
+    let wf = w as f64;
+    let n_panels = spec.qmc_samples.div_ceil(w);
+
+    let tile_handle = |i: usize, j: usize| tiles[i][j];
+
+    // The QMC special-function cost per element (Phi + Phi^{-1} evaluations).
+    const PHI_FLOPS: f64 = 60.0;
+
+    for p in 0..n_panels {
+        let panel_node = p % cluster.nodes;
+        // One handle per row block of this panel's A/Y data.
+        let mut panel_blocks = Vec::with_capacity(nt);
+        for r in 0..nt {
+            let h = wl
+                .registry
+                .register_sized(format!("panel{p}_block{r}"), tile_bytes(nb, w));
+            wl.owner.push(panel_node);
+            panel_blocks.push(h);
+        }
+        for r in 0..nt {
+            // QMC kernel on row block r of this panel.
+            let qmc_cost = 0.5 * nbf * nbf * wf + PHI_FLOPS * nbf * wf;
+            wl.graph.submit(
+                TaskSpec::new("qmc")
+                    .access(tile_handle(r, r), AccessMode::Read)
+                    .access(panel_blocks[r], AccessMode::ReadWrite)
+                    .cost(qmc_cost),
+                None,
+            );
+            wl.exec_node.push(panel_node);
+            // Propagation GEMMs to the later row blocks.
+            for j in (r + 1)..nt {
+                let cost = match spec.kind {
+                    FactorKind::Dense => 2.0 * nbf * nbf * wf,
+                    // The propagation uses the dense representation of the
+                    // factor tiles in the paper (A/B are non-admissible), so it
+                    // stays dense even in the TLR variant.
+                    FactorKind::Tlr { .. } => 2.0 * nbf * nbf * wf,
+                };
+                wl.graph.submit(
+                    TaskSpec::new("panel_gemm")
+                        .access(tile_handle(j, r), AccessMode::Read)
+                        .access(panel_blocks[r], AccessMode::Read)
+                        .access(panel_blocks[j], AccessMode::ReadWrite)
+                        .cost(cost),
+                    None,
+                );
+                wl.exec_node.push(panel_node);
+            }
+        }
+    }
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, kind: FactorKind) -> ProblemSpec {
+        ProblemSpec {
+            n,
+            tile_size: 320,
+            qmc_samples: 1000,
+            panel_width: 100,
+            kind,
+        }
+    }
+
+    #[test]
+    fn cholesky_task_counts_match_tile_counts() {
+        let cluster = ClusterSpec::cray_xc40(4);
+        let s = spec(3200, FactorKind::Dense); // nt = 10
+        let wl = cholesky_task_graph(&s, &cluster);
+        let nt = 10;
+        let counts = wl.graph.kernel_counts();
+        assert_eq!(counts["potrf"], nt);
+        assert_eq!(counts["trsm"], nt * (nt - 1) / 2);
+        // syrk: one per diagonal tile per panel; gemm: strictly-lower updates.
+        assert_eq!(counts["syrk"], nt * (nt - 1) / 2);
+        assert_eq!(
+            counts["lr_gemm"],
+            (0..nt).map(|k| {
+                let m = nt - k - 1;
+                m * (m + 1) / 2 - m
+            })
+            .sum::<usize>()
+        );
+        assert_eq!(wl.exec_node.len(), wl.graph.len());
+        assert!(wl.exec_node.iter().all(|&n| n < 4));
+    }
+
+    #[test]
+    fn tlr_cholesky_has_lower_total_cost_than_dense() {
+        let cluster = ClusterSpec::cray_xc40(4);
+        let dense = cholesky_task_graph(&spec(6400, FactorKind::Dense), &cluster);
+        let tlr = cholesky_task_graph(
+            &spec(6400, FactorKind::Tlr { mean_rank: 20 }),
+            &cluster,
+        );
+        assert!(tlr.graph.total_cost() < dense.graph.total_cost() * 0.5);
+        // And the storage of off-diagonal tiles is smaller too.
+        assert!(tlr.registry.total_bytes() < dense.registry.total_bytes());
+    }
+
+    #[test]
+    fn pmvn_graph_extends_cholesky_graph() {
+        let cluster = ClusterSpec::cray_xc40(2);
+        let s = spec(1600, FactorKind::Dense); // nt = 5
+        let chol = cholesky_task_graph(&s, &cluster);
+        let full = pmvn_task_graph(&s, &cluster);
+        assert!(full.graph.len() > chol.graph.len());
+        let counts = full.graph.kernel_counts();
+        let nt = 5;
+        let n_panels = 10;
+        assert_eq!(counts["qmc"], nt * n_panels);
+        assert_eq!(counts["panel_gemm"], n_panels * nt * (nt - 1) / 2);
+    }
+
+    #[test]
+    fn qmc_tasks_depend_on_the_factorization() {
+        let cluster = ClusterSpec::cray_xc40(2);
+        let s = ProblemSpec {
+            n: 640,
+            tile_size: 320,
+            qmc_samples: 100,
+            panel_width: 100,
+            kind: FactorKind::Dense,
+        };
+        let wl = pmvn_task_graph(&s, &cluster);
+        // Find the first qmc task and check it has at least one dependency
+        // (the potrf of its diagonal tile).
+        let qmc_idx = (0..wl.graph.len())
+            .find(|&i| wl.graph.spec(i).name == "qmc")
+            .unwrap();
+        assert!(!wl.graph.dependencies(qmc_idx).is_empty());
+    }
+
+    #[test]
+    fn typical_rank_trends() {
+        assert!(typical_mean_rank(980, true) < typical_mean_rank(980, false));
+        assert!(typical_mean_rank(320, false) <= 320);
+        assert!(typical_mean_rank(100, true) >= 2);
+    }
+
+    #[test]
+    fn larger_problems_produce_more_expensive_graphs() {
+        let cluster = ClusterSpec::cray_xc40(8);
+        let small = pmvn_task_graph(&spec(3200, FactorKind::Dense), &cluster);
+        let large = pmvn_task_graph(&spec(9600, FactorKind::Dense), &cluster);
+        assert!(large.graph.total_cost() > small.graph.total_cost() * 5.0);
+    }
+}

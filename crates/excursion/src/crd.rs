@@ -1,0 +1,359 @@
+//! Confidence region detection (the paper's Algorithm 1, lines 6–15).
+//!
+//! Locations are ordered by decreasing marginal exceedance probability; the
+//! joint probability that every location of a prefix of that order exceeds the
+//! threshold is a non-increasing function of the prefix length, so
+//!
+//! * the positive confidence function at the `k`-th ordered location is the
+//!   joint probability of the length-`k` prefix, and
+//! * the excursion set `E⁺ᵤ,α` is the longest prefix whose joint probability is
+//!   still at least `1 − α`.
+//!
+//! Evaluating every prefix (as the paper's Algorithm 1 does) costs `n` MVN
+//! integrals; [`detect_confidence_regions`] evaluates a configurable number of
+//! prefix lengths (`levels`, spread uniformly, or every prefix when
+//! `levels >= n`) and [`find_excursion_set`] locates the boundary prefix for a
+//! single `α` by bisection, which needs only `O(log n)` integrals.
+
+use crate::marginal::{descending_order, marginal_exceedance};
+use mvn_core::{mvn_prob_factored, CholeskyFactor, MvnConfig};
+
+/// Configuration of a confidence-region detection run.
+#[derive(Debug, Clone)]
+pub struct CrdConfig {
+    /// Exceedance threshold `u` (on the same scale as the mean/sd passed in).
+    pub threshold: f64,
+    /// Significance level `α` (the region has confidence `1 − α`).
+    pub alpha: f64,
+    /// Number of prefix lengths at which the joint probability is evaluated
+    /// when building the confidence function (use `usize::MAX` or any value
+    /// `≥ n` for the paper's full per-prefix sweep).
+    pub levels: usize,
+    /// Configuration of the underlying MVN probability estimator.
+    pub mvn: MvnConfig,
+}
+
+impl Default for CrdConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            alpha: 0.05,
+            levels: 20,
+            mvn: MvnConfig::default(),
+        }
+    }
+}
+
+/// Output of [`detect_confidence_regions`].
+#[derive(Debug, Clone)]
+pub struct CrdResult {
+    /// Marginal exceedance probability at every location.
+    pub marginal: Vec<f64>,
+    /// Location indices ordered by decreasing marginal probability (`opM`).
+    pub order: Vec<usize>,
+    /// The evaluated `(prefix length, joint probability)` pairs, in increasing
+    /// prefix length.
+    pub prefix_probs: Vec<(usize, f64)>,
+    /// The positive confidence function `F⁺ᵤ` at every location (same indexing
+    /// as `marginal`).
+    pub confidence: Vec<f64>,
+}
+
+/// Joint exceedance probability of a prefix of the ordered locations:
+/// `P(X_c > u for every c in order[..prefix_len])`.
+pub fn prefix_joint_probability<F: CholeskyFactor>(
+    factor: &F,
+    mean: &[f64],
+    sd: &[f64],
+    threshold: f64,
+    order: &[usize],
+    prefix_len: usize,
+    mvn: &MvnConfig,
+) -> f64 {
+    let n = mean.len();
+    assert!(prefix_len <= n);
+    if prefix_len == 0 {
+        return 1.0;
+    }
+    // Lower limits: standardized threshold at prefix positions, -inf elsewhere;
+    // upper limits all +inf (Algorithm 1, lines 9, 12-13).
+    let mut a = vec![f64::NEG_INFINITY; n];
+    for &c in &order[..prefix_len] {
+        a[c] = (threshold - mean[c]) / sd[c];
+    }
+    let b = vec![f64::INFINITY; n];
+    mvn_prob_factored(factor, &a, &b, mvn).prob.clamp(0.0, 1.0)
+}
+
+/// Run Algorithm 1: marginal probabilities, ordering, joint probabilities at a
+/// set of prefix lengths, and the resulting confidence function.
+pub fn detect_confidence_regions<F: CholeskyFactor>(
+    factor: &F,
+    mean: &[f64],
+    sd: &[f64],
+    cfg: &CrdConfig,
+) -> CrdResult {
+    let n = mean.len();
+    assert_eq!(sd.len(), n);
+    assert_eq!(factor.dim(), n, "factor dimension must match number of locations");
+    assert!(cfg.alpha > 0.0 && cfg.alpha < 1.0, "alpha must be in (0,1)");
+
+    let marginal = marginal_exceedance(mean, sd, cfg.threshold);
+    let order = descending_order(&marginal);
+
+    // Prefix lengths to evaluate: `levels` values spread over 1..=n.
+    let levels = cfg.levels.max(1).min(n);
+    let mut prefix_lens: Vec<usize> = (1..=levels)
+        .map(|k| (k * n).div_ceil(levels))
+        .collect();
+    prefix_lens.dedup();
+
+    let mut prefix_probs = Vec::with_capacity(prefix_lens.len());
+    for &len in &prefix_lens {
+        let p = prefix_joint_probability(factor, mean, sd, cfg.threshold, &order, len, &cfg.mvn);
+        prefix_probs.push((len, p));
+    }
+    // Joint probabilities of nested events are theoretically non-increasing;
+    // enforce monotonicity to wash out QMC noise before interpolating.
+    for i in 1..prefix_probs.len() {
+        if prefix_probs[i].1 > prefix_probs[i - 1].1 {
+            prefix_probs[i].1 = prefix_probs[i - 1].1;
+        }
+    }
+
+    // Confidence function: F+ at the k-th ordered location is the joint
+    // probability of the length-k prefix; between evaluated lengths we
+    // interpolate linearly in the prefix length.
+    let mut confidence = vec![0.0; n];
+    let mut prev_len = 0usize;
+    let mut prev_prob = 1.0;
+    for &(len, p) in &prefix_probs {
+        for k in (prev_len + 1)..=len {
+            let t = if len == prev_len {
+                1.0
+            } else {
+                (k - prev_len) as f64 / (len - prev_len) as f64
+            };
+            confidence[order[k - 1]] = prev_prob + t * (p - prev_prob);
+        }
+        prev_len = len;
+        prev_prob = p;
+    }
+    // Any tail locations beyond the last evaluated prefix keep the final value.
+    for k in (prev_len + 1)..=n {
+        confidence[order[k - 1]] = prev_prob;
+    }
+
+    CrdResult {
+        marginal,
+        order,
+        prefix_probs,
+        confidence,
+    }
+}
+
+/// The excursion set at level `α`: all locations whose confidence function is
+/// at least `1 − α`.
+pub fn excursion_set(result: &CrdResult, alpha: f64) -> Vec<usize> {
+    result
+        .confidence
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f >= 1.0 - alpha)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Find the excursion set `E⁺ᵤ,α` directly by bisection over the prefix length
+/// (at most `⌈log₂ n⌉ + 1` MVN evaluations). Returns the selected location
+/// indices and the joint probability of the selected prefix.
+pub fn find_excursion_set<F: CholeskyFactor>(
+    factor: &F,
+    mean: &[f64],
+    sd: &[f64],
+    cfg: &CrdConfig,
+) -> (Vec<usize>, f64) {
+    let n = mean.len();
+    let marginal = marginal_exceedance(mean, sd, cfg.threshold);
+    let order = descending_order(&marginal);
+    let target = 1.0 - cfg.alpha;
+
+    let joint = |len: usize| {
+        prefix_joint_probability(factor, mean, sd, cfg.threshold, &order, len, &cfg.mvn)
+    };
+
+    // Empty prefix always qualifies (probability 1). If even the full set
+    // qualifies, return everything.
+    let p_full = joint(n);
+    if p_full >= target {
+        return (order.clone(), p_full.min(1.0));
+    }
+    // Invariant: joint(lo) >= target > joint(hi).
+    let mut lo = 0usize;
+    let mut hi = n;
+    let mut lo_prob = 1.0;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let p = joint(mid);
+        if p >= target {
+            lo = mid;
+            lo_prob = p;
+        } else {
+            hi = mid;
+        }
+    }
+    let mut region: Vec<usize> = order[..lo].to_vec();
+    region.sort_unstable();
+    (region, lo_prob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::correlation_factor_dense;
+    use geostat::{regular_grid, CovarianceKernel};
+    use tile_la::DenseMatrix;
+
+    /// Independent unit-variance field with a prescribed mean.
+    fn independent_factor(n: usize) -> (crate::CorrelationFactor, Vec<f64>) {
+        let cov = DenseMatrix::identity(n);
+        correlation_factor_dense(&cov, (n / 3).max(2))
+    }
+
+    fn spatial_factor(side: usize) -> (crate::CorrelationFactor, Vec<f64>, Vec<f64>) {
+        let locs = regular_grid(side, side);
+        let k = CovarianceKernel::Exponential {
+            sigma2: 1.0,
+            range: 0.25,
+        };
+        let cov = k.dense_covariance(&locs, 1e-8);
+        let (f, sd) = correlation_factor_dense(&cov, 32);
+        // A smooth mean surface: high in one corner, low in the other.
+        let mean: Vec<f64> = locs.iter().map(|l| 2.0 - 3.0 * (l.x + l.y) / 2.0).collect();
+        (f, sd, mean)
+    }
+
+    #[test]
+    fn independent_case_confidence_equals_product_of_marginals() {
+        // With independence, the joint probability of a prefix is the product
+        // of its marginal probabilities, so the confidence function can be
+        // checked in closed form.
+        let n = 10;
+        let (factor, sd) = independent_factor(n);
+        let mean: Vec<f64> = (0..n).map(|i| 3.0 - 0.4 * i as f64).collect();
+        let cfg = CrdConfig {
+            threshold: 0.0,
+            alpha: 0.05,
+            levels: n, // full sweep
+            mvn: MvnConfig::with_samples(500),
+        };
+        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        // Check the evaluated prefix probabilities against the product form.
+        let marg = &r.marginal;
+        for &(len, p) in &r.prefix_probs {
+            let want: f64 = r.order[..len].iter().map(|&c| marg[c]).product();
+            assert!((p - want).abs() < 1e-6, "len={len}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn confidence_function_is_monotone_along_the_ordering() {
+        let (factor, sd, mean) = spatial_factor(9);
+        let cfg = CrdConfig {
+            threshold: 0.5,
+            alpha: 0.05,
+            levels: 15,
+            mvn: MvnConfig::with_samples(1000),
+        };
+        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        for w in r.order.windows(2) {
+            assert!(
+                r.confidence[w[0]] >= r.confidence[w[1]] - 1e-12,
+                "confidence must decrease along the marginal ordering"
+            );
+        }
+        // And it is bounded by the marginal probability (joint <= marginal).
+        for i in 0..mean.len() {
+            assert!(r.confidence[i] <= r.marginal[i] + 5e-2);
+        }
+    }
+
+    #[test]
+    fn excursion_set_shrinks_as_confidence_increases() {
+        let (factor, sd, mean) = spatial_factor(8);
+        let cfg = CrdConfig {
+            threshold: 0.3,
+            alpha: 0.05,
+            levels: 16,
+            mvn: MvnConfig::with_samples(1500),
+        };
+        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let loose = excursion_set(&r, 0.5);
+        let strict = excursion_set(&r, 0.01);
+        assert!(strict.len() <= loose.len());
+        for i in &strict {
+            assert!(loose.contains(i));
+        }
+    }
+
+    #[test]
+    fn bisection_agrees_with_full_sweep_on_independent_case() {
+        let n = 12;
+        let (factor, sd) = independent_factor(n);
+        let mean: Vec<f64> = (0..n).map(|i| 2.5 - 0.5 * i as f64).collect();
+        let cfg = CrdConfig {
+            threshold: 0.0,
+            alpha: 0.1,
+            levels: n,
+            mvn: MvnConfig::with_samples(500),
+        };
+        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let sweep_region = excursion_set(&r, cfg.alpha);
+        let (bisect_region, prob) = find_excursion_set(&factor, &mean, &sd, &cfg);
+        assert!(prob >= 1.0 - cfg.alpha - 1e-6);
+        // The two should agree up to one boundary location (QMC noise).
+        let diff = sweep_region.len().abs_diff(bisect_region.len());
+        assert!(diff <= 1, "sweep {:?} vs bisect {:?}", sweep_region, bisect_region);
+    }
+
+    #[test]
+    fn prefix_probability_edge_cases() {
+        let (factor, sd) = independent_factor(5);
+        let mean = vec![0.0; 5];
+        let cfg = MvnConfig::with_samples(200);
+        let order: Vec<usize> = (0..5).collect();
+        let p0 = prefix_joint_probability(&factor, &mean, &sd, 0.0, &order, 0, &cfg);
+        assert_eq!(p0, 1.0);
+        let p5 = prefix_joint_probability(&factor, &mean, &sd, 0.0, &order, 5, &cfg);
+        assert!((p5 - 0.5f64.powi(5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn everything_qualifies_when_threshold_is_very_low() {
+        let (factor, sd, mean) = spatial_factor(6);
+        let cfg = CrdConfig {
+            threshold: -50.0,
+            alpha: 0.05,
+            levels: 8,
+            mvn: MvnConfig::with_samples(500),
+        };
+        let (region, prob) = find_excursion_set(&factor, &mean, &sd, &cfg);
+        assert_eq!(region.len(), mean.len());
+        assert!(prob > 0.99);
+    }
+
+    #[test]
+    fn nothing_qualifies_when_threshold_is_very_high() {
+        let (factor, sd, mean) = spatial_factor(6);
+        let cfg = CrdConfig {
+            threshold: 50.0,
+            alpha: 0.05,
+            levels: 8,
+            mvn: MvnConfig::with_samples(500),
+        };
+        let (region, _) = find_excursion_set(&factor, &mean, &sd, &cfg);
+        assert!(region.is_empty());
+        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        assert!(excursion_set(&r, 0.05).is_empty());
+    }
+}

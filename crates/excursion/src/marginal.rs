@@ -1,0 +1,90 @@
+//! Marginal exceedance probabilities and the ordering step of Algorithm 1.
+
+use mathx::norm_sf;
+
+/// Per-location marginal exceedance probability
+/// `pM[i] = P(Xᵢ > u) = 1 − Φ((u − µᵢ)/σᵢ)` (Algorithm 1, lines 3–5).
+///
+/// `mean` is the (posterior) mean `µᵢ + Yᵢ` and `sd` the (posterior) standard
+/// deviation `√Σᵢᵢ` at every location.
+pub fn marginal_exceedance(mean: &[f64], sd: &[f64], threshold: f64) -> Vec<f64> {
+    assert_eq!(mean.len(), sd.len(), "mean and sd must have equal length");
+    mean.iter()
+        .zip(sd)
+        .map(|(&m, &s)| {
+            assert!(s > 0.0, "standard deviations must be positive");
+            norm_sf((threshold - m) / s)
+        })
+        .collect()
+}
+
+/// Indices sorted by descending value (Algorithm 1, line 6: `opM`).
+///
+/// Ties are broken by the original index so the ordering is deterministic.
+pub fn descending_order(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::norm_cdf;
+
+    #[test]
+    fn exceedance_probability_limits() {
+        // Mean far above the threshold -> probability near 1; far below -> near 0.
+        let p = marginal_exceedance(&[10.0, -10.0, 0.0], &[1.0, 1.0, 1.0], 0.0);
+        assert!(p[0] > 0.999999);
+        assert!(p[1] < 1e-6);
+        assert!((p[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceedance_matches_explicit_formula() {
+        let mean = [1.2, -0.3, 4.0];
+        let sd = [0.5, 2.0, 1.5];
+        let u = 1.0;
+        let p = marginal_exceedance(&mean, &sd, u);
+        for i in 0..3 {
+            let want = 1.0 - norm_cdf((u - mean[i]) / sd[i]);
+            assert!((p[i] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_sd_pulls_probability_towards_half() {
+        let below = marginal_exceedance(&[-1.0, -1.0], &[0.5, 5.0], 0.0);
+        assert!(below[1] > below[0]);
+        let above = marginal_exceedance(&[1.0, 1.0], &[0.5, 5.0], 0.0);
+        assert!(above[1] < above[0]);
+    }
+
+    #[test]
+    fn descending_order_sorts_correctly_with_ties() {
+        let v = [0.1, 0.9, 0.5, 0.9, 0.0];
+        let o = descending_order(&v);
+        assert_eq!(o, vec![1, 3, 2, 0, 4]);
+        assert!(descending_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let v: Vec<f64> = (0..100).map(|i| ((i * 37) % 19) as f64).collect();
+        let mut o = descending_order(&v);
+        o.sort_unstable();
+        assert_eq!(o, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sd_panics() {
+        marginal_exceedance(&[0.0], &[-1.0], 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Posterior mean and covariance of a partially observed Gaussian field
+//! (the paper's Eq. 7–8).
+//!
+//! The paper writes the update with the indicator matrix `A` and the precision
+//! form `Σ_post = (Σ⁻¹ + A ᵀA/τ²)⁻¹`. We implement the algebraically equivalent
+//! Gaussian-conditioning (Woodbury) form, which only inverts an
+//! `m × m` matrix for `m` observed sites:
+//!
+//! ```text
+//! Σ_post = Σ − Σ_{·,obs} (Σ_{obs,obs} + τ² I)⁻¹ Σ_{obs,·}
+//! µ_post = µ + Σ_{·,obs} (Σ_{obs,obs} + τ² I)⁻¹ (y − µ_obs)
+//! ```
+
+use tile_la::kernels::{potrf_in_place, trsm_left_lower_notrans, trsm_left_lower_trans};
+use tile_la::DenseMatrix;
+
+/// Posterior of the latent field given noisy observations at a subset of sites.
+#[derive(Debug, Clone)]
+pub struct Posterior {
+    /// Posterior mean at every location.
+    pub mean: Vec<f64>,
+    /// Posterior covariance matrix (dense, `n × n`).
+    pub cov: DenseMatrix,
+}
+
+/// Compute the posterior from a dense prior covariance.
+///
+/// * `prior_cov` — the prior covariance `Σ` over all `n` locations,
+/// * `prior_mean` — the prior mean `µ` (length `n`),
+/// * `obs_indices` — indices of the observed locations (must be strictly
+///   increasing, length `m`),
+/// * `obs_values` — the noisy observations `y` (length `m`),
+/// * `noise_sd` — the observation noise standard deviation `τ`.
+pub fn posterior_update(
+    prior_cov: &DenseMatrix,
+    prior_mean: &[f64],
+    obs_indices: &[usize],
+    obs_values: &[f64],
+    noise_sd: f64,
+) -> Posterior {
+    let n = prior_cov.nrows();
+    assert_eq!(prior_cov.ncols(), n, "prior covariance must be square");
+    assert_eq!(prior_mean.len(), n, "prior mean length mismatch");
+    assert_eq!(obs_indices.len(), obs_values.len(), "observation length mismatch");
+    let m = obs_indices.len();
+    assert!(m > 0, "posterior_update requires at least one observation");
+    for w in obs_indices.windows(2) {
+        assert!(w[0] < w[1], "observation indices must be strictly increasing");
+    }
+    assert!(*obs_indices.last().unwrap() < n, "observation index out of range");
+
+    // S = Sigma_{obs,obs} + tau^2 I  (m x m), K = Sigma_{·,obs} (n x m).
+    let mut s = DenseMatrix::from_fn(m, m, |a, b| {
+        prior_cov.get(obs_indices[a], obs_indices[b]) + if a == b { noise_sd * noise_sd } else { 0.0 }
+    });
+    let k = DenseMatrix::from_fn(n, m, |i, b| prior_cov.get(i, obs_indices[b]));
+
+    potrf_in_place(&mut s).expect("observation covariance must be positive definite");
+
+    // W = S^{-1} K^T  (m x n), via forward+backward substitution.
+    let mut w = k.transpose();
+    trsm_left_lower_notrans(&s, &mut w);
+    trsm_left_lower_trans(&s, &mut w);
+
+    // Posterior covariance: Sigma - K W.
+    let mut cov = prior_cov.clone();
+    let kw = k.matmul(&w);
+    cov.add_scaled(-1.0, &kw);
+
+    // Posterior mean: mu + K S^{-1} (y - mu_obs).
+    let resid = DenseMatrix::from_fn(m, 1, |a, _| obs_values[a] - prior_mean[obs_indices[a]]);
+    let mut alpha = resid;
+    trsm_left_lower_notrans(&s, &mut alpha);
+    trsm_left_lower_trans(&s, &mut alpha);
+    let shift = k.matmul(&alpha);
+    let mean = (0..n).map(|i| prior_mean[i] + shift.get(i, 0)).collect();
+
+    Posterior { mean, cov }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariance::CovarianceKernel;
+    use crate::geometry::regular_grid;
+
+    fn prior(n_side: usize) -> (Vec<crate::geometry::Location>, DenseMatrix) {
+        let locs = regular_grid(n_side, n_side);
+        let k = CovarianceKernel::Exponential {
+            sigma2: 1.0,
+            range: 0.25,
+        };
+        let cov = k.dense_covariance(&locs, 1e-10);
+        (locs, cov)
+    }
+
+    #[test]
+    fn posterior_variance_shrinks_at_observed_sites() {
+        let (_, cov) = prior(8);
+        let n = cov.nrows();
+        let obs_idx = vec![0, 10, 25, 40, 63];
+        let obs_val = vec![0.5, -0.2, 1.0, 0.0, -1.0];
+        let post = posterior_update(&cov, &vec![0.0; n], &obs_idx, &obs_val, 0.5);
+        for &i in &obs_idx {
+            assert!(
+                post.cov.get(i, i) < cov.get(i, i),
+                "variance at observed site {i} did not shrink"
+            );
+        }
+        // And nowhere does the variance increase.
+        for i in 0..n {
+            assert!(post.cov.get(i, i) <= cov.get(i, i) + 1e-10);
+        }
+    }
+
+    #[test]
+    fn noise_free_observation_pins_the_mean() {
+        let (_, cov) = prior(6);
+        let n = cov.nrows();
+        let obs_idx = vec![7, 20];
+        let obs_val = vec![2.0, -3.0];
+        let post = posterior_update(&cov, &vec![0.0; n], &obs_idx, &obs_val, 1e-6);
+        assert!((post.mean[7] - 2.0).abs() < 1e-3);
+        assert!((post.mean[20] + 3.0).abs() < 1e-3);
+        assert!(post.cov.get(7, 7) < 1e-3);
+    }
+
+    #[test]
+    fn posterior_mean_reverts_to_prior_far_from_observations() {
+        let (locs, cov) = prior(10);
+        let n = cov.nrows();
+        // Observe only the bottom-left corner with a large value.
+        let post = posterior_update(&cov, &vec![0.0; n], &[0], &[5.0], 0.1);
+        // A site on the opposite corner is essentially unaffected.
+        let far = n - 1;
+        assert!(post.mean[far].abs() < 0.5, "far mean {}", post.mean[far]);
+        // A neighbouring site is pulled towards the observation.
+        assert!(post.mean[1] > 1.0);
+        // Sanity on geometry assumption.
+        assert!(locs[0].distance(&locs[far]) > 1.0);
+    }
+
+    #[test]
+    fn matches_precision_form_of_the_paper_on_a_small_problem() {
+        // Verify the Woodbury form equals (Sigma^{-1} + A^T A / tau^2)^{-1} and
+        // the corresponding mean, computed directly on a tiny problem.
+        let (_, cov) = prior(4); // n = 16
+        let n = cov.nrows();
+        let obs_idx = vec![2, 5, 11];
+        let obs_val = vec![1.0, 0.5, -0.7];
+        let tau = 0.5;
+        let post = posterior_update(&cov, &vec![0.0; n], &obs_idx, &obs_val, tau);
+
+        // Direct precision-form computation.
+        let mut prec = invert_spd(&cov);
+        for &i in &obs_idx {
+            *prec.at_mut(i, i) += 1.0 / (tau * tau);
+        }
+        let cov_direct = invert_spd(&prec);
+        assert!(tile_la::max_abs_diff(&post.cov, &cov_direct) < 1e-7);
+
+        // mu_post = Sigma_post * A^T y / tau^2 (with zero prior mean).
+        let mut aty = vec![0.0; n];
+        for (&i, &y) in obs_idx.iter().zip(&obs_val) {
+            aty[i] = y / (tau * tau);
+        }
+        let mu_direct = cov_direct.matvec(&aty);
+        for i in 0..n {
+            assert!((post.mean[i] - mu_direct[i]).abs() < 1e-7);
+        }
+    }
+
+    fn invert_spd(a: &DenseMatrix) -> DenseMatrix {
+        let n = a.nrows();
+        let mut l = a.clone();
+        potrf_in_place(&mut l).unwrap();
+        let mut x = DenseMatrix::identity(n);
+        trsm_left_lower_notrans(&l, &mut x);
+        trsm_left_lower_trans(&l, &mut x);
+        x
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_observation_indices_panic() {
+        let (_, cov) = prior(4);
+        let n = cov.nrows();
+        posterior_update(&cov, &vec![0.0; n], &[5, 2], &[1.0, 1.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_observations_panic() {
+        let (_, cov) = prior(4);
+        let n = cov.nrows();
+        posterior_update(&cov, &vec![0.0; n], &[], &[], 0.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Data handles: opaque identifiers for the pieces of data tasks touch
+//! (matrix tiles, panels, vectors). The runtime only needs identity, not the
+//! data itself — exactly like StarPU descriptors from the scheduler's point of
+//! view.
+
+/// An opaque identifier of a registered piece of data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataHandle(pub(crate) usize);
+
+impl DataHandle {
+    /// The numeric id (useful for mapping handles to owners in simulations).
+    pub fn id(&self) -> usize {
+        self.0
+    }
+}
+
+/// Registry assigning fresh handles and remembering a debug name and a size
+/// (in bytes) for each, so schedulers can model communication volume.
+#[derive(Debug, Default)]
+pub struct HandleRegistry {
+    names: Vec<String>,
+    sizes: Vec<usize>,
+}
+
+impl HandleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a named piece of data with unknown size.
+    pub fn register(&mut self, name: impl Into<String>) -> DataHandle {
+        self.register_sized(name, 0)
+    }
+
+    /// Register a named piece of data with a size in bytes.
+    pub fn register_sized(&mut self, name: impl Into<String>, bytes: usize) -> DataHandle {
+        let id = self.names.len();
+        self.names.push(name.into());
+        self.sizes.push(bytes);
+        DataHandle(id)
+    }
+
+    /// Number of registered handles.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no handles have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Debug name of a handle.
+    pub fn name(&self, h: DataHandle) -> &str {
+        &self.names[h.0]
+    }
+
+    /// Registered size in bytes of a handle.
+    pub fn size_bytes(&self, h: DataHandle) -> usize {
+        self.sizes[h.0]
+    }
+
+    /// Sum of the registered sizes of all handles (total data footprint).
+    pub fn total_bytes(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_unique_sequential_ids() {
+        let mut r = HandleRegistry::new();
+        assert!(r.is_empty());
+        let a = r.register("a");
+        let b = r.register_sized("b", 1024);
+        assert_ne!(a, b);
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(a), "a");
+        assert_eq!(r.size_bytes(b), 1024);
+        assert_eq!(r.size_bytes(a), 0);
+    }
+
+    #[test]
+    fn handles_are_usable_as_map_keys() {
+        let mut r = HandleRegistry::new();
+        let a = r.register("a");
+        let b = r.register("b");
+        let mut m = std::collections::HashMap::new();
+        m.insert(a, 1);
+        m.insert(b, 2);
+        assert_eq!(m[&a], 1);
+        assert_eq!(m[&b], 2);
+    }
+}

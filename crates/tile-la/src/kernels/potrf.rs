@@ -1,0 +1,113 @@
+//! Dense Cholesky factorization of a single tile (`POTRF`).
+
+use crate::dense::DenseMatrix;
+
+/// In-place lower Cholesky factorization of the square tile `a`.
+///
+/// On success the lower triangle (including the diagonal) of `a` contains `L`
+/// with `L·Lᵀ = A`; the strictly-upper triangle is zeroed so the tile can be
+/// used directly in `GEMM`s. Returns `Err(k)` with the failing pivot index if
+/// the matrix is not (numerically) positive definite.
+pub fn potrf_in_place(a: &mut DenseMatrix) -> Result<(), usize> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "potrf: tile must be square");
+    for j in 0..n {
+        // Diagonal element.
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let v = a.get(j, k);
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(j);
+        }
+        let djj = d.sqrt();
+        a.set(j, j, djj);
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= a.get(i, k) * a.get(j, k);
+            }
+            a.set(i, j, s / djj);
+        }
+        // Zero the strictly-upper part of this column's row for cleanliness.
+        for i in 0..j {
+            a.set(i, j, 0.0);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    fn spd_matrix(n: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / 5.0).exp() + if i == j { 0.1 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn factor_reconstructs_original() {
+        let a0 = spd_matrix(12);
+        let mut a = a0.clone();
+        potrf_in_place(&mut a).unwrap();
+        let rec = a.matmul(&a.transpose());
+        assert!(max_abs_diff(&rec, &a0) < 1e-12);
+    }
+
+    #[test]
+    fn upper_triangle_is_zeroed() {
+        let mut a = spd_matrix(6);
+        potrf_in_place(&mut a).unwrap();
+        for j in 0..6 {
+            for i in 0..j {
+                assert_eq!(a.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_factors_to_sqrt() {
+        let mut a = DenseMatrix::from_fn(4, 4, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        potrf_in_place(&mut a).unwrap();
+        for i in 0..4 {
+            assert!((a.get(i, i) - ((i + 1) as f64).sqrt()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn known_3x3_factor() {
+        // A = [[4,2,2],[2,5,3],[2,3,6]] has L = [[2,0,0],[1,2,0],[1,1,2]].
+        let mut a = DenseMatrix::from_column_major(
+            3,
+            3,
+            vec![4.0, 2.0, 2.0, 2.0, 5.0, 3.0, 2.0, 3.0, 6.0],
+        );
+        potrf_in_place(&mut a).unwrap();
+        let expect = [
+            (0, 0, 2.0),
+            (1, 0, 1.0),
+            (2, 0, 1.0),
+            (1, 1, 2.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ];
+        for (i, j, v) in expect {
+            assert!((a.get(i, j) - v).abs() < 1e-14, "L[{i},{j}] = {}", a.get(i, j));
+        }
+    }
+
+    #[test]
+    fn non_positive_definite_is_reported() {
+        let mut a = DenseMatrix::from_column_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        // Eigenvalues 3 and -1: fails at pivot 1.
+        assert_eq!(potrf_in_place(&mut a), Err(1));
+        let mut z = DenseMatrix::zeros(3, 3);
+        assert_eq!(potrf_in_place(&mut z), Err(0));
+    }
+}

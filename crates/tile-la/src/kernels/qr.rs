@@ -1,0 +1,176 @@
+//! Thin Householder QR factorization, used by the tile-low-rank recompression
+//! (rounding of `U·Vᵀ + W·Zᵀ` sums back to a prescribed accuracy).
+
+use crate::dense::DenseMatrix;
+
+/// Thin QR factors: `A = Q·R` with `Q` (m×k) having orthonormal columns and
+/// `R` (k×n) upper trapezoidal, where `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Orthonormal factor, `m × min(m,n)`.
+    pub q: DenseMatrix,
+    /// Upper-trapezoidal factor, `min(m,n) × n`.
+    pub r: DenseMatrix,
+}
+
+/// Compute the thin Householder QR factorization of `a`.
+pub fn qr_factor(a: &DenseMatrix) -> QrFactors {
+    let m = a.nrows();
+    let n = a.ncols();
+    let k = m.min(n);
+    let mut work = a.clone();
+    // Householder vectors (stored dense per column) and their beta scalars.
+    let mut reflectors: Vec<(Vec<f64>, f64)> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Norm of the column below (and including) the diagonal.
+        let mut normx = 0.0;
+        for i in j..m {
+            let v = work.get(i, j);
+            normx += v * v;
+        }
+        let normx = normx.sqrt();
+        if normx == 0.0 {
+            reflectors.push((vec![0.0; m - j], 0.0));
+            continue;
+        }
+        let x0 = work.get(j, j);
+        let alpha = if x0 >= 0.0 { -normx } else { normx };
+        let mut v = vec![0.0; m - j];
+        for i in j..m {
+            v[i - j] = work.get(i, j);
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        let beta = if vnorm2 > 0.0 { 2.0 / vnorm2 } else { 0.0 };
+        // Apply the reflector H = I - beta v v^T to the trailing columns.
+        for c in j..n {
+            let mut dot = 0.0;
+            for (i, vi) in v.iter().enumerate() {
+                dot += vi * work.get(j + i, c);
+            }
+            let f = beta * dot;
+            if f != 0.0 {
+                for (i, vi) in v.iter().enumerate() {
+                    *work.at_mut(j + i, c) -= f * vi;
+                }
+            }
+        }
+        reflectors.push((v, beta));
+    }
+
+    // Extract R (k x n upper trapezoidal).
+    let mut r = DenseMatrix::zeros(k, n);
+    for j in 0..n {
+        for i in 0..k.min(j + 1) {
+            r.set(i, j, work.get(i, j));
+        }
+    }
+
+    // Accumulate Q = H_0 H_1 ... H_{k-1} * I_thin by applying reflectors in reverse.
+    let mut q = DenseMatrix::zeros(m, k);
+    for i in 0..k {
+        q.set(i, i, 1.0);
+    }
+    for j in (0..k).rev() {
+        let (v, beta) = &reflectors[j];
+        if *beta == 0.0 {
+            continue;
+        }
+        for c in 0..k {
+            let mut dot = 0.0;
+            for (i, vi) in v.iter().enumerate() {
+                dot += vi * q.get(j + i, c);
+            }
+            let f = beta * dot;
+            if f != 0.0 {
+                for (i, vi) in v.iter().enumerate() {
+                    *q.at_mut(j + i, c) -= f * vi;
+                }
+            }
+        }
+    }
+
+    QrFactors { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
+        let mut s = seed;
+        DenseMatrix::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = rand_matrix(12, 5, 3);
+        let QrFactors { q, r } = qr_factor(&a);
+        assert_eq!(q.nrows(), 12);
+        assert_eq!(q.ncols(), 5);
+        assert_eq!(r.nrows(), 5);
+        assert_eq!(r.ncols(), 5);
+        let rec = q.matmul(&r);
+        assert!(max_abs_diff(&rec, &a) < 1e-12);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide_matrix() {
+        let a = rand_matrix(4, 9, 5);
+        let QrFactors { q, r } = qr_factor(&a);
+        assert_eq!(q.ncols(), 4);
+        assert_eq!(r.nrows(), 4);
+        assert_eq!(r.ncols(), 9);
+        let rec = q.matmul(&r);
+        assert!(max_abs_diff(&rec, &a) < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = rand_matrix(10, 6, 7);
+        let QrFactors { q, .. } = qr_factor(&a);
+        let qtq = q.matmul_tn(&q);
+        let id = DenseMatrix::identity(6);
+        assert!(max_abs_diff(&qtq, &id) < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = rand_matrix(8, 8, 9);
+        let QrFactors { r, .. } = qr_factor(&a);
+        for j in 0..8 {
+            for i in (j + 1)..8 {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_still_reconstructs() {
+        // Two identical columns.
+        let base = rand_matrix(6, 1, 11);
+        let a = DenseMatrix::from_fn(6, 3, |i, j| {
+            if j == 2 {
+                base.get(i, 0) * 2.0
+            } else {
+                base.get(i, 0)
+            }
+        });
+        let QrFactors { q, r } = qr_factor(&a);
+        let rec = q.matmul(&r);
+        assert!(max_abs_diff(&rec, &a) < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_handled() {
+        let a = DenseMatrix::zeros(5, 3);
+        let QrFactors { q, r } = qr_factor(&a);
+        let rec = q.matmul(&r);
+        assert!(max_abs_diff(&rec, &a) < 1e-14);
+    }
+}

@@ -1,0 +1,235 @@
+//! Symmetric matrix stored as its lower-triangular tiles.
+//!
+//! This mirrors the descriptor layout the paper uses for the covariance matrix
+//! `Σ` and its Cholesky factor `L`: only tiles `(i, j)` with `i ≥ j` are held
+//! in memory (halving storage for large `n`), and each tile is an independent
+//! [`DenseMatrix`] so tasks can own or borrow tiles individually.
+
+use crate::dense::DenseMatrix;
+use crate::layout::TileLayout;
+use rayon::prelude::*;
+
+/// A symmetric `n × n` matrix stored as lower-triangular tiles of size `nb`.
+#[derive(Debug, Clone)]
+pub struct SymTileMatrix {
+    layout: TileLayout,
+    /// Lower tiles in row-major triangular order: tile `(i, j)` (with `j ≤ i`)
+    /// lives at index `i·(i+1)/2 + j`.
+    tiles: Vec<DenseMatrix>,
+}
+
+impl SymTileMatrix {
+    fn tri_index(i: usize, j: usize) -> usize {
+        debug_assert!(j <= i);
+        i * (i + 1) / 2 + j
+    }
+
+    /// An all-zero symmetric tile matrix.
+    pub fn zeros(n: usize, nb: usize) -> Self {
+        let layout = TileLayout::new(n, nb);
+        let nt = layout.num_tiles();
+        let mut tiles = Vec::with_capacity(nt * (nt + 1) / 2);
+        for i in 0..nt {
+            for j in 0..=i {
+                tiles.push(DenseMatrix::zeros(layout.tile_size(i), layout.tile_size(j)));
+            }
+        }
+        Self { layout, tiles }
+    }
+
+    /// Build from an element function `f(row, col)`; only the lower triangle is
+    /// evaluated, and tiles are generated in parallel.
+    ///
+    /// `f` must be symmetric for the result to represent a symmetric matrix
+    /// (only `row ≥ col` entries are ever requested).
+    pub fn from_fn(n: usize, nb: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let layout = TileLayout::new(n, nb);
+        let nt = layout.num_tiles();
+        let coords: Vec<(usize, usize)> = (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
+        let tiles: Vec<DenseMatrix> = coords
+            .par_iter()
+            .map(|&(ti, tj)| {
+                let ri = layout.tile_start(ti);
+                let rj = layout.tile_start(tj);
+                DenseMatrix::from_fn(layout.tile_size(ti), layout.tile_size(tj), |a, b| {
+                    f(ri + a, rj + b)
+                })
+            })
+            .collect();
+        Self { layout, tiles }
+    }
+
+    /// Build from a full dense symmetric matrix (used in tests and small
+    /// reference computations).
+    pub fn from_dense(a: &DenseMatrix, nb: usize) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "from_dense: matrix must be square");
+        Self::from_fn(a.nrows(), nb, |i, j| a.get(i, j))
+    }
+
+    /// The tiling layout (shared by rows and columns).
+    pub fn layout(&self) -> TileLayout {
+        self.layout
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.layout.n()
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.layout.nb()
+    }
+
+    /// Number of tile rows/columns.
+    pub fn num_tiles(&self) -> usize {
+        self.layout.num_tiles()
+    }
+
+    /// Borrow tile `(i, j)` (requires `j ≤ i`).
+    pub fn tile(&self, i: usize, j: usize) -> &DenseMatrix {
+        assert!(j <= i, "SymTileMatrix stores only lower tiles (got ({i},{j}))");
+        &self.tiles[Self::tri_index(i, j)]
+    }
+
+    /// Mutably borrow tile `(i, j)` (requires `j ≤ i`).
+    pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut DenseMatrix {
+        assert!(j <= i, "SymTileMatrix stores only lower tiles (got ({i},{j}))");
+        &mut self.tiles[Self::tri_index(i, j)]
+    }
+
+    /// Move tile `(i, j)` out, leaving an empty placeholder (used by the
+    /// parallel factorization to obtain disjoint mutable tiles).
+    pub(crate) fn take_tile(&mut self, i: usize, j: usize) -> DenseMatrix {
+        std::mem::replace(
+            &mut self.tiles[Self::tri_index(i, j)],
+            DenseMatrix::zeros(1, 1),
+        )
+    }
+
+    /// Put a tile back after [`take_tile`](Self::take_tile).
+    pub(crate) fn put_tile(&mut self, i: usize, j: usize, t: DenseMatrix) {
+        self.tiles[Self::tri_index(i, j)] = t;
+    }
+
+    /// Element access through the symmetric structure (either triangle).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let ti = self.layout.tile_of(i);
+        let tj = self.layout.tile_of(j);
+        self.tile(ti, tj)
+            .get(self.layout.offset_in_tile(i), self.layout.offset_in_tile(j))
+    }
+
+    /// Element assignment (writes the lower-triangle representative).
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let ti = self.layout.tile_of(i);
+        let tj = self.layout.tile_of(j);
+        let oi = self.layout.offset_in_tile(i);
+        let oj = self.layout.offset_in_tile(j);
+        self.tile_mut(ti, tj).set(oi, oj, v);
+    }
+
+    /// Expand to a full dense symmetric matrix.
+    pub fn to_dense_sym(&self) -> DenseMatrix {
+        let n = self.n();
+        DenseMatrix::from_fn(n, n, |i, j| self.get(i, j))
+    }
+
+    /// Expand only the lower triangle (upper part zero) — the natural view of a
+    /// Cholesky factor stored in this layout.
+    pub fn to_dense_lower(&self) -> DenseMatrix {
+        let n = self.n();
+        DenseMatrix::from_fn(n, n, |i, j| if i >= j { self.get(i, j) } else { 0.0 })
+    }
+
+    /// The diagonal elements.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n()).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Total number of stored `f64` values (memory footprint measure).
+    pub fn stored_elements(&self) -> usize {
+        self.tiles.iter().map(|t| t.nrows() * t.ncols()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    fn kernel(i: usize, j: usize) -> f64 {
+        (-((i as f64 - j as f64).abs()) / 3.0).exp()
+    }
+
+    #[test]
+    fn from_fn_matches_dense_construction() {
+        let n = 13;
+        let a = SymTileMatrix::from_fn(n, 4, kernel);
+        let d = DenseMatrix::from_fn(n, n, kernel);
+        assert!(max_abs_diff(&a.to_dense_sym(), &d) < 1e-15);
+    }
+
+    #[test]
+    fn element_access_both_triangles() {
+        let a = SymTileMatrix::from_fn(10, 3, kernel);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert!((a.get(i, j) - kernel(i.max(j), i.min(j))).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn set_updates_symmetric_pair() {
+        let mut a = SymTileMatrix::zeros(6, 2);
+        a.set(1, 4, 7.5); // upper-triangle request maps to (4,1)
+        assert_eq!(a.get(4, 1), 7.5);
+        assert_eq!(a.get(1, 4), 7.5);
+    }
+
+    #[test]
+    fn storage_is_roughly_half_of_dense() {
+        let n = 64;
+        let a = SymTileMatrix::zeros(n, 8);
+        let stored = a.stored_elements();
+        assert!(stored < n * n);
+        // Lower-triangular tile storage for an exact tiling: nt(nt+1)/2 * nb^2.
+        assert_eq!(stored, 8 * 9 / 2 * 64);
+    }
+
+    #[test]
+    fn ragged_edge_tiles_have_correct_sizes() {
+        let a = SymTileMatrix::zeros(11, 4);
+        assert_eq!(a.num_tiles(), 3);
+        assert_eq!(a.tile(2, 2).nrows(), 3);
+        assert_eq!(a.tile(2, 0).nrows(), 3);
+        assert_eq!(a.tile(2, 0).ncols(), 4);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = SymTileMatrix::from_fn(9, 4, |i, j| if i == j { i as f64 } else { 0.0 });
+        assert_eq!(a.diagonal(), (0..9).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn upper_tile_borrow_panics() {
+        let a = SymTileMatrix::zeros(8, 4);
+        let _ = a.tile(0, 1);
+    }
+
+    #[test]
+    fn to_dense_lower_zeroes_upper() {
+        let a = SymTileMatrix::from_fn(7, 3, kernel);
+        let l = a.to_dense_lower();
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+}

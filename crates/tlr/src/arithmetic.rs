@@ -1,0 +1,278 @@
+//! Low-rank tile arithmetic used by the TLR Cholesky factorization and the
+//! TLR-aware PMVN propagation step.
+//!
+//! All operations work on factor pairs without ever forming the dense product
+//! of a low-rank tile, except for the final small `rank × rank` core matrices.
+
+use crate::compress::CompressionTol;
+use crate::lowrank::LowRankBlock;
+use tile_la::kernels::{gemm_nn, gemm_nt, gemm_tn, jacobi_svd, qr_factor};
+use tile_la::DenseMatrix;
+
+/// `C ← β·C + α·(U·Vᵀ)·B` — low-rank tile times dense panel.
+///
+/// This is the kernel used when the PMVN propagation (`A_{j,k} ← A_{j,k} −
+/// L_{j,r}·Y_{r,k}`) runs against a TLR Cholesky factor: the cost drops from
+/// `O(m²·p)` to `O(k·m·p)` for rank `k`.
+pub fn lr_gemm_panel(alpha: f64, lr: &LowRankBlock, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
+    assert_eq!(lr.ncols(), b.nrows(), "lr_gemm_panel: inner dimension mismatch");
+    assert_eq!(c.nrows(), lr.nrows(), "lr_gemm_panel: output row mismatch");
+    assert_eq!(c.ncols(), b.ncols(), "lr_gemm_panel: output col mismatch");
+    if lr.rank() == 0 {
+        if beta != 1.0 {
+            c.scale(beta);
+        }
+        return;
+    }
+    // W = V^T B  (k × p)
+    let mut w = DenseMatrix::zeros(lr.rank(), b.ncols());
+    gemm_tn(1.0, &lr.v, b, 0.0, &mut w);
+    // C = beta C + alpha U W
+    gemm_nn(alpha, &lr.u, &w, beta, c);
+}
+
+/// `D ← D − A·Aᵀ` where `A = U·Vᵀ` is low-rank and `D` is a dense (diagonal)
+/// tile — the TLR `SYRK`.
+pub fn lr_aa_t_update(diag: &mut DenseMatrix, a: &LowRankBlock) {
+    assert_eq!(diag.nrows(), a.nrows());
+    assert_eq!(diag.ncols(), a.nrows());
+    if a.rank() == 0 {
+        return;
+    }
+    // W = V^T V (k × k), T = U W (m × k), D -= T U^T.
+    let mut w = DenseMatrix::zeros(a.rank(), a.rank());
+    gemm_tn(1.0, &a.v, &a.v, 0.0, &mut w);
+    let mut t = DenseMatrix::zeros(a.nrows(), a.rank());
+    gemm_nn(1.0, &a.u, &w, 0.0, &mut t);
+    gemm_nt(-1.0, &t, &a.u, 1.0, diag);
+}
+
+/// Add two low-rank representations and recompress: returns a low-rank block
+/// representing `U₁V₁ᵀ + U₂V₂ᵀ` truncated back to the requested tolerance.
+///
+/// Recompression uses the standard QR + small-SVD rounding: `[U₁ U₂] = Q_u R_u`,
+/// `[V₁ V₂] = Q_v R_v`, then the SVD of the small core `R_u R_vᵀ` decides the
+/// new rank.
+pub fn lr_add_recompress(
+    a: &LowRankBlock,
+    b: &LowRankBlock,
+    tol: CompressionTol,
+    max_rank: usize,
+) -> LowRankBlock {
+    assert_eq!(a.nrows(), b.nrows(), "lr_add: row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "lr_add: col mismatch");
+    let m = a.nrows();
+    let n = a.ncols();
+    let ra = a.rank();
+    let rb = b.rank();
+    if ra + rb == 0 {
+        return LowRankBlock::zero(m, n);
+    }
+    // Concatenate factors.
+    let ucat = DenseMatrix::from_fn(m, ra + rb, |i, j| {
+        if j < ra {
+            a.u.get(i, j)
+        } else {
+            b.u.get(i, j - ra)
+        }
+    });
+    let vcat = DenseMatrix::from_fn(n, ra + rb, |i, j| {
+        if j < ra {
+            a.v.get(i, j)
+        } else {
+            b.v.get(i, j - ra)
+        }
+    });
+    let qu = qr_factor(&ucat);
+    let qv = qr_factor(&vcat);
+    // Core = R_u R_v^T  (small square of size <= ra+rb).
+    let core = qu.r.matmul_nt(&qv.r);
+    let svd = jacobi_svd(&core);
+
+    // Rank selection identical to compress_dense.
+    let fro = svd.s.iter().map(|s| s * s).sum::<f64>().sqrt();
+    let threshold = tol.absolute_for(fro);
+    let kmax = svd.s.len();
+    let mut tail = 0.0;
+    let mut rank = kmax;
+    // Walk from the smallest singular value upward accumulating the tail.
+    for k in (0..=kmax).rev() {
+        if k < kmax {
+            tail += svd.s[k] * svd.s[k];
+        }
+        if tail.sqrt() <= threshold {
+            rank = k;
+        } else {
+            break;
+        }
+    }
+    let rank = rank.min(max_rank);
+    if rank == 0 {
+        return LowRankBlock::zero(m, n);
+    }
+
+    // U = Q_u * (U_core * diag(s)),  V = Q_v * V_core.
+    let mut us = DenseMatrix::zeros(svd.u.nrows(), rank);
+    for r in 0..rank {
+        let s = svd.s[r];
+        let src = svd.u.col(r);
+        let dst = us.col_mut(r);
+        for i in 0..svd.u.nrows() {
+            dst[i] = src[i] * s;
+        }
+    }
+    let mut u = DenseMatrix::zeros(m, rank);
+    gemm_nn(1.0, &qu.q, &us, 0.0, &mut u);
+
+    let vt_rows = DenseMatrix::from_fn(svd.vt.ncols(), rank, |i, j| svd.vt.get(j, i));
+    let mut v = DenseMatrix::zeros(n, rank);
+    gemm_nn(1.0, &qv.q, &vt_rows, 0.0, &mut v);
+
+    LowRankBlock::new(u, v)
+}
+
+/// `C ← C − A·Bᵀ` where all three tiles are low-rank — the TLR `GEMM` of the
+/// Cholesky trailing update, with recompression of the result.
+pub fn lr_lr_t_update(
+    c: &LowRankBlock,
+    a: &LowRankBlock,
+    b: &LowRankBlock,
+    tol: CompressionTol,
+    max_rank: usize,
+) -> LowRankBlock {
+    assert_eq!(a.ncols(), b.ncols(), "lr_lr_t: inner dimension mismatch");
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), b.nrows());
+    if a.rank() == 0 || b.rank() == 0 {
+        return c.clone();
+    }
+    // A B^T = U_a (V_a^T V_b) U_b^T: X = -U_a (V_a^T V_b), Y = U_b.
+    let mut w = DenseMatrix::zeros(a.rank(), b.rank());
+    gemm_tn(1.0, &a.v, &b.v, 0.0, &mut w);
+    let mut x = DenseMatrix::zeros(a.nrows(), b.rank());
+    gemm_nn(-1.0, &a.u, &w, 0.0, &mut x);
+    let update = LowRankBlock::new(x, b.u.clone());
+    lr_add_recompress(c, &update, tol, max_rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_dense;
+    use tile_la::max_abs_diff;
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
+        let mut s = seed;
+        DenseMatrix::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn rand_lowrank(m: usize, n: usize, k: usize, seed: u64) -> LowRankBlock {
+        LowRankBlock::new(rand_matrix(m, k, seed), rand_matrix(n, k, seed + 1))
+    }
+
+    #[test]
+    fn lr_gemm_panel_matches_dense_product() {
+        let lr = rand_lowrank(8, 6, 3, 1);
+        let b = rand_matrix(6, 4, 3);
+        let mut c = rand_matrix(8, 4, 5);
+        let mut want = c.clone();
+        want.scale(0.5);
+        want.add_scaled(-2.0, &lr.to_dense().matmul(&b));
+        lr_gemm_panel(-2.0, &lr, &b, 0.5, &mut c);
+        assert!(max_abs_diff(&c, &want) < 1e-12);
+    }
+
+    #[test]
+    fn lr_gemm_panel_rank_zero_only_scales() {
+        let lr = LowRankBlock::zero(5, 5);
+        let b = rand_matrix(5, 3, 9);
+        let mut c = rand_matrix(5, 3, 10);
+        let mut want = c.clone();
+        want.scale(0.25);
+        lr_gemm_panel(1.0, &lr, &b, 0.25, &mut c);
+        assert!(max_abs_diff(&c, &want) < 1e-15);
+    }
+
+    #[test]
+    fn lr_syrk_matches_dense_update() {
+        let a = rand_lowrank(7, 9, 2, 11);
+        let mut d = rand_matrix(7, 7, 13);
+        let mut want = d.clone();
+        let ad = a.to_dense();
+        want.add_scaled(-1.0, &ad.matmul_nt(&ad));
+        lr_aa_t_update(&mut d, &a);
+        assert!(max_abs_diff(&d, &want) < 1e-12);
+    }
+
+    #[test]
+    fn add_recompress_is_accurate_and_rank_bounded() {
+        let a = rand_lowrank(12, 10, 3, 21);
+        let b = rand_lowrank(12, 10, 2, 23);
+        let sum = lr_add_recompress(&a, &b, CompressionTol::Absolute(1e-12), usize::MAX);
+        let mut want = a.to_dense();
+        want.add_scaled(1.0, &b.to_dense());
+        assert!(max_abs_diff(&sum.to_dense(), &want) < 1e-10);
+        assert!(sum.rank() <= 5);
+    }
+
+    #[test]
+    fn add_recompress_detects_cancellation() {
+        // a + (-a) must recompress to (near) rank zero.
+        let a = rand_lowrank(9, 9, 3, 31);
+        let neg = LowRankBlock::new(
+            {
+                let mut u = a.u.clone();
+                u.scale(-1.0);
+                u
+            },
+            a.v.clone(),
+        );
+        let sum = lr_add_recompress(&a, &neg, CompressionTol::Absolute(1e-10), usize::MAX);
+        assert_eq!(sum.rank(), 0, "cancelling sum should truncate to rank 0");
+    }
+
+    #[test]
+    fn lr_lr_t_update_matches_dense_computation() {
+        let c = rand_lowrank(8, 6, 2, 41);
+        let a = rand_lowrank(8, 5, 3, 43);
+        let b = rand_lowrank(6, 5, 2, 45);
+        let result = lr_lr_t_update(&c, &a, &b, CompressionTol::Absolute(1e-12), usize::MAX);
+        let mut want = c.to_dense();
+        want.add_scaled(-1.0, &a.to_dense().matmul_nt(&b.to_dense()));
+        assert!(max_abs_diff(&result.to_dense(), &want) < 1e-10);
+    }
+
+    #[test]
+    fn update_with_rank_zero_operand_is_identity() {
+        let c = rand_lowrank(6, 6, 2, 51);
+        let a = LowRankBlock::zero(6, 4);
+        let b = rand_lowrank(6, 4, 2, 53);
+        let result = lr_lr_t_update(&c, &a, &b, CompressionTol::Absolute(1e-8), usize::MAX);
+        assert!(max_abs_diff(&result.to_dense(), &c.to_dense()) < 1e-14);
+    }
+
+    #[test]
+    fn recompression_respects_loose_tolerance_by_dropping_rank() {
+        // Build a nearly-rank-1 sum out of a dominant block and a tiny one.
+        let dominant = rand_lowrank(15, 15, 1, 61);
+        let mut small_u = rand_matrix(15, 3, 63);
+        small_u.scale(1e-9);
+        let small = LowRankBlock::new(small_u, rand_matrix(15, 3, 65));
+        let sum = lr_add_recompress(&dominant, &small, CompressionTol::Relative(1e-4), usize::MAX);
+        assert_eq!(sum.rank(), 1);
+    }
+
+    #[test]
+    fn compress_then_add_roundtrip() {
+        // Compress two halves of a smooth tile and verify the recompressed sum
+        // approximates the full tile.
+        let full = DenseMatrix::from_fn(20, 20, |i, j| (-((i as f64 - j as f64 - 30.0).abs()) / 25.0).exp());
+        let half1 = DenseMatrix::from_fn(20, 20, |i, j| 0.5 * full.get(i, j));
+        let a = compress_dense(&half1, CompressionTol::Absolute(1e-10), usize::MAX);
+        let sum = lr_add_recompress(&a, &a, CompressionTol::Absolute(1e-9), usize::MAX);
+        assert!(max_abs_diff(&sum.to_dense(), &full) < 1e-7);
+    }
+}

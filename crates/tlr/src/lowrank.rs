@@ -1,0 +1,166 @@
+//! A single low-rank tile `A ≈ U·Vᵀ`.
+
+use tile_la::DenseMatrix;
+
+/// A rank-`k` representation of an `m × n` tile: `U` is `m × k`, `V` is `n × k`
+/// and the tile value is `U·Vᵀ`.
+///
+/// Rank 0 (empty factors) is a valid representation of the zero tile.
+#[derive(Debug, Clone)]
+pub struct LowRankBlock {
+    /// Left factor, `m × k`.
+    pub u: DenseMatrix,
+    /// Right factor, `n × k`.
+    pub v: DenseMatrix,
+}
+
+impl LowRankBlock {
+    /// The zero tile of shape `m × n` (rank 0).
+    pub fn zero(m: usize, n: usize) -> Self {
+        Self {
+            u: DenseMatrix::zeros(m, 0),
+            v: DenseMatrix::zeros(n, 0),
+        }
+    }
+
+    /// Construct from explicit factors.
+    pub fn new(u: DenseMatrix, v: DenseMatrix) -> Self {
+        assert_eq!(u.ncols(), v.ncols(), "low-rank factors must share the rank dimension");
+        Self { u, v }
+    }
+
+    /// Number of rows of the represented tile.
+    pub fn nrows(&self) -> usize {
+        self.u.nrows()
+    }
+
+    /// Number of columns of the represented tile.
+    pub fn ncols(&self) -> usize {
+        self.v.nrows()
+    }
+
+    /// Current rank (number of columns of `U`/`V`).
+    pub fn rank(&self) -> usize {
+        self.u.ncols()
+    }
+
+    /// Number of stored doubles (memory footprint measure).
+    pub fn stored_elements(&self) -> usize {
+        self.u.nrows() * self.u.ncols() + self.v.nrows() * self.v.ncols()
+    }
+
+    /// Expand to a dense tile `U·Vᵀ`.
+    pub fn to_dense(&self) -> DenseMatrix {
+        if self.rank() == 0 {
+            return DenseMatrix::zeros(self.nrows(), self.ncols());
+        }
+        self.u.matmul_nt(&self.v)
+    }
+
+    /// `y ← U·(Vᵀ·x)` — matrix–vector product with the represented tile.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols());
+        if self.rank() == 0 {
+            return vec![0.0; self.nrows()];
+        }
+        // w = V^T x  (k)
+        let k = self.rank();
+        let mut w = vec![0.0; k];
+        for r in 0..k {
+            let col = self.v.col(r);
+            let mut s = 0.0;
+            for (i, &xi) in x.iter().enumerate() {
+                s += col[i] * xi;
+            }
+            w[r] = s;
+        }
+        // y = U w
+        self.u.matvec(&w)
+    }
+
+    /// Frobenius norm of the represented tile, computed from the factors
+    /// without forming the dense product: `‖UVᵀ‖_F² = trace((UᵀU)(VᵀV))`.
+    pub fn frobenius_norm(&self) -> f64 {
+        if self.rank() == 0 {
+            return 0.0;
+        }
+        let utu = self.u.matmul_tn(&self.u);
+        let vtv = self.v.matmul_tn(&self.v);
+        let mut tr = 0.0;
+        let k = self.rank();
+        for i in 0..k {
+            for j in 0..k {
+                tr += utu.get(i, j) * vtv.get(j, i);
+            }
+        }
+        tr.max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tile_la::max_abs_diff;
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
+        let mut s = seed;
+        DenseMatrix::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn zero_block_behaves_like_zero_matrix() {
+        let z = LowRankBlock::zero(4, 6);
+        assert_eq!(z.rank(), 0);
+        assert_eq!(z.nrows(), 4);
+        assert_eq!(z.ncols(), 6);
+        assert_eq!(z.to_dense(), DenseMatrix::zeros(4, 6));
+        assert_eq!(z.matvec(&[1.0; 6]), vec![0.0; 4]);
+        assert_eq!(z.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn to_dense_matches_factor_product() {
+        let u = rand_matrix(5, 2, 1);
+        let v = rand_matrix(7, 2, 2);
+        let b = LowRankBlock::new(u.clone(), v.clone());
+        assert_eq!(b.rank(), 2);
+        assert!(max_abs_diff(&b.to_dense(), &u.matmul_nt(&v)) < 1e-15);
+    }
+
+    #[test]
+    fn matvec_matches_dense_matvec() {
+        let u = rand_matrix(6, 3, 3);
+        let v = rand_matrix(4, 3, 4);
+        let b = LowRankBlock::new(u, v);
+        let x = vec![0.3, -1.2, 0.7, 2.0];
+        let got = b.matvec(&x);
+        let want = b.to_dense().matvec(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_from_factors_matches_dense() {
+        let u = rand_matrix(8, 3, 5);
+        let v = rand_matrix(5, 3, 6);
+        let b = LowRankBlock::new(u, v);
+        let want = b.to_dense().frobenius_norm();
+        assert!((b.frobenius_norm() - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stored_elements_counts_both_factors() {
+        let b = LowRankBlock::new(DenseMatrix::zeros(10, 2), DenseMatrix::zeros(20, 2));
+        assert_eq!(b.stored_elements(), 10 * 2 + 20 * 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_rank_dimensions_panic() {
+        let _ = LowRankBlock::new(DenseMatrix::zeros(3, 2), DenseMatrix::zeros(3, 3));
+    }
+}

@@ -1,0 +1,355 @@
+//! The Tile Low-Rank symmetric matrix: dense diagonal tiles, low-rank lower
+//! off-diagonal tiles.
+
+use crate::compress::{compress_dense, CompressionTol};
+use crate::lowrank::LowRankBlock;
+use rayon::prelude::*;
+use tile_la::kernels::{gemm_nn, trsm_left_lower_notrans};
+use tile_la::{DenseMatrix, SymTileMatrix, TileLayout};
+
+/// A symmetric `n × n` matrix in Tile Low-Rank (TLR) format.
+///
+/// Diagonal tiles are stored dense (they carry the full energy of the matrix
+/// and are never admissible for compression); strictly-lower off-diagonal
+/// tiles are stored as truncated-SVD factors at the requested tolerance.
+#[derive(Debug, Clone)]
+pub struct TlrMatrix {
+    layout: TileLayout,
+    tol: CompressionTol,
+    max_rank: usize,
+    diag: Vec<DenseMatrix>,
+    /// Strictly-lower tiles `(i, j)` with `j < i` at index `i·(i−1)/2 + j`.
+    off: Vec<LowRankBlock>,
+}
+
+impl TlrMatrix {
+    fn off_index(i: usize, j: usize) -> usize {
+        debug_assert!(j < i);
+        i * (i - 1) / 2 + j
+    }
+
+    /// Build a TLR matrix from a symmetric element function, compressing every
+    /// off-diagonal tile at the given tolerance (tiles are generated and
+    /// compressed in parallel).
+    pub fn from_fn(
+        n: usize,
+        nb: usize,
+        tol: CompressionTol,
+        max_rank: usize,
+        f: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Self {
+        let layout = TileLayout::new(n, nb);
+        let nt = layout.num_tiles();
+
+        let diag: Vec<DenseMatrix> = (0..nt)
+            .into_par_iter()
+            .map(|t| {
+                let start = layout.tile_start(t);
+                DenseMatrix::from_fn(layout.tile_size(t), layout.tile_size(t), |a, b| {
+                    f(start + a, start + b)
+                })
+            })
+            .collect();
+
+        let coords: Vec<(usize, usize)> =
+            (1..nt).flat_map(|i| (0..i).map(move |j| (i, j))).collect();
+        let off: Vec<LowRankBlock> = coords
+            .par_iter()
+            .map(|&(i, j)| {
+                let ri = layout.tile_start(i);
+                let rj = layout.tile_start(j);
+                let dense = DenseMatrix::from_fn(
+                    layout.tile_size(i),
+                    layout.tile_size(j),
+                    |a, b| f(ri + a, rj + b),
+                );
+                compress_dense(&dense, tol, max_rank)
+            })
+            .collect();
+
+        Self {
+            layout,
+            tol,
+            max_rank,
+            diag,
+            off,
+        }
+    }
+
+    /// Build from an existing dense symmetric tile matrix (compressing its
+    /// off-diagonal tiles).
+    pub fn from_sym(a: &SymTileMatrix, tol: CompressionTol, max_rank: usize) -> Self {
+        Self::from_fn(a.n(), a.nb(), tol, max_rank, |i, j| a.get(i, j))
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.layout.n()
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.layout.nb()
+    }
+
+    /// Number of tile rows/columns.
+    pub fn num_tiles(&self) -> usize {
+        self.layout.num_tiles()
+    }
+
+    /// The tiling layout.
+    pub fn layout(&self) -> TileLayout {
+        self.layout
+    }
+
+    /// The compression tolerance this matrix was built with.
+    pub fn tol(&self) -> CompressionTol {
+        self.tol
+    }
+
+    /// The maximum admissible rank.
+    pub fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    /// Borrow a diagonal tile.
+    pub fn diag_tile(&self, i: usize) -> &DenseMatrix {
+        &self.diag[i]
+    }
+
+    /// Mutably borrow a diagonal tile.
+    pub fn diag_tile_mut(&mut self, i: usize) -> &mut DenseMatrix {
+        &mut self.diag[i]
+    }
+
+    /// Borrow a strictly-lower off-diagonal tile (`j < i`).
+    pub fn off_tile(&self, i: usize, j: usize) -> &LowRankBlock {
+        assert!(j < i, "off_tile requires j < i (got ({i},{j}))");
+        &self.off[Self::off_index(i, j)]
+    }
+
+    /// Mutably borrow a strictly-lower off-diagonal tile (`j < i`).
+    pub fn off_tile_mut(&mut self, i: usize, j: usize) -> &mut LowRankBlock {
+        assert!(j < i, "off_tile requires j < i (got ({i},{j}))");
+        &mut self.off[Self::off_index(i, j)]
+    }
+
+    pub(crate) fn take_off(&mut self, i: usize, j: usize) -> LowRankBlock {
+        std::mem::replace(&mut self.off[Self::off_index(i, j)], LowRankBlock::zero(1, 1))
+    }
+
+    pub(crate) fn put_off(&mut self, i: usize, j: usize, b: LowRankBlock) {
+        self.off[Self::off_index(i, j)] = b;
+    }
+
+    pub(crate) fn take_diag(&mut self, i: usize) -> DenseMatrix {
+        std::mem::replace(&mut self.diag[i], DenseMatrix::zeros(1, 1))
+    }
+
+    pub(crate) fn put_diag(&mut self, i: usize, d: DenseMatrix) {
+        self.diag[i] = d;
+    }
+
+    /// Element access through the symmetric/lower structure (any `(i, j)`).
+    ///
+    /// Off-diagonal elements require expanding a factor product row, so this is
+    /// intended for tests and small reports, not inner loops.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let ti = self.layout.tile_of(i);
+        let tj = self.layout.tile_of(j);
+        let oi = self.layout.offset_in_tile(i);
+        let oj = self.layout.offset_in_tile(j);
+        if ti == tj {
+            self.diag[ti].get(oi, oj)
+        } else {
+            let b = self.off_tile(ti, tj);
+            // (U V^T)[oi, oj]
+            let mut s = 0.0;
+            for r in 0..b.rank() {
+                s += b.u.get(oi, r) * b.v.get(oj, r);
+            }
+            s
+        }
+    }
+
+    /// Expand only the lower triangle to a dense matrix (the natural view of a
+    /// TLR Cholesky factor).
+    pub fn to_dense_lower(&self) -> DenseMatrix {
+        let n = self.n();
+        let mut out = DenseMatrix::zeros(n, n);
+        let nt = self.num_tiles();
+        for ti in 0..nt {
+            let ri = self.layout.tile_start(ti);
+            // Diagonal tile: lower part only.
+            let d = &self.diag[ti];
+            for j in 0..d.ncols() {
+                for i in j..d.nrows() {
+                    out.set(ri + i, ri + j, d.get(i, j));
+                }
+            }
+            for tj in 0..ti {
+                let rj = self.layout.tile_start(tj);
+                let dense = self.off_tile(ti, tj).to_dense();
+                out.copy_block_from(&dense, 0, 0, ri, rj, dense.nrows(), dense.ncols());
+            }
+        }
+        out
+    }
+
+    /// Expand to the full dense symmetric matrix (before factorization).
+    pub fn to_dense_sym(&self) -> DenseMatrix {
+        let n = self.n();
+        DenseMatrix::from_fn(n, n, |i, j| self.get(i, j))
+    }
+
+    /// Total number of stored doubles (dense diagonal + factor storage).
+    pub fn stored_elements(&self) -> usize {
+        let d: usize = self.diag.iter().map(|t| t.nrows() * t.ncols()).sum();
+        let o: usize = self.off.iter().map(|b| b.stored_elements()).sum();
+        d + o
+    }
+
+    /// Storage relative to an uncompressed lower-triangular tile layout
+    /// (1.0 = no savings; smaller is better).
+    pub fn compression_ratio(&self) -> f64 {
+        let nt = self.num_tiles();
+        let mut dense_elems = 0usize;
+        for i in 0..nt {
+            for j in 0..=i {
+                dense_elems += self.layout.tile_size(i) * self.layout.tile_size(j);
+            }
+        }
+        self.stored_elements() as f64 / dense_elems as f64
+    }
+
+    /// Forward substitution `L·X = B` with this matrix holding a TLR Cholesky
+    /// factor; `B` (an `n × m` panel) is overwritten with the solution.
+    pub fn solve_lower_panel(&self, b: &mut DenseMatrix) {
+        assert_eq!(b.nrows(), self.n());
+        let nt = self.num_tiles();
+        for ti in 0..nt {
+            let ri = self.layout.tile_start(ti);
+            let rows_i = self.layout.tile_size(ti);
+            let mut block_i = b.submatrix(ri, 0, rows_i, b.ncols());
+            for tj in 0..ti {
+                let rj = self.layout.tile_start(tj);
+                let rows_j = self.layout.tile_size(tj);
+                let block_j = b.submatrix(rj, 0, rows_j, b.ncols());
+                crate::arithmetic::lr_gemm_panel(
+                    -1.0,
+                    self.off_tile(ti, tj),
+                    &block_j,
+                    1.0,
+                    &mut block_i,
+                );
+            }
+            trsm_left_lower_notrans(&self.diag[ti], &mut block_i);
+            b.copy_block_from(&block_i, 0, 0, ri, 0, rows_i, b.ncols());
+        }
+    }
+
+    /// `Y = L·X` with this matrix holding a TLR Cholesky factor (used to sample
+    /// Gaussian fields from the compressed factor).
+    pub fn multiply_lower_panel(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(x.nrows(), self.n());
+        let nt = self.num_tiles();
+        let mut y = DenseMatrix::zeros(x.nrows(), x.ncols());
+        for ti in 0..nt {
+            let ri = self.layout.tile_start(ti);
+            let rows_i = self.layout.tile_size(ti);
+            let mut acc = DenseMatrix::zeros(rows_i, x.ncols());
+            // Diagonal tile contributes its lower triangle only (it holds L_ii).
+            let xd = x.submatrix(ri, 0, rows_i, x.ncols());
+            let d = &self.diag[ti];
+            let lower = DenseMatrix::from_fn(d.nrows(), d.ncols(), |a, b| {
+                if a >= b {
+                    d.get(a, b)
+                } else {
+                    0.0
+                }
+            });
+            gemm_nn(1.0, &lower, &xd, 1.0, &mut acc);
+            for tj in 0..ti {
+                let rj = self.layout.tile_start(tj);
+                let rows_j = self.layout.tile_size(tj);
+                let xb = x.submatrix(rj, 0, rows_j, x.ncols());
+                crate::arithmetic::lr_gemm_panel(1.0, self.off_tile(ti, tj), &xb, 1.0, &mut acc);
+            }
+            y.copy_block_from(&acc, 0, 0, ri, 0, rows_i, x.ncols());
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tile_la::max_abs_diff;
+
+    fn kernel(i: usize, j: usize) -> f64 {
+        let d = (i as f64 - j as f64).abs() / 30.0;
+        (-d).exp()
+    }
+
+    #[test]
+    fn construction_approximates_the_dense_matrix() {
+        let n = 90;
+        let tlr = TlrMatrix::from_fn(n, 30, CompressionTol::Absolute(1e-8), usize::MAX, kernel);
+        let dense = DenseMatrix::from_fn(n, n, kernel);
+        assert!(max_abs_diff(&tlr.to_dense_sym(), &dense) < 1e-6);
+    }
+
+    #[test]
+    fn diagonal_tiles_are_exact() {
+        let tlr = TlrMatrix::from_fn(60, 20, CompressionTol::Absolute(1e-2), usize::MAX, kernel);
+        for t in 0..tlr.num_tiles() {
+            let d = tlr.diag_tile(t);
+            for a in 0..d.nrows() {
+                for b in 0..d.ncols() {
+                    assert_eq!(d.get(a, b), kernel(20 * t + a, 20 * t + b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn looser_tolerance_stores_less() {
+        let loose = TlrMatrix::from_fn(120, 30, CompressionTol::Absolute(1e-1), usize::MAX, kernel);
+        let tight = TlrMatrix::from_fn(120, 30, CompressionTol::Absolute(1e-9), usize::MAX, kernel);
+        assert!(loose.stored_elements() <= tight.stored_elements());
+        assert!(loose.compression_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn from_sym_agrees_with_from_fn() {
+        let sym = SymTileMatrix::from_fn(48, 16, kernel);
+        let a = TlrMatrix::from_sym(&sym, CompressionTol::Absolute(1e-9), usize::MAX);
+        let b = TlrMatrix::from_fn(48, 16, CompressionTol::Absolute(1e-9), usize::MAX, kernel);
+        assert!(max_abs_diff(&a.to_dense_sym(), &b.to_dense_sym()) < 1e-9);
+    }
+
+    #[test]
+    fn element_access_matches_kernel_within_tolerance() {
+        let tlr = TlrMatrix::from_fn(50, 10, CompressionTol::Absolute(1e-10), usize::MAX, kernel);
+        for &(i, j) in &[(0usize, 0usize), (3, 47), (25, 10), (49, 49), (12, 30)] {
+            assert!((tlr.get(i, j) - kernel(i.max(j), i.min(j))).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ragged_edge_dimensions() {
+        let tlr = TlrMatrix::from_fn(55, 16, CompressionTol::Absolute(1e-6), usize::MAX, kernel);
+        assert_eq!(tlr.num_tiles(), 4);
+        assert_eq!(tlr.diag_tile(3).nrows(), 7);
+        assert_eq!(tlr.off_tile(3, 0).nrows(), 7);
+        assert_eq!(tlr.off_tile(3, 0).ncols(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn off_tile_requires_strictly_lower() {
+        let tlr = TlrMatrix::from_fn(20, 10, CompressionTol::Absolute(1e-3), usize::MAX, kernel);
+        let _ = tlr.off_tile(0, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # pmvn — parallel high-dimensional MVN probabilities & confidence regions
+//!
+//! Umbrella crate re-exporting the whole stack so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`mathx`] — special functions (Φ, Φ⁻¹, erfc, ln Γ, K_ν),
+//! * [`qmc`] — quasi-Monte-Carlo point sets and RNG streams,
+//! * [`tile_la`] — tiled dense linear algebra and the parallel Cholesky,
+//! * [`tlr`] — tile-low-rank compression and the TLR Cholesky,
+//! * [`task_runtime`] — the sequential-task-flow runtime,
+//! * [`geostat`] — covariance models, field simulation, posterior, MLE, wind data,
+//! * [`mvn_core`] — the SOV / PMVN multivariate normal probability algorithms,
+//! * [`excursion`] — confidence-region detection and MC validation,
+//! * [`distsim`] — the distributed-memory performance model.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! paper-reproduction map.
+
+pub use distsim;
+pub use excursion;
+pub use geostat;
+pub use mathx;
+pub use mvn_core;
+pub use qmc;
+pub use task_runtime;
+pub use tile_la;
+pub use tlr;

@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: the full confidence-region pipeline, dense
+//! vs. TLR agreement, and the MVN estimators against each other.
+
+use excursion::{
+    correlation_factor_dense, correlation_factor_tlr, detect_confidence_regions, excursion_set,
+    find_excursion_set, mc_validate, CrdConfig,
+};
+use geostat::{
+    posterior_update, regular_grid, simulate_field, simulate_observations, CovarianceKernel,
+};
+use mvn_core::{mvn_prob_dense, mvn_prob_genz, mvn_prob_mc, mvn_prob_tlr, MvnConfig};
+use tlr::CompressionTol;
+
+fn medium_kernel() -> CovarianceKernel {
+    CovarianceKernel::Exponential {
+        sigma2: 1.0,
+        range: 0.1,
+    }
+}
+
+#[test]
+fn all_four_mvn_estimators_agree_on_a_spatial_problem() {
+    let locations = regular_grid(12, 12);
+    let n = locations.len();
+    let kernel = medium_kernel();
+    let a = vec![-0.2; n];
+    let b = vec![f64::INFINITY; n];
+    let cfg = MvnConfig {
+        sample_size: 20_000,
+        seed: 9,
+        ..Default::default()
+    };
+
+    let mut dense = kernel.tiled_covariance(&locations, 36, 1e-9);
+    tile_la::potrf_tiled(&mut dense, 1).unwrap();
+    let p_dense = mvn_prob_dense(&dense, &a, &b, &cfg);
+
+    let l_full = dense.to_dense_lower();
+    let p_genz = mvn_prob_genz(&l_full, &a, &b, &cfg);
+
+    let mut tlr = kernel.tlr_covariance(&locations, 36, 1e-9, CompressionTol::Absolute(1e-6), 18);
+    tlr::potrf_tlr(&mut tlr, 1).unwrap();
+    let p_tlr = mvn_prob_tlr(&tlr, &a, &b, &cfg);
+
+    let mut mc_factor = kernel.tiled_covariance(&locations, 36, 1e-9);
+    tile_la::potrf_tiled(&mut mc_factor, 1).unwrap();
+    let p_mc = mvn_prob_mc(&mc_factor, &a, &b, &MvnConfig::with_samples(400_000));
+
+    let tol = 6.0 * (p_dense.std_error + p_genz.std_error + p_mc.std_error).max(3e-3);
+    assert!(
+        (p_dense.prob - p_genz.prob).abs() < tol,
+        "dense {} vs genz {}",
+        p_dense.prob,
+        p_genz.prob
+    );
+    assert!(
+        (p_dense.prob - p_tlr.prob).abs() < 2e-3,
+        "dense {} vs tlr {}",
+        p_dense.prob,
+        p_tlr.prob
+    );
+    assert!(
+        (p_dense.prob - p_mc.prob).abs() < tol,
+        "dense {} vs mc {}",
+        p_dense.prob,
+        p_mc.prob
+    );
+}
+
+#[test]
+fn end_to_end_confidence_region_pipeline_with_posterior_and_validation() {
+    // Simulate -> observe -> posterior -> detect -> validate, the complete
+    // Algorithm-1 workflow of the paper.
+    let locations = regular_grid(14, 14);
+    let n = locations.len();
+    let kernel = medium_kernel();
+    let field = simulate_field(&locations, &kernel, 0.0, 7);
+    let obs = simulate_observations(&field, n / 4, 0.5, 8);
+    let prior = kernel.dense_covariance(&locations, 1e-9);
+    let post = posterior_update(&prior, &vec![0.0; n], &obs.indices, &obs.values, 0.5);
+
+    let (factor, sd) = correlation_factor_dense(&post.cov, 49);
+    let cfg = CrdConfig {
+        threshold: 0.4,
+        alpha: 0.1,
+        levels: 12,
+        mvn: MvnConfig::with_samples(3_000),
+    };
+    let result = detect_confidence_regions(&factor, &post.mean, &sd, &cfg);
+    let region = excursion_set(&result, cfg.alpha);
+
+    // The joint region is a subset of the marginal region.
+    for &i in &region {
+        assert!(result.marginal[i] >= 1.0 - cfg.alpha - 0.05);
+    }
+
+    // The confidence-function sweep (with interpolation between evaluated
+    // prefix lengths) and the exact bisection search agree up to a handful of
+    // boundary sites.
+    let (bisect_region, joint_prob) = find_excursion_set(&factor, &post.mean, &sd, &cfg);
+    assert!(joint_prob >= 1.0 - cfg.alpha - 1e-9);
+    assert!(
+        region.len().abs_diff(bisect_region.len()) <= n / 20 + 2,
+        "sweep region {} vs bisection region {}",
+        region.len(),
+        bisect_region.len()
+    );
+
+    // The MC-validated joint exceedance probability of the bisection region is
+    // compatible with 1-alpha (the bisection region is the one whose joint
+    // probability is certified to be >= 1-alpha).
+    let v = mc_validate(&factor, &post.mean, &sd, &bisect_region, 0.4, 40_000, 500, 3);
+    assert!(
+        v.p_hat >= 1.0 - cfg.alpha - 4.0 * v.std_error - 0.03,
+        "validated probability {} too far below {}",
+        v.p_hat,
+        1.0 - cfg.alpha
+    );
+}
+
+#[test]
+fn dense_and_tlr_confidence_functions_agree_as_in_the_paper() {
+    let locations = regular_grid(12, 12);
+    let n = locations.len();
+    let kernel = CovarianceKernel::Exponential {
+        sigma2: 1.0,
+        range: 0.234, // strong correlation
+    };
+    let cov = kernel.dense_covariance(&locations, 1e-9);
+    let mean: Vec<f64> = locations.iter().map(|l| 1.0 - 1.5 * l.x).collect();
+
+    let (fd, sd) = correlation_factor_dense(&cov, 48);
+    let (ft, _) = correlation_factor_tlr(&cov, 48, CompressionTol::Absolute(1e-3), 24);
+    let cfg = CrdConfig {
+        threshold: 0.0,
+        alpha: 0.05,
+        levels: 12,
+        mvn: MvnConfig::with_samples(4_000),
+    };
+    let rd = detect_confidence_regions(&fd, &mean, &sd, &cfg);
+    let rt = detect_confidence_regions(&ft, &mean, &sd, &cfg);
+    let max_diff = rd
+        .confidence
+        .iter()
+        .zip(&rt.confidence)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_diff < 0.02,
+        "dense and TLR confidence functions should be close (max diff {max_diff})"
+    );
+    assert_eq!(
+        excursion_set(&rd, 0.05).len() as i64 - excursion_set(&rt, 0.05).len() as i64,
+        0,
+        "regions should agree exactly at this scale"
+    );
+
+    // Bisection agrees with the sweep within one site.
+    let (region_b, _) = find_excursion_set(&fd, &mean, &sd, &cfg);
+    let sweep_len = excursion_set(&rd, 0.05).len();
+    assert!(region_b.len().abs_diff(sweep_len) <= (n / 12).max(1));
+}

@@ -1,0 +1,114 @@
+//! Workspace-level property-based tests on the core invariants, using proptest.
+
+use mathx::{norm_cdf, norm_quantile};
+use mvn_core::{mvn_prob_dense, MvnConfig};
+use proptest::prelude::*;
+use tile_la::{max_abs_diff, potrf_tiled, DenseMatrix, SymTileMatrix};
+use tlr::{compress_dense, lr_add_recompress, CompressionTol};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Φ and Φ⁻¹ are inverse functions over the bulk of the distribution.
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 1e-12f64..1.0) {
+        let x = norm_quantile(p);
+        let p2 = norm_cdf(x);
+        prop_assert!((p - p2).abs() < 1e-9, "p={p}, roundtrip={p2}");
+    }
+
+    /// Φ is monotone non-decreasing.
+    #[test]
+    fn normal_cdf_is_monotone(a in -30.0f64..30.0, delta in 0.0f64..5.0) {
+        prop_assert!(norm_cdf(a + delta) >= norm_cdf(a));
+    }
+
+    /// The tiled Cholesky factorization reconstructs the matrix it factored,
+    /// for random SPD matrices of random sizes and tile sizes.
+    #[test]
+    fn tiled_cholesky_reconstructs(n in 4usize..40, nb in 2usize..16, range in 2.0f64..20.0) {
+        let f = |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / range).exp() + if i == j { 0.05 } else { 0.0 }
+        };
+        let mut a = SymTileMatrix::from_fn(n, nb, f);
+        potrf_tiled(&mut a, 1).unwrap();
+        let l = a.to_dense_lower();
+        let rec = l.matmul_nt(&l);
+        let orig = DenseMatrix::from_fn(n, n, f);
+        prop_assert!(max_abs_diff(&rec, &orig) < 1e-8);
+    }
+
+    /// Truncated-SVD tile compression never exceeds its error budget.
+    #[test]
+    fn compression_error_within_tolerance(
+        m in 4usize..24,
+        n in 4usize..24,
+        offset in 0usize..100,
+        tol_exp in 1u32..8,
+    ) {
+        let tol = 10f64.powi(-(tol_exp as i32));
+        let tile = DenseMatrix::from_fn(m, n, |i, j| {
+            (-((i as f64 - (j + offset) as f64).abs()) / 30.0).exp()
+        });
+        let lr = compress_dense(&tile, CompressionTol::Absolute(tol), usize::MAX);
+        let mut diff = lr.to_dense();
+        diff.add_scaled(-1.0, &tile);
+        prop_assert!(diff.frobenius_norm() <= tol * 1.5 + 1e-12);
+    }
+
+    /// Low-rank addition with recompression approximates the exact sum.
+    #[test]
+    fn lowrank_addition_is_accurate(seed in 0u64..1000, m in 4usize..16, k in 1usize..4) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mk = |rows: usize, cols: usize, f: &mut dyn FnMut() -> f64| {
+            DenseMatrix::from_fn(rows, cols, |_, _| f())
+        };
+        let a = tlr::LowRankBlock::new(mk(m, k, &mut next), mk(m, k, &mut next));
+        let b = tlr::LowRankBlock::new(mk(m, k, &mut next), mk(m, k, &mut next));
+        let sum = lr_add_recompress(&a, &b, CompressionTol::Absolute(1e-10), usize::MAX);
+        let mut want = a.to_dense();
+        want.add_scaled(1.0, &b.to_dense());
+        prop_assert!(max_abs_diff(&sum.to_dense(), &want) < 1e-8);
+    }
+
+    /// MVN probabilities are in [0,1], equal to 1 on the whole space, and
+    /// monotone in the integration box.
+    #[test]
+    fn mvn_probability_monotone_in_the_box(n in 2usize..12, lower in -2.0f64..0.5) {
+        let f = |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / 5.0).exp() + if i == j { 0.01 } else { 0.0 }
+        };
+        let mut l = SymTileMatrix::from_fn(n, 4, f);
+        potrf_tiled(&mut l, 1).unwrap();
+        let cfg = MvnConfig { sample_size: 2000, seed: 1, ..Default::default() };
+        let b = vec![f64::INFINITY; n];
+        let p_small = mvn_prob_dense(&l, &vec![lower + 0.5; n], &b, &cfg).prob;
+        let p_large = mvn_prob_dense(&l, &vec![lower; n], &b, &cfg).prob;
+        prop_assert!((0.0..=1.0).contains(&p_small));
+        prop_assert!((0.0..=1.0).contains(&p_large));
+        // Enlarging the box (lower limit decreases) cannot decrease the probability.
+        prop_assert!(p_large >= p_small - 1e-9);
+        let whole = mvn_prob_dense(&l, &vec![f64::NEG_INFINITY; n], &b, &cfg).prob;
+        prop_assert!((whole - 1.0).abs() < 1e-12);
+    }
+
+    /// Marginal exceedance probabilities bound the joint prefix probabilities.
+    #[test]
+    fn joint_probability_never_exceeds_smallest_marginal(n in 3usize..10, u in -1.0f64..1.0) {
+        let f = |i: usize, j: usize| if i == j { 1.0 } else { 0.4 };
+        let mut l = SymTileMatrix::from_fn(n, 3, f);
+        potrf_tiled(&mut l, 1).unwrap();
+        let cfg = MvnConfig { sample_size: 4000, seed: 2, ..Default::default() };
+        let a = vec![u; n];
+        let b = vec![f64::INFINITY; n];
+        let joint = mvn_prob_dense(&l, &a, &b, &cfg).prob;
+        let marginal = 1.0 - norm_cdf(u);
+        prop_assert!(joint <= marginal + 0.01, "joint {joint} vs marginal {marginal}");
+    }
+}
