@@ -4,9 +4,10 @@
 //! SVD compression cost, dense vs. TLR factorization).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvn_core::{mvn_prob_dense, mvn_prob_dense_fused, MvnConfig, Scheduler};
 use std::hint::black_box;
 use tile_la::kernels::{gemm_nt, jacobi_svd, potrf_in_place};
-use tile_la::{potrf_tiled, DenseMatrix, SymTileMatrix};
+use tile_la::{potrf_tiled, potrf_tiled_dag, potrf_tiled_forkjoin, DenseMatrix, SymTileMatrix};
 use tlr::{compress_dense, potrf_tlr, CompressionTol, TlrMatrix};
 
 fn kernel_matrix(n: usize, offset: usize) -> DenseMatrix {
@@ -84,5 +85,67 @@ fn bench_factorizations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tile_kernels, bench_factorizations);
+/// Fork-join vs DAG scheduling of the same numerical work — the bench backing
+/// the task-runtime refactor. Three points:
+///
+/// * `forkjoin_potrf_pmvn` — per-panel fork-join factorization, then the
+///   fork-join panel sweep (the seed's scheduling),
+/// * `dag_potrf_pmvn` — DAG-scheduled factorization, then the DAG-scheduled
+///   sweep (still two phases, barrier between them),
+/// * `fused_potrf_pmvn` — one task graph for factor + sweep, early row-block
+///   sweeping overlapping the trailing factorization.
+///
+/// All three produce bitwise-identical probabilities; only wall time differs.
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let n = 512;
+    let nb = 64;
+    let f = |i: usize, j: usize| {
+        (-((i as f64 - j as f64).abs()) / 150.0).exp() + if i == j { 1e-4 } else { 0.0 }
+    };
+    let a = vec![-0.3; n];
+    let b = vec![f64::INFINITY; n];
+    let fj_cfg = MvnConfig {
+        sample_size: 2000,
+        seed: 20240518,
+        scheduler: Scheduler::ForkJoin,
+        ..Default::default()
+    };
+    let dag_cfg = MvnConfig {
+        scheduler: Scheduler::Dag { workers: 0 },
+        ..fj_cfg
+    };
+
+    group.bench_function("forkjoin_potrf_pmvn", |bench| {
+        bench.iter(|| {
+            let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+            potrf_tiled_forkjoin(&mut sigma, 1).unwrap();
+            black_box(mvn_prob_dense(&sigma, &a, &b, &fj_cfg))
+        });
+    });
+    group.bench_function("dag_potrf_pmvn", |bench| {
+        bench.iter(|| {
+            let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+            potrf_tiled_dag(&mut sigma, 0).unwrap();
+            black_box(mvn_prob_dense(&sigma, &a, &b, &dag_cfg))
+        });
+    });
+    group.bench_function("fused_potrf_pmvn", |bench| {
+        bench.iter(|| {
+            let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+            black_box(mvn_prob_dense_fused(&mut sigma, &a, &b, &dag_cfg).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tile_kernels,
+    bench_factorizations,
+    bench_scheduling
+);
 criterion_main!(benches);

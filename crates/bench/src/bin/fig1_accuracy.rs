@@ -49,12 +49,8 @@ fn main() {
 
         // Dense and TLR correlation factors of the posterior covariance.
         let (factor_dense, sd) = correlation_factor_dense(&post.cov, nb);
-        let (factor_tlr, _) = correlation_factor_tlr(
-            &post.cov,
-            nb,
-            CompressionTol::Absolute(1e-3),
-            nb / 2,
-        );
+        let (factor_tlr, _) =
+            correlation_factor_tlr(&post.cov, nb, CompressionTol::Absolute(1e-3), nb / 2);
 
         let cfg = CrdConfig {
             threshold,
@@ -65,11 +61,7 @@ fn main() {
         let dense_result = detect_confidence_regions(&factor_dense, &post.mean, &sd, &cfg);
         let tlr_result = detect_confidence_regions(&factor_tlr, &post.mean, &sd, &cfg);
 
-        let marginal_region = dense_result
-            .marginal
-            .iter()
-            .filter(|&&p| p >= 0.95)
-            .count();
+        let marginal_region = dense_result.marginal.iter().filter(|&&p| p >= 0.95).count();
         println!(
             "marginal-probability region (p >= 0.95): {marginal_region} sites;  \
              joint confidence region (alpha = 0.05): dense {} sites, TLR {} sites",

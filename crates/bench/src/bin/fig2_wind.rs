@@ -49,8 +49,8 @@ fn main() {
         range: 0.05,
         smoothness: 1.0,
     };
-    let fit = fit_matern(&wind.unit_locations, &std_vals, init, false)
-        .expect("MLE fit should converge");
+    let fit =
+        fit_matern(&wind.unit_locations, &std_vals, init, false).expect("MLE fit should converge");
     println!(
         "fitted Matérn parameters: sigma2 {:.4}, range {:.5}, smoothness {:.3} (loglik {:.1})",
         fit.params.sigma2, fit.params.range, fit.params.smoothness, fit.loglik
@@ -106,5 +106,7 @@ fn main() {
         let max_abs = diffs.iter().map(|x| x.abs()).fold(0.0f64, f64::max);
         println!("[{lo:.1}, {hi:.1})               {mean_diff:+.6}                {max_abs:.6}");
     }
-    println!("\n(The paper's Fig. 3 shows dense-vs-TLR differences of order 1e-4 at tolerance 1e-4.)");
+    println!(
+        "\n(The paper's Fig. 3 shows dense-vs-TLR differences of order 1e-4 at tolerance 1e-4.)"
+    );
 }

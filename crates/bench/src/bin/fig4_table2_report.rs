@@ -59,5 +59,7 @@ fn main() {
     }
     println!("\n# Table II analogue: the speedup column for each (n, QMC N) pair.");
     println!("# The paper reports 2-5x at N=100/1,000 and 9-20x at N=10,000 on its four machines;");
-    println!("# the qualitative trend (speedup grows with the QMC sample size and with n) should match.");
+    println!(
+        "# the qualitative trend (speedup grows with the QMC sample size and with n) should match."
+    );
 }

@@ -6,7 +6,7 @@
 //! 360,000, and 64–512 nodes with dimensions up to 760,384) and the Table III
 //! TLR/dense speedups at QMC sample size 10,000.
 
-use distsim::{pmvn_task_graph, simulate, ClusterSpec, FactorKind, ProblemSpec, typical_mean_rank};
+use distsim::{pmvn_task_graph, simulate, typical_mean_rank, ClusterSpec, FactorKind, ProblemSpec};
 use mvn_bench::full_scale_requested;
 
 fn run_panel(dims: &[usize], node_counts: &[usize], tile_size: usize, qmc: usize) {
@@ -47,7 +47,9 @@ fn main() {
     let tile = 320;
 
     println!("# Figure 7 / Table III: simulated Cray XC40 (Shaheen-II-like) executions");
-    println!("# QMC sample size {qmc}, tile size {tile}; times are model predictions, not measurements.");
+    println!(
+        "# QMC sample size {qmc}, tile size {tile}; times are model predictions, not measurements."
+    );
 
     println!("\n## Left panel: 16-128 nodes");
     let dims_left: Vec<usize> = if full {

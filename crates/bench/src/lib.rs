@@ -1,7 +1,7 @@
 //! Shared helpers for the benchmark and report harnesses that regenerate the
 //! paper's tables and figures. Each figure/table has a dedicated binary (see
-//! `src/bin/`) or Criterion bench (see `benches/`); `EXPERIMENTS.md` maps them
-//! to the paper.
+//! `src/bin/`) or Criterion bench (see `benches/`); the experiments table in
+//! `DESIGN.md` maps them to the paper.
 
 use geostat::{regular_grid, CovarianceKernel, Location};
 use mvn_core::MvnConfig;

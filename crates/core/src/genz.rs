@@ -123,8 +123,26 @@ mod tests {
         let l = chol(&sigma);
         let a = vec![-1.0; 10];
         let b = vec![1.5; 10];
-        let small = mvn_prob_genz(&l, &a, &b, &MvnConfig { sample_size: 500, seed: 3, ..Default::default() });
-        let large = mvn_prob_genz(&l, &a, &b, &MvnConfig { sample_size: 50_000, seed: 3, ..Default::default() });
+        let small = mvn_prob_genz(
+            &l,
+            &a,
+            &b,
+            &MvnConfig {
+                sample_size: 500,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let large = mvn_prob_genz(
+            &l,
+            &a,
+            &b,
+            &MvnConfig {
+                sample_size: 50_000,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         assert!(large.std_error < small.std_error);
         assert!((small.prob - large.prob).abs() < 0.05);
     }
@@ -134,14 +152,9 @@ mod tests {
         let sigma = equicorrelated(4, 0.3);
         let l = chol(&sigma);
         let cfg = MvnConfig::with_samples(200);
-        let all = mvn_prob_genz(
-            &l,
-            &vec![f64::NEG_INFINITY; 4],
-            &vec![f64::INFINITY; 4],
-            &cfg,
-        );
+        let all = mvn_prob_genz(&l, &[f64::NEG_INFINITY; 4], &[f64::INFINITY; 4], &cfg);
         assert!((all.prob - 1.0).abs() < 1e-12);
-        let none = mvn_prob_genz(&l, &vec![1.0; 4], &vec![1.0; 4], &cfg);
+        let none = mvn_prob_genz(&l, &[1.0; 4], &[1.0; 4], &cfg);
         assert_eq!(none.prob, 0.0);
     }
 

@@ -27,15 +27,39 @@
 
 pub mod genz;
 pub mod mc;
+pub mod pipeline;
 pub mod pmvn;
 pub mod sov;
 
 pub use genz::mvn_prob_genz;
 pub use mc::mvn_prob_mc;
+pub use pipeline::{mvn_prob_dense_fused, mvn_prob_tlr_fused, MvnPlanner};
 pub use pmvn::{mvn_prob_dense, mvn_prob_factored, mvn_prob_tlr, qmc_kernel, CholeskyFactor};
 pub use sov::{sov_sample_probability, truncate_limits};
 
 use qmc::SampleKind;
+
+/// How the PMVN panel sweep (and, in the fused pipeline, the factorization it
+/// is interleaved with) is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// The historical scheduling: one rayon fork-join over the sample panels.
+    /// Kept as the baseline for benchmarks and cross-checks.
+    ForkJoin,
+    /// Submit the panels as tasks to the `task-runtime` DAG executor
+    /// (`workers == 0` means one worker per available core). Results are
+    /// bitwise identical to [`Scheduler::ForkJoin`] for every worker count.
+    Dag {
+        /// Worker threads for the executor (`0` = one per available core).
+        workers: usize,
+    },
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::Dag { workers: 0 }
+    }
+}
 
 /// Configuration shared by all MVN probability estimators.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +74,9 @@ pub struct MvnConfig {
     pub sample_kind: SampleKind,
     /// Random seed (controls the QMC shift / MC stream).
     pub seed: u64,
+    /// How the panel sweep is scheduled. The estimate is bitwise independent
+    /// of this choice (and of the worker count); it only affects wall time.
+    pub scheduler: Scheduler,
 }
 
 impl Default for MvnConfig {
@@ -59,6 +86,7 @@ impl Default for MvnConfig {
             panel_width: 64,
             sample_kind: SampleKind::RichtmyerLattice,
             seed: 42,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -102,11 +130,7 @@ impl MvnResult {
                 samples: 0,
             };
         }
-        let prob = batches
-            .iter()
-            .map(|(m, c)| m * *c as f64)
-            .sum::<f64>()
-            / total as f64;
+        let prob = batches.iter().map(|(m, c)| m * *c as f64).sum::<f64>() / total as f64;
         let nb = batches.len() as f64;
         let std_error = if batches.len() > 1 {
             let mean_of_means = batches.iter().map(|(m, _)| m).sum::<f64>() / nb;

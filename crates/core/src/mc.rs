@@ -74,7 +74,11 @@ mod tests {
     use mathx::norm_cdf;
     use tile_la::potrf_tiled;
 
-    fn factored(sigma_fn: impl Fn(usize, usize) -> f64 + Sync, n: usize, nb: usize) -> SymTileMatrix {
+    fn factored(
+        sigma_fn: impl Fn(usize, usize) -> f64 + Sync,
+        n: usize,
+        nb: usize,
+    ) -> SymTileMatrix {
         let mut s = SymTileMatrix::from_fn(n, nb, sigma_fn);
         potrf_tiled(&mut s, 1).unwrap();
         s
@@ -136,8 +140,16 @@ mod tests {
         let l = factored(|i, j| if i == j { 1.0 } else { 0.3 }, 4, 2);
         let a = vec![-0.5; 4];
         let b = vec![1.0; 4];
-        let cfg1 = MvnConfig { sample_size: 20_000, seed: 9, ..Default::default() };
-        let cfg2 = MvnConfig { sample_size: 20_000, seed: 10, ..Default::default() };
+        let cfg1 = MvnConfig {
+            sample_size: 20_000,
+            seed: 9,
+            ..Default::default()
+        };
+        let cfg2 = MvnConfig {
+            sample_size: 20_000,
+            seed: 10,
+            ..Default::default()
+        };
         let r1 = mvn_prob_mc(&l, &a, &b, &cfg1);
         let r1b = mvn_prob_mc(&l, &a, &b, &cfg1);
         let r2 = mvn_prob_mc(&l, &a, &b, &cfg2);

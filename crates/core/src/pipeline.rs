@@ -1,0 +1,475 @@
+//! The fused Cholesky + PMVN pipeline: factorization tasks and panel-sweep
+//! tasks in *one* dependency-inferred task graph (the paper's core systems
+//! contribution).
+//!
+//! The staged flow (`potrf_tiled` then `mvn_prob_dense`) puts a global
+//! barrier between the factorization and the sweep. Here the sweep task of
+//! panel `p` at row block `r` declares read dependencies on exactly the
+//! factor tiles it consumes — the diagonal tile `(r, r)` and the column tiles
+//! `(j, r)`, `j > r` — so it becomes ready the moment the `TRSM`s of factor
+//! column `r` finish, while the trailing `SYRK`/`GEMM` updates of later
+//! columns are still in flight. Early row-block sweeping thus overlaps the
+//! trailing factorization, which is where the wall-time win over
+//! factor-then-sweep comes from (cf. the `scheduling` bench in
+//! `mvn-bench/benches/kernels.rs`).
+//!
+//! Numerically nothing changes: every task applies the same kernels in the
+//! same submission order as the staged flow, so the estimate (and the factor
+//! left behind) are bitwise identical to the staged result, for any worker
+//! count.
+
+use crate::pmvn::{combine_panel_results, PanelState};
+use crate::{MvnConfig, MvnResult, Scheduler};
+use qmc::{make_point_set, PointSet};
+use task_runtime::{
+    run_taskgraph, AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec, TileStore,
+};
+use tile_la::dag::{
+    attach_tiles, detach_tiles, effective_workers, submit_factor_tasks, FactorStatus,
+};
+use tile_la::kernels::gemm_nn;
+use tile_la::{CholeskyError, DenseMatrix, SymTileMatrix, TileLayout};
+use tlr::dag::{attach_tlr_tiles, detach_tlr_tiles, submit_tlr_factor_tasks, TlrHandles};
+use tlr::{lr_gemm_panel, LowRankBlock, TlrCholeskyError, TlrMatrix};
+
+/// A view of factor tiles living in [`TileStore`]s, so the [`PanelState`]
+/// sweep can run against in-flight tiles. Only used inside sweep-task
+/// closures, whose declared read dependencies guarantee the accessed tiles
+/// are final.
+enum StoredFactor<'s> {
+    Dense {
+        layout: TileLayout,
+        store: &'s TileStore<DenseMatrix>,
+        handles: &'s [Vec<DataHandle>],
+    },
+    Tlr {
+        layout: TileLayout,
+        diag_store: &'s TileStore<DenseMatrix>,
+        off_store: &'s TileStore<LowRankBlock>,
+        handles: &'s TlrHandles,
+    },
+}
+
+impl StoredFactor<'_> {
+    fn tiling(&self) -> TileLayout {
+        match self {
+            StoredFactor::Dense { layout, .. } | StoredFactor::Tlr { layout, .. } => *layout,
+        }
+    }
+
+    /// Advance `state` by row block `r`, reading the factor tiles out of the
+    /// stores. Mirrors [`PanelState::step`] exactly (same kernel calls in the
+    /// same order), but holds tile read-guards only for the duration of each
+    /// kernel.
+    fn step_stored(&self, state: &mut PanelState, r: usize) {
+        let layout = self.tiling();
+        let nt = layout.num_tiles();
+        let rows = layout.tile_size(r);
+        if state.y_block.nrows() != rows {
+            state.y_block = DenseMatrix::zeros(rows, state.cols);
+        }
+        match self {
+            StoredFactor::Dense { store, handles, .. } => {
+                {
+                    let diag = store.read(handles[r][r]);
+                    crate::pmvn::qmc_kernel(
+                        &diag,
+                        &state.w_blocks[r],
+                        &state.a_blocks[r],
+                        &state.b_blocks[r],
+                        &mut state.y_block,
+                        &mut state.prob,
+                    );
+                }
+                for j in (r + 1)..nt {
+                    let tile = store.read(handles[j][r]);
+                    gemm_nn(-1.0, &tile, &state.y_block, 1.0, &mut state.a_blocks[j]);
+                    if !state.skip_b_updates {
+                        gemm_nn(-1.0, &tile, &state.y_block, 1.0, &mut state.b_blocks[j]);
+                    }
+                }
+            }
+            StoredFactor::Tlr {
+                diag_store,
+                off_store,
+                handles,
+                ..
+            } => {
+                {
+                    let diag = diag_store.read(handles.diag[r]);
+                    crate::pmvn::qmc_kernel(
+                        &diag,
+                        &state.w_blocks[r],
+                        &state.a_blocks[r],
+                        &state.b_blocks[r],
+                        &mut state.y_block,
+                        &mut state.prob,
+                    );
+                }
+                for j in (r + 1)..nt {
+                    let tile = off_store.read(handles.off[j][r]);
+                    lr_gemm_panel(-1.0, &tile, &state.y_block, 1.0, &mut state.a_blocks[j]);
+                    if !state.skip_b_updates {
+                        lr_gemm_panel(-1.0, &tile, &state.y_block, 1.0, &mut state.b_blocks[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle of factor tile `(i, j)` (`j ≤ i`).
+    fn tile_handle(&self, i: usize, j: usize) -> DataHandle {
+        match self {
+            StoredFactor::Dense { handles, .. } => handles[i][j],
+            StoredFactor::Tlr { handles, .. } => handles.tile(i, j),
+        }
+    }
+}
+
+/// Submit the PMVN panel-sweep tasks into `graph`, with read dependencies on
+/// the factor tiles each step consumes. Returns the per-panel result handles.
+#[allow(clippy::too_many_arguments)]
+fn submit_sweep_tasks<'a>(
+    graph: &mut TaskGraph<'a>,
+    factor: &'a StoredFactor<'a>,
+    panel_store: &'a TileStore<PanelState>,
+    panel_handles: &[DataHandle],
+    status: &'a FactorStatus,
+    a: &'a [f64],
+    b: &'a [f64],
+    points: &'a dyn PointSet,
+    cfg: &'a MvnConfig,
+) {
+    let layout = factor.tiling();
+    let nt = layout.num_tiles();
+    for (p, &panel_h) in panel_handles.iter().enumerate() {
+        // Panel initialization: limits replication + sample generation. No
+        // factor dependency, so it runs while the factorization starts.
+        graph.submit(
+            TaskSpec::new("panel_init")
+                .access(panel_h, AccessMode::Write)
+                .cost(cfg.panel_width as f64),
+            Some(Box::new(move || {
+                if status.is_failed() {
+                    return;
+                }
+                *panel_store.write(panel_h) = PanelState::init(layout, a, b, points, cfg, p);
+            })),
+        );
+        // One sweep task per row block, reading factor column r.
+        for r in 0..nt {
+            let mut spec = TaskSpec::new("panel_sweep")
+                .access(panel_h, AccessMode::ReadWrite)
+                .cost(layout.tile_size(r) as f64 * cfg.panel_width as f64);
+            for j in r..nt {
+                spec = spec.access(factor.tile_handle(j, r), AccessMode::Read);
+            }
+            graph.submit(
+                spec,
+                Some(Box::new(move || {
+                    if status.is_failed() {
+                        return;
+                    }
+                    let mut state = panel_store.write(panel_h);
+                    factor.step_stored(&mut state, r);
+                })),
+            );
+        }
+    }
+}
+
+/// Plans and runs the fused factor + sweep task graph.
+///
+/// This is the `Pipeline` layer of the DAG refactor: given a covariance in
+/// tiled (dense or TLR) form, it factors it *and* runs the PMVN sweep as one
+/// task graph, so early panel sweeping overlaps the trailing factorization.
+/// On success the input matrix holds the Cholesky factor (exactly as
+/// `potrf_tiled`/`potrf_tlr` would leave it) and the returned estimate is
+/// bitwise identical to the staged factor-then-sweep result.
+#[derive(Debug, Clone, Copy)]
+pub struct MvnPlanner {
+    /// The MVN estimator configuration (`scheduler` selects the worker count;
+    /// `Scheduler::ForkJoin` is treated as `Dag { workers: 0 }` here, since
+    /// the fused pipeline is inherently DAG-scheduled).
+    pub cfg: MvnConfig,
+}
+
+impl MvnPlanner {
+    /// A planner with the given configuration.
+    pub fn new(cfg: MvnConfig) -> Self {
+        Self { cfg }
+    }
+
+    fn workers(&self) -> usize {
+        match self.cfg.scheduler {
+            Scheduler::Dag { workers } => effective_workers(workers),
+            Scheduler::ForkJoin => effective_workers(0),
+        }
+    }
+
+    /// Factor `sigma` in place and estimate `Φₙ(a, b; 0, Σ)` in one fused
+    /// task graph (dense tiles).
+    pub fn run_dense(
+        &self,
+        sigma: &mut SymTileMatrix,
+        a: &[f64],
+        b: &[f64],
+    ) -> Result<MvnResult, CholeskyError> {
+        let cfg = &self.cfg;
+        let n = sigma.n();
+        assert_eq!(a.len(), n, "lower limit length mismatch");
+        assert_eq!(b.len(), n, "upper limit length mismatch");
+        assert!(cfg.sample_size > 0, "sample size must be positive");
+        assert!(cfg.panel_width > 0, "panel width must be positive");
+
+        let layout = sigma.layout();
+        let mut registry = HandleRegistry::new();
+        let (handles, mut store) = detach_tiles(sigma, &mut registry);
+        let status = FactorStatus::new();
+        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+
+        let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+        let mut panel_store: TileStore<PanelState> = TileStore::new();
+        let panel_handles: Vec<DataHandle> = (0..n_panels)
+            .map(|p| {
+                let h = registry.register(format!("panel{p}"));
+                panel_store.insert(h, PanelState::empty());
+                h
+            })
+            .collect();
+
+        let factor = StoredFactor::Dense {
+            layout,
+            store: &store,
+            handles: &handles,
+        };
+        {
+            let mut graph = TaskGraph::new();
+            submit_factor_tasks(&mut graph, &store, &handles, layout, &status);
+            submit_sweep_tasks(
+                &mut graph,
+                &factor,
+                &panel_store,
+                &panel_handles,
+                &status,
+                a,
+                b,
+                points.as_ref(),
+                cfg,
+            );
+            run_taskgraph(&mut graph, self.workers());
+        }
+        attach_tiles(sigma, &handles, &mut store);
+        if let Some(p) = status.pivot() {
+            return Err(CholeskyError::NotPositiveDefinite(p));
+        }
+        let panel_results: Vec<(f64, usize)> = panel_handles
+            .iter()
+            .map(|&h| panel_store.take(h).result())
+            .collect();
+        Ok(combine_panel_results(&panel_results))
+    }
+
+    /// Factor `sigma` in place and estimate `Φₙ(a, b; 0, Σ)` in one fused
+    /// task graph (TLR tiles).
+    pub fn run_tlr(
+        &self,
+        sigma: &mut TlrMatrix,
+        a: &[f64],
+        b: &[f64],
+    ) -> Result<MvnResult, TlrCholeskyError> {
+        let cfg = &self.cfg;
+        let n = sigma.n();
+        assert_eq!(a.len(), n, "lower limit length mismatch");
+        assert_eq!(b.len(), n, "upper limit length mismatch");
+        assert!(cfg.sample_size > 0, "sample size must be positive");
+        assert!(cfg.panel_width > 0, "panel width must be positive");
+
+        let layout = sigma.layout();
+        let tol = sigma.tol();
+        let max_rank = sigma.max_rank();
+        let mut registry = HandleRegistry::new();
+        let (handles, mut diag_store, mut off_store) = detach_tlr_tiles(sigma, &mut registry);
+        let status = FactorStatus::new();
+        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+
+        let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+        let mut panel_store: TileStore<PanelState> = TileStore::new();
+        let panel_handles: Vec<DataHandle> = (0..n_panels)
+            .map(|p| {
+                let h = registry.register(format!("panel{p}"));
+                panel_store.insert(h, PanelState::empty());
+                h
+            })
+            .collect();
+
+        let factor = StoredFactor::Tlr {
+            layout,
+            diag_store: &diag_store,
+            off_store: &off_store,
+            handles: &handles,
+        };
+        {
+            let mut graph = TaskGraph::new();
+            submit_tlr_factor_tasks(
+                &mut graph,
+                &diag_store,
+                &off_store,
+                &handles,
+                layout,
+                tol,
+                max_rank,
+                &status,
+            );
+            submit_sweep_tasks(
+                &mut graph,
+                &factor,
+                &panel_store,
+                &panel_handles,
+                &status,
+                a,
+                b,
+                points.as_ref(),
+                cfg,
+            );
+            run_taskgraph(&mut graph, self.workers());
+        }
+        attach_tlr_tiles(sigma, &handles, &mut diag_store, &mut off_store);
+        if let Some(pivot) = status.pivot() {
+            return Err(TlrCholeskyError::NotPositiveDefinite { pivot });
+        }
+        let panel_results: Vec<(f64, usize)> = panel_handles
+            .iter()
+            .map(|&h| panel_store.take(h).result())
+            .collect();
+        Ok(combine_panel_results(&panel_results))
+    }
+}
+
+/// Fused factor + PMVN estimate from a dense tiled covariance: one task
+/// graph, factor and estimate in a single pass. On success `sigma` holds the
+/// Cholesky factor.
+pub fn mvn_prob_dense_fused(
+    sigma: &mut SymTileMatrix,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+) -> Result<MvnResult, CholeskyError> {
+    MvnPlanner::new(*cfg).run_dense(sigma, a, b)
+}
+
+/// Fused factor + PMVN estimate from a TLR covariance. On success `sigma`
+/// holds the TLR Cholesky factor.
+pub fn mvn_prob_tlr_fused(
+    sigma: &mut TlrMatrix,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+) -> Result<MvnResult, TlrCholeskyError> {
+    MvnPlanner::new(*cfg).run_tlr(sigma, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmvn::{mvn_prob_dense, mvn_prob_tlr};
+    use tlr::CompressionTol;
+
+    fn exp_cov(range: f64) -> impl Fn(usize, usize) -> f64 + Sync + Copy {
+        move |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs() / 40.0;
+            (-d / range).exp()
+        }
+    }
+
+    #[test]
+    fn fused_dense_matches_staged_bitwise_across_worker_counts() {
+        let n = 60;
+        let f = exp_cov(0.5);
+        let a = vec![-0.4; n];
+        let b = vec![0.9; n];
+        let base_cfg = MvnConfig {
+            sample_size: 2000,
+            seed: 17,
+            ..Default::default()
+        };
+
+        // Staged reference: factor, then sweep.
+        let mut l = SymTileMatrix::from_fn(n, 16, f);
+        tile_la::potrf_tiled(&mut l, 1).unwrap();
+        let staged = mvn_prob_dense(&l, &a, &b, &base_cfg);
+
+        for workers in [1usize, 2, 8] {
+            let cfg = MvnConfig {
+                scheduler: Scheduler::Dag { workers },
+                ..base_cfg
+            };
+            let mut sigma = SymTileMatrix::from_fn(n, 16, f);
+            let fused = mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).unwrap();
+            assert!(
+                fused.prob.to_bits() == staged.prob.to_bits(),
+                "workers={workers}: fused {} vs staged {}",
+                fused.prob,
+                staged.prob
+            );
+            // And the matrix now holds the same factor, bitwise.
+            let lf = sigma.to_dense_lower();
+            let ls = l.to_dense_lower();
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(lf.get(i, j).to_bits() == ls.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tlr_matches_staged_bitwise() {
+        let n = 100;
+        let f = exp_cov(0.8);
+        let a = vec![-0.2; n];
+        let b = vec![f64::INFINITY; n];
+        let cfg = MvnConfig {
+            sample_size: 3000,
+            seed: 5,
+            ..Default::default()
+        };
+
+        let mut l = TlrMatrix::from_fn(n, 25, CompressionTol::Absolute(1e-8), usize::MAX, f);
+        let mut sigma = l.clone();
+        tlr::potrf_tlr(&mut l, 1).unwrap();
+        let staged = mvn_prob_tlr(&l, &a, &b, &cfg);
+        let fused = mvn_prob_tlr_fused(&mut sigma, &a, &b, &cfg).unwrap();
+        assert!(
+            fused.prob.to_bits() == staged.prob.to_bits(),
+            "fused {} vs staged {}",
+            fused.prob,
+            staged.prob
+        );
+    }
+
+    #[test]
+    fn fused_pipeline_rejects_indefinite_covariance() {
+        let n = 20;
+        let mut sigma = SymTileMatrix::from_fn(n, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        sigma.set(13, 13, -1.0);
+        let a = vec![-1.0; n];
+        let b = vec![1.0; n];
+        let err =
+            mvn_prob_dense_fused(&mut sigma, &a, &b, &MvnConfig::with_samples(500)).unwrap_err();
+        assert_eq!(err, CholeskyError::NotPositiveDefinite(13));
+    }
+
+    #[test]
+    fn planner_is_reusable_across_problems() {
+        let planner = MvnPlanner::new(MvnConfig::with_samples(800));
+        for n in [30usize, 45] {
+            let f = exp_cov(0.4);
+            let mut sigma = SymTileMatrix::from_fn(n, 12, f);
+            let a = vec![-0.5; n];
+            let b = vec![1.0; n];
+            let r = planner.run_dense(&mut sigma, &a, &b).unwrap();
+            assert!(r.prob > 0.0 && r.prob < 1.0);
+        }
+    }
+}

@@ -15,10 +15,12 @@
 //! The per-panel probability means are combined into the final estimate and a
 //! batch standard error.
 
-use crate::{MvnConfig, MvnResult};
+use crate::{MvnConfig, MvnResult, Scheduler};
 use mathx::{clamp_unit, norm_cdf, norm_cdf_diff, norm_quantile};
 use qmc::{make_point_set, PointSet};
 use rayon::prelude::*;
+use task_runtime::{run_taskgraph, AccessMode, HandleRegistry, TaskGraph, TaskSpec, TileStore};
+use tile_la::dag::effective_workers;
 use tile_la::kernels::gemm_nn;
 use tile_la::{DenseMatrix, SymTileMatrix, TileLayout};
 use tlr::{lr_gemm_panel, TlrMatrix};
@@ -108,6 +110,17 @@ pub fn qmc_kernel(
                 s += l_rr.get(i, t) * y.get(t, c);
             }
             let lii = l_rr.get(i, i);
+            if lii <= 0.0 || !lii.is_finite() {
+                // Degenerate factor (non-positive or non-finite diagonal):
+                // dividing by it would poison the whole estimate with NaNs.
+                // Kill this chain instead — it contributes probability zero —
+                // and keep the conditioning values finite.
+                prob[c] = 0.0;
+                for k in i..m {
+                    y.set(k, c, 0.0);
+                }
+                break;
+            }
             let ai = a.get(i, c);
             let bi = b.get(i, c);
             let a_cond = if ai == f64::NEG_INFINITY {
@@ -135,86 +148,136 @@ pub fn qmc_kernel(
     }
 }
 
-/// Generic PMVN sweep over any [`CholeskyFactor`] storage.
-pub fn mvn_prob_factored<F: CholeskyFactor>(
+/// Per-panel state of the SOV recursion: the conditional limit blocks, the
+/// sample block, the conditioning values of the current row block and the
+/// running per-chain probabilities. One instance lives per sample panel; the
+/// sweep advances it one row block at a time (shared by the fork-join path,
+/// the DAG path and the fused pipeline in [`crate::pipeline`]).
+pub(crate) struct PanelState {
+    pub(crate) a_blocks: Vec<DenseMatrix>,
+    pub(crate) b_blocks: Vec<DenseMatrix>,
+    pub(crate) w_blocks: Vec<DenseMatrix>,
+    pub(crate) y_block: DenseMatrix,
+    pub(crate) prob: Vec<f64>,
+    pub(crate) cols: usize,
+    pub(crate) skip_b_updates: bool,
+}
+
+impl PanelState {
+    /// A placeholder state (used to pre-populate result slots before the
+    /// `panel_init` task of the fused pipeline builds the real one).
+    pub(crate) fn empty() -> Self {
+        Self {
+            a_blocks: Vec::new(),
+            b_blocks: Vec::new(),
+            w_blocks: Vec::new(),
+            y_block: DenseMatrix::zeros(1, 1),
+            prob: Vec::new(),
+            cols: 0,
+            skip_b_updates: true,
+        }
+    }
+
+    /// Build the state of panel `p`: replicate the limits into row blocks and
+    /// generate the panel's sample columns.
+    pub(crate) fn init(
+        layout: TileLayout,
+        a: &[f64],
+        b: &[f64],
+        points: &dyn PointSet,
+        cfg: &MvnConfig,
+        p: usize,
+    ) -> Self {
+        let n = a.len();
+        let nt = layout.num_tiles();
+        let start = p * cfg.panel_width;
+        let end = ((p + 1) * cfg.panel_width).min(cfg.sample_size);
+        let cols = end - start;
+
+        let mut a_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
+        let mut b_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
+        let mut w_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
+        for r in 0..nt {
+            let rows = layout.tile_size(r);
+            let r0 = layout.tile_start(r);
+            a_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| a[r0 + i]));
+            b_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| b[r0 + i]));
+            w_blocks.push(DenseMatrix::zeros(rows, cols));
+        }
+        // Fill the sample block column by column (one full point per chain).
+        let mut point_buf = vec![0.0; n];
+        for c in 0..cols {
+            points.point(start + c, &mut point_buf);
+            for r in 0..nt {
+                let r0 = layout.tile_start(r);
+                for i in 0..layout.tile_size(r) {
+                    w_blocks[r].set(i, c, point_buf[r0 + i]);
+                }
+            }
+        }
+
+        Self {
+            a_blocks,
+            b_blocks,
+            w_blocks,
+            y_block: DenseMatrix::zeros(layout.tile_size(0), cols),
+            prob: vec![1.0; cols],
+            cols,
+            skip_b_updates: b.iter().all(|&x| x == f64::INFINITY),
+        }
+    }
+
+    /// Advance the recursion by row block `r`: run the QMC kernel against the
+    /// diagonal tile and propagate the conditioning values to the later row
+    /// blocks (the paper's step (c) GEMMs).
+    pub(crate) fn step<F: CholeskyFactor + ?Sized>(&mut self, l: &F, layout: TileLayout, r: usize) {
+        let nt = layout.num_tiles();
+        let rows = layout.tile_size(r);
+        if self.y_block.nrows() != rows {
+            self.y_block = DenseMatrix::zeros(rows, self.cols);
+        }
+        qmc_kernel(
+            l.diag_block(r),
+            &self.w_blocks[r],
+            &self.a_blocks[r],
+            &self.b_blocks[r],
+            &mut self.y_block,
+            &mut self.prob,
+        );
+        for j in (r + 1)..nt {
+            l.apply_offdiag(j, r, &self.y_block, &mut self.a_blocks[j]);
+            if !self.skip_b_updates {
+                l.apply_offdiag(j, r, &self.y_block, &mut self.b_blocks[j]);
+            }
+        }
+    }
+
+    /// The panel's contribution: (mean probability, chain count).
+    pub(crate) fn result(&self) -> (f64, usize) {
+        (self.prob.iter().sum::<f64>() / self.cols as f64, self.cols)
+    }
+}
+
+/// Run the complete sweep of one panel against a finished factor.
+fn sweep_panel<F: CholeskyFactor>(
     l: &F,
+    layout: TileLayout,
     a: &[f64],
     b: &[f64],
+    points: &dyn PointSet,
     cfg: &MvnConfig,
-) -> MvnResult {
-    let n = l.dim();
-    assert_eq!(a.len(), n, "lower limit length mismatch");
-    assert_eq!(b.len(), n, "upper limit length mismatch");
-    assert!(cfg.sample_size > 0, "sample size must be positive");
-    assert!(cfg.panel_width > 0, "panel width must be positive");
+    p: usize,
+) -> (f64, usize) {
+    let mut state = PanelState::init(layout, a, b, points, cfg, p);
+    for r in 0..layout.num_tiles() {
+        state.step(l, layout, r);
+    }
+    state.result()
+}
 
-    let layout = l.tiling();
-    let nt = layout.num_tiles();
-    let skip_b_updates = b.iter().all(|&x| x == f64::INFINITY);
-
-    let points = make_point_set(cfg.sample_kind, n, cfg.seed);
-    let points_ref: &dyn PointSet = points.as_ref();
-
-    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
-
-    let panel_results: Vec<(f64, usize)> = (0..n_panels)
-        .into_par_iter()
-        .map(|p| {
-            let start = p * cfg.panel_width;
-            let end = ((p + 1) * cfg.panel_width).min(cfg.sample_size);
-            let cols = end - start;
-
-            // Per-row-block panels of the limit matrices A, B and samples W.
-            let mut a_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
-            let mut b_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
-            let mut w_blocks: Vec<DenseMatrix> = Vec::with_capacity(nt);
-            for r in 0..nt {
-                let rows = layout.tile_size(r);
-                let r0 = layout.tile_start(r);
-                a_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| a[r0 + i]));
-                b_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| b[r0 + i]));
-                w_blocks.push(DenseMatrix::zeros(rows, cols));
-            }
-            // Fill the sample block column by column (one full point per chain).
-            let mut point_buf = vec![0.0; n];
-            for c in 0..cols {
-                points_ref.point(start + c, &mut point_buf);
-                for r in 0..nt {
-                    let r0 = layout.tile_start(r);
-                    for i in 0..layout.tile_size(r) {
-                        w_blocks[r].set(i, c, point_buf[r0 + i]);
-                    }
-                }
-            }
-
-            let mut prob = vec![1.0; cols];
-            let mut y_block = DenseMatrix::zeros(layout.tile_size(0), cols);
-            for r in 0..nt {
-                let rows = layout.tile_size(r);
-                if y_block.nrows() != rows {
-                    y_block = DenseMatrix::zeros(rows, cols);
-                }
-                qmc_kernel(
-                    l.diag_block(r),
-                    &w_blocks[r],
-                    &a_blocks[r],
-                    &b_blocks[r],
-                    &mut y_block,
-                    &mut prob,
-                );
-                // Propagate to the remaining row blocks (the paper's GEMM step).
-                for j in (r + 1)..nt {
-                    l.apply_offdiag(j, r, &y_block, &mut a_blocks[j]);
-                    if !skip_b_updates {
-                        l.apply_offdiag(j, r, &y_block, &mut b_blocks[j]);
-                    }
-                }
-            }
-            (prob.iter().sum::<f64>() / cols as f64, cols)
-        })
-        .collect();
-
-    // Combine panel means into ~10 batches for the error estimate.
+/// Combine per-panel `(mean, count)` contributions into the final estimate
+/// (batching the panels into ~10 groups for the standard error).
+pub(crate) fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult {
     let n_batches = 10.min(panel_results.len());
     let mut batch_sum = vec![0.0; n_batches];
     let mut batch_cnt = vec![0usize; n_batches];
@@ -230,6 +293,75 @@ pub fn mvn_prob_factored<F: CholeskyFactor>(
         .map(|(s, &c)| (s / c as f64, c))
         .collect();
     MvnResult::from_batches(&batches)
+}
+
+/// Generic PMVN sweep over any [`CholeskyFactor`] storage.
+///
+/// `cfg.scheduler` selects how the independent sample panels execute: as one
+/// rayon fork-join ([`Scheduler::ForkJoin`]) or as tasks on the
+/// `task-runtime` DAG executor ([`Scheduler::Dag`], the default). The
+/// estimate is bitwise identical across schedulers and worker counts; only
+/// the wall time differs. To also overlap the sweep with the factorization
+/// producing `l`, use the fused pipeline in [`crate::pipeline`].
+pub fn mvn_prob_factored<F: CholeskyFactor>(
+    l: &F,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+) -> MvnResult {
+    let n = l.dim();
+    assert_eq!(a.len(), n, "lower limit length mismatch");
+    assert_eq!(b.len(), n, "upper limit length mismatch");
+    assert!(cfg.sample_size > 0, "sample size must be positive");
+    assert!(cfg.panel_width > 0, "panel width must be positive");
+
+    let layout = l.tiling();
+    let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+    let points_ref: &dyn PointSet = points.as_ref();
+    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+
+    let panel_results: Vec<(f64, usize)> = match cfg.scheduler {
+        Scheduler::ForkJoin => (0..n_panels)
+            .into_par_iter()
+            .map(|p| sweep_panel(l, layout, a, b, points_ref, cfg, p))
+            .collect(),
+        Scheduler::Dag { workers } => {
+            // One "panel_sweep" task per panel, each writing its contribution
+            // into a slot of a result store. The panels are independent, so
+            // the graph is embarrassingly parallel — the interesting hazards
+            // appear in the fused pipeline, where sweep tasks additionally
+            // read factor tiles.
+            let mut registry = HandleRegistry::new();
+            let mut results: TileStore<(f64, usize)> = TileStore::new();
+            let handles: Vec<_> = (0..n_panels)
+                .map(|p| {
+                    let h = registry.register(format!("panel{p}"));
+                    results.insert(h, (0.0, 0));
+                    h
+                })
+                .collect();
+            {
+                let mut graph = TaskGraph::new();
+                let results_ref = &results;
+                for (p, &h) in handles.iter().enumerate() {
+                    let cost = layout.num_tiles() as f64 * cfg.panel_width as f64;
+                    graph.submit(
+                        TaskSpec::new("panel_sweep")
+                            .access(h, AccessMode::Write)
+                            .cost(cost),
+                        Some(Box::new(move || {
+                            *results_ref.write(h) =
+                                sweep_panel(l, layout, a, b, points_ref, cfg, p);
+                        })),
+                    );
+                }
+                run_taskgraph(&mut graph, effective_workers(workers));
+            }
+            handles.iter().map(|&h| results.take(h)).collect()
+        }
+    };
+
+    combine_panel_results(&panel_results)
 }
 
 /// Estimate the MVN probability from a dense tiled Cholesky factor
@@ -429,6 +561,85 @@ mod tests {
         assert!((whole.prob - 1.0).abs() < 1e-12);
         let r = mvn_prob_dense(&l, &vec![0.0; n], &vec![f64::INFINITY; n], &cfg);
         assert!(r.prob > 0.0 && r.prob < 1.0);
+    }
+
+    #[test]
+    fn dag_and_forkjoin_schedulers_are_bitwise_identical() {
+        // The acceptance criterion: same seed => same bits, for dense and TLR
+        // factors, independent of the scheduler and the worker count.
+        let n = 45;
+        let f = exp_cov(0.3);
+        let l = dense_factor(f, n, 15);
+        let mut tlr = TlrMatrix::from_fn(n, 15, CompressionTol::Absolute(1e-8), usize::MAX, f);
+        potrf_tlr(&mut tlr, 1).unwrap();
+        let a = vec![-0.5; n];
+        let b = vec![1.0; n];
+        let fj_cfg = MvnConfig {
+            sample_size: 4000,
+            seed: 21,
+            scheduler: crate::Scheduler::ForkJoin,
+            ..Default::default()
+        };
+        let fj_dense = mvn_prob_dense(&l, &a, &b, &fj_cfg);
+        let fj_tlr = mvn_prob_tlr(&tlr, &a, &b, &fj_cfg);
+        for workers in [1usize, 2, 8] {
+            let dag_cfg = MvnConfig {
+                scheduler: crate::Scheduler::Dag { workers },
+                ..fj_cfg
+            };
+            let dag_dense = mvn_prob_dense(&l, &a, &b, &dag_cfg);
+            let dag_tlr = mvn_prob_tlr(&tlr, &a, &b, &dag_cfg);
+            assert!(
+                dag_dense.prob.to_bits() == fj_dense.prob.to_bits(),
+                "dense: workers={workers}: {} vs {}",
+                dag_dense.prob,
+                fj_dense.prob
+            );
+            assert!(
+                dag_dense.std_error.to_bits() == fj_dense.std_error.to_bits(),
+                "dense std_error differs at workers={workers}"
+            );
+            assert!(
+                dag_tlr.prob.to_bits() == fj_tlr.prob.to_bits(),
+                "tlr: workers={workers}: {} vs {}",
+                dag_tlr.prob,
+                fj_tlr.prob
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_diagonal_kills_the_chain_instead_of_nans() {
+        // Regression test for the unchecked division by l_rr[i,i]: a factor
+        // with a zero (or negative) diagonal entry must produce a finite
+        // probability (the affected chains die), never NaN.
+        let m = 6;
+        let mut l_rr = DenseMatrix::zeros(m, m);
+        for i in 0..m {
+            l_rr.set(i, i, 1.0);
+        }
+        l_rr.set(3, 3, 0.0); // degenerate pivot
+        let cols = 4;
+        let a_blk = DenseMatrix::from_fn(m, cols, |_, _| -1.0);
+        let b_blk = DenseMatrix::from_fn(m, cols, |_, _| 1.0);
+        let w_blk = DenseMatrix::from_fn(m, cols, |i, c| {
+            ((i * cols + c) as f64 + 0.5) / (m * cols) as f64
+        });
+        let mut y_blk = DenseMatrix::zeros(m, cols);
+        let mut prob = vec![1.0; cols];
+        qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        for c in 0..cols {
+            assert_eq!(prob[c], 0.0, "chain {c} should be dead");
+            for i in 0..m {
+                assert!(y_blk.get(i, c).is_finite(), "y({i},{c}) must stay finite");
+            }
+        }
+
+        // Negative pivot behaves the same.
+        l_rr.set(3, 3, -2.0);
+        let mut prob = vec![1.0; cols];
+        qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        assert!(prob.iter().all(|&p| p == 0.0));
     }
 
     #[test]

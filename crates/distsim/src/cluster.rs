@@ -67,7 +67,7 @@ impl ClusterSpec {
     /// the most square factorization of the node count.
     pub fn process_grid(&self) -> (usize, usize) {
         let mut pr = (self.nodes as f64).sqrt().floor() as usize;
-        while pr > 1 && self.nodes % pr != 0 {
+        while pr > 1 && !self.nodes.is_multiple_of(pr) {
             pr -= 1;
         }
         (pr.max(1), self.nodes / pr.max(1))

@@ -160,7 +160,10 @@ mod tests {
     fn tlr_is_faster_than_dense_in_simulation() {
         // The paper's headline distributed result: TLR beats dense by 1.3-1.8x.
         let cluster = ClusterSpec::cray_xc40(16);
-        let dense = simulate(&pmvn_task_graph(&spec(12800, FactorKind::Dense), &cluster), &cluster);
+        let dense = simulate(
+            &pmvn_task_graph(&spec(12800, FactorKind::Dense), &cluster),
+            &cluster,
+        );
         let tlr = simulate(
             &pmvn_task_graph(&spec(12800, FactorKind::Tlr { mean_rank: 20 }), &cluster),
             &cluster,
@@ -189,7 +192,11 @@ mod tests {
         let s = spec(6400, FactorKind::Dense);
         let cluster = ClusterSpec::cray_xc40(4);
         let r = simulate(&pmvn_task_graph(&s, &cluster), &cluster);
-        assert!(r.efficiency > 0.0 && r.efficiency <= 1.0, "{}", r.efficiency);
+        assert!(
+            r.efficiency > 0.0 && r.efficiency <= 1.0,
+            "{}",
+            r.efficiency
+        );
         assert_eq!(r.tasks, pmvn_task_graph(&s, &cluster).graph.len());
     }
 
@@ -201,15 +208,29 @@ mod tests {
         let r = simulate(&wl, &cluster);
         let critical = cluster.compute_time(wl.graph.critical_path_cost());
         let serial = cluster.compute_time(wl.graph.total_cost());
-        assert!(r.makespan >= critical * 0.999, "{} < {critical}", r.makespan);
-        assert!(r.makespan <= serial * 1.2 + 1e-6, "{} > serial {serial}", r.makespan);
+        assert!(
+            r.makespan >= critical * 0.999,
+            "{} < {critical}",
+            r.makespan
+        );
+        assert!(
+            r.makespan <= serial * 1.2 + 1e-6,
+            "{} > serial {serial}",
+            r.makespan
+        );
     }
 
     #[test]
     fn larger_dimension_takes_longer() {
         let cluster = ClusterSpec::cray_xc40(16);
-        let small = simulate(&pmvn_task_graph(&spec(6400, FactorKind::Dense), &cluster), &cluster);
-        let large = simulate(&pmvn_task_graph(&spec(19200, FactorKind::Dense), &cluster), &cluster);
+        let small = simulate(
+            &pmvn_task_graph(&spec(6400, FactorKind::Dense), &cluster),
+            &cluster,
+        );
+        let large = simulate(
+            &pmvn_task_graph(&spec(19200, FactorKind::Dense), &cluster),
+            &cluster,
+        );
         assert!(large.makespan > small.makespan * 2.0);
     }
 }

@@ -40,8 +40,8 @@ pub struct ProblemSpec {
 /// A task graph together with the data-placement information the simulator
 /// needs.
 pub struct DistributedWorkload {
-    /// The dependency graph with flop costs.
-    pub graph: TaskGraph,
+    /// The dependency graph with flop costs (pure structure, no closures).
+    pub graph: TaskGraph<'static>,
     /// Registered data handles (tiles, panel blocks) with byte sizes.
     pub registry: HandleRegistry,
     /// Owner node of each handle, indexed by handle id.
@@ -264,11 +264,12 @@ mod tests {
         assert_eq!(counts["syrk"], nt * (nt - 1) / 2);
         assert_eq!(
             counts["lr_gemm"],
-            (0..nt).map(|k| {
-                let m = nt - k - 1;
-                m * (m + 1) / 2 - m
-            })
-            .sum::<usize>()
+            (0..nt)
+                .map(|k| {
+                    let m = nt - k - 1;
+                    m * (m + 1) / 2 - m
+                })
+                .sum::<usize>()
         );
         assert_eq!(wl.exec_node.len(), wl.graph.len());
         assert!(wl.exec_node.iter().all(|&n| n < 4));
@@ -278,10 +279,7 @@ mod tests {
     fn tlr_cholesky_has_lower_total_cost_than_dense() {
         let cluster = ClusterSpec::cray_xc40(4);
         let dense = cholesky_task_graph(&spec(6400, FactorKind::Dense), &cluster);
-        let tlr = cholesky_task_graph(
-            &spec(6400, FactorKind::Tlr { mean_rank: 20 }),
-            &cluster,
-        );
+        let tlr = cholesky_task_graph(&spec(6400, FactorKind::Tlr { mean_rank: 20 }), &cluster);
         assert!(tlr.graph.total_cost() < dense.graph.total_cost() * 0.5);
         // And the storage of off-diagonal tiles is smaller too.
         assert!(tlr.registry.total_bytes() < dense.registry.total_bytes());

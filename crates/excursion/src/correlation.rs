@@ -148,7 +148,8 @@ mod tests {
     fn dense_and_tlr_factors_give_matching_mvn_probabilities() {
         let cov = cov_matrix();
         let (fd, sd) = correlation_factor_dense(&cov, 16);
-        let (ft, sd2) = correlation_factor_tlr(&cov, 16, CompressionTol::Absolute(1e-8), usize::MAX);
+        let (ft, sd2) =
+            correlation_factor_tlr(&cov, 16, CompressionTol::Absolute(1e-8), usize::MAX);
         assert_eq!(sd.len(), sd2.len());
         let n = cov.nrows();
         let a = vec![-0.3; n];
@@ -156,7 +157,12 @@ mod tests {
         let cfg = MvnConfig::with_samples(4000);
         let pd = mvn_prob_factored(&fd, &a, &b, &cfg);
         let pt = mvn_prob_factored(&ft, &a, &b, &cfg);
-        assert!((pd.prob - pt.prob).abs() < 2e-3, "{} vs {}", pd.prob, pt.prob);
+        assert!(
+            (pd.prob - pt.prob).abs() < 2e-3,
+            "{} vs {}",
+            pd.prob,
+            pt.prob
+        );
         // Storage accounting is exposed for both formats (at this tiny size the
         // TLR format is not expected to win; compression-ratio behaviour is
         // covered by the tlr crate's own tests).

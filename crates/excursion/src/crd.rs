@@ -95,7 +95,11 @@ pub fn detect_confidence_regions<F: CholeskyFactor>(
 ) -> CrdResult {
     let n = mean.len();
     assert_eq!(sd.len(), n);
-    assert_eq!(factor.dim(), n, "factor dimension must match number of locations");
+    assert_eq!(
+        factor.dim(),
+        n,
+        "factor dimension must match number of locations"
+    );
     assert!(cfg.alpha > 0.0 && cfg.alpha < 1.0, "alpha must be in (0,1)");
 
     let marginal = marginal_exceedance(mean, sd, cfg.threshold);
@@ -103,9 +107,7 @@ pub fn detect_confidence_regions<F: CholeskyFactor>(
 
     // Prefix lengths to evaluate: `levels` values spread over 1..=n.
     let levels = cfg.levels.max(1).min(n);
-    let mut prefix_lens: Vec<usize> = (1..=levels)
-        .map(|k| (k * n).div_ceil(levels))
-        .collect();
+    let mut prefix_lens: Vec<usize> = (1..=levels).map(|k| (k * n).div_ceil(levels)).collect();
     prefix_lens.dedup();
 
     let mut prefix_probs = Vec::with_capacity(prefix_lens.len());
@@ -313,7 +315,12 @@ mod tests {
         assert!(prob >= 1.0 - cfg.alpha - 1e-6);
         // The two should agree up to one boundary location (QMC noise).
         let diff = sweep_region.len().abs_diff(bisect_region.len());
-        assert!(diff <= 1, "sweep {:?} vs bisect {:?}", sweep_region, bisect_region);
+        assert!(
+            diff <= 1,
+            "sweep {:?} vs bisect {:?}",
+            sweep_region,
+            bisect_region
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!
 //! The joint exceedance probabilities are computed with the parallel PMVN
 //! algorithm from [`mvn_core`], against either a dense or a TLR Cholesky
-//! factor of the correlation matrix.
+//! factor of the correlation matrix. Both the factorization (inside
+//! [`correlation`]) and the panel sweeps run on the `task-runtime` DAG
+//! executor by default; set `CrdConfig::mvn.scheduler` to choose the
+//! scheduling explicitly (the probabilities are bitwise identical either
+//! way).
 //!
 //! Modules:
 //!
@@ -27,9 +31,7 @@ pub mod marginal;
 pub mod validate;
 
 pub use correlation::{correlation_factor_dense, correlation_factor_tlr, CorrelationFactor};
-pub use crd::{
-    detect_confidence_regions, excursion_set, find_excursion_set, CrdConfig, CrdResult,
-};
+pub use crd::{detect_confidence_regions, excursion_set, find_excursion_set, CrdConfig, CrdResult};
 pub use marginal::{descending_order, marginal_exceedance};
 pub use validate::{mc_validate, McValidation};
 

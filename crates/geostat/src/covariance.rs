@@ -203,9 +203,19 @@ mod tests {
     #[test]
     fn covariance_properties_hold() {
         let kernels = [
-            CovarianceKernel::Exponential { sigma2: 1.0, range: 0.1 },
-            CovarianceKernel::Matern(MaternParams { sigma2: 1.0, range: 0.1, smoothness: 1.0 }),
-            CovarianceKernel::SquaredExponential { sigma2: 1.0, range: 0.1 },
+            CovarianceKernel::Exponential {
+                sigma2: 1.0,
+                range: 0.1,
+            },
+            CovarianceKernel::Matern(MaternParams {
+                sigma2: 1.0,
+                range: 0.1,
+                smoothness: 1.0,
+            }),
+            CovarianceKernel::SquaredExponential {
+                sigma2: 1.0,
+                range: 0.1,
+            },
         ];
         for k in kernels {
             assert!((k.cov(0.0) - 1.0).abs() < 1e-12);
@@ -237,7 +247,10 @@ mod tests {
     #[test]
     fn dense_and_tiled_assembly_agree() {
         let locs = regular_grid(7, 6);
-        let k = CovarianceKernel::Exponential { sigma2: 1.0, range: 0.2 };
+        let k = CovarianceKernel::Exponential {
+            sigma2: 1.0,
+            range: 0.2,
+        };
         let dense = k.dense_covariance(&locs, 1e-8);
         let tiled = k.tiled_covariance(&locs, 10, 1e-8);
         assert!(tile_la::max_abs_diff(&dense, &tiled.to_dense_sym()) < 1e-14);
@@ -246,7 +259,10 @@ mod tests {
     #[test]
     fn tlr_assembly_approximates_dense() {
         let locs = regular_grid(8, 8);
-        let k = CovarianceKernel::Exponential { sigma2: 1.0, range: 0.3 };
+        let k = CovarianceKernel::Exponential {
+            sigma2: 1.0,
+            range: 0.3,
+        };
         let dense = k.dense_covariance(&locs, 0.0);
         let tlr = k.tlr_covariance(&locs, 16, 0.0, CompressionTol::Absolute(1e-7), usize::MAX);
         assert!(tile_la::max_abs_diff(&dense, &tlr.to_dense_sym()) < 1e-5);
@@ -266,7 +282,12 @@ mod tests {
 
     #[test]
     fn prefactor_sane() {
-        assert!(relative_error(matern_prefactor(0.5), 2f64.powf(0.5) / std::f64::consts::PI.sqrt()) < 1e-12);
+        assert!(
+            relative_error(
+                matern_prefactor(0.5),
+                2f64.powf(0.5) / std::f64::consts::PI.sqrt()
+            ) < 1e-12
+        );
         assert!((matern_prefactor(1.0) - 1.0).abs() < 1e-12);
     }
 }

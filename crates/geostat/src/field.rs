@@ -116,7 +116,12 @@ mod tests {
         let sample = simulate_field(&locs, &test_kernel(), 0.0, 7);
         assert_eq!(sample.values.len(), 400);
         let mean: f64 = sample.values.iter().sum::<f64>() / 400.0;
-        let var: f64 = sample.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 400.0;
+        let var: f64 = sample
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 400.0;
         // Spatially correlated field: the empirical variance is noisy, but it
         // must be positive and of order sigma^2.
         assert!(var > 0.05 && var < 5.0, "var={var}");

@@ -1,7 +1,6 @@
 //! Spatial locations and point-set generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qmc::Xoshiro256pp;
 
 /// A 2-D spatial location.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +27,10 @@ impl Location {
 /// (x varies fastest). This matches the "40K synthetic datasets generated in a
 /// regular grid" of the paper's Fig. 1.
 pub fn regular_grid(nx: usize, ny: usize) -> Vec<Location> {
-    assert!(nx > 1 && ny > 1, "grid must have at least 2 points per side");
+    assert!(
+        nx > 1 && ny > 1,
+        "grid must have at least 2 points per side"
+    );
     let mut locs = Vec::with_capacity(nx * ny);
     for iy in 0..ny {
         for ix in 0..nx {
@@ -46,14 +48,14 @@ pub fn regular_grid(nx: usize, ny: usize) -> Vec<Location> {
 /// locations" generator used by ExaGeoStat for synthetic experiments.
 pub fn jittered_grid(nx: usize, ny: usize, seed: u64) -> Vec<Location> {
     assert!(nx > 1 && ny > 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     let dx = 1.0 / (nx - 1) as f64;
     let dy = 1.0 / (ny - 1) as f64;
     regular_grid(nx, ny)
         .into_iter()
         .map(|l| {
-            let jx: f64 = rng.gen_range(-0.4..0.4) * dx;
-            let jy: f64 = rng.gen_range(-0.4..0.4) * dy;
+            let jx: f64 = (0.8 * rng.next_f64() - 0.4) * dx;
+            let jy: f64 = (0.8 * rng.next_f64() - 0.4) * dy;
             Location::new((l.x + jx).clamp(0.0, 1.0), (l.y + jy).clamp(0.0, 1.0))
         })
         .collect()
@@ -66,12 +68,12 @@ pub fn uniform_random(
     y_range: (f64, f64),
     seed: u64,
 ) -> Vec<Location> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from(seed);
     (0..n)
         .map(|_| {
             Location::new(
-                rng.gen_range(x_range.0..x_range.1),
-                rng.gen_range(y_range.0..y_range.1),
+                x_range.0 + rng.next_f64() * (x_range.1 - x_range.0),
+                y_range.0 + rng.next_f64() * (y_range.1 - y_range.0),
             )
         })
         .collect()
@@ -110,7 +112,9 @@ mod tests {
         let b = jittered_grid(8, 8, 42);
         let c = jittered_grid(8, 8, 43);
         assert_eq!(a.len(), 64);
-        assert!(a.iter().all(|l| (0.0..=1.0).contains(&l.x) && (0.0..=1.0).contains(&l.y)));
+        assert!(a
+            .iter()
+            .all(|l| (0.0..=1.0).contains(&l.x) && (0.0..=1.0).contains(&l.y)));
         for (p, q) in a.iter().zip(&b) {
             assert_eq!(p, q);
         }

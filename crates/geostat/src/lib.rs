@@ -49,8 +49,16 @@ mod tests {
         let kernel = CovarianceKernel::Matern(truth);
         let sample = simulate_field(&locs, &kernel, 0.0, 2024);
         let fit = fit_matern(&locs, &sample.values, truth, false).expect("fit should converge");
-        assert!(fit.params.sigma2 > 0.2 && fit.params.sigma2 < 5.0, "{:?}", fit.params);
-        assert!(fit.params.range > 0.02 && fit.params.range < 0.6, "{:?}", fit.params);
+        assert!(
+            fit.params.sigma2 > 0.2 && fit.params.sigma2 < 5.0,
+            "{:?}",
+            fit.params
+        );
+        assert!(
+            fit.params.range > 0.02 && fit.params.range < 0.6,
+            "{:?}",
+            fit.params
+        );
         // The refit likelihood should not be worse than the truth's likelihood.
         let truth_ll = gaussian_loglik(&locs, &sample.values, &kernel);
         assert!(fit.loglik >= truth_ll - 1e-6);

@@ -60,7 +60,11 @@ pub fn fit_matern(
         MaternParams {
             sigma2: x[0].exp(),
             range: x[1].exp(),
-            smoothness: if estimate_smoothness { x[2].exp() } else { fixed_nu },
+            smoothness: if estimate_smoothness {
+                x[2].exp()
+            } else {
+                fixed_nu
+            },
         }
     };
 
@@ -117,10 +121,24 @@ mod tests {
         };
         let sample = simulate_field(&locs, &CovarianceKernel::Matern(truth), 0.0, 31);
         let ll_truth = gaussian_loglik(&locs, &sample.values, &CovarianceKernel::Matern(truth));
-        let wrong_range = MaternParams { range: 1.5, ..truth };
-        let wrong_sigma = MaternParams { sigma2: 25.0, ..truth };
-        let ll_wr = gaussian_loglik(&locs, &sample.values, &CovarianceKernel::Matern(wrong_range));
-        let ll_ws = gaussian_loglik(&locs, &sample.values, &CovarianceKernel::Matern(wrong_sigma));
+        let wrong_range = MaternParams {
+            range: 1.5,
+            ..truth
+        };
+        let wrong_sigma = MaternParams {
+            sigma2: 25.0,
+            ..truth
+        };
+        let ll_wr = gaussian_loglik(
+            &locs,
+            &sample.values,
+            &CovarianceKernel::Matern(wrong_range),
+        );
+        let ll_ws = gaussian_loglik(
+            &locs,
+            &sample.values,
+            &CovarianceKernel::Matern(wrong_sigma),
+        );
         assert!(ll_truth > ll_wr, "{ll_truth} vs {ll_wr}");
         assert!(ll_truth > ll_ws, "{ll_truth} vs {ll_ws}");
     }
@@ -140,7 +158,8 @@ mod tests {
         };
         let ll = gaussian_loglik(&locs, &data, &kernel);
         let quad: f64 = data.iter().map(|v| v * v / sigma2).sum();
-        let want = -0.5 * (quad + n as f64 * sigma2.ln() + n as f64 * (2.0 * std::f64::consts::PI).ln());
+        let want =
+            -0.5 * (quad + n as f64 * sigma2.ln() + n as f64 * (2.0 * std::f64::consts::PI).ln());
         assert!((ll - want).abs() < 1e-6, "{ll} vs {want}");
     }
 

@@ -43,11 +43,7 @@ pub struct OptimResult {
 
 /// Minimize `f` starting from `x0` with the Nelder–Mead simplex algorithm
 /// (standard coefficients: reflection 1, expansion 2, contraction ½, shrink ½).
-pub fn nelder_mead(
-    f: impl Fn(&[f64]) -> f64,
-    x0: &[f64],
-    opts: NelderMeadOptions,
-) -> OptimResult {
+pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: NelderMeadOptions) -> OptimResult {
     let dim = x0.len();
     assert!(dim > 0, "nelder_mead: empty starting point");
 
@@ -204,7 +200,14 @@ mod tests {
     #[test]
     fn works_in_one_dimension() {
         let f = |x: &[f64]| (x[0] - 0.25).abs();
-        let r = nelder_mead(f, &[10.0], NelderMeadOptions { max_iter: 2000, ..Default::default() });
+        let r = nelder_mead(
+            f,
+            &[10.0],
+            NelderMeadOptions {
+                max_iter: 2000,
+                ..Default::default()
+            },
+        );
         assert!((r.x[0] - 0.25).abs() < 1e-4);
     }
 

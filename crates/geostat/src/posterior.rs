@@ -41,17 +41,28 @@ pub fn posterior_update(
     let n = prior_cov.nrows();
     assert_eq!(prior_cov.ncols(), n, "prior covariance must be square");
     assert_eq!(prior_mean.len(), n, "prior mean length mismatch");
-    assert_eq!(obs_indices.len(), obs_values.len(), "observation length mismatch");
+    assert_eq!(
+        obs_indices.len(),
+        obs_values.len(),
+        "observation length mismatch"
+    );
     let m = obs_indices.len();
     assert!(m > 0, "posterior_update requires at least one observation");
     for w in obs_indices.windows(2) {
-        assert!(w[0] < w[1], "observation indices must be strictly increasing");
+        assert!(
+            w[0] < w[1],
+            "observation indices must be strictly increasing"
+        );
     }
-    assert!(*obs_indices.last().unwrap() < n, "observation index out of range");
+    assert!(
+        *obs_indices.last().unwrap() < n,
+        "observation index out of range"
+    );
 
     // S = Sigma_{obs,obs} + tau^2 I  (m x m), K = Sigma_{·,obs} (n x m).
     let mut s = DenseMatrix::from_fn(m, m, |a, b| {
-        prior_cov.get(obs_indices[a], obs_indices[b]) + if a == b { noise_sd * noise_sd } else { 0.0 }
+        prior_cov.get(obs_indices[a], obs_indices[b])
+            + if a == b { noise_sd * noise_sd } else { 0.0 }
     });
     let k = DenseMatrix::from_fn(n, m, |i, b| prior_cov.get(i, obs_indices[b]));
 

@@ -184,7 +184,8 @@ mod tests {
         let (std_vals, mean, sd) = d.standardize();
         assert!(mean > 0.0 && sd > 0.0);
         let m: f64 = std_vals.iter().sum::<f64>() / std_vals.len() as f64;
-        let v: f64 = std_vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / std_vals.len() as f64;
+        let v: f64 =
+            std_vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / std_vals.len() as f64;
         assert!(m.abs() < 1e-10);
         assert!((v - 1.0).abs() < 1e-10);
         // Threshold mapping consistency: u in m/s maps to (u - mean)/sd.

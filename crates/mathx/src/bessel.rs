@@ -106,7 +106,11 @@ fn bessik(xnu: f64, x: f64) -> (f64, f64) {
         // Temme's series.
         let x2 = 0.5 * x;
         let pimu = PI * xmu;
-        let fact = if pimu.abs() < EPS { 1.0 } else { pimu / pimu.sin() };
+        let fact = if pimu.abs() < EPS {
+            1.0
+        } else {
+            pimu / pimu.sin()
+        };
         let mut d = -x2.ln();
         let mut e = xmu * d;
         let fact2 = if e.abs() < EPS { 1.0 } else { e.sinh() / e };
@@ -161,7 +165,7 @@ fn bessik(xnu: f64, x: f64) -> (f64, f64) {
             q += c * qnew;
             b += 2.0;
             d = 1.0 / (b + a * d);
-            delh = (b * d - 1.0) * delh;
+            delh *= b * d - 1.0;
             h2 += delh;
             let dels = q * delh;
             s += dels;
@@ -258,7 +262,7 @@ mod tests {
     fn half_integer_closed_forms() {
         // K_{1/2}(x) = sqrt(pi/(2x)) e^{-x}
         for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
-            let want = (PI / (2.0 * x)).sqrt() * (-x as f64).exp();
+            let want = (PI / (2.0 * x)).sqrt() * (-x).exp();
             assert!(relative_error(bessel_k(0.5, x), want) < 1e-10, "x={x}");
             // K_{3/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 1/x)
             let want32 = want * (1.0 + 1.0 / x);
@@ -296,8 +300,11 @@ mod tests {
     #[test]
     fn scaled_version_consistent_and_finite_for_huge_x() {
         for &x in &[1.0, 10.0, 100.0, 600.0] {
-            let direct = bessel_k(1.0, x) * (x as f64).exp();
-            assert!(relative_error(bessel_k_scaled(1.0, x), direct) < 1e-7, "x={x}");
+            let direct = bessel_k(1.0, x) * x.exp();
+            assert!(
+                relative_error(bessel_k_scaled(1.0, x), direct) < 1e-7,
+                "x={x}"
+            );
         }
         let v = bessel_k_scaled(0.5, 2000.0);
         assert!(v.is_finite() && v > 0.0);

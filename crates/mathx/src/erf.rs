@@ -213,10 +213,7 @@ mod tests {
     fn erf_matches_reference_table() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-15,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-15, "erf({x}) = {got}, want {want}");
             // Odd symmetry.
             assert!((erf(-x) + want).abs() < 1e-15);
         }

@@ -4,7 +4,7 @@ const LANCZOS_G: f64 = 7.0;
 const LANCZOS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,
-    -1259.139_216_722_402_8,
+    -1_259.139_216_722_402_8,
     771.323_428_777_653_13,
     -176.615_029_162_140_59,
     12.507_343_278_686_905,
@@ -101,9 +101,9 @@ mod tests {
     fn ln_gamma_large_argument_stirling() {
         // Compare with Stirling series for a large argument.
         let x = 150.0f64;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x)
-            - 1.0 / (360.0 * x.powi(3));
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+                - 1.0 / (360.0 * x.powi(3));
         assert!(relative_error(ln_gamma(x), stirling) < 1e-12);
     }
 

@@ -90,7 +90,7 @@ pub fn standardize(x: f64, mean: f64, sd: f64) -> f64 {
 /// Wichura's algorithm AS241 (PPND16), relative accuracy about 1e-16 over
 /// p ∈ (0, 1). Returns ±∞ for p = 0 or 1 and NaN outside [0, 1].
 pub fn norm_quantile(p: f64) -> f64 {
-    if p.is_nan() || p < 0.0 || p > 1.0 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
         return f64::NAN;
     }
     if p == 0.0 {
@@ -286,7 +286,10 @@ mod tests {
     fn log_cdf_matches_log_of_cdf_in_moderate_range() {
         for i in -8..=3 {
             let x = i as f64;
-            assert!(relative_error(log_norm_cdf(x), norm_cdf(x).ln()) < 1e-9, "x={x}");
+            assert!(
+                relative_error(log_norm_cdf(x), norm_cdf(x).ln()) < 1e-9,
+                "x={x}"
+            );
         }
     }
 

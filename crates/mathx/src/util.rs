@@ -94,7 +94,7 @@ mod tests {
     fn kahan_sum_is_more_stable_than_naive() {
         // 1 followed by many tiny values that naive summation drops entirely.
         let mut xs = vec![1.0];
-        xs.extend(std::iter::repeat(1e-16).take(10_000));
+        xs.extend(std::iter::repeat_n(1e-16, 10_000));
         let k = kahan_sum(&xs);
         assert!((k - (1.0 + 1e-12)).abs() < 1e-15);
     }

@@ -47,20 +47,15 @@ pub trait PointSet: Send + Sync {
 }
 
 /// Which sampling family to use for the MVN integration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SampleKind {
     /// Plain pseudo-random Monte Carlo.
     PseudoRandom,
     /// Richtmyer rank-1 lattice with a Cranley–Patterson random shift.
+    #[default]
     RichtmyerLattice,
     /// Halton sequence with a random shift.
     Halton,
-}
-
-impl Default for SampleKind {
-    fn default() -> Self {
-        SampleKind::RichtmyerLattice
-    }
 }
 
 /// A pseudo-random "point set": point `j` is produced by a counter-seeded RNG,
@@ -87,7 +82,8 @@ impl PointSet for PseudoPoints {
         assert_eq!(out.len(), self.dim);
         // Seed a fresh stream per point; SplitMix64 guarantees well-mixed
         // state even for consecutive seeds.
-        let mut rng = Xoshiro256pp::seed_from(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            Xoshiro256pp::seed_from(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         for o in out.iter_mut() {
             *o = rng.next_f64();
         }
@@ -108,7 +104,11 @@ pub struct ShiftedPointSet<P: PointSet> {
 impl<P: PointSet> ShiftedPointSet<P> {
     /// Wrap `inner` with the uniform random `shift` (one entry per dimension).
     pub fn new(inner: P, shift: Vec<f64>) -> Self {
-        assert_eq!(inner.dim(), shift.len(), "shift length must equal dimension");
+        assert_eq!(
+            inner.dim(),
+            shift.len(),
+            "shift length must equal dimension"
+        );
         Self { inner, shift }
     }
 
@@ -170,7 +170,10 @@ mod tests {
         for j in 0..npoints {
             ps.point(j, &mut out);
             for (i, &v) in out.iter().enumerate() {
-                assert!((0.0..1.0).contains(&v), "point {j} dim {i} out of range: {v}");
+                assert!(
+                    (0.0..1.0).contains(&v),
+                    "point {j} dim {i} out of range: {v}"
+                );
             }
         }
     }
@@ -230,10 +233,7 @@ mod tests {
             }
             for (i, s) in sums.iter().enumerate() {
                 let mean = s / n as f64;
-                assert!(
-                    (mean - 0.5).abs() < 0.03,
-                    "{kind:?} dim {i}: mean {mean}"
-                );
+                assert!((mean - 0.5).abs() < 0.03, "{kind:?} dim {i}: mean {mean}");
             }
         }
     }

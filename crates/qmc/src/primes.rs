@@ -51,12 +51,12 @@ pub fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut d = 3u64;
     while d * d <= x {
-        if x % d == 0 {
+        if x.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn first_few_primes_are_correct() {
-        assert_eq!(
-            first_primes(10),
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
-        );
+        assert_eq!(first_primes(10), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
         assert!(first_primes(0).is_empty());
         assert_eq!(first_primes(1), vec![2]);
     }

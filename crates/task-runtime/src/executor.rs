@@ -1,11 +1,16 @@
 //! Threaded execution of a [`TaskGraph`]: a shared ready queue, one worker per
 //! thread, dependency counters decremented as tasks finish.
+//!
+//! The executor guarantees *worker-count-deterministic results*: every task
+//! runs exactly once, all inferred dependencies are honoured, and because each
+//! closure performs a fixed computation on the data it declared, the final
+//! contents of every data handle are bitwise identical for any number of
+//! workers. Only the interleaving (and the [`ExecutionTrace`]) varies.
 
 use crate::graph::{TaskClosure, TaskGraph};
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// One executed task, for tracing.
@@ -32,22 +37,98 @@ pub struct ExecutionTrace {
     pub makespan: f64,
 }
 
+/// Blocking MPMC ready-queue: a mutex-protected deque plus a condvar. Workers
+/// sleep when no task is ready and are woken either by a new ready task or by
+/// global completion.
+struct ReadyQueue {
+    deque: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        Self {
+            deque: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, task: usize) {
+        self.deque.lock().unwrap().push_back(task);
+        self.cv.notify_one();
+    }
+
+    /// Pop a ready task, or `None` once `remaining` hits zero.
+    fn pop(&self, remaining: &AtomicUsize) -> Option<usize> {
+        let mut q = self.deque.lock().unwrap();
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if remaining.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Wake every sleeping worker (used on completion). Taking the lock first
+    /// closes the check-then-wait race: a worker holding the lock has either
+    /// not yet checked `remaining` (and will see zero) or is already waiting
+    /// (and receives the notification).
+    fn wake_all(&self) {
+        let _guard = self.deque.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
 /// Execute all tasks of the graph on `workers` threads, honouring the inferred
 /// dependencies. Closures submitted as `None` are treated as instantaneous
 /// no-ops (their dependencies still matter).
-pub fn execute_graph(graph: &mut TaskGraph, workers: usize) -> ExecutionTrace {
+///
+/// This is the `run_taskgraph` entry point of the numerical pipeline: the
+/// result of the computation performed by the closures is deterministic in the
+/// worker count (see the module docs).
+pub fn run_taskgraph<'a>(graph: &mut TaskGraph<'a>, workers: usize) -> ExecutionTrace {
     let n = graph.len();
     if n == 0 {
         return ExecutionTrace::default();
     }
     let workers = workers.max(1);
 
+    // Single-worker (or trivially small) graphs: run inline on the calling
+    // thread. Submission order is a valid topological order under the
+    // sequential-task-flow contract, so no queue, no thread spawn, and any
+    // task panic propagates directly to the caller. This keeps hot call
+    // sites that factor many small matrices (e.g. the MLE objective) from
+    // paying a thread-pool setup per call.
+    if workers == 1 || n <= 2 {
+        let t0 = Instant::now();
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = t0.elapsed().as_secs_f64();
+            if let Some(f) = graph.take_closure(i) {
+                f();
+            }
+            let end = t0.elapsed().as_secs_f64();
+            records.push(TaskRecord {
+                task: i,
+                name: graph.spec(i).name.clone(),
+                worker: 0,
+                start,
+                end,
+            });
+        }
+        let makespan = records.last().map(|r| r.end).unwrap_or(0.0);
+        return ExecutionTrace { records, makespan };
+    }
+
     // Pull the closures out; the DAG structure itself stays shared read-only.
-    let mut closures: Vec<Option<TaskClosure>> = Vec::with_capacity(n);
+    let mut closures: Vec<Option<TaskClosure<'a>>> = Vec::with_capacity(n);
     for i in 0..n {
         closures.push(graph.take_closure(i));
     }
-    let closures: Vec<Mutex<Option<TaskClosure>>> =
+    let closures: Vec<Mutex<Option<TaskClosure<'a>>>> =
         closures.into_iter().map(Mutex::new).collect();
 
     let pending: Vec<AtomicUsize> = (0..n)
@@ -55,10 +136,10 @@ pub fn execute_graph(graph: &mut TaskGraph, workers: usize) -> ExecutionTrace {
         .collect();
     let remaining = AtomicUsize::new(n);
 
-    let (tx, rx) = channel::unbounded::<usize>();
+    let queue = ReadyQueue::new();
     for i in 0..n {
         if graph.dependencies(i).is_empty() {
-            tx.send(i).expect("queue push");
+            queue.push(i);
         }
     }
 
@@ -76,45 +157,73 @@ pub fn execute_graph(graph: &mut TaskGraph, workers: usize) -> ExecutionTrace {
     let remaining_ref = &remaining;
     let closures_ref = &closures;
     let records_ref = &records;
-    let tx = Arc::new(tx);
+    let queue_ref = &queue;
+
+    /// Releases a finished task's dependents and decrements the global
+    /// counter *on drop*, so the bookkeeping also runs when the task closure
+    /// panics. Without it, a panicking worker would leave `remaining` above
+    /// zero and every other worker asleep on the condvar forever; with it the
+    /// graph drains, the workers exit, and `thread::scope` re-raises the
+    /// panic at the call site.
+    struct CompletionGuard<'g> {
+        task: usize,
+        dependents: &'g [Vec<usize>],
+        pending: &'g [AtomicUsize],
+        remaining: &'g AtomicUsize,
+        queue: &'g ReadyQueue,
+    }
+
+    impl Drop for CompletionGuard<'_> {
+        fn drop(&mut self) {
+            for &dep in &self.dependents[self.task] {
+                if self.pending[dep].fetch_sub(1, Ordering::SeqCst) == 1 {
+                    self.queue.push(dep);
+                }
+            }
+            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.queue.wake_all();
+            }
+        }
+    }
 
     std::thread::scope(|scope| {
         for worker_id in 0..workers {
-            let rx = rx.clone();
-            let tx = Arc::clone(&tx);
-            scope.spawn(move || loop {
-                if remaining_ref.load(Ordering::SeqCst) == 0 {
-                    return;
-                }
-                let Ok(task) = rx.recv_timeout(std::time::Duration::from_millis(1)) else {
-                    continue;
-                };
-                let start = t0.elapsed().as_secs_f64();
-                if let Some(f) = closures_ref[task].lock().take() {
-                    f();
-                }
-                let end = t0.elapsed().as_secs_f64();
-                records_ref.lock().push(TaskRecord {
-                    task,
-                    name: names_ref[task].clone(),
-                    worker: worker_id,
-                    start,
-                    end,
-                });
-                for &dep in &dependents_ref[task] {
-                    if pending_ref[dep].fetch_sub(1, Ordering::SeqCst) == 1 {
-                        let _ = tx.send(dep);
+            scope.spawn(move || {
+                while let Some(task) = queue_ref.pop(remaining_ref) {
+                    let _completion = CompletionGuard {
+                        task,
+                        dependents: dependents_ref,
+                        pending: pending_ref,
+                        remaining: remaining_ref,
+                        queue: queue_ref,
+                    };
+                    let start = t0.elapsed().as_secs_f64();
+                    let closure = closures_ref[task].lock().unwrap().take();
+                    if let Some(f) = closure {
+                        f();
                     }
+                    let end = t0.elapsed().as_secs_f64();
+                    records_ref.lock().unwrap().push(TaskRecord {
+                        task,
+                        name: names_ref[task].clone(),
+                        worker: worker_id,
+                        start,
+                        end,
+                    });
                 }
-                remaining_ref.fetch_sub(1, Ordering::SeqCst);
             });
         }
     });
 
-    let mut records = records.into_inner();
+    let mut records = records.into_inner().unwrap();
     records.sort_by(|a, b| a.end.partial_cmp(&b.end).unwrap());
     let makespan = records.last().map(|r| r.end).unwrap_or(0.0);
     ExecutionTrace { records, makespan }
+}
+
+/// Historical name of [`run_taskgraph`], kept for the existing call sites.
+pub fn execute_graph<'a>(graph: &mut TaskGraph<'a>, workers: usize) -> ExecutionTrace {
+    run_taskgraph(graph, workers)
 }
 
 #[cfg(test)]
@@ -123,6 +232,7 @@ mod tests {
     use crate::handle::HandleRegistry;
     use crate::task::{AccessMode, TaskSpec};
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
 
     #[test]
     fn empty_graph_executes_trivially() {
@@ -165,11 +275,11 @@ mod tests {
             let order = Arc::clone(&order);
             g.submit(
                 TaskSpec::new(format!("t{i}")).access(x, AccessMode::ReadWrite),
-                Some(Box::new(move || order.lock().push(i))),
+                Some(Box::new(move || order.lock().unwrap().push(i))),
             );
         }
         let trace = execute_graph(&mut g, 6);
-        assert_eq!(order.lock().clone(), (0..10).collect::<Vec<_>>());
+        assert_eq!(order.lock().unwrap().clone(), (0..10).collect::<Vec<_>>());
         // Trace start times along the chain are non-decreasing.
         let mut by_task = trace.records.clone();
         by_task.sort_by_key(|r| r.task);
@@ -196,5 +306,114 @@ mod tests {
         }
         execute_graph(&mut g, 1);
         assert_eq!(total.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn closures_may_borrow_the_submitting_scope() {
+        // The point of the lifetime-generic graph: tasks can borrow stack
+        // data (here a plain atomic) without Arc.
+        let counter = AtomicUsize::new(0);
+        let mut reg = HandleRegistry::new();
+        let mut g = TaskGraph::new();
+        for i in 0..16 {
+            let h = reg.register(format!("h{i}"));
+            let counter = &counter;
+            g.submit(
+                TaskSpec::new("borrow").access(h, AccessMode::Write),
+                Some(Box::new(move || {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                })),
+            );
+        }
+        run_taskgraph(&mut g, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), (0..16).sum());
+    }
+
+    #[test]
+    fn panicking_task_propagates_instead_of_hanging() {
+        // Regression: with 2+ workers, a panicking closure used to leave
+        // `remaining` above zero and the other workers asleep forever. The
+        // completion guard must drain the graph and re-raise the panic.
+        let mut reg = HandleRegistry::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..12 {
+            let h = reg.register(format!("h{i}"));
+            let done = Arc::clone(&done);
+            g.submit(
+                TaskSpec::new("maybe_panic").access(h, AccessMode::Write),
+                Some(Box::new(move || {
+                    if i == 5 {
+                        panic!("task 5 exploded");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_taskgraph(&mut g, 4);
+        }));
+        assert!(result.is_err(), "the task panic must reach the caller");
+        // Every non-panicking task still ran (the graph drained).
+        assert_eq!(done.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn war_hazard_readers_complete_before_writer() {
+        // read(x) by many tasks, then write(x): the writer must observe every
+        // reader's side effect (write-after-read ordering).
+        let mut reg = HandleRegistry::new();
+        let x = reg.register("x");
+        let reads_done = AtomicUsize::new(0);
+        let seen_at_write = AtomicUsize::new(usize::MAX);
+        let mut g = TaskGraph::new();
+        g.submit(
+            TaskSpec::new("init").access(x, AccessMode::Write),
+            Some(Box::new(|| {})),
+        );
+        for _ in 0..8 {
+            let reads_done = &reads_done;
+            g.submit(
+                TaskSpec::new("read").access(x, AccessMode::Read),
+                Some(Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    reads_done.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+        }
+        {
+            let reads_done = &reads_done;
+            let seen_at_write = &seen_at_write;
+            g.submit(
+                TaskSpec::new("write").access(x, AccessMode::Write),
+                Some(Box::new(move || {
+                    seen_at_write.store(reads_done.load(Ordering::SeqCst), Ordering::SeqCst);
+                })),
+            );
+        }
+        run_taskgraph(&mut g, 4);
+        assert_eq!(seen_at_write.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn waw_hazard_writes_apply_in_submission_order() {
+        // Two writers of the same handle must serialize in submission order
+        // even when the second is submitted while many workers are idle.
+        let mut reg = HandleRegistry::new();
+        let x = reg.register("x");
+        let value = Mutex::new(0u64);
+        let mut g = TaskGraph::new();
+        for k in 1..=6u64 {
+            let value = &value;
+            g.submit(
+                TaskSpec::new(format!("w{k}")).access(x, AccessMode::Write),
+                Some(Box::new(move || {
+                    let mut v = value.lock().unwrap();
+                    *v = *v * 10 + k;
+                })),
+            );
+        }
+        run_taskgraph(&mut g, 8);
+        assert_eq!(*value.lock().unwrap(), 123_456);
     }
 }

@@ -5,14 +5,21 @@ use crate::handle::DataHandle;
 use crate::task::TaskSpec;
 use std::collections::HashMap;
 
-/// Work item executed by the threaded executor.
-pub type TaskClosure = Box<dyn FnOnce() + Send + 'static>;
+/// Work item executed by the threaded executor. The lifetime lets task
+/// closures borrow data owned by the submitting scope (e.g. a
+/// [`TileStore`](crate::TileStore)); the executor runs them on scoped threads,
+/// so no `'static` bound is needed.
+pub type TaskClosure<'a> = Box<dyn FnOnce() + Send + 'a>;
 
 /// A task DAG built by submitting tasks in program order.
+///
+/// The lifetime parameter is the lifetime of the data borrowed by the task
+/// closures; graphs without closures (pure dependency structure, as used by
+/// the `distsim` crate) can use `TaskGraph<'static>`.
 #[derive(Default)]
-pub struct TaskGraph {
+pub struct TaskGraph<'a> {
     specs: Vec<TaskSpec>,
-    closures: Vec<Option<TaskClosure>>,
+    closures: Vec<Option<TaskClosure<'a>>>,
     /// `deps[i]` = indices of tasks that must complete before task `i`.
     deps: Vec<Vec<usize>>,
     /// `dependents[i]` = tasks waiting on task `i`.
@@ -21,7 +28,7 @@ pub struct TaskGraph {
     readers_since_write: HashMap<DataHandle, Vec<usize>>,
 }
 
-impl TaskGraph {
+impl<'a> TaskGraph<'a> {
     /// An empty graph.
     pub fn new() -> Self {
         Self::default()
@@ -29,7 +36,7 @@ impl TaskGraph {
 
     /// Submit a task; its dependencies on previously submitted tasks are
     /// inferred from the declared data accesses. Returns the task index.
-    pub fn submit(&mut self, spec: TaskSpec, closure: Option<TaskClosure>) -> usize {
+    pub fn submit(&mut self, spec: TaskSpec, closure: Option<TaskClosure<'a>>) -> usize {
         let id = self.specs.len();
         let mut deps: Vec<usize> = Vec::new();
 
@@ -61,7 +68,10 @@ impl TaskGraph {
                 self.last_writer.insert(*handle, id);
                 self.readers_since_write.insert(*handle, Vec::new());
             } else if mode.reads() {
-                self.readers_since_write.entry(*handle).or_default().push(id);
+                self.readers_since_write
+                    .entry(*handle)
+                    .or_default()
+                    .push(id);
             }
         }
 
@@ -101,7 +111,7 @@ impl TaskGraph {
     }
 
     /// Take the closure of task `i` (used by the executor).
-    pub(crate) fn take_closure(&mut self, i: usize) -> Option<TaskClosure> {
+    pub(crate) fn take_closure(&mut self, i: usize) -> Option<TaskClosure<'a>> {
         self.closures[i].take()
     }
 
@@ -201,7 +211,10 @@ mod tests {
         let x = reg.register("x");
         let mut g = TaskGraph::new();
         for i in 0..5 {
-            g.submit(spec(&format!("t{i}"), &[(x, AccessMode::ReadWrite)], 2.0), None);
+            g.submit(
+                spec(&format!("t{i}"), &[(x, AccessMode::ReadWrite)], 2.0),
+                None,
+            );
         }
         assert_eq!(g.critical_path_cost(), 10.0);
         assert_eq!(g.total_cost(), 10.0);
@@ -218,11 +231,19 @@ mod tests {
         let mut g = TaskGraph::new();
         let potrf0 = g.submit(spec("potrf", &[(t00, AccessMode::ReadWrite)], 1.0), None);
         let trsm = g.submit(
-            spec("trsm", &[(t00, AccessMode::Read), (t10, AccessMode::ReadWrite)], 2.0),
+            spec(
+                "trsm",
+                &[(t00, AccessMode::Read), (t10, AccessMode::ReadWrite)],
+                2.0,
+            ),
             None,
         );
         let syrk = g.submit(
-            spec("syrk", &[(t10, AccessMode::Read), (t11, AccessMode::ReadWrite)], 2.0),
+            spec(
+                "syrk",
+                &[(t10, AccessMode::Read), (t11, AccessMode::ReadWrite)],
+                2.0,
+            ),
             None,
         );
         let potrf1 = g.submit(spec("potrf", &[(t11, AccessMode::ReadWrite)], 1.0), None);

@@ -6,10 +6,13 @@
 //! dependency DAG from those declarations (read-after-write, write-after-read,
 //! write-after-write) and executes ready tasks concurrently on a worker pool.
 //!
-//! Two consumers exist in this workspace:
+//! Consumers in this workspace:
 //!
-//! * the [`executor`] runs real closures on threads (used by tests and as the
-//!   irregular-DAG engine available to applications),
+//! * the [`executor`] (entry point [`run_taskgraph`]) runs real closures on
+//!   threads — it is the engine behind the DAG-scheduled tiled Cholesky in
+//!   `tile-la`/`tlr` and the fused factor+sweep PMVN pipeline in `mvn-core`,
+//! * the [`store`] module provides [`TileStore`], the typed payload storage
+//!   task closures borrow tiles from according to their declared accesses,
 //! * the [`graph`] alone — task names, access lists and abstract costs — is
 //!   consumed by the `distsim` crate to *simulate* distributed-memory
 //!   executions of the Cholesky + PMVN DAGs (the paper's Fig. 7 study).
@@ -17,11 +20,13 @@
 pub mod executor;
 pub mod graph;
 pub mod handle;
+pub mod store;
 pub mod task;
 
-pub use executor::{execute_graph, ExecutionTrace, TaskRecord};
+pub use executor::{execute_graph, run_taskgraph, ExecutionTrace, TaskRecord};
 pub use graph::TaskGraph;
 pub use handle::{DataHandle, HandleRegistry};
+pub use store::{TileRef, TileRefMut, TileStore};
 pub use task::{AccessMode, TaskSpec};
 
 #[cfg(test)]
@@ -37,7 +42,7 @@ mod tests {
         let mut registry = HandleRegistry::new();
         let data = registry.register("x");
         let mut graph = TaskGraph::new();
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
         for step in 0..20 {
             let log = Arc::clone(&log);
             graph.submit(
@@ -45,13 +50,13 @@ mod tests {
                     .access(data, AccessMode::ReadWrite)
                     .cost(1.0),
                 Some(Box::new(move || {
-                    log.lock().push(step);
+                    log.lock().unwrap().push(step);
                 })),
             );
         }
         let trace = execute_graph(&mut graph, 4);
         assert_eq!(trace.records.len(), 20);
-        let final_log = log.lock().clone();
+        let final_log = log.lock().unwrap().clone();
         assert_eq!(final_log, (0..20).collect::<Vec<_>>());
     }
 

@@ -2,11 +2,18 @@
 //!
 //! The right-looking tiled algorithm factors the symmetric tile matrix in
 //! place: for every panel `k` it runs `POTRF` on the diagonal tile, `TRSM`s the
-//! tiles below it in parallel, and then applies the trailing `SYRK`/`GEMM`
-//! updates in parallel. The per-panel fork-join structure exposes `O(nt²)`
-//! independent tasks in the update phase, which is where almost all of the
-//! `n³/3` flops are spent — the same observation that makes the StarPU task
-//! graph in the paper scale.
+//! tiles below it, and then applies the trailing `SYRK`/`GEMM` updates.
+//!
+//! Two schedulers execute that task structure:
+//!
+//! * [`potrf_tiled`] — the default — submits the tasks to the
+//!   [`task_runtime`] DAG executor via [`crate::dag`], matching the paper's
+//!   StarPU task graph: no barrier between panels, and factor tiles are
+//!   individually consumable by downstream task graphs (the fused PMVN
+//!   pipeline),
+//! * [`potrf_tiled_forkjoin`] — the historical per-panel fork-join loops,
+//!   kept as the scheduling baseline for benchmarks and cross-checks. Both
+//!   produce bitwise-identical factors.
 
 use crate::dense::DenseMatrix;
 use crate::kernels::{gemm_nt, potrf_in_place, syrk_lower, trsm_right_lower_trans};
@@ -35,11 +42,27 @@ impl std::error::Error for CholeskyError {}
 
 /// In-place parallel tiled Cholesky factorization `Σ = L·Lᵀ`.
 ///
-/// On success the lower tiles of `a` hold `L`. `min_parallel_tiles` controls
-/// when the panel/update loops switch to parallel execution (1 = always
-/// parallel; useful to force sequential execution in tests or when nested
-/// inside an outer parallel region).
+/// On success the lower tiles of `a` hold `L`. This is a thin wrapper over the
+/// DAG-scheduled [`crate::dag::potrf_tiled_dag`]: `min_parallel_tiles` is the
+/// historical fork-join knob and is mapped onto a worker count
+/// (`usize::MAX` — "never parallel" — runs one worker, anything else uses all
+/// cores). The factor is bitwise identical for every worker count.
 pub fn potrf_tiled(a: &mut SymTileMatrix, min_parallel_tiles: usize) -> Result<(), CholeskyError> {
+    let workers = if min_parallel_tiles == usize::MAX {
+        1
+    } else {
+        0
+    };
+    crate::dag::potrf_tiled_dag(a, workers)
+}
+
+/// In-place tiled Cholesky with the historical per-panel fork-join scheduling
+/// (rayon parallel loops with a barrier after each panel). Kept as the
+/// scheduling baseline the DAG path is benchmarked and cross-checked against.
+pub fn potrf_tiled_forkjoin(
+    a: &mut SymTileMatrix,
+    min_parallel_tiles: usize,
+) -> Result<(), CholeskyError> {
     let nt = a.num_tiles();
     let layout = a.layout();
     for k in 0..nt {
@@ -54,9 +77,8 @@ pub fn potrf_tiled(a: &mut SymTileMatrix, min_parallel_tiles: usize) -> Result<(
         // Panel: column tiles below the diagonal get multiplied by L_kk^{-T}.
         if k + 1 < nt {
             let lkk = a.tile(k, k).clone();
-            let mut panel: Vec<(usize, DenseMatrix)> = ((k + 1)..nt)
-                .map(|i| (i, a.take_tile(i, k)))
-                .collect();
+            let mut panel: Vec<(usize, DenseMatrix)> =
+                ((k + 1)..nt).map(|i| (i, a.take_tile(i, k))).collect();
             if panel.len() >= min_parallel_tiles {
                 panel
                     .par_iter_mut()
@@ -174,13 +196,7 @@ mod tests {
     #[test]
     fn log_det_matches_sum_of_log_eigen_for_diagonal_matrix() {
         let n = 12;
-        let mut a = SymTileMatrix::from_fn(n, 5, |i, j| {
-            if i == j {
-                (i + 1) as f64
-            } else {
-                0.0
-            }
-        });
+        let mut a = SymTileMatrix::from_fn(n, 5, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
         potrf_tiled(&mut a, 1).unwrap();
         let want: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
         assert!((log_det_from_factor(&a) - want).abs() < 1e-12);

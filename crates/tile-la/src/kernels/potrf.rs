@@ -83,11 +83,8 @@ mod tests {
     #[test]
     fn known_3x3_factor() {
         // A = [[4,2,2],[2,5,3],[2,3,6]] has L = [[2,0,0],[1,2,0],[1,1,2]].
-        let mut a = DenseMatrix::from_column_major(
-            3,
-            3,
-            vec![4.0, 2.0, 2.0, 2.0, 5.0, 3.0, 2.0, 3.0, 6.0],
-        );
+        let mut a =
+            DenseMatrix::from_column_major(3, 3, vec![4.0, 2.0, 2.0, 2.0, 5.0, 3.0, 2.0, 3.0, 6.0]);
         potrf_in_place(&mut a).unwrap();
         let expect = [
             (0, 0, 2.0),
@@ -98,7 +95,11 @@ mod tests {
             (2, 2, 2.0),
         ];
         for (i, j, v) in expect {
-            assert!((a.get(i, j) - v).abs() < 1e-14, "L[{i},{j}] = {}", a.get(i, j));
+            assert!(
+                (a.get(i, j) - v).abs() < 1e-14,
+                "L[{i},{j}] = {}",
+                a.get(i, j)
+            );
         }
     }
 

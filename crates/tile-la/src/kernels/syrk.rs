@@ -39,13 +39,19 @@ mod tests {
     fn rand_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
         let mut s = seed;
         DenseMatrix::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
 
     fn lower_of(m: &DenseMatrix) -> DenseMatrix {
-        DenseMatrix::from_fn(m.nrows(), m.ncols(), |i, j| if i >= j { m.get(i, j) } else { 0.0 })
+        DenseMatrix::from_fn(
+            m.nrows(),
+            m.ncols(),
+            |i, j| if i >= j { m.get(i, j) } else { 0.0 },
+        )
     }
 
     #[test]
@@ -67,7 +73,11 @@ mod tests {
         syrk_lower(1.0, &a, 0.5, &mut c);
         for j in 0..5 {
             for i in 0..j {
-                assert_eq!(c.get(i, j), c0.get(i, j), "upper element ({i},{j}) modified");
+                assert_eq!(
+                    c.get(i, j),
+                    c0.get(i, j),
+                    "upper element ({i},{j}) modified"
+                );
             }
         }
     }

@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn ranges_cover_dimension_exactly_once() {
         let l = TileLayout::new(37, 8);
-        let mut covered = vec![0u32; 37];
+        let mut covered = [0u32; 37];
         for t in 0..l.num_tiles() {
             for i in l.tile_range(t) {
                 covered[i] += 1;

@@ -12,6 +12,10 @@
 //! * [`SymTileMatrix`] — a symmetric matrix stored as its lower-triangular tiles
 //!   (the layout used for covariance matrices and their Cholesky factors),
 //! * [`cholesky`] — the parallel right-looking tiled Cholesky factorization,
+//! * [`dag`] — the same factorization as a dependency-inferred task graph on
+//!   the `task-runtime` executor (the default scheduler), with the building
+//!   blocks (`detach_tiles`, `submit_factor_tasks`, `FactorStatus`) the fused
+//!   PMVN pipeline composes with,
 //! * [`solve`] — tiled triangular solves against dense panels,
 //! * [`norms`] — Frobenius / max-abs norms and difference helpers.
 //!
@@ -20,6 +24,7 @@
 //! parallel algorithms, and the test-suite cross-checks one against the other.
 
 pub mod cholesky;
+pub mod dag;
 pub mod dense;
 pub mod kernels;
 pub mod layout;
@@ -27,11 +32,14 @@ pub mod norms;
 pub mod solve;
 pub mod sym_tile;
 
-pub use cholesky::{potrf_tiled, CholeskyError};
+pub use cholesky::{potrf_tiled, potrf_tiled_forkjoin, CholeskyError};
+pub use dag::{potrf_tiled_dag, FactorStatus};
 pub use dense::DenseMatrix;
 pub use layout::TileLayout;
 pub use norms::{frobenius_norm, max_abs_diff};
-pub use solve::{multiply_lower_panel, solve_lower_panel, solve_lower_transpose_panel, solve_spd_panel};
+pub use solve::{
+    multiply_lower_panel, solve_lower_panel, solve_lower_transpose_panel, solve_spd_panel,
+};
 pub use sym_tile::SymTileMatrix;
 
 #[cfg(test)]

@@ -21,7 +21,11 @@ fn write_row_block(b: &mut DenseMatrix, start: usize, block: &DenseMatrix) {
 /// Solve `L·X = B` in place (`B` becomes `X`), where `l` holds the lower
 /// Cholesky factor tiles.
 pub fn solve_lower_panel(l: &SymTileMatrix, b: &mut DenseMatrix) {
-    assert_eq!(b.nrows(), l.n(), "solve: panel row count must equal matrix dimension");
+    assert_eq!(
+        b.nrows(),
+        l.n(),
+        "solve: panel row count must equal matrix dimension"
+    );
     let layout = l.layout();
     let nt = layout.num_tiles();
     for ti in 0..nt {
@@ -41,7 +45,11 @@ pub fn solve_lower_panel(l: &SymTileMatrix, b: &mut DenseMatrix) {
 
 /// Solve `Lᵀ·X = B` in place (`B` becomes `X`).
 pub fn solve_lower_transpose_panel(l: &SymTileMatrix, b: &mut DenseMatrix) {
-    assert_eq!(b.nrows(), l.n(), "solve: panel row count must equal matrix dimension");
+    assert_eq!(
+        b.nrows(),
+        l.n(),
+        "solve: panel row count must equal matrix dimension"
+    );
     let layout = l.layout();
     let nt = layout.num_tiles();
     for ti in (0..nt).rev() {
@@ -108,7 +116,9 @@ mod tests {
     fn rand_panel(n: usize, m: usize, seed: u64) -> DenseMatrix {
         let mut s = seed;
         DenseMatrix::from_fn(n, m, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }

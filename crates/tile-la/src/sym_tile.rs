@@ -45,7 +45,8 @@ impl SymTileMatrix {
     pub fn from_fn(n: usize, nb: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
         let layout = TileLayout::new(n, nb);
         let nt = layout.num_tiles();
-        let coords: Vec<(usize, usize)> = (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
+        let coords: Vec<(usize, usize)> =
+            (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))).collect();
         let tiles: Vec<DenseMatrix> = coords
             .par_iter()
             .map(|&(ti, tj)| {
@@ -88,13 +89,19 @@ impl SymTileMatrix {
 
     /// Borrow tile `(i, j)` (requires `j ≤ i`).
     pub fn tile(&self, i: usize, j: usize) -> &DenseMatrix {
-        assert!(j <= i, "SymTileMatrix stores only lower tiles (got ({i},{j}))");
+        assert!(
+            j <= i,
+            "SymTileMatrix stores only lower tiles (got ({i},{j}))"
+        );
         &self.tiles[Self::tri_index(i, j)]
     }
 
     /// Mutably borrow tile `(i, j)` (requires `j ≤ i`).
     pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut DenseMatrix {
-        assert!(j <= i, "SymTileMatrix stores only lower tiles (got ({i},{j}))");
+        assert!(
+            j <= i,
+            "SymTileMatrix stores only lower tiles (got ({i},{j}))"
+        );
         &mut self.tiles[Self::tri_index(i, j)]
     }
 

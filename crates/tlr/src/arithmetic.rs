@@ -14,8 +14,18 @@ use tile_la::DenseMatrix;
 /// This is the kernel used when the PMVN propagation (`A_{j,k} ← A_{j,k} −
 /// L_{j,r}·Y_{r,k}`) runs against a TLR Cholesky factor: the cost drops from
 /// `O(m²·p)` to `O(k·m·p)` for rank `k`.
-pub fn lr_gemm_panel(alpha: f64, lr: &LowRankBlock, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
-    assert_eq!(lr.ncols(), b.nrows(), "lr_gemm_panel: inner dimension mismatch");
+pub fn lr_gemm_panel(
+    alpha: f64,
+    lr: &LowRankBlock,
+    b: &DenseMatrix,
+    beta: f64,
+    c: &mut DenseMatrix,
+) {
+    assert_eq!(
+        lr.ncols(),
+        b.nrows(),
+        "lr_gemm_panel: inner dimension mismatch"
+    );
     assert_eq!(c.nrows(), lr.nrows(), "lr_gemm_panel: output row mismatch");
     assert_eq!(c.ncols(), b.ncols(), "lr_gemm_panel: output col mismatch");
     if lr.rank() == 0 {
@@ -164,7 +174,9 @@ mod tests {
     fn rand_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
         let mut s = seed;
         DenseMatrix::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -261,7 +273,12 @@ mod tests {
         let mut small_u = rand_matrix(15, 3, 63);
         small_u.scale(1e-9);
         let small = LowRankBlock::new(small_u, rand_matrix(15, 3, 65));
-        let sum = lr_add_recompress(&dominant, &small, CompressionTol::Relative(1e-4), usize::MAX);
+        let sum = lr_add_recompress(
+            &dominant,
+            &small,
+            CompressionTol::Relative(1e-4),
+            usize::MAX,
+        );
         assert_eq!(sum.rank(), 1);
     }
 
@@ -269,7 +286,9 @@ mod tests {
     fn compress_then_add_roundtrip() {
         // Compress two halves of a smooth tile and verify the recompressed sum
         // approximates the full tile.
-        let full = DenseMatrix::from_fn(20, 20, |i, j| (-((i as f64 - j as f64 - 30.0).abs()) / 25.0).exp());
+        let full = DenseMatrix::from_fn(20, 20, |i, j| {
+            (-((i as f64 - j as f64 - 30.0).abs()) / 25.0).exp()
+        });
         let half1 = DenseMatrix::from_fn(20, 20, |i, j| 0.5 * full.get(i, j));
         let a = compress_dense(&half1, CompressionTol::Absolute(1e-10), usize::MAX);
         let sum = lr_add_recompress(&a, &a, CompressionTol::Absolute(1e-9), usize::MAX);

@@ -48,9 +48,25 @@ impl std::error::Error for TlrCholeskyError {}
 /// In-place TLR Cholesky factorization.
 ///
 /// On success the diagonal tiles hold the dense `L_kk` factors and the
-/// off-diagonal tiles hold the compressed `L_ik` factors. `min_parallel_tiles`
-/// plays the same role as in [`tile_la::potrf_tiled`].
+/// off-diagonal tiles hold the compressed `L_ik` factors. This is a thin
+/// wrapper over the DAG-scheduled [`crate::dag::potrf_tlr_dag`];
+/// `min_parallel_tiles` is the historical fork-join knob and maps onto a
+/// worker count (`usize::MAX` runs one worker, anything else uses all cores).
 pub fn potrf_tlr(a: &mut TlrMatrix, min_parallel_tiles: usize) -> Result<(), TlrCholeskyError> {
+    let workers = if min_parallel_tiles == usize::MAX {
+        1
+    } else {
+        0
+    };
+    crate::dag::potrf_tlr_dag(a, workers)
+}
+
+/// In-place TLR Cholesky with the historical per-panel fork-join scheduling,
+/// kept as the scheduling baseline for benchmarks and cross-checks.
+pub fn potrf_tlr_forkjoin(
+    a: &mut TlrMatrix,
+    min_parallel_tiles: usize,
+) -> Result<(), TlrCholeskyError> {
     let nt = a.num_tiles();
     let layout = a.layout();
     let tol = a.tol();
@@ -193,7 +209,10 @@ mod tests {
                 err < previous_err * 1.5 + 1e-12,
                 "error did not improve with tighter tolerance: {err} vs {previous_err}"
             );
-            assert!(err < tol * 100.0 + 1e-10, "tol {tol}: reconstruction error {err}");
+            assert!(
+                err < tol * 100.0 + 1e-10,
+                "tol {tol}: reconstruction error {err}"
+            );
             previous_err = err;
         }
     }
@@ -253,7 +272,10 @@ mod tests {
         let f = |i: usize, j: usize| if i == j { -1.0 } else { 0.0 };
         let mut tlr = TlrMatrix::from_fn(30, 10, CompressionTol::Absolute(1e-6), usize::MAX, f);
         let err = potrf_tlr(&mut tlr, 1).unwrap_err();
-        assert!(matches!(err, TlrCholeskyError::NotPositiveDefinite { pivot: 0 }));
+        assert!(matches!(
+            err,
+            TlrCholeskyError::NotPositiveDefinite { pivot: 0 }
+        ));
         assert!(err.to_string().contains("not positive definite"));
     }
 }

@@ -1,0 +1,291 @@
+//! DAG-scheduled TLR Cholesky: the HiCMA-style factorization as a
+//! sequential-task-flow graph on the `task-runtime` executor, mirroring
+//! [`tile_la::dag`] for the compressed format.
+//!
+//! Diagonal tiles (dense) and strictly-lower off-diagonal tiles (low-rank)
+//! live in two typed [`TileStore`]s sharing one [`HandleRegistry`], so a
+//! single graph can declare accesses on both. The task structure is identical
+//! to the dense DAG — `POTRF`/`TRSM`/`SYRK`/`GEMM` per panel — with the
+//! compressed kernels, and the factor is bitwise identical for every worker
+//! count.
+
+use crate::arithmetic::{lr_aa_t_update, lr_lr_t_update};
+use crate::cholesky::TlrCholeskyError;
+use crate::compress::CompressionTol;
+use crate::lowrank::LowRankBlock;
+use crate::tlr_matrix::TlrMatrix;
+use task_runtime::{
+    run_taskgraph, AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec, TileStore,
+};
+use tile_la::dag::{effective_workers, FactorStatus};
+use tile_la::kernels::{potrf_in_place, trsm_left_lower_notrans};
+use tile_la::{DenseMatrix, TileLayout};
+
+/// Data handles of a TLR matrix: `diag[i]` for the dense diagonal tile,
+/// `off[i][j]` (`j < i`) for the low-rank strictly-lower tiles.
+pub struct TlrHandles {
+    /// Handles of the dense diagonal tiles.
+    pub diag: Vec<DataHandle>,
+    /// Handles of the strictly-lower low-rank tiles; `off[i]` has length `i`.
+    pub off: Vec<Vec<DataHandle>>,
+}
+
+impl TlrHandles {
+    /// Handle of tile `(i, j)` through the lower structure (`j ≤ i`).
+    pub fn tile(&self, i: usize, j: usize) -> DataHandle {
+        if i == j {
+            self.diag[i]
+        } else {
+            self.off[i][j]
+        }
+    }
+}
+
+/// Move the tiles of `a` out into typed stores keyed by freshly registered
+/// handles. Reverse with [`attach_tlr_tiles`].
+pub fn detach_tlr_tiles(
+    a: &mut TlrMatrix,
+    registry: &mut HandleRegistry,
+) -> (TlrHandles, TileStore<DenseMatrix>, TileStore<LowRankBlock>) {
+    let layout = a.layout();
+    let nt = layout.num_tiles();
+    let mut diag_handles = Vec::with_capacity(nt);
+    let mut off_handles: Vec<Vec<DataHandle>> = Vec::with_capacity(nt);
+    let mut diag_store = TileStore::new();
+    let mut off_store = TileStore::new();
+    for i in 0..nt {
+        let bytes = layout.tile_size(i) * layout.tile_size(i) * std::mem::size_of::<f64>();
+        let h = registry.register_sized(format!("D[{i}]"), bytes);
+        diag_store.insert(h, a.take_diag(i));
+        diag_handles.push(h);
+        let mut row = Vec::with_capacity(i);
+        for j in 0..i {
+            let blk = a.take_off(i, j);
+            let bytes = blk.stored_elements() * std::mem::size_of::<f64>();
+            let h = registry.register_sized(format!("L[{i},{j}]"), bytes);
+            off_store.insert(h, blk);
+            row.push(h);
+        }
+        off_handles.push(row);
+    }
+    (
+        TlrHandles {
+            diag: diag_handles,
+            off: off_handles,
+        },
+        diag_store,
+        off_store,
+    )
+}
+
+/// Move the tiles of the typed stores back into `a` (inverse of
+/// [`detach_tlr_tiles`]; the graph borrowing the stores must have been
+/// dropped).
+pub fn attach_tlr_tiles(
+    a: &mut TlrMatrix,
+    handles: &TlrHandles,
+    diag_store: &mut TileStore<DenseMatrix>,
+    off_store: &mut TileStore<LowRankBlock>,
+) {
+    for (i, &h) in handles.diag.iter().enumerate() {
+        a.put_diag(i, diag_store.take(h));
+    }
+    for (i, row) in handles.off.iter().enumerate() {
+        for (j, &h) in row.iter().enumerate() {
+            a.put_off(i, j, off_store.take(h));
+        }
+    }
+}
+
+/// Submit the TLR Cholesky factorization into `graph`, declaring per-tile
+/// accesses. Exposed so `mvn-core` can submit PMVN sweep tasks into the same
+/// graph (reading factor tiles while the trailing factorization runs).
+#[allow(clippy::too_many_arguments)]
+pub fn submit_tlr_factor_tasks<'a>(
+    graph: &mut TaskGraph<'a>,
+    diag_store: &'a TileStore<DenseMatrix>,
+    off_store: &'a TileStore<LowRankBlock>,
+    handles: &TlrHandles,
+    layout: TileLayout,
+    tol: CompressionTol,
+    max_rank: usize,
+    status: &'a FactorStatus,
+) {
+    let nt = layout.num_tiles();
+    for k in 0..nt {
+        let nbk = layout.tile_size(k) as f64;
+        let h_kk = handles.diag[k];
+        let pivot0 = layout.tile_start(k);
+        graph.submit(
+            TaskSpec::new("potrf")
+                .access(h_kk, AccessMode::ReadWrite)
+                .cost(nbk * nbk * nbk / 3.0),
+            Some(Box::new(move || {
+                if status.is_failed() {
+                    return;
+                }
+                let mut d = diag_store.write(h_kk);
+                if let Err(local) = potrf_in_place(&mut d) {
+                    status.fail(pivot0 + local);
+                }
+            })),
+        );
+
+        for i in (k + 1)..nt {
+            let h_ik = handles.off[i][k];
+            graph.submit(
+                TaskSpec::new("trsm")
+                    .access(h_kk, AccessMode::Read)
+                    .access(h_ik, AccessMode::ReadWrite)
+                    .cost(nbk * nbk),
+                Some(Box::new(move || {
+                    if status.is_failed() {
+                        return;
+                    }
+                    let lkk = diag_store.read(h_kk);
+                    let mut blk = off_store.write(h_ik);
+                    if blk.rank() > 0 {
+                        trsm_left_lower_notrans(&lkk, &mut blk.v);
+                    }
+                })),
+            );
+        }
+
+        for i in (k + 1)..nt {
+            let h_ik = handles.off[i][k];
+            for j in (k + 1)..=i {
+                if i == j {
+                    let h_ii = handles.diag[i];
+                    graph.submit(
+                        TaskSpec::new("syrk")
+                            .access(h_ik, AccessMode::Read)
+                            .access(h_ii, AccessMode::ReadWrite)
+                            .cost(nbk * nbk),
+                        Some(Box::new(move || {
+                            if status.is_failed() {
+                                return;
+                            }
+                            let a_ik = off_store.read(h_ik);
+                            let mut d = diag_store.write(h_ii);
+                            lr_aa_t_update(&mut d, &a_ik);
+                        })),
+                    );
+                } else {
+                    let h_jk = handles.off[j][k];
+                    let h_ij = handles.off[i][j];
+                    graph.submit(
+                        TaskSpec::new("lr_gemm")
+                            .access(h_ik, AccessMode::Read)
+                            .access(h_jk, AccessMode::Read)
+                            .access(h_ij, AccessMode::ReadWrite)
+                            .cost(nbk * nbk),
+                        Some(Box::new(move || {
+                            if status.is_failed() {
+                                return;
+                            }
+                            let a_ik = off_store.read(h_ik);
+                            let a_jk = off_store.read(h_jk);
+                            let mut c = off_store.write(h_ij);
+                            let updated = lr_lr_t_update(&c, &a_ik, &a_jk, tol, max_rank);
+                            *c = updated;
+                        })),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// In-place TLR Cholesky, executed as a dependency-inferred task graph on
+/// `workers` threads (`0` = one worker per available core). The factor is
+/// bitwise identical for every worker count.
+pub fn potrf_tlr_dag(a: &mut TlrMatrix, workers: usize) -> Result<(), TlrCholeskyError> {
+    let layout = a.layout();
+    let tol = a.tol();
+    let max_rank = a.max_rank();
+    let mut registry = HandleRegistry::new();
+    let (handles, mut diag_store, mut off_store) = detach_tlr_tiles(a, &mut registry);
+    let status = FactorStatus::new();
+    {
+        let mut graph = TaskGraph::new();
+        submit_tlr_factor_tasks(
+            &mut graph,
+            &diag_store,
+            &off_store,
+            &handles,
+            layout,
+            tol,
+            max_rank,
+            &status,
+        );
+        run_taskgraph(&mut graph, effective_workers(workers));
+    }
+    attach_tlr_tiles(a, &handles, &mut diag_store, &mut off_store);
+    match status.pivot() {
+        Some(pivot) => Err(TlrCholeskyError::NotPositiveDefinite { pivot }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::potrf_tlr_forkjoin;
+    use tile_la::max_abs_diff;
+
+    fn kernel(range: f64) -> impl Fn(usize, usize) -> f64 + Sync {
+        move |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs() / 60.0;
+            (-d / range).exp() + if i == j { 1e-6 } else { 0.0 }
+        }
+    }
+
+    #[test]
+    fn dag_tlr_factor_matches_forkjoin_bitwise() {
+        let n = 96;
+        let f = kernel(0.5);
+        let mut a = TlrMatrix::from_fn(n, 24, CompressionTol::Absolute(1e-8), usize::MAX, &f);
+        let mut b = a.clone();
+        potrf_tlr_dag(&mut a, 4).unwrap();
+        potrf_tlr_forkjoin(&mut b, usize::MAX).unwrap();
+        let da = a.to_dense_lower();
+        let db = b.to_dense_lower();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    da.get(i, j).to_bits() == db.get(i, j).to_bits(),
+                    "entry ({i},{j}) differs bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_tlr_is_deterministic_across_worker_counts() {
+        let n = 80;
+        let f = kernel(0.7);
+        let base = TlrMatrix::from_fn(n, 20, CompressionTol::Absolute(1e-6), 10, &f);
+        let mut reference = base.clone();
+        potrf_tlr_dag(&mut reference, 1).unwrap();
+        let ref_dense = reference.to_dense_lower();
+        for workers in [2usize, 8] {
+            let mut a = base.clone();
+            potrf_tlr_dag(&mut a, workers).unwrap();
+            assert!(
+                max_abs_diff(&a.to_dense_lower(), &ref_dense) == 0.0,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn dag_tlr_rejects_indefinite_matrix() {
+        let f = |i: usize, j: usize| if i == j { -1.0 } else { 0.0 };
+        let mut a = TlrMatrix::from_fn(30, 10, CompressionTol::Absolute(1e-6), usize::MAX, f);
+        let err = potrf_tlr_dag(&mut a, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            TlrCholeskyError::NotPositiveDefinite { pivot: 0 }
+        ));
+    }
+}

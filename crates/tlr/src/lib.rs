@@ -21,13 +21,15 @@
 pub mod arithmetic;
 pub mod cholesky;
 pub mod compress;
+pub mod dag;
 pub mod lowrank;
 pub mod rank_stats;
 pub mod tlr_matrix;
 
 pub use arithmetic::{lr_aa_t_update, lr_add_recompress, lr_gemm_panel, lr_lr_t_update};
-pub use cholesky::{potrf_tlr, TlrCholeskyError};
+pub use cholesky::{potrf_tlr, potrf_tlr_forkjoin, TlrCholeskyError};
 pub use compress::{compress_dense, CompressionTol};
+pub use dag::{potrf_tlr_dag, TlrHandles};
 pub use lowrank::LowRankBlock;
 pub use rank_stats::RankStats;
 pub use tlr_matrix::TlrMatrix;

@@ -25,7 +25,11 @@ impl LowRankBlock {
 
     /// Construct from explicit factors.
     pub fn new(u: DenseMatrix, v: DenseMatrix) -> Self {
-        assert_eq!(u.ncols(), v.ncols(), "low-rank factors must share the rank dimension");
+        assert_eq!(
+            u.ncols(),
+            v.ncols(),
+            "low-rank factors must share the rank dimension"
+        );
         Self { u, v }
     }
 
@@ -105,7 +109,9 @@ mod tests {
     fn rand_matrix(m: usize, n: usize, seed: u64) -> DenseMatrix {
         let mut s = seed;
         DenseMatrix::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }

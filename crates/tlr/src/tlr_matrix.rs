@@ -58,11 +58,10 @@ impl TlrMatrix {
             .map(|&(i, j)| {
                 let ri = layout.tile_start(i);
                 let rj = layout.tile_start(j);
-                let dense = DenseMatrix::from_fn(
-                    layout.tile_size(i),
-                    layout.tile_size(j),
-                    |a, b| f(ri + a, rj + b),
-                );
+                let dense =
+                    DenseMatrix::from_fn(layout.tile_size(i), layout.tile_size(j), |a, b| {
+                        f(ri + a, rj + b)
+                    });
                 compress_dense(&dense, tol, max_rank)
             })
             .collect();
@@ -135,7 +134,10 @@ impl TlrMatrix {
     }
 
     pub(crate) fn take_off(&mut self, i: usize, j: usize) -> LowRankBlock {
-        std::mem::replace(&mut self.off[Self::off_index(i, j)], LowRankBlock::zero(1, 1))
+        std::mem::replace(
+            &mut self.off[Self::off_index(i, j)],
+            LowRankBlock::zero(1, 1),
+        )
     }
 
     pub(crate) fn put_off(&mut self, i: usize, j: usize, b: LowRankBlock) {
@@ -262,13 +264,18 @@ impl TlrMatrix {
             // Diagonal tile contributes its lower triangle only (it holds L_ii).
             let xd = x.submatrix(ri, 0, rows_i, x.ncols());
             let d = &self.diag[ti];
-            let lower = DenseMatrix::from_fn(d.nrows(), d.ncols(), |a, b| {
-                if a >= b {
-                    d.get(a, b)
-                } else {
-                    0.0
-                }
-            });
+            let lower =
+                DenseMatrix::from_fn(
+                    d.nrows(),
+                    d.ncols(),
+                    |a, b| {
+                        if a >= b {
+                            d.get(a, b)
+                        } else {
+                            0.0
+                        }
+                    },
+                );
             gemm_nn(1.0, &lower, &xd, 1.0, &mut acc);
             for tj in 0..ti {
                 let rj = self.layout.tile_start(tj);

@@ -9,7 +9,9 @@ use excursion::{
     correlation_factor_dense, detect_confidence_regions, excursion_set, find_excursion_set,
     mc_validate, CrdConfig,
 };
-use geostat::{posterior_update, regular_grid, simulate_field, simulate_observations, CovarianceKernel};
+use geostat::{
+    posterior_update, regular_grid, simulate_field, simulate_observations, CovarianceKernel,
+};
 use mvn_core::MvnConfig;
 
 fn main() {
@@ -23,7 +25,10 @@ fn main() {
     };
     let field = simulate_field(&locations, &kernel, 0.0, 42);
     let obs = simulate_observations(&field, n / 5, 0.5, 43);
-    println!("simulated {n} sites, observed {} of them", obs.indices.len());
+    println!(
+        "simulated {n} sites, observed {} of them",
+        obs.indices.len()
+    );
 
     // 2. Posterior of the latent field given the noisy observations (Eq. 7-8).
     let prior_cov = kernel.dense_covariance(&locations, 1e-9);
@@ -40,9 +45,7 @@ fn main() {
     let result = detect_confidence_regions(&factor, &post.mean, &sd, &cfg);
     let marginal_count = result.marginal.iter().filter(|&&p| p >= 0.95).count();
     let region = excursion_set(&result, cfg.alpha);
-    println!(
-        "marginal-probability region (P > u marginally >= 0.95): {marginal_count} sites"
-    );
+    println!("marginal-probability region (P > u marginally >= 0.95): {marginal_count} sites");
     println!(
         "joint confidence region E+ (u=0.5, 1-alpha=0.95):        {} sites",
         region.len()

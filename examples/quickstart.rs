@@ -7,7 +7,7 @@
 //! ```
 
 use geostat::{regular_grid, CovarianceKernel};
-use mvn_core::{mvn_prob_dense, mvn_prob_mc, mvn_prob_tlr, MvnConfig};
+use mvn_core::{mvn_prob_dense_fused, mvn_prob_mc, mvn_prob_tlr, MvnConfig};
 use tlr::CompressionTol;
 
 fn main() {
@@ -29,18 +29,22 @@ fn main() {
         ..Default::default()
     };
 
-    // 3. Dense path: assemble the covariance in tiled form, factor it with the
-    //    parallel tiled Cholesky and run the PMVN sweep.
+    // 3. Dense path: assemble the covariance in tiled form and run the fused
+    //    factor+sweep pipeline — Cholesky tasks and PMVN panel tasks execute
+    //    as one dependency-inferred task graph, so early panel sweeping
+    //    overlaps the trailing factorization. (The staged alternative —
+    //    `tile_la::potrf_tiled` followed by `mvn_prob_dense` — produces
+    //    bitwise-identical results.)
     let mut sigma = kernel.tiled_covariance(&locations, 128, 1e-9);
-    tile_la::potrf_tiled(&mut sigma, 1).expect("SPD");
-    let dense = mvn_prob_dense(&sigma, &a, &b, &cfg);
+    let dense = mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).expect("SPD");
     println!(
-        "dense PMVN : P = {:.6e}  (std error {:.1e}, {} samples)",
+        "dense PMVN : P = {:.6e}  (std error {:.1e}, {} samples, fused factor+sweep)",
         dense.prob, dense.std_error, dense.samples
     );
 
     // 4. TLR path: same, but the covariance is compressed at tolerance 1e-3
-    //    before the factorization (the paper's fast mode).
+    //    before the factorization (the paper's fast mode). Shown here in the
+    //    staged form to demonstrate both APIs.
     let mut sigma_tlr =
         kernel.tlr_covariance(&locations, 128, 1e-9, CompressionTol::Absolute(1e-3), 64);
     tlr::potrf_tlr(&mut sigma_tlr, 1).expect("SPD");

@@ -31,19 +31,17 @@ fn main() {
     tile_la::potrf_tiled(&mut sigma, 1).unwrap();
     let dense = mvn_prob_dense(&sigma, &a, &b, &cfg);
     let t_dense = t.elapsed().as_secs_f64();
-    println!("dense      : P = {:.6e}   total {:.2}s", dense.prob, t_dense);
+    println!(
+        "dense      : P = {:.6e}   total {:.2}s",
+        dense.prob, t_dense
+    );
 
     // TLR at several tolerances.
     println!("\n tolerance   probability      |diff vs dense|   time (s)   mean rank");
     for tol in [1e-1, 1e-2, 1e-3, 1e-5] {
         let t = Instant::now();
-        let mut tlr = kernel.tlr_covariance(
-            &locations,
-            nb,
-            1e-9,
-            CompressionTol::Absolute(tol),
-            nb / 2,
-        );
+        let mut tlr =
+            kernel.tlr_covariance(&locations, nb, 1e-9, CompressionTol::Absolute(tol), nb / 2);
         tlr::potrf_tlr(&mut tlr, 1).unwrap();
         let r = mvn_prob_tlr(&tlr, &a, &b, &cfg);
         let secs = t.elapsed().as_secs_f64();

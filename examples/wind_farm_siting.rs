@@ -61,7 +61,10 @@ fn main() {
     let tlr = detect_confidence_regions(&tlr_factor, &std_vals, &csd, &cfg);
     let tlr_region = excursion_set(&tlr, cfg.alpha);
 
-    let overlap = dense_region.iter().filter(|i| tlr_region.contains(i)).count();
+    let overlap = dense_region
+        .iter()
+        .filter(|i| tlr_region.contains(i))
+        .count();
     println!(
         "confidence regions: dense {} sites, TLR {} sites, overlap {overlap}",
         dense_region.len(),

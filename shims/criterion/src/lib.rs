@@ -1,0 +1,233 @@
+//! A self-contained, offline stand-in for the subset of the Criterion.rs API
+//! used by the `mvn-bench` harnesses. The build container has no network
+//! access to crates.io, so the real crate cannot be fetched; benches are
+//! written against the genuine Criterion API and work unchanged if this shim
+//! is ever swapped for the real crate.
+//!
+//! Each benchmark is warmed up, then timed for up to `measurement_time` (or
+//! `sample_size` iterations, whichever bound is hit first). Results are
+//! printed both as a human-readable line and as a machine-readable JSON point
+//!
+//! ```json
+//! {"benchmark":"group/id","mean_ns":1234.5,"samples":20}
+//! ```
+//!
+//! so bench trajectories can be tracked by grepping `^\{"benchmark"` from the
+//! bench output (see `.github/workflows/ci.yml`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark case (a name plus a parameter value).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring Criterion's display form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the workload.
+pub struct Bencher<'m> {
+    measurement: &'m mut Measurement,
+}
+
+impl Bencher<'_> {
+    /// Run `f` repeatedly under the active measurement configuration.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up: run for the configured warm-up window.
+        let warm_deadline = Instant::now() + self.measurement.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+        }
+        // Measurement: up to `sample_size` samples within `measurement_time`.
+        let deadline = Instant::now() + self.measurement.measurement_time;
+        let mut samples = Vec::with_capacity(self.measurement.sample_size);
+        for _ in 0..self.measurement.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_secs_f64());
+            if Instant::now() >= deadline && !samples.is_empty() {
+                break;
+            }
+        }
+        self.measurement.samples = samples;
+    }
+}
+
+#[derive(Clone)]
+struct Measurement {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Default for Measurement {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            samples: Vec::new(),
+        }
+    }
+}
+
+fn report(full_id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{full_id:<50} <no samples>");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{full_id:<50} mean {:>12.3} ms over {} samples",
+        mean * 1e3,
+        samples.len()
+    );
+    println!("{line}");
+    println!(
+        "{{\"benchmark\":\"{full_id}\",\"mean_ns\":{:.1},\"samples\":{}}}",
+        mean * 1e9,
+        samples.len()
+    );
+}
+
+/// A named group of benchmarks sharing measurement configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measurement: Measurement,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measurement.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut measurement = self.measurement.clone();
+        let mut f = f;
+        f(&mut Bencher {
+            measurement: &mut measurement,
+        });
+        report(&format!("{}/{}", self.name, id.id), &measurement.samples);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Measurement::default(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut measurement = Measurement::default();
+        let mut f = f;
+        f(&mut Bencher {
+            measurement: &mut measurement,
+        });
+        report(name, &measurement.samples);
+        self
+    }
+}
+
+/// Mirror of `criterion::black_box` (the benches mostly use
+/// `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| std::hint::black_box(1 + 1))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,350 @@
+//! A self-contained, offline stand-in for the subset of the `rayon`
+//! parallel-iterator API this workspace uses. It keeps rayon's semantics for
+//! that subset — data-parallel execution across OS threads, order-preserving
+//! `collect`, disjoint `&mut` access in `for_each` — while depending only on
+//! `std`. The container this repo builds in has no network access to
+//! crates.io, so the real rayon cannot be fetched; consumers are written
+//! against the genuine rayon API and will work unchanged if this shim is ever
+//! swapped for the real crate.
+//!
+//! Supported surface:
+//!
+//! * `slice.par_iter()`, `vec.par_iter()` → `.map(f).collect::<Vec<_>>()`,
+//!   `.for_each(f)`, `.map(f).sum()`
+//! * `slice.par_iter_mut()`, `vec.par_iter_mut()` → `.for_each(f)`
+//! * `(a..b).into_par_iter()`, `vec.into_par_iter()` → same terminals as
+//!   `par_iter`
+//!
+//! Scheduling: items are distributed dynamically over
+//! `std::thread::available_parallelism()` workers via an atomic index counter
+//! (single-item granularity — the workloads here are tile-sized, so per-item
+//! overhead is negligible).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(i)` for every `i in 0..len` across worker threads, dynamically
+/// load-balanced. `f` only needs `Sync` because each index is claimed exactly
+/// once and `f` is shared by reference.
+fn parallel_indices(len: usize, threads: usize, f: impl Fn(usize) + Sync) {
+    if len == 0 {
+        return;
+    }
+    let threads = threads.min(len).max(1);
+    if threads == 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let f_ref = &f;
+    let next_ref = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    return;
+                }
+                f_ref(i);
+            });
+        }
+    });
+}
+
+/// Order-preserving parallel map over `0..len`.
+fn parallel_map_indices<R: Send>(
+    len: usize,
+    threads: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    {
+        let slots = SharedSlots(out.as_mut_ptr());
+        let slots_ref = &slots;
+        parallel_indices(len, threads, move |i| {
+            // SAFETY: each index i is claimed by exactly one worker, so the
+            // writes target disjoint slots; the Vec outlives the scope.
+            unsafe { *slots_ref.0.add(i) = Some(f(i)) };
+        });
+    }
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+struct SharedSlots<R>(*mut Option<R>);
+// SAFETY: used only under the disjoint-index discipline of parallel_indices.
+unsafe impl<R: Send> Sync for SharedSlots<R> {}
+unsafe impl<R: Send> Send for SharedSlots<R> {}
+
+/// The subset of rayon's `ParallelIterator` trait the workspace relies on.
+/// Terminal operations evaluate eagerly on the calling thread's scope.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Consume the iterator, yielding an ordered `Vec` of its items.
+    fn drive(self) -> Vec<Self::Item>;
+
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+        Map<Self, F>: ParallelIterator,
+    {
+        self.map(f).drive();
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_driven(self.drive())
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.drive().into_iter().fold(identity(), op)
+    }
+}
+
+/// Mirror of rayon's `FromParallelIterator`, limited to `Vec`.
+pub trait FromParallelIterator<T> {
+    fn from_driven(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_driven(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: IndexedSource,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        self.base.map_indexed(&self.f)
+    }
+}
+
+/// Internal abstraction: a source that can hand out item `i` to exactly one
+/// caller. This is what lets `par_iter_mut` distribute disjoint `&mut`
+/// references safely.
+pub trait IndexedSource: Sized {
+    type Item: Send;
+    fn map_indexed<R: Send>(self, f: &(impl Fn(Self::Item) -> R + Sync)) -> Vec<R>;
+}
+
+impl<S: IndexedSource> ParallelIterator for S {
+    type Item = S::Item;
+    fn drive(self) -> Vec<S::Item> {
+        self.map_indexed(&|x| x)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceParIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync + 'a> IndexedSource for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn map_indexed<R: Send>(self, f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+        let items = self.0;
+        parallel_map_indices(items.len(), num_threads(), |i| f(&items[i]))
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct SliceParIterMut<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send + 'a> IndexedSource for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn map_indexed<R: Send>(self, f: &(impl Fn(&'a mut T) -> R + Sync)) -> Vec<R> {
+        let len = self.0.len();
+        let base = SharedMutPtr(self.0.as_mut_ptr());
+        let base_ref = &base;
+        parallel_map_indices(len, num_threads(), move |i| {
+            // SAFETY: indices are claimed exactly once, so the &mut
+            // references handed to `f` are disjoint; the slice outlives the
+            // parallel scope because `self` borrows it for 'a.
+            f(unsafe { &mut *base_ref.0.add(i) })
+        })
+    }
+}
+
+struct SharedMutPtr<T>(*mut T);
+// SAFETY: disjoint-index discipline as above.
+unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
+unsafe impl<T: Send> Send for SharedMutPtr<T> {}
+
+/// Owning source (`into_par_iter` on `Vec` / ranges).
+pub struct VecParIter<T>(Vec<T>);
+
+impl<T: Send> IndexedSource for VecParIter<T> {
+    type Item = T;
+    fn map_indexed<R: Send>(self, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+        let mut items: Vec<Option<T>> = self.0.into_iter().map(Some).collect();
+        let len = items.len();
+        let base = SharedMutPtr(items.as_mut_ptr());
+        let base_ref = &base;
+        parallel_map_indices(len, num_threads(), move |i| {
+            // SAFETY: disjoint indices; each Option is taken exactly once.
+            let item = unsafe { (*base_ref.0.add(i)).take().expect("item present") };
+            f(item)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceParIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        SliceParIter(self)
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter: ParallelIterator;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceParIterMut(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SliceParIterMut(self)
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter(self)
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter(self.collect())
+    }
+}
+
+/// Matches `rayon::current_num_threads` (used to size worker pools).
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let squares: Vec<usize> = (0usize..257).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[16], 256);
+        assert_eq!(squares.len(), 257);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut v = vec![0u64; 513];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_each_runs_all_items() {
+        let counter = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: usize = (0..1001usize).into_par_iter().sum();
+        assert_eq!(s, 500_500);
+    }
+
+    #[test]
+    fn owned_vec_items_are_moved() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

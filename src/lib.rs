@@ -5,16 +5,18 @@
 //!
 //! * [`mathx`] — special functions (Φ, Φ⁻¹, erfc, ln Γ, K_ν),
 //! * [`qmc`] — quasi-Monte-Carlo point sets and RNG streams,
-//! * [`tile_la`] — tiled dense linear algebra and the parallel Cholesky,
-//! * [`tlr`] — tile-low-rank compression and the TLR Cholesky,
-//! * [`task_runtime`] — the sequential-task-flow runtime,
+//! * [`task_runtime`] — the sequential-task-flow runtime (dependency-inferred
+//!   task graphs, threaded executor, typed tile store),
+//! * [`tile_la`] — tiled dense linear algebra and the DAG-scheduled Cholesky,
+//! * [`tlr`] — tile-low-rank compression and the DAG-scheduled TLR Cholesky,
 //! * [`geostat`] — covariance models, field simulation, posterior, MLE, wind data,
-//! * [`mvn_core`] — the SOV / PMVN multivariate normal probability algorithms,
+//! * [`mvn_core`] — the SOV / PMVN probability algorithms and the fused
+//!   factor+sweep pipeline ([`mvn_core::MvnPlanner`]),
 //! * [`excursion`] — confidence-region detection and MC validation,
 //! * [`distsim`] — the distributed-memory performance model.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for the
-//! paper-reproduction map.
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
+//! the paper-reproduction map.
 
 pub use distsim;
 pub use excursion;

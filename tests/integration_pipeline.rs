@@ -109,7 +109,16 @@ fn end_to_end_confidence_region_pipeline_with_posterior_and_validation() {
     // The MC-validated joint exceedance probability of the bisection region is
     // compatible with 1-alpha (the bisection region is the one whose joint
     // probability is certified to be >= 1-alpha).
-    let v = mc_validate(&factor, &post.mean, &sd, &bisect_region, 0.4, 40_000, 500, 3);
+    let v = mc_validate(
+        &factor,
+        &post.mean,
+        &sd,
+        &bisect_region,
+        0.4,
+        40_000,
+        500,
+        3,
+    );
     assert!(
         v.p_hat >= 1.0 - cfg.alpha - 4.0 * v.std_error - 0.03,
         "validated probability {} too far below {}",

@@ -1,32 +1,70 @@
-//! Workspace-level property-based tests on the core invariants, using proptest.
+//! Workspace-level property-style tests on the core invariants.
+//!
+//! The container this repo builds in has no access to crates.io, so instead
+//! of `proptest` the case generation is a deterministic parameter sweep driven
+//! by the workspace's own seeded RNG — same invariants, reproducible cases.
 
 use mathx::{norm_cdf, norm_quantile};
 use mvn_core::{mvn_prob_dense, MvnConfig};
-use proptest::prelude::*;
+use qmc::Xoshiro256pp;
 use tile_la::{max_abs_diff, potrf_tiled, DenseMatrix, SymTileMatrix};
 use tlr::{compress_dense, lr_add_recompress, CompressionTol};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Deterministic case driver over the workspace RNG.
+struct CaseStream {
+    rng: Xoshiro256pp,
+}
 
-    /// Φ and Φ⁻¹ are inverse functions over the bulk of the distribution.
-    #[test]
-    fn normal_cdf_quantile_roundtrip(p in 1e-12f64..1.0) {
+impl CaseStream {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256pp::seed_from(seed),
+        }
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.rng.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+const CASES: usize = 32;
+
+/// Φ and Φ⁻¹ are inverse functions over the bulk of the distribution.
+#[test]
+fn normal_cdf_quantile_roundtrip() {
+    let mut s = CaseStream::new(1);
+    for _ in 0..CASES {
+        let p = s.in_range(1e-12, 1.0 - 1e-12);
         let x = norm_quantile(p);
         let p2 = norm_cdf(x);
-        prop_assert!((p - p2).abs() < 1e-9, "p={p}, roundtrip={p2}");
+        assert!((p - p2).abs() < 1e-9, "p={p}, roundtrip={p2}");
     }
+}
 
-    /// Φ is monotone non-decreasing.
-    #[test]
-    fn normal_cdf_is_monotone(a in -30.0f64..30.0, delta in 0.0f64..5.0) {
-        prop_assert!(norm_cdf(a + delta) >= norm_cdf(a));
+/// Φ is monotone non-decreasing.
+#[test]
+fn normal_cdf_is_monotone() {
+    let mut s = CaseStream::new(2);
+    for _ in 0..CASES {
+        let a = s.in_range(-30.0, 30.0);
+        let delta = s.in_range(0.0, 5.0);
+        assert!(norm_cdf(a + delta) >= norm_cdf(a));
     }
+}
 
-    /// The tiled Cholesky factorization reconstructs the matrix it factored,
-    /// for random SPD matrices of random sizes and tile sizes.
-    #[test]
-    fn tiled_cholesky_reconstructs(n in 4usize..40, nb in 2usize..16, range in 2.0f64..20.0) {
+/// The tiled Cholesky factorization reconstructs the matrix it factored, for
+/// random SPD matrices of random sizes and tile sizes.
+#[test]
+fn tiled_cholesky_reconstructs() {
+    let mut s = CaseStream::new(3);
+    for _ in 0..CASES {
+        let n = s.usize_in(4, 40);
+        let nb = s.usize_in(2, 16);
+        let range = s.in_range(2.0, 20.0);
         let f = |i: usize, j: usize| {
             let d = (i as f64 - j as f64).abs();
             (-d / range).exp() + if i == j { 0.05 } else { 0.0 }
@@ -36,79 +74,142 @@ proptest! {
         let l = a.to_dense_lower();
         let rec = l.matmul_nt(&l);
         let orig = DenseMatrix::from_fn(n, n, f);
-        prop_assert!(max_abs_diff(&rec, &orig) < 1e-8);
+        assert!(
+            max_abs_diff(&rec, &orig) < 1e-8,
+            "n={n}, nb={nb}, range={range}"
+        );
     }
+}
 
-    /// Truncated-SVD tile compression never exceeds its error budget.
-    #[test]
-    fn compression_error_within_tolerance(
-        m in 4usize..24,
-        n in 4usize..24,
-        offset in 0usize..100,
-        tol_exp in 1u32..8,
-    ) {
-        let tol = 10f64.powi(-(tol_exp as i32));
+/// Truncated-SVD tile compression never exceeds its error budget.
+#[test]
+fn compression_error_within_tolerance() {
+    let mut s = CaseStream::new(4);
+    for _ in 0..CASES {
+        let m = s.usize_in(4, 24);
+        let n = s.usize_in(4, 24);
+        let offset = s.usize_in(0, 100);
+        let tol = 10f64.powi(-(s.usize_in(1, 8) as i32));
         let tile = DenseMatrix::from_fn(m, n, |i, j| {
             (-((i as f64 - (j + offset) as f64).abs()) / 30.0).exp()
         });
         let lr = compress_dense(&tile, CompressionTol::Absolute(tol), usize::MAX);
         let mut diff = lr.to_dense();
         diff.add_scaled(-1.0, &tile);
-        prop_assert!(diff.frobenius_norm() <= tol * 1.5 + 1e-12);
+        assert!(
+            diff.frobenius_norm() <= tol * 1.5 + 1e-12,
+            "m={m}, n={n}, offset={offset}, tol={tol}"
+        );
     }
+}
 
-    /// Low-rank addition with recompression approximates the exact sum.
-    #[test]
-    fn lowrank_addition_is_accurate(seed in 0u64..1000, m in 4usize..16, k in 1usize..4) {
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+/// Low-rank addition with recompression approximates the exact sum.
+#[test]
+fn lowrank_addition_is_accurate() {
+    let mut s = CaseStream::new(5);
+    for _ in 0..CASES {
+        let m = s.usize_in(4, 16);
+        let k = s.usize_in(1, 4);
+        let mut mk = |rows: usize, cols: usize| {
+            DenseMatrix::from_fn(rows, cols, |_, _| s.in_range(-1.0, 1.0))
         };
-        let mk = |rows: usize, cols: usize, f: &mut dyn FnMut() -> f64| {
-            DenseMatrix::from_fn(rows, cols, |_, _| f())
-        };
-        let a = tlr::LowRankBlock::new(mk(m, k, &mut next), mk(m, k, &mut next));
-        let b = tlr::LowRankBlock::new(mk(m, k, &mut next), mk(m, k, &mut next));
+        let a = tlr::LowRankBlock::new(mk(m, k), mk(m, k));
+        let b = tlr::LowRankBlock::new(mk(m, k), mk(m, k));
         let sum = lr_add_recompress(&a, &b, CompressionTol::Absolute(1e-10), usize::MAX);
         let mut want = a.to_dense();
         want.add_scaled(1.0, &b.to_dense());
-        prop_assert!(max_abs_diff(&sum.to_dense(), &want) < 1e-8);
+        assert!(max_abs_diff(&sum.to_dense(), &want) < 1e-8, "m={m}, k={k}");
     }
+}
 
-    /// MVN probabilities are in [0,1], equal to 1 on the whole space, and
-    /// monotone in the integration box.
-    #[test]
-    fn mvn_probability_monotone_in_the_box(n in 2usize..12, lower in -2.0f64..0.5) {
+/// MVN probabilities are in [0,1], equal to 1 on the whole space, and monotone
+/// in the integration box.
+#[test]
+fn mvn_probability_monotone_in_the_box() {
+    let mut s = CaseStream::new(6);
+    for _ in 0..8 {
+        let n = s.usize_in(2, 12);
+        let lower = s.in_range(-2.0, 0.5);
         let f = |i: usize, j: usize| {
             let d = (i as f64 - j as f64).abs();
             (-d / 5.0).exp() + if i == j { 0.01 } else { 0.0 }
         };
         let mut l = SymTileMatrix::from_fn(n, 4, f);
         potrf_tiled(&mut l, 1).unwrap();
-        let cfg = MvnConfig { sample_size: 2000, seed: 1, ..Default::default() };
+        let cfg = MvnConfig {
+            sample_size: 2000,
+            seed: 1,
+            ..Default::default()
+        };
         let b = vec![f64::INFINITY; n];
         let p_small = mvn_prob_dense(&l, &vec![lower + 0.5; n], &b, &cfg).prob;
         let p_large = mvn_prob_dense(&l, &vec![lower; n], &b, &cfg).prob;
-        prop_assert!((0.0..=1.0).contains(&p_small));
-        prop_assert!((0.0..=1.0).contains(&p_large));
-        // Enlarging the box (lower limit decreases) cannot decrease the probability.
-        prop_assert!(p_large >= p_small - 1e-9);
+        assert!((0.0..=1.0).contains(&p_small));
+        assert!((0.0..=1.0).contains(&p_large));
+        // Enlarging the box (lower limit decreases) cannot decrease the
+        // probability.
+        assert!(p_large >= p_small - 1e-9, "n={n}, lower={lower}");
         let whole = mvn_prob_dense(&l, &vec![f64::NEG_INFINITY; n], &b, &cfg).prob;
-        prop_assert!((whole - 1.0).abs() < 1e-12);
+        assert!((whole - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Marginal exceedance probabilities bound the joint prefix probabilities.
-    #[test]
-    fn joint_probability_never_exceeds_smallest_marginal(n in 3usize..10, u in -1.0f64..1.0) {
+/// Marginal exceedance probabilities bound the joint prefix probabilities.
+#[test]
+fn joint_probability_never_exceeds_smallest_marginal() {
+    let mut s = CaseStream::new(7);
+    for _ in 0..8 {
+        let n = s.usize_in(3, 10);
+        let u = s.in_range(-1.0, 1.0);
         let f = |i: usize, j: usize| if i == j { 1.0 } else { 0.4 };
         let mut l = SymTileMatrix::from_fn(n, 3, f);
         potrf_tiled(&mut l, 1).unwrap();
-        let cfg = MvnConfig { sample_size: 4000, seed: 2, ..Default::default() };
+        let cfg = MvnConfig {
+            sample_size: 4000,
+            seed: 2,
+            ..Default::default()
+        };
         let a = vec![u; n];
         let b = vec![f64::INFINITY; n];
         let joint = mvn_prob_dense(&l, &a, &b, &cfg).prob;
         let marginal = 1.0 - norm_cdf(u);
-        prop_assert!(joint <= marginal + 0.01, "joint {joint} vs marginal {marginal}");
+        assert!(
+            joint <= marginal + 0.01,
+            "n={n}: joint {joint} vs marginal {marginal}"
+        );
+    }
+}
+
+/// The fused factor+sweep pipeline agrees bitwise with the staged flow on
+/// randomly sized problems (the acceptance criterion of the DAG refactor).
+#[test]
+fn fused_pipeline_is_bitwise_identical_to_staged_flow() {
+    let mut s = CaseStream::new(8);
+    for _ in 0..6 {
+        let n = s.usize_in(8, 40);
+        let nb = s.usize_in(3, 12);
+        let range = s.in_range(3.0, 15.0);
+        let f = |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs();
+            (-d / range).exp() + if i == j { 0.05 } else { 0.0 }
+        };
+        let a = vec![s.in_range(-1.0, 0.0); n];
+        let b = vec![s.in_range(0.5, 2.0); n];
+        let cfg = MvnConfig {
+            sample_size: 1000,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut l = SymTileMatrix::from_fn(n, nb, f);
+        potrf_tiled(&mut l, 1).unwrap();
+        let staged = mvn_prob_dense(&l, &a, &b, &cfg);
+        let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+        let fused = mvn_core::mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).unwrap();
+        assert!(
+            staged.prob.to_bits() == fused.prob.to_bits(),
+            "n={n}, nb={nb}: staged {} vs fused {}",
+            staged.prob,
+            fused.prob
+        );
     }
 }
