@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use excursion::{correlation_factor_dense, mc_validate};
 use mvn_bench::SyntheticProblem;
+use mvn_core::MvnEngine;
 use std::hint::black_box;
 
 fn bench_mc_validation(c: &mut Criterion) {
@@ -12,6 +13,7 @@ fn bench_mc_validation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
 
+    let engine = MvnEngine::builder().build().expect("engine");
     for side in [16usize, 24, 32] {
         let problem = SyntheticProblem::new(side, 0.1, "medium");
         let n = problem.n();
@@ -23,7 +25,7 @@ fn bench_mc_validation(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("mc_validate_n", n), |bench| {
             bench.iter(|| {
                 black_box(mc_validate(
-                    &factor, &mean, &sd, &region, 0.5, 5_000, 500, 11,
+                    &engine, &factor, &mean, &sd, &region, 0.5, 5_000, 500, 11,
                 ))
             });
         });

@@ -4,7 +4,7 @@
 //! SVD compression cost, dense vs. TLR factorization).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvn_core::{mvn_prob_dense, mvn_prob_dense_fused, MvnConfig, Scheduler};
+use mvn_core::{mvn_prob_dense, mvn_prob_dense_fused, MvnConfig, MvnEngine, Scheduler};
 use std::hint::black_box;
 use tile_la::kernels::{gemm_nt, jacobi_svd, potrf_in_place};
 use tile_la::{potrf_tiled, potrf_tiled_dag, potrf_tiled_forkjoin, DenseMatrix, SymTileMatrix};
@@ -137,6 +137,54 @@ fn bench_scheduling(c: &mut Criterion) {
         bench.iter(|| {
             let mut sigma = SymTileMatrix::from_fn(n, nb, f);
             black_box(mvn_prob_dense_fused(&mut sigma, &a, &b, &dag_cfg).unwrap())
+        });
+    });
+
+    // The session-API ablation: 64 small solves against one factor, either
+    // constructing a fresh engine (pool spawn + teardown) per solve — the
+    // cost profile of the old free functions — or reusing one engine whose
+    // workers stay parked between solves. Probabilities are bitwise
+    // identical; only the scheduling overhead differs.
+    let small_n = 64;
+    let small_cfg = MvnConfig {
+        sample_size: 256,
+        panel_width: 64,
+        seed: 20240518,
+        scheduler: Scheduler::Dag { workers: 2 },
+        ..Default::default()
+    };
+    let small_f = |i: usize, j: usize| {
+        (-((i as f64 - j as f64).abs()) / 20.0).exp() + if i == j { 1e-4 } else { 0.0 }
+    };
+    let mut small_factor = SymTileMatrix::from_fn(small_n, 16, small_f);
+    potrf_tiled(&mut small_factor, 1).unwrap();
+    let solves = 64usize;
+    let limits: Vec<(Vec<f64>, Vec<f64>)> = (0..solves)
+        .map(|k| {
+            (
+                vec![-0.5 - 0.01 * k as f64; small_n],
+                vec![f64::INFINITY; small_n],
+            )
+        })
+        .collect();
+    group.bench_function("engine_reuse_fresh_engine_per_solve", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for (a, b) in &limits {
+                let engine = MvnEngine::with_config(small_cfg).unwrap();
+                acc += engine.solve_factored(&small_factor, a, b).prob;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("engine_reuse_shared_engine", |bench| {
+        let engine = MvnEngine::with_config(small_cfg).unwrap();
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for (a, b) in &limits {
+                acc += engine.solve_factored(&small_factor, a, b).prob;
+            }
+            black_box(acc)
         });
     });
     group.finish();

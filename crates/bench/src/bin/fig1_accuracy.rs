@@ -18,6 +18,7 @@ use excursion::{
 };
 use geostat::{posterior_update, simulate_field, simulate_observations};
 use mvn_bench::{full_scale_requested, mvn_config, SyntheticProblem, CORRELATION_SETTINGS};
+use mvn_core::MvnEngine;
 use tlr::CompressionTol;
 
 fn main() {
@@ -34,6 +35,9 @@ fn main() {
         "# grid {side}x{side} ({} locations), QMC N = {qmc_samples}, MC validation N = {mc_samples}",
         side * side
     );
+
+    // One engine (and worker pool) for every correlation setting below.
+    let engine = MvnEngine::builder().build().expect("engine");
 
     for &(label, range) in CORRELATION_SETTINGS {
         let problem = SyntheticProblem::new(side, range, label);
@@ -58,8 +62,8 @@ fn main() {
             levels: 15,
             mvn: mvn_config(qmc_samples),
         };
-        let dense_result = detect_confidence_regions(&factor_dense, &post.mean, &sd, &cfg);
-        let tlr_result = detect_confidence_regions(&factor_tlr, &post.mean, &sd, &cfg);
+        let dense_result = detect_confidence_regions(&engine, &factor_dense, &post.mean, &sd, &cfg);
+        let tlr_result = detect_confidence_regions(&engine, &factor_tlr, &post.mean, &sd, &cfg);
 
         let marginal_region = dense_result.marginal.iter().filter(|&&p| p >= 0.95).count();
         println!(
@@ -75,6 +79,7 @@ fn main() {
             let region_d = excursion_set(&dense_result, alpha);
             let region_t = excursion_set(&tlr_result, alpha);
             let vd = mc_validate(
+                &engine,
                 &factor_dense,
                 &post.mean,
                 &sd,
@@ -85,6 +90,7 @@ fn main() {
                 777,
             );
             let vt = mc_validate(
+                &engine,
                 &factor_dense,
                 &post.mean,
                 &sd,
@@ -109,7 +115,7 @@ fn main() {
         for tol in [1e-1, 1e-2, 1e-3] {
             let (factor_t, _) =
                 correlation_factor_tlr(&post.cov, nb, CompressionTol::Absolute(tol), nb / 2);
-            let result_t = detect_confidence_regions(&factor_t, &post.mean, &sd, &cfg);
+            let result_t = detect_confidence_regions(&engine, &factor_t, &post.mean, &sd, &cfg);
             let diffs: Vec<f64> = dense_result
                 .confidence
                 .iter()

@@ -13,8 +13,11 @@ use excursion::{
     correlation_factor_dense, correlation_factor_tlr, detect_confidence_regions, excursion_set,
     CrdConfig,
 };
-use geostat::{default_fluctuation_params, fit_matern, synthetic_wind_dataset, MaternParams};
+use geostat::{
+    default_fluctuation_params, fit_matern_pooled, synthetic_wind_dataset, MaternParams,
+};
 use mvn_bench::{full_scale_requested, mvn_config};
+use mvn_core::MvnEngine;
 use tlr::CompressionTol;
 
 fn main() {
@@ -49,8 +52,11 @@ fn main() {
         range: 0.05,
         smoothness: 1.0,
     };
-    let fit =
-        fit_matern(&wind.unit_locations, &std_vals, init, false).expect("MLE fit should converge");
+    // One engine session for the whole study: the MLE objective's repeated
+    // factorizations and the two detection sweeps share its worker pool.
+    let engine = MvnEngine::builder().build().expect("engine");
+    let fit = fit_matern_pooled(&wind.unit_locations, &std_vals, init, false, engine.pool())
+        .expect("MLE fit should converge");
     println!(
         "fitted Matérn parameters: sigma2 {:.4}, range {:.5}, smoothness {:.3} (loglik {:.1})",
         fit.params.sigma2, fit.params.range, fit.params.smoothness, fit.loglik
@@ -69,8 +75,8 @@ fn main() {
         levels: 15,
         mvn: mvn_config(qmc_samples),
     };
-    let dense = detect_confidence_regions(&factor_dense, &std_vals, &csd, &cfg);
-    let tlr = detect_confidence_regions(&factor_tlr, &std_vals, &csd, &cfg);
+    let dense = detect_confidence_regions(&engine, &factor_dense, &std_vals, &csd, &cfg);
+    let tlr = detect_confidence_regions(&engine, &factor_tlr, &std_vals, &csd, &cfg);
 
     // Figure 2b vs 2c/2d.
     let marginal_region = dense.marginal.iter().filter(|&&p| p >= 1.0 - alpha).count();

@@ -1,0 +1,669 @@
+//! `MvnEngine` — a persistent solver session for MVN probabilities.
+//!
+//! The free functions ([`mvn_prob_dense`](crate::mvn_prob_dense),
+//! [`mvn_prob_tlr`](crate::mvn_prob_tlr), the fused variants) spin up and
+//! tear down a worker pool inside every call — exactly the overhead that
+//! dominates hot loops which factor and solve hundreds of small problems per
+//! optimization (the MLE objective, the CRD bisection). The paper's StarPU
+//! runtime instead keeps one worker pool alive for the whole
+//! confidence-region detection run; `MvnEngine` is that session object:
+//!
+//! * it owns a persistent [`WorkerPool`] (threads parked on a condvar between
+//!   graph submissions),
+//! * [`MvnEngine::factor_dense`]/[`MvnEngine::factor_tlr`] factor a
+//!   covariance on the pool and return a reusable [`Factor`] handle, so one
+//!   factorization is amortized across many probability queries (the
+//!   low-rank-MVN amortization of Cao et al. 2020),
+//! * [`MvnEngine::solve`] estimates one probability against a factor, and
+//!   [`MvnEngine::solve_batch`] submits *all* problems of a batch into one
+//!   task graph, so independent small solves share the pool instead of
+//!   serializing per-call setup.
+//!
+//! Every probability produced by the engine is bitwise identical to the
+//! corresponding free-function result for the same [`MvnConfig`], for any
+//! worker count (enforced by the tests below).
+//!
+//! ```
+//! use mvn_core::{MvnEngine, Problem};
+//! use tile_la::SymTileMatrix;
+//!
+//! let engine = MvnEngine::builder().workers(2).sample_size(2000).build().unwrap();
+//! let sigma = SymTileMatrix::from_fn(32, 8, |i, j| if i == j { 1.0 } else { 0.25 });
+//! let factor = engine.factor_dense(sigma).unwrap();
+//! let r = engine.solve(&factor, &[-1.0; 32], &[1.0; 32]);
+//! let batch = engine.solve_batch(
+//!     &factor,
+//!     &[Problem::new(vec![-1.0; 32], vec![1.0; 32]),
+//!       Problem::new(vec![0.0; 32], vec![f64::INFINITY; 32])],
+//! );
+//! assert_eq!(r.prob.to_bits(), batch[0].prob.to_bits());
+//! ```
+
+use crate::pipeline::{run_dense_fused_with, run_tlr_fused_with};
+use crate::pmvn::{combine_panel_results, sweep_panel, CholeskyFactor};
+use crate::{MvnConfig, MvnResult, Scheduler};
+use qmc::{make_point_set, PointSet, SampleKind};
+use task_runtime::{PoolStats, WorkerPool};
+use tile_la::dag::effective_workers;
+use tile_la::{potrf_tiled_pool, CholeskyError, DenseMatrix, SymTileMatrix, TileLayout};
+use tlr::{potrf_tlr_pool, TlrCholeskyError, TlrMatrix};
+
+/// Sanity cap on the number of worker threads an engine may be built with.
+///
+/// A request above this is almost certainly a bug (e.g. a problem size passed
+/// as a worker count) and would silently oversubscribe the host with hundreds
+/// of parked threads; [`MvnEngineBuilder::build`] rejects it with
+/// [`EngineError::TooManyWorkers`] instead. `workers == 0` ("available
+/// parallelism", see [`effective_workers`]) is always accepted.
+pub const MAX_ENGINE_WORKERS: usize = 256;
+
+/// Why an [`MvnEngine`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An explicit worker count above [`MAX_ENGINE_WORKERS`] was requested.
+    TooManyWorkers {
+        /// The requested worker count.
+        requested: usize,
+        /// The cap ([`MAX_ENGINE_WORKERS`]).
+        max: usize,
+    },
+    /// A configuration field has an unusable value.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TooManyWorkers { requested, max } => write!(
+                f,
+                "requested {requested} workers, above the sanity cap of {max}: \
+                 an engine keeps its workers alive for its whole lifetime, so \
+                 this would oversubscribe the host (use 0 for one worker per \
+                 available core)"
+            ),
+            EngineError::InvalidConfig(what) => write!(f, "invalid engine configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One integration box `[a, b]` for [`MvnEngine::solve_batch`].
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Lower integration limits (entries may be `-inf`).
+    pub a: Vec<f64>,
+    /// Upper integration limits (entries may be `+inf`).
+    pub b: Vec<f64>,
+}
+
+impl Problem {
+    /// A problem from its limit vectors.
+    pub fn new(a: Vec<f64>, b: Vec<f64>) -> Self {
+        Self { a, b }
+    }
+}
+
+/// A reusable Cholesky factor handle produced by
+/// [`MvnEngine::factor_dense`]/[`MvnEngine::factor_tlr`].
+///
+/// Holding the factor (rather than re-factoring per query) is what amortizes
+/// the `O(n³/3)` factorization across many `solve`/`solve_batch` calls. The
+/// variants are public so a factor computed elsewhere (e.g. by
+/// [`tile_la::potrf_tiled`]) can be wrapped directly.
+pub enum Factor {
+    /// Dense tiled factor.
+    Dense(SymTileMatrix),
+    /// Tile low-rank factor.
+    Tlr(TlrMatrix),
+}
+
+impl Factor {
+    /// Matrix dimension `n`.
+    pub fn dim(&self) -> usize {
+        match self {
+            Factor::Dense(m) => m.n(),
+            Factor::Tlr(m) => m.n(),
+        }
+    }
+
+    /// Total number of stored doubles (to compare the dense and TLR
+    /// storage formats).
+    pub fn stored_elements(&self) -> usize {
+        match self {
+            Factor::Dense(m) => m.stored_elements(),
+            Factor::Tlr(m) => m.stored_elements(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Factor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            Factor::Dense(_) => "Dense",
+            Factor::Tlr(_) => "Tlr",
+        };
+        f.debug_struct("Factor")
+            .field("kind", &kind)
+            .field("n", &self.dim())
+            .finish()
+    }
+}
+
+impl CholeskyFactor for Factor {
+    fn dim(&self) -> usize {
+        Factor::dim(self)
+    }
+    fn tiling(&self) -> TileLayout {
+        match self {
+            Factor::Dense(m) => CholeskyFactor::tiling(m),
+            Factor::Tlr(m) => CholeskyFactor::tiling(m),
+        }
+    }
+    fn diag_block(&self, r: usize) -> &DenseMatrix {
+        match self {
+            Factor::Dense(m) => m.diag_block(r),
+            Factor::Tlr(m) => m.diag_block(r),
+        }
+    }
+    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
+        match self {
+            Factor::Dense(m) => m.apply_offdiag(j, r, y, acc),
+            Factor::Tlr(m) => m.apply_offdiag(j, r, y, acc),
+        }
+    }
+}
+
+/// Builder for [`MvnEngine`] (obtained via [`MvnEngine::builder`]).
+#[derive(Debug, Clone)]
+pub struct MvnEngineBuilder {
+    cfg: MvnConfig,
+}
+
+impl MvnEngineBuilder {
+    /// Worker threads for the engine's pool (`0` — the default — means one
+    /// worker per available core; see [`effective_workers`]). Explicit values
+    /// above [`MAX_ENGINE_WORKERS`] are rejected by [`build`](Self::build).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.scheduler = Scheduler::Dag { workers };
+        self
+    }
+
+    /// Number of (quasi-)Monte-Carlo samples per solve.
+    pub fn sample_size(mut self, sample_size: usize) -> Self {
+        self.cfg.sample_size = sample_size;
+        self
+    }
+
+    /// Width of a sample-column panel (one panel = one task).
+    pub fn panel_width(mut self, panel_width: usize) -> Self {
+        self.cfg.panel_width = panel_width;
+        self
+    }
+
+    /// Sampling family for the integration points.
+    pub fn sample_kind(mut self, kind: SampleKind) -> Self {
+        self.cfg.sample_kind = kind;
+        self
+    }
+
+    /// Random seed (QMC shift / MC stream).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Replace the whole configuration (the worker count is then taken from
+    /// `cfg.scheduler`, with [`Scheduler::ForkJoin`] treated as
+    /// `Dag { workers: 0 }`).
+    pub fn config(mut self, cfg: MvnConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Validate the configuration, spawn the worker pool and return the
+    /// engine.
+    pub fn build(self) -> Result<MvnEngine, EngineError> {
+        if self.cfg.sample_size == 0 {
+            return Err(EngineError::InvalidConfig("sample_size must be positive"));
+        }
+        if self.cfg.panel_width == 0 {
+            return Err(EngineError::InvalidConfig("panel_width must be positive"));
+        }
+        let requested = match self.cfg.scheduler {
+            Scheduler::Dag { workers } => workers,
+            // The engine is inherently DAG-scheduled; the fork-join setting
+            // maps to "available parallelism" exactly as in MvnPlanner.
+            Scheduler::ForkJoin => 0,
+        };
+        if requested > MAX_ENGINE_WORKERS {
+            return Err(EngineError::TooManyWorkers {
+                requested,
+                max: MAX_ENGINE_WORKERS,
+            });
+        }
+        Ok(MvnEngine {
+            cfg: self.cfg,
+            pool: WorkerPool::new(effective_workers(requested)),
+        })
+    }
+}
+
+/// A long-lived MVN solver session: a configuration plus a persistent
+/// [`WorkerPool`] reused across factorizations and solves (see the [module
+/// docs](self)).
+///
+/// # Pool lifetime and `Drop`
+///
+/// The pool threads are spawned in [`build`](MvnEngineBuilder::build) and
+/// live until the engine is dropped; between calls they are parked on a
+/// condvar and consume no CPU. Dropping the engine wakes and joins every
+/// worker, so an engine never leaks threads — create engines per session, not
+/// per call (a single-worker engine spawns no threads at all).
+pub struct MvnEngine {
+    cfg: MvnConfig,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for MvnEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvnEngine")
+            .field("cfg", &self.cfg)
+            .field("workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+impl MvnEngine {
+    /// A builder initialized with [`MvnConfig::default`].
+    pub fn builder() -> MvnEngineBuilder {
+        MvnEngineBuilder {
+            cfg: MvnConfig::default(),
+        }
+    }
+
+    /// An engine for an existing configuration (worker count from
+    /// `cfg.scheduler`); shorthand for `builder().config(cfg).build()`.
+    pub fn with_config(cfg: MvnConfig) -> Result<Self, EngineError> {
+        Self::builder().config(cfg).build()
+    }
+
+    /// The engine's solve configuration.
+    pub fn config(&self) -> &MvnConfig {
+        &self.cfg
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The engine's worker pool, for routing non-MVN task graphs (e.g. the
+    /// repeated `potrf_tiled` calls of `geostat::mle`) through the same
+    /// session threads.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Pool usage counters (worker count, graphs and tasks executed).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Factor a dense tiled covariance on the engine's pool, returning a
+    /// reusable [`Factor`] (bitwise identical to [`tile_la::potrf_tiled`]).
+    pub fn factor_dense(&self, mut sigma: SymTileMatrix) -> Result<Factor, CholeskyError> {
+        potrf_tiled_pool(&mut sigma, &self.pool)?;
+        Ok(Factor::Dense(sigma))
+    }
+
+    /// Factor a TLR covariance on the engine's pool, returning a reusable
+    /// [`Factor`] (bitwise identical to [`tlr::potrf_tlr`]).
+    pub fn factor_tlr(&self, mut sigma: TlrMatrix) -> Result<Factor, TlrCholeskyError> {
+        potrf_tlr_pool(&mut sigma, &self.pool)?;
+        Ok(Factor::Tlr(sigma))
+    }
+
+    /// Estimate `Φₙ(a, b; 0, Σ)` against a factor with the engine's
+    /// configuration. Bitwise identical to
+    /// [`mvn_prob_factored`](crate::mvn_prob_factored) with the same config.
+    pub fn solve(&self, factor: &Factor, a: &[f64], b: &[f64]) -> MvnResult {
+        self.solve_factored(factor, a, b)
+    }
+
+    /// [`solve`](Self::solve) for any [`CholeskyFactor`] storage (e.g. an
+    /// `excursion::CorrelationFactor` owned by the caller).
+    pub fn solve_factored<F: CholeskyFactor>(&self, l: &F, a: &[f64], b: &[f64]) -> MvnResult {
+        self.solve_factored_with(l, a, b, &self.cfg)
+    }
+
+    /// [`solve_factored`](Self::solve_factored) with an explicit
+    /// per-call sampling configuration (the engine contributes only its
+    /// pool; `cfg.scheduler` is ignored — the pool decides the workers).
+    pub fn solve_factored_with<F: CholeskyFactor>(
+        &self,
+        l: &F,
+        a: &[f64],
+        b: &[f64],
+        cfg: &MvnConfig,
+    ) -> MvnResult {
+        let mut results = self.run_sweeps(l, &[(a, b)], cfg);
+        results.pop().expect("one problem in, one result out")
+    }
+
+    /// Estimate a whole batch of probabilities against one factor in a
+    /// *single* task graph: the panel-sweep tasks of all problems are
+    /// submitted together, so independent small solves share the pool
+    /// instead of serializing per-solve graph setup. Each returned result is
+    /// bitwise identical to the corresponding individual
+    /// [`solve`](Self::solve).
+    pub fn solve_batch(&self, factor: &Factor, problems: &[Problem]) -> Vec<MvnResult> {
+        self.solve_batch_factored_with(factor, problems, &self.cfg)
+    }
+
+    /// [`solve_batch`](Self::solve_batch) for any [`CholeskyFactor`] storage
+    /// with an explicit per-call sampling configuration.
+    pub fn solve_batch_factored_with<F: CholeskyFactor>(
+        &self,
+        l: &F,
+        problems: &[Problem],
+        cfg: &MvnConfig,
+    ) -> Vec<MvnResult> {
+        let slices: Vec<(&[f64], &[f64])> = problems
+            .iter()
+            .map(|p| (p.a.as_slice(), p.b.as_slice()))
+            .collect();
+        self.run_sweeps(l, &slices, cfg)
+    }
+
+    /// Factor `sigma` in place *and* estimate `Φₙ(a, b; 0, Σ)` in one fused
+    /// task graph on the engine's pool (the session form of
+    /// [`mvn_prob_dense_fused`](crate::mvn_prob_dense_fused); bitwise
+    /// identical to it and to the staged factor-then-solve flow).
+    pub fn factor_prob_dense(
+        &self,
+        sigma: &mut SymTileMatrix,
+        a: &[f64],
+        b: &[f64],
+    ) -> Result<MvnResult, CholeskyError> {
+        run_dense_fused_with(sigma, a, b, &self.cfg, |g| self.pool.run(g))
+    }
+
+    /// TLR variant of [`factor_prob_dense`](Self::factor_prob_dense).
+    pub fn factor_prob_tlr(
+        &self,
+        sigma: &mut TlrMatrix,
+        a: &[f64],
+        b: &[f64],
+    ) -> Result<MvnResult, TlrCholeskyError> {
+        run_tlr_fused_with(sigma, a, b, &self.cfg, |g| self.pool.run(g))
+    }
+
+    /// Shared body of the solve entry points: one `panel_sweep` task per
+    /// (problem, panel) pair, all in one graph on the engine's pool. Panels
+    /// are computed by the same [`sweep_panel`] the free functions use, so
+    /// every per-problem aggregate is bitwise identical to the free-function
+    /// result.
+    fn run_sweeps<F: CholeskyFactor>(
+        &self,
+        l: &F,
+        problems: &[(&[f64], &[f64])],
+        cfg: &MvnConfig,
+    ) -> Vec<MvnResult> {
+        let n = l.dim();
+        assert!(cfg.sample_size > 0, "sample size must be positive");
+        assert!(cfg.panel_width > 0, "panel width must be positive");
+        for (a, b) in problems {
+            assert_eq!(a.len(), n, "lower limit length mismatch");
+            assert_eq!(b.len(), n, "upper limit length mismatch");
+        }
+        if problems.is_empty() {
+            return Vec::new();
+        }
+
+        let layout = l.tiling();
+        let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+        // All problems of a batch draw the same point set (same kind, n and
+        // seed), exactly as repeated free-function calls would.
+        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+        let points_ref: &dyn PointSet = points.as_ref();
+
+        // One independent write-task per (problem, panel) pair, flattened so
+        // every pair becomes one slot of a pool-level map.
+        let jobs: Vec<(usize, usize)> = (0..problems.len())
+            .flat_map(|q| (0..n_panels).map(move |p| (q, p)))
+            .collect();
+        let cost = layout.num_tiles() as f64 * cfg.panel_width as f64;
+        let flat = self.pool.run_map(
+            "panel_sweep",
+            &jobs,
+            |_, _| cost,
+            |_, &(q, p)| {
+                let (a, b) = problems[q];
+                sweep_panel(l, layout, a, b, points_ref, cfg, p)
+            },
+        );
+        flat.chunks(n_panels).map(combine_panel_results).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmvn::{mvn_prob_dense, mvn_prob_tlr};
+    use tlr::CompressionTol;
+
+    fn exp_cov(range: f64) -> impl Fn(usize, usize) -> f64 + Sync + Copy {
+        move |i: usize, j: usize| {
+            let d = (i as f64 - j as f64).abs() / 40.0;
+            (-d / range).exp()
+        }
+    }
+
+    fn test_cfg(workers: usize) -> MvnConfig {
+        MvnConfig {
+            sample_size: 3000,
+            seed: 9,
+            scheduler: Scheduler::Dag { workers },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builder_rejects_oversubscription_and_bad_configs() {
+        let err = MvnEngine::builder()
+            .workers(MAX_ENGINE_WORKERS + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::TooManyWorkers {
+                requested: MAX_ENGINE_WORKERS + 1,
+                max: MAX_ENGINE_WORKERS
+            }
+        );
+        assert!(err.to_string().contains("sanity cap"));
+        assert!(MvnEngine::builder().sample_size(0).build().is_err());
+        assert!(MvnEngine::builder().panel_width(0).build().is_err());
+        // The cap itself and the "available parallelism" request are fine.
+        assert!(MvnEngine::builder()
+            .workers(MAX_ENGINE_WORKERS)
+            .build()
+            .is_ok());
+        assert!(MvnEngine::builder().workers(0).build().is_ok());
+    }
+
+    #[test]
+    fn engine_solve_is_bitwise_identical_to_free_functions() {
+        // The tentpole acceptance criterion, dense and TLR, across pools of
+        // 1, 2 and 4 workers sharing one engine each.
+        let n = 60;
+        let f = exp_cov(0.5);
+        let mut sigma = SymTileMatrix::from_fn(n, 16, f);
+        tile_la::potrf_tiled(&mut sigma, 1).unwrap();
+        let mut tlr = TlrMatrix::from_fn(n, 16, CompressionTol::Absolute(1e-8), usize::MAX, f);
+        tlr::potrf_tlr(&mut tlr, 1).unwrap();
+        let a = vec![-0.4; n];
+        let b = vec![0.9; n];
+
+        let free_dense = mvn_prob_dense(&sigma, &a, &b, &test_cfg(1));
+        let free_tlr = mvn_prob_tlr(&tlr, &a, &b, &test_cfg(1));
+
+        for workers in [1usize, 2, 4] {
+            let engine = MvnEngine::builder()
+                .config(test_cfg(workers))
+                .build()
+                .unwrap();
+            let factor = engine
+                .factor_dense(SymTileMatrix::from_fn(n, 16, f))
+                .unwrap();
+            let got = engine.solve(&factor, &a, &b);
+            assert!(
+                got.prob.to_bits() == free_dense.prob.to_bits(),
+                "dense workers={workers}: {} vs {}",
+                got.prob,
+                free_dense.prob
+            );
+            assert!(got.std_error.to_bits() == free_dense.std_error.to_bits());
+
+            let tlr_factor = engine
+                .factor_tlr(TlrMatrix::from_fn(
+                    n,
+                    16,
+                    CompressionTol::Absolute(1e-8),
+                    usize::MAX,
+                    f,
+                ))
+                .unwrap();
+            let got_tlr = engine.solve(&tlr_factor, &a, &b);
+            assert!(
+                got_tlr.prob.to_bits() == free_tlr.prob.to_bits(),
+                "tlr workers={workers}: {} vs {}",
+                got_tlr.prob,
+                free_tlr.prob
+            );
+        }
+    }
+
+    #[test]
+    fn solve_batch_matches_individual_solves_bitwise() {
+        let n = 45;
+        let f = exp_cov(0.3);
+        for workers in [1usize, 2, 4] {
+            let engine = MvnEngine::builder()
+                .config(test_cfg(workers))
+                .build()
+                .unwrap();
+            let factor = engine
+                .factor_dense(SymTileMatrix::from_fn(n, 12, f))
+                .unwrap();
+            let problems: Vec<Problem> = (0..6)
+                .map(|k| {
+                    let lo = -0.2 - 0.1 * k as f64;
+                    Problem::new(vec![lo; n], vec![f64::INFINITY; n])
+                })
+                .collect();
+            let batch = engine.solve_batch(&factor, &problems);
+            assert_eq!(batch.len(), problems.len());
+            for (p, r) in problems.iter().zip(&batch) {
+                let single = engine.solve(&factor, &p.a, &p.b);
+                assert!(
+                    r.prob.to_bits() == single.prob.to_bits(),
+                    "workers={workers}: batch {} vs single {}",
+                    r.prob,
+                    single.prob
+                );
+                assert!(r.std_error.to_bits() == single.std_error.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_engine_pipeline_matches_free_fused_bitwise() {
+        let n = 48;
+        let f = exp_cov(0.6);
+        let a = vec![-0.3; n];
+        let b = vec![1.1; n];
+        let cfg = test_cfg(2);
+        let mut sigma_free = SymTileMatrix::from_fn(n, 12, f);
+        let free = crate::mvn_prob_dense_fused(&mut sigma_free, &a, &b, &cfg).unwrap();
+        let engine = MvnEngine::with_config(cfg).unwrap();
+        let mut sigma_engine = SymTileMatrix::from_fn(n, 12, f);
+        let got = engine.factor_prob_dense(&mut sigma_engine, &a, &b).unwrap();
+        assert!(got.prob.to_bits() == free.prob.to_bits());
+        // The factor left behind matches too.
+        let lf = sigma_engine.to_dense_lower();
+        let ls = sigma_free.to_dense_lower();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(lf.get(i, j).to_bits() == ls.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_batches_without_thread_growth() {
+        // The pool-reuse stress test: many sequential solve_batch calls must
+        // run on the same fixed worker set (no thread leaks), visible through
+        // the pool stats.
+        let n = 30;
+        let f = exp_cov(0.4);
+        let engine = MvnEngine::builder()
+            .workers(3)
+            .sample_size(512)
+            .panel_width(64)
+            .build()
+            .unwrap();
+        let factor = engine
+            .factor_dense(SymTileMatrix::from_fn(n, 10, f))
+            .unwrap();
+        let baseline = engine.pool_stats();
+        assert_eq!(baseline.workers, 3);
+
+        let problems: Vec<Problem> = (0..4)
+            .map(|k| Problem::new(vec![-0.5 - 0.1 * k as f64; n], vec![f64::INFINITY; n]))
+            .collect();
+        let reference = engine.solve_batch(&factor, &problems);
+        let batches = 64u64;
+        for _ in 1..batches {
+            let again = engine.solve_batch(&factor, &problems);
+            for (r, want) in again.iter().zip(&reference) {
+                assert!(r.prob.to_bits() == want.prob.to_bits());
+            }
+        }
+        let after = engine.pool_stats();
+        assert_eq!(after.workers, 3, "worker count must never grow");
+        assert_eq!(after.graphs_run, baseline.graphs_run + batches);
+        // 4 problems × 8 panels per batch.
+        assert_eq!(after.tasks_run, baseline.tasks_run + batches * 32);
+    }
+
+    #[test]
+    fn factor_errors_surface_from_the_pool_path() {
+        let engine = MvnEngine::builder().workers(2).build().unwrap();
+        let n = 20;
+        let mut bad = SymTileMatrix::from_fn(n, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        bad.set(13, 13, -1.0);
+        let err = engine.factor_dense(bad).unwrap_err();
+        assert_eq!(err, CholeskyError::NotPositiveDefinite(13));
+    }
+
+    #[test]
+    fn empty_batch_returns_no_results() {
+        let engine = MvnEngine::builder().workers(1).build().unwrap();
+        let factor = engine
+            .factor_dense(SymTileMatrix::from_fn(
+                8,
+                4,
+                |i, j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            ))
+            .unwrap();
+        assert!(engine.solve_batch(&factor, &[]).is_empty());
+    }
+}

@@ -24,13 +24,21 @@
 //! The [`MvnConfig`]/[`MvnResult`] types are shared by all entry points, and
 //! [`sov`] contains the scalar recursion used by both the sequential and the
 //! tiled paths.
+//!
+//! For sessions that solve *many* problems — the MLE objective, the CRD
+//! bisection, batch serving — use [`MvnEngine`] ([`engine`] module): it owns
+//! a persistent worker pool, returns reusable [`Factor`] handles and batches
+//! independent solves into one task graph. The free functions above remain
+//! as thin wrappers that build a throwaway engine per call.
 
+pub mod engine;
 pub mod genz;
 pub mod mc;
 pub mod pipeline;
 pub mod pmvn;
 pub mod sov;
 
+pub use engine::{EngineError, Factor, MvnEngine, MvnEngineBuilder, Problem, MAX_ENGINE_WORKERS};
 pub use genz::mvn_prob_genz;
 pub use mc::mvn_prob_mc;
 pub use pipeline::{mvn_prob_dense_fused, mvn_prob_tlr_fused, MvnPlanner};
@@ -46,11 +54,13 @@ pub enum Scheduler {
     /// The historical scheduling: one rayon fork-join over the sample panels.
     /// Kept as the baseline for benchmarks and cross-checks.
     ForkJoin,
-    /// Submit the panels as tasks to the `task-runtime` DAG executor
-    /// (`workers == 0` means one worker per available core). Results are
-    /// bitwise identical to [`Scheduler::ForkJoin`] for every worker count.
+    /// Submit the panels as tasks to the `task-runtime` DAG executor.
+    /// Results are bitwise identical to [`Scheduler::ForkJoin`] for every
+    /// worker count.
     Dag {
-        /// Worker threads for the executor (`0` = one per available core).
+        /// Worker threads for the executor, resolved by
+        /// [`tile_la::dag::effective_workers`] (the single place defining
+        /// the meaning of `0`).
         workers: usize,
     },
 }
@@ -121,6 +131,14 @@ impl MvnResult {
     /// sample counts); the standard error is estimated from the spread of the
     /// batch means, which is the usual batch-means error estimate for
     /// (randomized-)QMC estimators.
+    ///
+    /// **Single-batch semantics:** with fewer than two batches there is no
+    /// spread to estimate from, so `std_error` is `f64::NAN`, meaning "error
+    /// estimate unavailable" (*not* "error is zero"). Consumers that need an
+    /// interval should call [`MvnResult::half_width`], which maps this case
+    /// to an unbounded (`f64::INFINITY`) half-width instead of silently
+    /// claiming perfect accuracy. An empty input additionally yields
+    /// `prob = NAN` and `samples = 0`.
     pub fn from_batches(batches: &[(f64, usize)]) -> Self {
         let total: usize = batches.iter().map(|(_, c)| c).sum();
         if total == 0 {
@@ -147,6 +165,23 @@ impl MvnResult {
             prob,
             std_error,
             samples: total,
+        }
+    }
+
+    /// Half-width of the `z`-sigma interval around [`prob`](MvnResult::prob):
+    /// `z · std_error`.
+    ///
+    /// When the standard error is unavailable (`NaN` — a single batch, see
+    /// [`MvnResult::from_batches`]) this returns `f64::INFINITY`: the honest
+    /// interval from one batch is unbounded. Use this instead of multiplying
+    /// `std_error` by hand, so the unavailable case cannot leak `NaN` into
+    /// comparisons (every `x < NaN` is false, which would silently pass or
+    /// fail agreement checks depending on how they are written).
+    pub fn half_width(&self, z: f64) -> f64 {
+        if self.std_error.is_nan() {
+            f64::INFINITY
+        } else {
+            z * self.std_error
         }
     }
 }
@@ -176,6 +211,20 @@ mod tests {
         assert!(single.std_error.is_nan());
         let empty = MvnResult::from_batches(&[]);
         assert!(empty.prob.is_nan());
+    }
+
+    #[test]
+    fn half_width_scales_the_standard_error_and_handles_the_nan_case() {
+        let r = MvnResult {
+            prob: 0.5,
+            std_error: 0.01,
+            samples: 1000,
+        };
+        assert!((r.half_width(2.0) - 0.02).abs() < 1e-15);
+        // Single batch: std_error is NaN ("unavailable"), the interval is
+        // unbounded rather than NaN-poisoned.
+        let single = MvnResult::from_batches(&[(0.5, 100)]);
+        assert_eq!(single.half_width(4.0), f64::INFINITY);
     }
 
     #[test]

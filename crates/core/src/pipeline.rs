@@ -22,7 +22,8 @@ use crate::pmvn::{combine_panel_results, PanelState};
 use crate::{MvnConfig, MvnResult, Scheduler};
 use qmc::{make_point_set, PointSet};
 use task_runtime::{
-    run_taskgraph, AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec, TileStore,
+    run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry, TaskGraph, TaskSpec,
+    TileStore,
 };
 use tile_la::dag::{
     attach_tiles, detach_tiles, effective_workers, submit_factor_tasks, FactorStatus,
@@ -215,59 +216,7 @@ impl MvnPlanner {
         a: &[f64],
         b: &[f64],
     ) -> Result<MvnResult, CholeskyError> {
-        let cfg = &self.cfg;
-        let n = sigma.n();
-        assert_eq!(a.len(), n, "lower limit length mismatch");
-        assert_eq!(b.len(), n, "upper limit length mismatch");
-        assert!(cfg.sample_size > 0, "sample size must be positive");
-        assert!(cfg.panel_width > 0, "panel width must be positive");
-
-        let layout = sigma.layout();
-        let mut registry = HandleRegistry::new();
-        let (handles, mut store) = detach_tiles(sigma, &mut registry);
-        let status = FactorStatus::new();
-        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
-
-        let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
-        let mut panel_store: TileStore<PanelState> = TileStore::new();
-        let panel_handles: Vec<DataHandle> = (0..n_panels)
-            .map(|p| {
-                let h = registry.register(format!("panel{p}"));
-                panel_store.insert(h, PanelState::empty());
-                h
-            })
-            .collect();
-
-        let factor = StoredFactor::Dense {
-            layout,
-            store: &store,
-            handles: &handles,
-        };
-        {
-            let mut graph = TaskGraph::new();
-            submit_factor_tasks(&mut graph, &store, &handles, layout, &status);
-            submit_sweep_tasks(
-                &mut graph,
-                &factor,
-                &panel_store,
-                &panel_handles,
-                &status,
-                a,
-                b,
-                points.as_ref(),
-                cfg,
-            );
-            run_taskgraph(&mut graph, self.workers());
-        }
-        attach_tiles(sigma, &handles, &mut store);
-        if let Some(p) = status.pivot() {
-            return Err(CholeskyError::NotPositiveDefinite(p));
-        }
-        let panel_results: Vec<(f64, usize)> = panel_handles
-            .iter()
-            .map(|&h| panel_store.take(h).result())
-            .collect();
-        Ok(combine_panel_results(&panel_results))
+        run_dense_fused_with(sigma, a, b, &self.cfg, |g| run_taskgraph(g, self.workers()))
     }
 
     /// Factor `sigma` in place and estimate `Φₙ(a, b; 0, Σ)` in one fused
@@ -278,72 +227,153 @@ impl MvnPlanner {
         a: &[f64],
         b: &[f64],
     ) -> Result<MvnResult, TlrCholeskyError> {
-        let cfg = &self.cfg;
-        let n = sigma.n();
-        assert_eq!(a.len(), n, "lower limit length mismatch");
-        assert_eq!(b.len(), n, "upper limit length mismatch");
-        assert!(cfg.sample_size > 0, "sample size must be positive");
-        assert!(cfg.panel_width > 0, "panel width must be positive");
-
-        let layout = sigma.layout();
-        let tol = sigma.tol();
-        let max_rank = sigma.max_rank();
-        let mut registry = HandleRegistry::new();
-        let (handles, mut diag_store, mut off_store) = detach_tlr_tiles(sigma, &mut registry);
-        let status = FactorStatus::new();
-        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
-
-        let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
-        let mut panel_store: TileStore<PanelState> = TileStore::new();
-        let panel_handles: Vec<DataHandle> = (0..n_panels)
-            .map(|p| {
-                let h = registry.register(format!("panel{p}"));
-                panel_store.insert(h, PanelState::empty());
-                h
-            })
-            .collect();
-
-        let factor = StoredFactor::Tlr {
-            layout,
-            diag_store: &diag_store,
-            off_store: &off_store,
-            handles: &handles,
-        };
-        {
-            let mut graph = TaskGraph::new();
-            submit_tlr_factor_tasks(
-                &mut graph,
-                &diag_store,
-                &off_store,
-                &handles,
-                layout,
-                tol,
-                max_rank,
-                &status,
-            );
-            submit_sweep_tasks(
-                &mut graph,
-                &factor,
-                &panel_store,
-                &panel_handles,
-                &status,
-                a,
-                b,
-                points.as_ref(),
-                cfg,
-            );
-            run_taskgraph(&mut graph, self.workers());
-        }
-        attach_tlr_tiles(sigma, &handles, &mut diag_store, &mut off_store);
-        if let Some(pivot) = status.pivot() {
-            return Err(TlrCholeskyError::NotPositiveDefinite { pivot });
-        }
-        let panel_results: Vec<(f64, usize)> = panel_handles
-            .iter()
-            .map(|&h| panel_store.take(h).result())
-            .collect();
-        Ok(combine_panel_results(&panel_results))
+        run_tlr_fused_with(sigma, a, b, &self.cfg, |g| run_taskgraph(g, self.workers()))
     }
+}
+
+/// Build and execute the fused dense factor + sweep graph with `run` (a
+/// one-shot executor or an engine-owned pool). Shared body of
+/// [`MvnPlanner::run_dense`] and `MvnEngine::factor_prob_dense`.
+pub(crate) fn run_dense_fused_with<R>(
+    sigma: &mut SymTileMatrix,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+    run: R,
+) -> Result<MvnResult, CholeskyError>
+where
+    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+{
+    let n = sigma.n();
+    assert_eq!(a.len(), n, "lower limit length mismatch");
+    assert_eq!(b.len(), n, "upper limit length mismatch");
+    assert!(cfg.sample_size > 0, "sample size must be positive");
+    assert!(cfg.panel_width > 0, "panel width must be positive");
+
+    let layout = sigma.layout();
+    let mut registry = HandleRegistry::new();
+    let (handles, mut store) = detach_tiles(sigma, &mut registry);
+    let status = FactorStatus::new();
+    let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+
+    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+    let mut panel_store: TileStore<PanelState> = TileStore::new();
+    let panel_handles: Vec<DataHandle> = (0..n_panels)
+        .map(|p| {
+            let h = registry.register(format!("panel{p}"));
+            panel_store.insert(h, PanelState::empty());
+            h
+        })
+        .collect();
+
+    let factor = StoredFactor::Dense {
+        layout,
+        store: &store,
+        handles: &handles,
+    };
+    {
+        let mut graph = TaskGraph::new();
+        submit_factor_tasks(&mut graph, &store, &handles, layout, &status);
+        submit_sweep_tasks(
+            &mut graph,
+            &factor,
+            &panel_store,
+            &panel_handles,
+            &status,
+            a,
+            b,
+            points.as_ref(),
+            cfg,
+        );
+        run(&mut graph);
+    }
+    attach_tiles(sigma, &handles, &mut store);
+    if let Some(p) = status.pivot() {
+        return Err(CholeskyError::NotPositiveDefinite(p));
+    }
+    let panel_results: Vec<(f64, usize)> = panel_handles
+        .iter()
+        .map(|&h| panel_store.take(h).result())
+        .collect();
+    Ok(combine_panel_results(&panel_results))
+}
+
+/// TLR variant of [`run_dense_fused_with`]. Shared body of
+/// [`MvnPlanner::run_tlr`] and `MvnEngine::factor_prob_tlr`.
+pub(crate) fn run_tlr_fused_with<R>(
+    sigma: &mut TlrMatrix,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+    run: R,
+) -> Result<MvnResult, TlrCholeskyError>
+where
+    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+{
+    let n = sigma.n();
+    assert_eq!(a.len(), n, "lower limit length mismatch");
+    assert_eq!(b.len(), n, "upper limit length mismatch");
+    assert!(cfg.sample_size > 0, "sample size must be positive");
+    assert!(cfg.panel_width > 0, "panel width must be positive");
+
+    let layout = sigma.layout();
+    let tol = sigma.tol();
+    let max_rank = sigma.max_rank();
+    let mut registry = HandleRegistry::new();
+    let (handles, mut diag_store, mut off_store) = detach_tlr_tiles(sigma, &mut registry);
+    let status = FactorStatus::new();
+    let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+
+    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+    let mut panel_store: TileStore<PanelState> = TileStore::new();
+    let panel_handles: Vec<DataHandle> = (0..n_panels)
+        .map(|p| {
+            let h = registry.register(format!("panel{p}"));
+            panel_store.insert(h, PanelState::empty());
+            h
+        })
+        .collect();
+
+    let factor = StoredFactor::Tlr {
+        layout,
+        diag_store: &diag_store,
+        off_store: &off_store,
+        handles: &handles,
+    };
+    {
+        let mut graph = TaskGraph::new();
+        submit_tlr_factor_tasks(
+            &mut graph,
+            &diag_store,
+            &off_store,
+            &handles,
+            layout,
+            tol,
+            max_rank,
+            &status,
+        );
+        submit_sweep_tasks(
+            &mut graph,
+            &factor,
+            &panel_store,
+            &panel_handles,
+            &status,
+            a,
+            b,
+            points.as_ref(),
+            cfg,
+        );
+        run(&mut graph);
+    }
+    attach_tlr_tiles(sigma, &handles, &mut diag_store, &mut off_store);
+    if let Some(pivot) = status.pivot() {
+        return Err(TlrCholeskyError::NotPositiveDefinite { pivot });
+    }
+    let panel_results: Vec<(f64, usize)> = panel_handles
+        .iter()
+        .map(|&h| panel_store.take(h).result())
+        .collect();
+    Ok(combine_panel_results(&panel_results))
 }
 
 /// Fused factor + PMVN estimate from a dense tiled covariance: one task

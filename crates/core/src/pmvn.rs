@@ -15,11 +15,10 @@
 //! The per-panel probability means are combined into the final estimate and a
 //! batch standard error.
 
-use crate::{MvnConfig, MvnResult, Scheduler};
+use crate::{MvnConfig, MvnEngine, MvnResult, Scheduler};
 use mathx::{clamp_unit, norm_cdf, norm_cdf_diff, norm_quantile};
 use qmc::{make_point_set, PointSet};
 use rayon::prelude::*;
-use task_runtime::{run_taskgraph, AccessMode, HandleRegistry, TaskGraph, TaskSpec, TileStore};
 use tile_la::dag::effective_workers;
 use tile_la::kernels::gemm_nn;
 use tile_la::{DenseMatrix, SymTileMatrix, TileLayout};
@@ -258,8 +257,10 @@ impl PanelState {
     }
 }
 
-/// Run the complete sweep of one panel against a finished factor.
-fn sweep_panel<F: CholeskyFactor>(
+/// Run the complete sweep of one panel against a finished factor (shared by
+/// the fork-join path here and the engine's batched graph in
+/// [`crate::engine`]).
+pub(crate) fn sweep_panel<F: CholeskyFactor + ?Sized>(
     l: &F,
     layout: TileLayout,
     a: &[f64],
@@ -303,6 +304,11 @@ pub(crate) fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult
 /// estimate is bitwise identical across schedulers and worker counts; only
 /// the wall time differs. To also overlap the sweep with the factorization
 /// producing `l`, use the fused pipeline in [`crate::pipeline`].
+///
+/// *Prefer [`MvnEngine`] for repeated solves.* On the DAG scheduler this
+/// free function constructs a throwaway engine — pool setup and teardown
+/// inside every call — which is exactly the overhead a session-owned engine
+/// amortizes; the result is bitwise identical either way.
 pub fn mvn_prob_factored<F: CholeskyFactor>(
     l: &F,
     a: &[f64],
@@ -315,63 +321,69 @@ pub fn mvn_prob_factored<F: CholeskyFactor>(
     assert!(cfg.sample_size > 0, "sample size must be positive");
     assert!(cfg.panel_width > 0, "panel width must be positive");
 
-    let layout = l.tiling();
-    let points = make_point_set(cfg.sample_kind, n, cfg.seed);
-    let points_ref: &dyn PointSet = points.as_ref();
     let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
-
-    let panel_results: Vec<(f64, usize)> = match cfg.scheduler {
-        Scheduler::ForkJoin => (0..n_panels)
-            .into_par_iter()
-            .map(|p| sweep_panel(l, layout, a, b, points_ref, cfg, p))
-            .collect(),
-        Scheduler::Dag { workers } => {
-            // One "panel_sweep" task per panel, each writing its contribution
-            // into a slot of a result store. The panels are independent, so
-            // the graph is embarrassingly parallel — the interesting hazards
-            // appear in the fused pipeline, where sweep tasks additionally
-            // read factor tiles.
-            let mut registry = HandleRegistry::new();
-            let mut results: TileStore<(f64, usize)> = TileStore::new();
-            let handles: Vec<_> = (0..n_panels)
-                .map(|p| {
-                    let h = registry.register(format!("panel{p}"));
-                    results.insert(h, (0.0, 0));
-                    h
-                })
-                .collect();
-            {
-                let mut graph = TaskGraph::new();
-                let results_ref = &results;
-                for (p, &h) in handles.iter().enumerate() {
-                    let cost = layout.num_tiles() as f64 * cfg.panel_width as f64;
-                    graph.submit(
-                        TaskSpec::new("panel_sweep")
-                            .access(h, AccessMode::Write)
-                            .cost(cost),
-                        Some(Box::new(move || {
-                            *results_ref.write(h) =
-                                sweep_panel(l, layout, a, b, points_ref, cfg, p);
-                        })),
-                    );
-                }
-                run_taskgraph(&mut graph, effective_workers(workers));
-            }
-            handles.iter().map(|&h| results.take(h)).collect()
-        }
+    // Sweep every panel on the calling context — rayon fork-join or plain
+    // sequential. Shared by the ForkJoin branch and the Dag fast path; the
+    // estimate is bitwise identical either way (fixed kernel order per
+    // panel, deterministic combination).
+    let sweep_local = |parallel: bool| {
+        let layout = l.tiling();
+        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+        let points_ref: &dyn PointSet = points.as_ref();
+        let panel_results: Vec<(f64, usize)> = if parallel {
+            (0..n_panels)
+                .into_par_iter()
+                .map(|p| sweep_panel(l, layout, a, b, points_ref, cfg, p))
+                .collect()
+        } else {
+            (0..n_panels)
+                .map(|p| sweep_panel(l, layout, a, b, points_ref, cfg, p))
+                .collect()
+        };
+        combine_panel_results(&panel_results)
     };
 
-    combine_panel_results(&panel_results)
+    match cfg.scheduler {
+        Scheduler::ForkJoin => sweep_local(true),
+        Scheduler::Dag { workers } => {
+            if effective_workers(workers) == 1 || n_panels <= 2 {
+                // The graph would execute inline anyway; sweep the panels
+                // sequentially without spawning a throwaway pool.
+                return sweep_local(false);
+            }
+            // The engine's batched solver with a batch of one, on a pool
+            // whose lifetime is this call. The worker request is clamped to
+            // the engine sanity cap: the estimate is bitwise independent of
+            // the worker count, so an absurd request (which the old
+            // thread-scope path obliged with oversubscription) only loses
+            // threads, never accuracy. Only the long-lived
+            // `MvnEngine::builder()` rejects such requests outright.
+            let engine = MvnEngine::with_config(MvnConfig {
+                scheduler: Scheduler::Dag {
+                    workers: workers.min(crate::MAX_ENGINE_WORKERS),
+                },
+                ..*cfg
+            })
+            .unwrap_or_else(|e| panic!("mvn_prob_factored: {e}"));
+            engine.solve_factored_with(l, a, b, cfg)
+        }
+    }
 }
 
 /// Estimate the MVN probability from a dense tiled Cholesky factor
 /// (the paper's "Dense" method).
+///
+/// *Prefer [`MvnEngine::solve`] for repeated solves* — this wrapper sets up
+/// a throwaway worker pool per call (see [`mvn_prob_factored`]).
 pub fn mvn_prob_dense(l: &SymTileMatrix, a: &[f64], b: &[f64], cfg: &MvnConfig) -> MvnResult {
     mvn_prob_factored(l, a, b, cfg)
 }
 
 /// Estimate the MVN probability from a TLR Cholesky factor
 /// (the paper's "TLR" method).
+///
+/// *Prefer [`MvnEngine::solve`] for repeated solves* — this wrapper sets up
+/// a throwaway worker pool per call (see [`mvn_prob_factored`]).
 pub fn mvn_prob_tlr(l: &TlrMatrix, a: &[f64], b: &[f64], cfg: &MvnConfig) -> MvnResult {
     mvn_prob_factored(l, a, b, cfg)
 }

@@ -10,57 +10,12 @@ use tile_la::{potrf_tiled, DenseMatrix, SymTileMatrix};
 use tlr::{potrf_tlr, CompressionTol, TlrMatrix};
 
 /// A Cholesky factor of a correlation matrix in either storage format.
-pub enum CorrelationFactor {
-    /// Dense tiled factor.
-    Dense(SymTileMatrix),
-    /// Tile low-rank factor.
-    Tlr(TlrMatrix),
-}
-
-impl CorrelationFactor {
-    /// Dimension of the underlying matrix.
-    pub fn dim(&self) -> usize {
-        match self {
-            CorrelationFactor::Dense(m) => m.n(),
-            CorrelationFactor::Tlr(m) => m.n(),
-        }
-    }
-
-    /// Total number of stored doubles (to compare the two formats).
-    pub fn stored_elements(&self) -> usize {
-        match self {
-            CorrelationFactor::Dense(m) => m.stored_elements(),
-            CorrelationFactor::Tlr(m) => m.stored_elements(),
-        }
-    }
-}
-
-impl mvn_core::CholeskyFactor for CorrelationFactor {
-    fn dim(&self) -> usize {
-        match self {
-            CorrelationFactor::Dense(m) => mvn_core::CholeskyFactor::dim(m),
-            CorrelationFactor::Tlr(m) => mvn_core::CholeskyFactor::dim(m),
-        }
-    }
-    fn tiling(&self) -> tile_la::TileLayout {
-        match self {
-            CorrelationFactor::Dense(m) => m.tiling(),
-            CorrelationFactor::Tlr(m) => m.tiling(),
-        }
-    }
-    fn diag_block(&self, r: usize) -> &DenseMatrix {
-        match self {
-            CorrelationFactor::Dense(m) => m.diag_block(r),
-            CorrelationFactor::Tlr(m) => m.diag_block(r),
-        }
-    }
-    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
-        match self {
-            CorrelationFactor::Dense(m) => m.apply_offdiag(j, r, y, acc),
-            CorrelationFactor::Tlr(m) => m.apply_offdiag(j, r, y, acc),
-        }
-    }
-}
+///
+/// This is exactly the engine's reusable factor handle
+/// ([`mvn_core::Factor`]), re-exported under the historical name: the dense
+/// and TLR correlation factors plug directly into
+/// `MvnEngine::solve_factored` and friends with no rewrapping.
+pub use mvn_core::Factor as CorrelationFactor;
 
 /// Standard deviations (square roots of the diagonal) of a covariance matrix.
 pub fn standard_deviations(cov: &DenseMatrix) -> Vec<f64> {

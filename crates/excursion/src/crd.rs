@@ -14,9 +14,16 @@
 //! prefix lengths (`levels`, spread uniformly, or every prefix when
 //! `levels >= n`) and [`find_excursion_set`] locates the boundary prefix for a
 //! single `α` by bisection, which needs only `O(log n)` integrals.
+//!
+//! All entry points take an [`MvnEngine`]: the detection run is a *session*
+//! — many MVN integrals against one factor — so the worker pool is created
+//! once and shared. [`detect_confidence_regions`] goes further and submits
+//! all prefix integrals of the confidence-function sweep as **one batched
+//! task graph** ([`MvnEngine::solve_batch`] semantics); the probabilities are
+//! bitwise identical to evaluating them one by one.
 
 use crate::marginal::{descending_order, marginal_exceedance};
-use mvn_core::{mvn_prob_factored, CholeskyFactor, MvnConfig};
+use mvn_core::{CholeskyFactor, MvnConfig, MvnEngine, Problem};
 
 /// Configuration of a confidence-region detection run.
 #[derive(Debug, Clone)]
@@ -29,7 +36,10 @@ pub struct CrdConfig {
     /// when building the confidence function (use `usize::MAX` or any value
     /// `≥ n` for the paper's full per-prefix sweep).
     pub levels: usize,
-    /// Configuration of the underlying MVN probability estimator.
+    /// Sampling configuration of the underlying MVN probability estimator
+    /// (sample size/kind, panel width, seed). The worker pool comes from the
+    /// [`MvnEngine`] passed to the detection entry points, so the
+    /// `scheduler` field here is ignored.
     pub mvn: MvnConfig,
 }
 
@@ -59,9 +69,29 @@ pub struct CrdResult {
     pub confidence: Vec<f64>,
 }
 
+/// The integration box of a prefix: standardized threshold at prefix
+/// positions, `-inf` elsewhere; upper limits all `+inf` (Algorithm 1, lines
+/// 9, 12-13).
+fn prefix_problem(
+    mean: &[f64],
+    sd: &[f64],
+    threshold: f64,
+    order: &[usize],
+    prefix_len: usize,
+) -> Problem {
+    let n = mean.len();
+    let mut a = vec![f64::NEG_INFINITY; n];
+    for &c in &order[..prefix_len] {
+        a[c] = (threshold - mean[c]) / sd[c];
+    }
+    Problem::new(a, vec![f64::INFINITY; n])
+}
+
 /// Joint exceedance probability of a prefix of the ordered locations:
-/// `P(X_c > u for every c in order[..prefix_len])`.
+/// `P(X_c > u for every c in order[..prefix_len])`, solved on the engine's
+/// pool with the sampling parameters of `mvn`.
 pub fn prefix_joint_probability<F: CholeskyFactor>(
+    engine: &MvnEngine,
     factor: &F,
     mean: &[f64],
     sd: &[f64],
@@ -75,19 +105,22 @@ pub fn prefix_joint_probability<F: CholeskyFactor>(
     if prefix_len == 0 {
         return 1.0;
     }
-    // Lower limits: standardized threshold at prefix positions, -inf elsewhere;
-    // upper limits all +inf (Algorithm 1, lines 9, 12-13).
-    let mut a = vec![f64::NEG_INFINITY; n];
-    for &c in &order[..prefix_len] {
-        a[c] = (threshold - mean[c]) / sd[c];
-    }
-    let b = vec![f64::INFINITY; n];
-    mvn_prob_factored(factor, &a, &b, mvn).prob.clamp(0.0, 1.0)
+    let problem = prefix_problem(mean, sd, threshold, order, prefix_len);
+    engine
+        .solve_factored_with(factor, &problem.a, &problem.b, mvn)
+        .prob
+        .clamp(0.0, 1.0)
 }
 
 /// Run Algorithm 1: marginal probabilities, ordering, joint probabilities at a
 /// set of prefix lengths, and the resulting confidence function.
+///
+/// All prefix integrals are submitted to the engine as **one batch** (one
+/// task graph), so their independent panel sweeps share the engine's pool;
+/// each probability is bitwise identical to a standalone
+/// [`prefix_joint_probability`] call.
 pub fn detect_confidence_regions<F: CholeskyFactor>(
+    engine: &MvnEngine,
     factor: &F,
     mean: &[f64],
     sd: &[f64],
@@ -110,10 +143,25 @@ pub fn detect_confidence_regions<F: CholeskyFactor>(
     let mut prefix_lens: Vec<usize> = (1..=levels).map(|k| (k * n).div_ceil(levels)).collect();
     prefix_lens.dedup();
 
-    let mut prefix_probs = Vec::with_capacity(prefix_lens.len());
-    for &len in &prefix_lens {
-        let p = prefix_joint_probability(factor, mean, sd, cfg.threshold, &order, len, &cfg.mvn);
-        prefix_probs.push((len, p));
+    // Solve the prefix integrals in bounded batches: each batch is one task
+    // graph (its panel sweeps share the engine's pool), while peak memory
+    // stays O(batch · n). Materializing all problems at once would be
+    // O(levels · n) — quadratic for the full per-prefix sweep
+    // (`levels >= n`), i.e. tens of GB at paper-scale grids.
+    const PREFIX_BATCH: usize = 32;
+    let mut prefix_probs: Vec<(usize, f64)> = Vec::with_capacity(prefix_lens.len());
+    for chunk in prefix_lens.chunks(PREFIX_BATCH) {
+        let problems: Vec<Problem> = chunk
+            .iter()
+            .map(|&len| prefix_problem(mean, sd, cfg.threshold, &order, len))
+            .collect();
+        let results = engine.solve_batch_factored_with(factor, &problems, &cfg.mvn);
+        prefix_probs.extend(
+            chunk
+                .iter()
+                .zip(&results)
+                .map(|(&len, r)| (len, r.prob.clamp(0.0, 1.0))),
+        );
     }
     // Joint probabilities of nested events are theoretically non-increasing;
     // enforce monotonicity to wash out QMC noise before interpolating.
@@ -170,6 +218,7 @@ pub fn excursion_set(result: &CrdResult, alpha: f64) -> Vec<usize> {
 /// (at most `⌈log₂ n⌉ + 1` MVN evaluations). Returns the selected location
 /// indices and the joint probability of the selected prefix.
 pub fn find_excursion_set<F: CholeskyFactor>(
+    engine: &MvnEngine,
     factor: &F,
     mean: &[f64],
     sd: &[f64],
@@ -181,7 +230,16 @@ pub fn find_excursion_set<F: CholeskyFactor>(
     let target = 1.0 - cfg.alpha;
 
     let joint = |len: usize| {
-        prefix_joint_probability(factor, mean, sd, cfg.threshold, &order, len, &cfg.mvn)
+        prefix_joint_probability(
+            engine,
+            factor,
+            mean,
+            sd,
+            cfg.threshold,
+            &order,
+            len,
+            &cfg.mvn,
+        )
     };
 
     // Empty prefix always qualifies (probability 1). If even the full set
@@ -216,6 +274,10 @@ mod tests {
     use geostat::{regular_grid, CovarianceKernel};
     use tile_la::DenseMatrix;
 
+    fn test_engine() -> MvnEngine {
+        MvnEngine::builder().workers(2).build().unwrap()
+    }
+
     /// Independent unit-variance field with a prescribed mean.
     fn independent_factor(n: usize) -> (crate::CorrelationFactor, Vec<f64>) {
         let cov = DenseMatrix::identity(n);
@@ -249,7 +311,7 @@ mod tests {
             levels: n, // full sweep
             mvn: MvnConfig::with_samples(500),
         };
-        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         // Check the evaluated prefix probabilities against the product form.
         let marg = &r.marginal;
         for &(len, p) in &r.prefix_probs {
@@ -267,7 +329,7 @@ mod tests {
             levels: 15,
             mvn: MvnConfig::with_samples(1000),
         };
-        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         for w in r.order.windows(2) {
             assert!(
                 r.confidence[w[0]] >= r.confidence[w[1]] - 1e-12,
@@ -289,7 +351,7 @@ mod tests {
             levels: 16,
             mvn: MvnConfig::with_samples(1500),
         };
-        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         let loose = excursion_set(&r, 0.5);
         let strict = excursion_set(&r, 0.01);
         assert!(strict.len() <= loose.len());
@@ -309,9 +371,9 @@ mod tests {
             levels: n,
             mvn: MvnConfig::with_samples(500),
         };
-        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         let sweep_region = excursion_set(&r, cfg.alpha);
-        let (bisect_region, prob) = find_excursion_set(&factor, &mean, &sd, &cfg);
+        let (bisect_region, prob) = find_excursion_set(&test_engine(), &factor, &mean, &sd, &cfg);
         assert!(prob >= 1.0 - cfg.alpha - 1e-6);
         // The two should agree up to one boundary location (QMC noise).
         let diff = sweep_region.len().abs_diff(bisect_region.len());
@@ -329,9 +391,11 @@ mod tests {
         let mean = vec![0.0; 5];
         let cfg = MvnConfig::with_samples(200);
         let order: Vec<usize> = (0..5).collect();
-        let p0 = prefix_joint_probability(&factor, &mean, &sd, 0.0, &order, 0, &cfg);
+        let p0 =
+            prefix_joint_probability(&test_engine(), &factor, &mean, &sd, 0.0, &order, 0, &cfg);
         assert_eq!(p0, 1.0);
-        let p5 = prefix_joint_probability(&factor, &mean, &sd, 0.0, &order, 5, &cfg);
+        let p5 =
+            prefix_joint_probability(&test_engine(), &factor, &mean, &sd, 0.0, &order, 5, &cfg);
         assert!((p5 - 0.5f64.powi(5)).abs() < 1e-6);
     }
 
@@ -344,7 +408,7 @@ mod tests {
             levels: 8,
             mvn: MvnConfig::with_samples(500),
         };
-        let (region, prob) = find_excursion_set(&factor, &mean, &sd, &cfg);
+        let (region, prob) = find_excursion_set(&test_engine(), &factor, &mean, &sd, &cfg);
         assert_eq!(region.len(), mean.len());
         assert!(prob > 0.99);
     }
@@ -358,9 +422,9 @@ mod tests {
             levels: 8,
             mvn: MvnConfig::with_samples(500),
         };
-        let (region, _) = find_excursion_set(&factor, &mean, &sd, &cfg);
+        let (region, _) = find_excursion_set(&test_engine(), &factor, &mean, &sd, &cfg);
         assert!(region.is_empty());
-        let r = detect_confidence_regions(&factor, &mean, &sd, &cfg);
+        let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         assert!(excursion_set(&r, 0.05).is_empty());
     }
 }

@@ -8,11 +8,14 @@
 //!
 //! The joint exceedance probabilities are computed with the parallel PMVN
 //! algorithm from [`mvn_core`], against either a dense or a TLR Cholesky
-//! factor of the correlation matrix. Both the factorization (inside
-//! [`correlation`]) and the panel sweeps run on the `task-runtime` DAG
-//! executor by default; set `CrdConfig::mvn.scheduler` to choose the
-//! scheduling explicitly (the probabilities are bitwise identical either
-//! way).
+//! factor of the correlation matrix. A detection run is a *session* — many
+//! MVN integrals and MC sampling blocks against one factor — so every entry
+//! point takes an [`mvn_core::MvnEngine`] whose persistent worker pool is
+//! shared across the whole run: the confidence-function sweep submits all
+//! prefix integrals as one batched task graph, the bisection reuses the pool
+//! per probe, and [`validate::mc_validate`] runs its sampling blocks on the
+//! same threads. The probabilities are bitwise identical for any worker
+//! count.
 //!
 //! Modules:
 //!
@@ -33,13 +36,13 @@ pub mod validate;
 pub use correlation::{correlation_factor_dense, correlation_factor_tlr, CorrelationFactor};
 pub use crd::{detect_confidence_regions, excursion_set, find_excursion_set, CrdConfig, CrdResult};
 pub use marginal::{descending_order, marginal_exceedance};
-pub use validate::{mc_validate, McValidation};
+pub use validate::{estimates_agree, mc_validate, McValidation};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use geostat::{regular_grid, simulate_field, CovarianceKernel};
-    use mvn_core::MvnConfig;
+    use mvn_core::{MvnConfig, MvnEngine};
 
     #[test]
     fn full_pipeline_on_a_small_synthetic_field() {
@@ -62,7 +65,8 @@ mod tests {
             levels: 12,
             mvn: MvnConfig::with_samples(2000),
         };
-        let result = detect_confidence_regions(&factor, &field.values, &sd, &cfg);
+        let engine = MvnEngine::builder().workers(2).build().unwrap();
+        let result = detect_confidence_regions(&engine, &factor, &field.values, &sd, &cfg);
         let region = excursion_set(&result, 0.05);
         let marginal_region: Vec<usize> = result
             .marginal

@@ -8,7 +8,10 @@
 use crate::covariance::CovarianceKernel;
 use crate::geometry::Location;
 use qmc::Xoshiro256pp;
-use tile_la::{multiply_lower_panel, potrf_tiled, DenseMatrix};
+use task_runtime::WorkerPool;
+use tile_la::{
+    multiply_lower_panel, potrf_tiled, potrf_tiled_pool, CholeskyError, DenseMatrix, SymTileMatrix,
+};
 
 /// A simulated field: the latent values at every location.
 #[derive(Debug, Clone)]
@@ -30,21 +33,22 @@ pub struct Observations {
     pub noise_sd: f64,
 }
 
-/// Simulate a zero-mean-plus-constant Gaussian random field `x ~ N(mean·1, Σ)`
-/// at the given locations.
-///
-/// The covariance is assembled in tiled form, factored with the parallel tiled
-/// Cholesky, and the sample is `mean + L·z` with `z` i.i.d. standard normal.
-pub fn simulate_field(
+/// Shared body of the field-simulation entry points; `factorize` performs the
+/// tiled Cholesky of the assembled covariance.
+fn simulate_field_with<R>(
     locs: &[Location],
     kernel: &CovarianceKernel,
     mean: f64,
     seed: u64,
-) -> FieldSample {
+    factorize: R,
+) -> FieldSample
+where
+    R: FnOnce(&mut SymTileMatrix) -> Result<(), CholeskyError>,
+{
     let n = locs.len();
     let nb = default_tile_size(n);
     let mut sigma = kernel.tiled_covariance(locs, nb, 1e-10 * kernel.sigma2());
-    potrf_tiled(&mut sigma, 1).expect("covariance matrix must be positive definite");
+    factorize(&mut sigma).expect("covariance matrix must be positive definite");
     let mut rng = Xoshiro256pp::seed_from(seed);
     let z = DenseMatrix::from_fn(n, 1, |_, _| rng.next_normal());
     let x = multiply_lower_panel(&sigma, &z);
@@ -52,6 +56,36 @@ pub fn simulate_field(
         values: (0..n).map(|i| mean + x.get(i, 0)).collect(),
         mean,
     }
+}
+
+/// Simulate a zero-mean-plus-constant Gaussian random field `x ~ N(mean·1, Σ)`
+/// at the given locations.
+///
+/// The covariance is assembled in tiled form, factored with the parallel tiled
+/// Cholesky, and the sample is `mean + L·z` with `z` i.i.d. standard normal.
+/// Call sites simulating many replicates should use [`simulate_field_pooled`]
+/// with a session-owned [`WorkerPool`].
+pub fn simulate_field(
+    locs: &[Location],
+    kernel: &CovarianceKernel,
+    mean: f64,
+    seed: u64,
+) -> FieldSample {
+    simulate_field_with(locs, kernel, mean, seed, |s| potrf_tiled(s, 1))
+}
+
+/// [`simulate_field`] with the tiled Cholesky routed through a caller-owned
+/// persistent [`WorkerPool`]. The sample is bitwise identical to
+/// [`simulate_field`] (the factor is worker-count-deterministic and the RNG
+/// stream depends only on `seed`).
+pub fn simulate_field_pooled(
+    locs: &[Location],
+    kernel: &CovarianceKernel,
+    mean: f64,
+    seed: u64,
+    pool: &WorkerPool,
+) -> FieldSample {
+    simulate_field_with(locs, kernel, mean, seed, |s| potrf_tiled_pool(s, pool))
 }
 
 /// Observe `n_obs` randomly chosen locations of a simulated field with additive
@@ -137,6 +171,20 @@ mod tests {
         for (x, y) in a.values.iter().zip(&b.values) {
             assert!((y - x - 10.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn pooled_simulation_is_bitwise_identical_to_plain() {
+        let locs = regular_grid(14, 14);
+        let plain = simulate_field(&locs, &test_kernel(), 0.5, 21);
+        let pool = task_runtime::WorkerPool::new(3);
+        for _ in 0..3 {
+            let pooled = simulate_field_pooled(&locs, &test_kernel(), 0.5, 21, &pool);
+            for (a, b) in plain.values.iter().zip(&pooled.values) {
+                assert!(a.to_bits() == b.to_bits());
+            }
+        }
+        assert_eq!(pool.stats().graphs_run, 3);
     }
 
     #[test]

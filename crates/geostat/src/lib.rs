@@ -23,9 +23,9 @@ pub mod posterior;
 pub mod wind;
 
 pub use covariance::{CovarianceKernel, MaternParams};
-pub use field::{simulate_field, simulate_observations, FieldSample};
+pub use field::{simulate_field, simulate_field_pooled, simulate_observations, FieldSample};
 pub use geometry::{jittered_grid, regular_grid, Location};
-pub use mle::{fit_matern, gaussian_loglik, MleResult};
+pub use mle::{fit_matern, fit_matern_pooled, gaussian_loglik, gaussian_loglik_pooled, MleResult};
 pub use optim::{nelder_mead, NelderMeadOptions, OptimResult};
 pub use posterior::{posterior_update, Posterior};
 pub use wind::{default_fluctuation_params, orographic_mean, synthetic_wind_dataset, WindDataset};

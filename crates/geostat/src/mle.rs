@@ -5,7 +5,8 @@ use crate::covariance::{CovarianceKernel, MaternParams};
 use crate::field::default_tile_size;
 use crate::geometry::Location;
 use crate::optim::{nelder_mead, NelderMeadOptions};
-use tile_la::{solve_lower_panel, DenseMatrix};
+use task_runtime::WorkerPool;
+use tile_la::{potrf_tiled_pool, solve_lower_panel, CholeskyError, DenseMatrix, SymTileMatrix};
 
 /// Result of a Matérn maximum-likelihood fit.
 #[derive(Debug, Clone)]
@@ -20,17 +21,22 @@ pub struct MleResult {
     pub converged: bool,
 }
 
-/// Exact Gaussian log-likelihood of zero-mean data under the given covariance
-/// kernel: `−½ (zᵀΣ⁻¹z + log|Σ| + n·log 2π)`.
-///
-/// Uses the parallel tiled Cholesky factorization, so it scales to the problem
-/// sizes of the paper's synthetic studies.
-pub fn gaussian_loglik(locs: &[Location], data: &[f64], kernel: &CovarianceKernel) -> f64 {
+/// Shared body of the log-likelihood entry points: assemble the covariance,
+/// factor it with `factorize`, and evaluate the Gaussian log-density.
+fn gaussian_loglik_with<R>(
+    locs: &[Location],
+    data: &[f64],
+    kernel: &CovarianceKernel,
+    factorize: R,
+) -> f64
+where
+    R: FnOnce(&mut SymTileMatrix) -> Result<(), CholeskyError>,
+{
     let n = locs.len();
     assert_eq!(data.len(), n, "data length must match number of locations");
     let nb = default_tile_size(n);
     let mut sigma = kernel.tiled_covariance(locs, nb, 1e-10 * kernel.sigma2().max(1e-12));
-    if tile_la::potrf_tiled(&mut sigma, 1).is_err() {
+    if factorize(&mut sigma).is_err() {
         return f64::NEG_INFINITY;
     }
     let log_det = tile_la::cholesky::log_det_from_factor(&sigma);
@@ -41,18 +47,79 @@ pub fn gaussian_loglik(locs: &[Location], data: &[f64], kernel: &CovarianceKerne
     -0.5 * (quad + log_det + n as f64 * (2.0 * std::f64::consts::PI).ln())
 }
 
+/// Exact Gaussian log-likelihood of zero-mean data under the given covariance
+/// kernel: `−½ (zᵀΣ⁻¹z + log|Σ| + n·log 2π)`.
+///
+/// Uses the parallel tiled Cholesky factorization, so it scales to the problem
+/// sizes of the paper's synthetic studies. Call sites evaluating the
+/// likelihood many times (an optimizer objective) should use
+/// [`gaussian_loglik_pooled`] with a session-owned [`WorkerPool`] — e.g. an
+/// `mvn_core::MvnEngine`'s pool — instead of paying per-call scheduling.
+pub fn gaussian_loglik(locs: &[Location], data: &[f64], kernel: &CovarianceKernel) -> f64 {
+    gaussian_loglik_with(locs, data, kernel, |s| tile_la::potrf_tiled(s, 1))
+}
+
+/// [`gaussian_loglik`] with the tiled Cholesky routed through a caller-owned
+/// persistent [`WorkerPool`]. The value is bitwise identical to
+/// [`gaussian_loglik`] (the factor is worker-count-deterministic).
+pub fn gaussian_loglik_pooled(
+    locs: &[Location],
+    data: &[f64],
+    kernel: &CovarianceKernel,
+    pool: &WorkerPool,
+) -> f64 {
+    gaussian_loglik_with(locs, data, kernel, |s| potrf_tiled_pool(s, pool))
+}
+
 /// Fit Matérn parameters by maximum likelihood with Nelder–Mead over
 /// log-transformed parameters.
 ///
 /// If `estimate_smoothness` is false the smoothness is held fixed at
 /// `init.smoothness` (the common practice for the exponential-kernel synthetic
 /// data, where ν = ½ is known).
+///
+/// Every objective evaluation factors an `n × n` covariance; use
+/// [`fit_matern_pooled`] to route those hundreds of factorizations through
+/// one persistent [`WorkerPool`] instead of per-call scheduling. The fitted
+/// parameters are bitwise identical either way.
 pub fn fit_matern(
     locs: &[Location],
     data: &[f64],
     init: MaternParams,
     estimate_smoothness: bool,
 ) -> Option<MleResult> {
+    fit_matern_with(locs, data, init, estimate_smoothness, |k| {
+        gaussian_loglik(locs, data, k)
+    })
+}
+
+/// [`fit_matern`] with every objective evaluation's tiled Cholesky routed
+/// through a caller-owned persistent [`WorkerPool`] (e.g. an
+/// `mvn_core::MvnEngine`'s pool).
+pub fn fit_matern_pooled(
+    locs: &[Location],
+    data: &[f64],
+    init: MaternParams,
+    estimate_smoothness: bool,
+    pool: &WorkerPool,
+) -> Option<MleResult> {
+    fit_matern_with(locs, data, init, estimate_smoothness, |k| {
+        gaussian_loglik_pooled(locs, data, k, pool)
+    })
+}
+
+/// Shared Nelder–Mead driver of the `fit_matern*` entry points; `loglik`
+/// evaluates the Gaussian log-likelihood of a candidate kernel.
+fn fit_matern_with<L>(
+    locs: &[Location],
+    data: &[f64],
+    init: MaternParams,
+    estimate_smoothness: bool,
+    loglik: L,
+) -> Option<MleResult>
+where
+    L: Fn(&CovarianceKernel) -> f64,
+{
     assert_eq!(locs.len(), data.len());
     let fixed_nu = init.smoothness;
 
@@ -77,7 +144,7 @@ pub fn fit_matern(
         {
             return 1e12;
         }
-        -gaussian_loglik(locs, data, &CovarianceKernel::Matern(p))
+        -loglik(&CovarianceKernel::Matern(p))
     };
 
     let mut x0 = vec![init.sigma2.ln(), init.range.ln()];
@@ -177,6 +244,53 @@ mod tests {
         });
         let ll = gaussian_loglik(&locs, &data, &kernel);
         assert!(ll < -1e6, "expected a huge penalty, got {ll}");
+    }
+
+    #[test]
+    fn pooled_loglik_is_bitwise_identical_to_plain_loglik() {
+        let locs = regular_grid(12, 12);
+        let truth = MaternParams {
+            sigma2: 1.2,
+            range: 0.2,
+            smoothness: 0.5,
+        };
+        let sample = simulate_field(&locs, &CovarianceKernel::Matern(truth), 0.0, 11);
+        let kernel = CovarianceKernel::Matern(truth);
+        let plain = gaussian_loglik(&locs, &sample.values, &kernel);
+        for workers in [1usize, 2, 4] {
+            let pool = task_runtime::WorkerPool::new(workers);
+            let pooled = gaussian_loglik_pooled(&locs, &sample.values, &kernel, &pool);
+            assert!(
+                pooled.to_bits() == plain.to_bits(),
+                "workers={workers}: {pooled} vs {plain}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_fit_matches_plain_fit_and_reuses_the_pool() {
+        let locs = regular_grid(10, 10);
+        let truth = MaternParams {
+            sigma2: 1.0,
+            range: 0.15,
+            smoothness: 0.5,
+        };
+        let sample = simulate_field(&locs, &CovarianceKernel::Matern(truth), 0.0, 42);
+        let start = MaternParams {
+            sigma2: 2.0,
+            range: 0.4,
+            smoothness: 0.5,
+        };
+        let plain = fit_matern(&locs, &sample.values, start, false).unwrap();
+        let pool = task_runtime::WorkerPool::new(2);
+        let pooled = fit_matern_pooled(&locs, &sample.values, start, false, &pool).unwrap();
+        assert_eq!(plain.iterations, pooled.iterations);
+        assert!(plain.loglik.to_bits() == pooled.loglik.to_bits());
+        assert!(plain.params.range.to_bits() == pooled.params.range.to_bits());
+        // Every objective evaluation factored one covariance on the pool.
+        let stats = pool.stats();
+        assert!(stats.graphs_run as usize >= pooled.iterations);
+        assert_eq!(stats.workers, 2);
     }
 
     #[test]

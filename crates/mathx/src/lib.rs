@@ -4,11 +4,11 @@
 //! Separation-of-Variables (SOV) multivariate normal probability algorithm and
 //! the Matérn covariance family:
 //!
-//! * [`erf`]/[`erfc`] — error function and its complement (Cody/SPECFUN rational
+//! * [`erf()`]/[`erfc`] — error function and its complement (Cody/SPECFUN rational
 //!   approximations, ~1e-15 relative accuracy away from the deep tail),
 //! * [`norm_cdf`] (Φ), [`norm_pdf`] (φ), [`norm_quantile`] (Φ⁻¹, Wichura AS241),
 //!   and the numerically safe difference [`norm_cdf_diff`],
-//! * [`ln_gamma`]/[`gamma`] — (log) gamma function (Lanczos),
+//! * [`ln_gamma`]/[`gamma()`] — (log) gamma function (Lanczos),
 //! * [`bessel_k`] — modified Bessel function of the second kind `K_ν(x)` for real
 //!   order ν ≥ 0 (Temme series + continued fractions, Numerical-Recipes style),
 //!   required by the Matérn covariance,

@@ -7,10 +7,8 @@
 //! contents of every data handle are bitwise identical for any number of
 //! workers. Only the interleaving (and the [`ExecutionTrace`]) varies.
 
-use crate::graph::{TaskClosure, TaskGraph};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use crate::graph::TaskGraph;
+use crate::pool::WorkerPool;
 use std::time::Instant;
 
 /// One executed task, for tracing.
@@ -37,188 +35,66 @@ pub struct ExecutionTrace {
     pub makespan: f64,
 }
 
-/// Blocking MPMC ready-queue: a mutex-protected deque plus a condvar. Workers
-/// sleep when no task is ready and are woken either by a new ready task or by
-/// global completion.
-struct ReadyQueue {
-    deque: Mutex<VecDeque<usize>>,
-    cv: Condvar,
-}
-
-impl ReadyQueue {
-    fn new() -> Self {
-        Self {
-            deque: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn push(&self, task: usize) {
-        self.deque.lock().unwrap().push_back(task);
-        self.cv.notify_one();
-    }
-
-    /// Pop a ready task, or `None` once `remaining` hits zero.
-    fn pop(&self, remaining: &AtomicUsize) -> Option<usize> {
-        let mut q = self.deque.lock().unwrap();
-        loop {
-            if let Some(t) = q.pop_front() {
-                return Some(t);
+/// Run the whole graph inline on the calling thread. Submission order is a
+/// valid topological order under the sequential-task-flow contract, so no
+/// queue, no thread spawn. This keeps hot call sites that factor many small
+/// matrices (e.g. the MLE objective) from paying a thread-pool setup per
+/// call; it is the single-worker/small-graph shortcut of both
+/// [`run_taskgraph`] and [`WorkerPool::run`](crate::WorkerPool::run).
+///
+/// Panic semantics match the threaded path: a panicking task does not stop
+/// the remaining tasks — the graph drains, and the first panic payload is
+/// re-raised at the end — so the "drain then re-raise" contract holds for
+/// every worker count, not just multi-worker pools.
+pub(crate) fn run_inline(graph: &mut TaskGraph<'_>) -> ExecutionTrace {
+    let n = graph.len();
+    let t0 = Instant::now();
+    let mut records = Vec::with_capacity(n);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for i in 0..n {
+        let start = t0.elapsed().as_secs_f64();
+        if let Some(f) = graph.take_closure(i) {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+                first_panic.get_or_insert(payload);
             }
-            if remaining.load(Ordering::SeqCst) == 0 {
-                return None;
-            }
-            q = self.cv.wait(q).unwrap();
         }
+        let end = t0.elapsed().as_secs_f64();
+        records.push(TaskRecord {
+            task: i,
+            name: graph.spec(i).name.clone(),
+            worker: 0,
+            start,
+            end,
+        });
     }
-
-    /// Wake every sleeping worker (used on completion). Taking the lock first
-    /// closes the check-then-wait race: a worker holding the lock has either
-    /// not yet checked `remaining` (and will see zero) or is already waiting
-    /// (and receives the notification).
-    fn wake_all(&self) {
-        let _guard = self.deque.lock().unwrap();
-        self.cv.notify_all();
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
     }
+    let makespan = records.last().map(|r| r.end).unwrap_or(0.0);
+    ExecutionTrace { records, makespan }
 }
 
 /// Execute all tasks of the graph on `workers` threads, honouring the inferred
 /// dependencies. Closures submitted as `None` are treated as instantaneous
 /// no-ops (their dependencies still matter).
 ///
-/// This is the `run_taskgraph` entry point of the numerical pipeline: the
-/// result of the computation performed by the closures is deterministic in the
-/// worker count (see the module docs).
+/// This is the one-shot entry point of the numerical pipeline: a thin wrapper
+/// that borrows a throwaway [`WorkerPool`] for the duration of the call
+/// (single-worker and trivially small graphs run inline without spawning
+/// anything). Call sites that execute many graphs should hold a
+/// [`WorkerPool`] — or an `mvn_core::MvnEngine` — and reuse it instead of
+/// paying the pool setup per graph. The result of the computation performed
+/// by the closures is deterministic in the worker count (see the module
+/// docs).
 pub fn run_taskgraph<'a>(graph: &mut TaskGraph<'a>, workers: usize) -> ExecutionTrace {
     let n = graph.len();
     if n == 0 {
         return ExecutionTrace::default();
     }
-    let workers = workers.max(1);
-
-    // Single-worker (or trivially small) graphs: run inline on the calling
-    // thread. Submission order is a valid topological order under the
-    // sequential-task-flow contract, so no queue, no thread spawn, and any
-    // task panic propagates directly to the caller. This keeps hot call
-    // sites that factor many small matrices (e.g. the MLE objective) from
-    // paying a thread-pool setup per call.
-    if workers == 1 || n <= 2 {
-        let t0 = Instant::now();
-        let mut records = Vec::with_capacity(n);
-        for i in 0..n {
-            let start = t0.elapsed().as_secs_f64();
-            if let Some(f) = graph.take_closure(i) {
-                f();
-            }
-            let end = t0.elapsed().as_secs_f64();
-            records.push(TaskRecord {
-                task: i,
-                name: graph.spec(i).name.clone(),
-                worker: 0,
-                start,
-                end,
-            });
-        }
-        let makespan = records.last().map(|r| r.end).unwrap_or(0.0);
-        return ExecutionTrace { records, makespan };
+    if workers <= 1 || n <= 2 {
+        return run_inline(graph);
     }
-
-    // Pull the closures out; the DAG structure itself stays shared read-only.
-    let mut closures: Vec<Option<TaskClosure<'a>>> = Vec::with_capacity(n);
-    for i in 0..n {
-        closures.push(graph.take_closure(i));
-    }
-    let closures: Vec<Mutex<Option<TaskClosure<'a>>>> =
-        closures.into_iter().map(Mutex::new).collect();
-
-    let pending: Vec<AtomicUsize> = (0..n)
-        .map(|i| AtomicUsize::new(graph.dependencies(i).len()))
-        .collect();
-    let remaining = AtomicUsize::new(n);
-
-    let queue = ReadyQueue::new();
-    for i in 0..n {
-        if graph.dependencies(i).is_empty() {
-            queue.push(i);
-        }
-    }
-
-    // Copy out the structural information the workers need, so the graph
-    // itself (whose closure storage is not `Sync`) is not shared across
-    // threads.
-    let dependents: Vec<Vec<usize>> = (0..n).map(|i| graph.dependents(i).to_vec()).collect();
-    let names: Vec<String> = (0..n).map(|i| graph.spec(i).name.clone()).collect();
-
-    let records: Mutex<Vec<TaskRecord>> = Mutex::new(Vec::with_capacity(n));
-    let t0 = Instant::now();
-    let dependents_ref = &dependents;
-    let names_ref = &names;
-    let pending_ref = &pending;
-    let remaining_ref = &remaining;
-    let closures_ref = &closures;
-    let records_ref = &records;
-    let queue_ref = &queue;
-
-    /// Releases a finished task's dependents and decrements the global
-    /// counter *on drop*, so the bookkeeping also runs when the task closure
-    /// panics. Without it, a panicking worker would leave `remaining` above
-    /// zero and every other worker asleep on the condvar forever; with it the
-    /// graph drains, the workers exit, and `thread::scope` re-raises the
-    /// panic at the call site.
-    struct CompletionGuard<'g> {
-        task: usize,
-        dependents: &'g [Vec<usize>],
-        pending: &'g [AtomicUsize],
-        remaining: &'g AtomicUsize,
-        queue: &'g ReadyQueue,
-    }
-
-    impl Drop for CompletionGuard<'_> {
-        fn drop(&mut self) {
-            for &dep in &self.dependents[self.task] {
-                if self.pending[dep].fetch_sub(1, Ordering::SeqCst) == 1 {
-                    self.queue.push(dep);
-                }
-            }
-            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                self.queue.wake_all();
-            }
-        }
-    }
-
-    std::thread::scope(|scope| {
-        for worker_id in 0..workers {
-            scope.spawn(move || {
-                while let Some(task) = queue_ref.pop(remaining_ref) {
-                    let _completion = CompletionGuard {
-                        task,
-                        dependents: dependents_ref,
-                        pending: pending_ref,
-                        remaining: remaining_ref,
-                        queue: queue_ref,
-                    };
-                    let start = t0.elapsed().as_secs_f64();
-                    let closure = closures_ref[task].lock().unwrap().take();
-                    if let Some(f) = closure {
-                        f();
-                    }
-                    let end = t0.elapsed().as_secs_f64();
-                    records_ref.lock().unwrap().push(TaskRecord {
-                        task,
-                        name: names_ref[task].clone(),
-                        worker: worker_id,
-                        start,
-                        end,
-                    });
-                }
-            });
-        }
-    });
-
-    let mut records = records.into_inner().unwrap();
-    records.sort_by(|a, b| a.end.partial_cmp(&b.end).unwrap());
-    let makespan = records.last().map(|r| r.end).unwrap_or(0.0);
-    ExecutionTrace { records, makespan }
+    WorkerPool::new(workers).run(graph)
 }
 
 /// Historical name of [`run_taskgraph`], kept for the existing call sites.
@@ -231,8 +107,8 @@ mod tests {
     use super::*;
     use crate::handle::HandleRegistry;
     use crate::task::{AccessMode, TaskSpec};
-    use std::sync::atomic::AtomicUsize;
-    use std::sync::Arc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn empty_graph_executes_trivially() {
@@ -327,6 +203,33 @@ mod tests {
         }
         run_taskgraph(&mut g, 4);
         assert_eq!(counter.load(Ordering::SeqCst), (0..16).sum());
+    }
+
+    #[test]
+    fn inline_execution_drains_on_panic_like_the_threaded_path() {
+        // workers = 1 takes the inline path; its panic contract must match
+        // the pool's: every other task still runs, then the panic re-raises.
+        let mut reg = HandleRegistry::new();
+        let done = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        for i in 0..12 {
+            let h = reg.register(format!("h{i}"));
+            let done = &done;
+            g.submit(
+                TaskSpec::new("maybe_panic").access(h, AccessMode::Write),
+                Some(Box::new(move || {
+                    if i == 5 {
+                        panic!("task 5 exploded");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_taskgraph(&mut g, 1);
+        }));
+        assert!(result.is_err(), "the task panic must reach the caller");
+        assert_eq!(done.load(Ordering::SeqCst), 11, "the graph must drain");
     }
 
     #[test]

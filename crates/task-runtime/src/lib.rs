@@ -8,9 +8,14 @@
 //!
 //! Consumers in this workspace:
 //!
-//! * the [`executor`] (entry point [`run_taskgraph`]) runs real closures on
-//!   threads — it is the engine behind the DAG-scheduled tiled Cholesky in
-//!   `tile-la`/`tlr` and the fused factor+sweep PMVN pipeline in `mvn-core`,
+//! * the [`pool`] module provides [`WorkerPool`], a persistent worker pool
+//!   whose threads park on a condvar between graph submissions — the engine
+//!   behind long-lived solver sessions (`mvn_core::MvnEngine`) and every
+//!   one-shot execution,
+//! * the [`executor`] (entry point [`run_taskgraph`]) is the one-shot wrapper:
+//!   it borrows a throwaway pool per call — it runs the DAG-scheduled tiled
+//!   Cholesky in `tile-la`/`tlr` and the fused factor+sweep PMVN pipeline in
+//!   `mvn-core` when no session pool is held,
 //! * the [`store`] module provides [`TileStore`], the typed payload storage
 //!   task closures borrow tiles from according to their declared accesses,
 //! * the [`graph`] alone — task names, access lists and abstract costs — is
@@ -20,12 +25,14 @@
 pub mod executor;
 pub mod graph;
 pub mod handle;
+pub mod pool;
 pub mod store;
 pub mod task;
 
 pub use executor::{execute_graph, run_taskgraph, ExecutionTrace, TaskRecord};
 pub use graph::TaskGraph;
 pub use handle::{DataHandle, HandleRegistry};
+pub use pool::{PoolStats, WorkerPool};
 pub use store::{TileRef, TileRefMut, TileStore};
 pub use task::{AccessMode, TaskSpec};
 

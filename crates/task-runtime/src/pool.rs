@@ -1,0 +1,685 @@
+//! A persistent worker pool: threads are spawned once and parked on a condvar
+//! between graph submissions, so hot call sites that execute many small task
+//! graphs (the MLE objective, the CRD bisection, batched MVN solves) do not
+//! pay a thread-spawn per graph.
+//!
+//! [`WorkerPool::run`] executes a [`TaskGraph`] with exactly the same
+//! semantics as [`run_taskgraph`](crate::run_taskgraph): every task runs once,
+//! all inferred dependencies are honoured, task panics propagate to the
+//! caller after the graph has drained, and the numerical result is bitwise
+//! identical for any worker count. `run_taskgraph` itself is a thin wrapper
+//! that builds a throwaway pool; long-lived sessions (`mvn_core::MvnEngine`)
+//! own a pool and reuse it across submissions.
+//!
+//! # How non-`'static` closures reach `'static` threads
+//!
+//! Task closures may borrow the submitting scope ([`TaskClosure`]`<'a>`), but
+//! pool threads live arbitrarily long. The pool erases the closure lifetime
+//! when publishing a job and guarantees soundness with a completion barrier:
+//! [`WorkerPool::run`] does not return until every closure has been consumed
+//! (executed and dropped), which the per-task completion accounting makes
+//! observable — the same technique scoped thread APIs use, with the scope
+//! replaced by the duration of one `run` call.
+
+use crate::executor::{run_inline, ExecutionTrace, TaskRecord};
+use crate::graph::{TaskClosure, TaskGraph};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Blocking MPMC ready-queue: a mutex-protected deque plus a condvar. Workers
+/// sleep when no task is ready and are woken either by a new ready task or by
+/// global completion.
+struct ReadyQueue {
+    deque: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        Self {
+            deque: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, task: usize) {
+        self.deque.lock().unwrap().push_back(task);
+        self.cv.notify_one();
+    }
+
+    /// Pop a ready task, or `None` once `remaining` hits zero.
+    fn pop(&self, remaining: &AtomicUsize) -> Option<usize> {
+        let mut q = self.deque.lock().unwrap();
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if remaining.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Wake every sleeping waiter (used on completion). Taking the lock first
+    /// closes the check-then-wait race: a waiter holding the lock has either
+    /// not yet checked `remaining` (and will see zero) or is already waiting
+    /// (and receives the notification).
+    fn wake_all(&self) {
+        let _guard = self.deque.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+/// One published graph execution: the dependency structure copied out of the
+/// graph, the (lifetime-erased) closures, and the completion accounting.
+struct Job {
+    closures: Vec<Mutex<Option<TaskClosure<'static>>>>,
+    pending: Vec<AtomicUsize>,
+    remaining: AtomicUsize,
+    queue: ReadyQueue,
+    /// Completion signal for the submitter. Deliberately separate from the
+    /// ready-queue condvar: `ReadyQueue::push` uses `notify_one`, and if the
+    /// submitter waited on that same condvar it could swallow a wakeup meant
+    /// for a parked worker, leaving a ready task unserved until another
+    /// worker happened to loop around (silent parallelism loss).
+    done_cv: Condvar,
+    dependents: Vec<Vec<usize>>,
+    names: Vec<String>,
+    records: Mutex<Vec<TaskRecord>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    t0: Instant,
+}
+
+/// Releases a finished task's dependents and decrements the job's global
+/// counter *on drop*. With the per-closure `catch_unwind` below a closure
+/// panic cannot skip this bookkeeping anyway, but keeping it drop-based makes
+/// the invariant local: once `remaining` reaches zero, every closure has been
+/// consumed and every record pushed.
+struct CompletionGuard<'g> {
+    job: &'g Job,
+    task: usize,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        for &dep in &self.job.dependents[self.task] {
+            if self.job.pending[dep].fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.job.queue.push(dep);
+            }
+        }
+        if self.job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake the workers still parked in `pop` (they will observe
+            // `remaining == 0` and leave) and the submitter in `wait_done`.
+            self.job.queue.wake_all();
+            let _guard = self.job.queue.deque.lock().unwrap();
+            self.job.done_cv.notify_all();
+        }
+    }
+}
+
+impl Job {
+    /// Pull the structure and closures out of `graph`, erasing the closure
+    /// lifetime.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not let the returned job outlive the borrows captured
+    /// by the graph's closures without first waiting for [`Job::wait_done`]:
+    /// only once `remaining` is zero have all closures been consumed.
+    unsafe fn new(graph: &mut TaskGraph<'_>) -> Self {
+        let n = graph.len();
+        let mut closures: Vec<Mutex<Option<TaskClosure<'static>>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = graph.take_closure(i);
+            // SAFETY: lifetime erasure only — the `Send` bound stays in the
+            // trait object. `WorkerPool::run` waits for `remaining == 0`
+            // before returning, and each closure is consumed (executed and
+            // dropped) strictly before its completion guard decrements
+            // `remaining`, so no closure (and hence no borrow) survives the
+            // `run` call that owns the real lifetime.
+            let c: Option<TaskClosure<'static>> = unsafe { std::mem::transmute(c) };
+            closures.push(Mutex::new(c));
+        }
+        let pending: Vec<AtomicUsize> = (0..n)
+            .map(|i| AtomicUsize::new(graph.dependencies(i).len()))
+            .collect();
+        let queue = ReadyQueue::new();
+        for i in 0..n {
+            if graph.dependencies(i).is_empty() {
+                queue.push(i);
+            }
+        }
+        Self {
+            closures,
+            pending,
+            remaining: AtomicUsize::new(n),
+            queue,
+            done_cv: Condvar::new(),
+            dependents: (0..n).map(|i| graph.dependents(i).to_vec()).collect(),
+            names: (0..n).map(|i| graph.spec(i).name.clone()).collect(),
+            records: Mutex::new(Vec::with_capacity(n)),
+            panic: Mutex::new(None),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Execute ready tasks until the job is drained.
+    fn worker_loop(&self, worker_id: usize) {
+        while let Some(task) = self.queue.pop(&self.remaining) {
+            let _completion = CompletionGuard { job: self, task };
+            let start = self.t0.elapsed().as_secs_f64();
+            let closure = self.closures[task].lock().unwrap().take();
+            if let Some(f) = closure {
+                // Contain the panic so the pool thread survives for later
+                // graphs; the first payload is re-raised by `run`.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let end = self.t0.elapsed().as_secs_f64();
+            self.records.lock().unwrap().push(TaskRecord {
+                task,
+                name: self.names[task].clone(),
+                worker: worker_id,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Block until every task has completed (closures consumed, records
+    /// pushed). Waits on the dedicated completion condvar so it never
+    /// competes with parked workers for `ReadyQueue::push` notifications.
+    fn wait_done(&self) {
+        let mut q = self.queue.deque.lock().unwrap();
+        while self.remaining.load(Ordering::SeqCst) != 0 {
+            q = self.done_cv.wait(q).unwrap();
+        }
+    }
+
+    fn take_trace(&self) -> ExecutionTrace {
+        let mut records = std::mem::take(&mut *self.records.lock().unwrap());
+        records.sort_by(|a, b| a.end.partial_cmp(&b.end).unwrap());
+        let makespan = records.last().map(|r| r.end).unwrap_or(0.0);
+        ExecutionTrace { records, makespan }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+struct PoolState {
+    /// Monotonic submission counter; workers pick up a job only when the
+    /// epoch advances past the last one they served, so a drained job is
+    /// never re-entered while the submitter is still collecting its results.
+    epoch: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// A snapshot of pool usage counters (see [`WorkerPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker threads owned by the pool (constant for its whole
+    /// lifetime — the pool never spawns on demand).
+    pub workers: usize,
+    /// Task graphs executed so far (including inlined ones).
+    pub graphs_run: u64,
+    /// Tasks executed so far.
+    pub tasks_run: u64,
+}
+
+/// A persistent pool of worker threads executing [`TaskGraph`]s.
+///
+/// Workers are spawned once in [`WorkerPool::new`] and parked on a condvar
+/// between [`run`](WorkerPool::run) calls; dropping the pool shuts them down
+/// and joins them. `run` takes `&self`, so a pool can be shared; concurrent
+/// submissions are serialized (one graph executes at a time).
+///
+/// A pool of one worker spawns no thread at all: every graph runs inline on
+/// the submitting thread (submission order is a valid topological order under
+/// the sequential-task-flow contract), as do trivially small graphs on any
+/// pool — identical to the [`run_taskgraph`](crate::run_taskgraph) shortcut.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls: the pool executes one job at a time.
+    submit_lock: Mutex<()>,
+    graphs_run: AtomicU64,
+    tasks_run: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers.max(1)` workers. A single-worker pool spawns
+    /// no OS thread (graphs run inline on the submitter).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let spawned = if workers == 1 { 0 } else { workers };
+        let threads = (0..spawned)
+            .map(|worker_id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("task-runtime-worker-{worker_id}"))
+                    .spawn(move || Self::worker_main(shared, worker_id))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            submit_lock: Mutex::new(()),
+            graphs_run: AtomicU64::new(0),
+            tasks_run: AtomicU64::new(0),
+        }
+    }
+
+    fn worker_main(shared: Arc<Shared>, worker_id: usize) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch > seen_epoch {
+                        if let Some(job) = st.job.as_ref() {
+                            seen_epoch = st.epoch;
+                            break Arc::clone(job);
+                        }
+                    }
+                    st = shared.work_cv.wait(st).unwrap();
+                }
+            };
+            job.worker_loop(worker_id);
+        }
+    }
+
+    /// Number of workers the pool executes graphs on (the worker count passed
+    /// to [`WorkerPool::new`], floored at one).
+    pub fn workers(&self) -> usize {
+        self.threads.len().max(1)
+    }
+
+    /// Usage counters: worker count, graphs executed, tasks executed. The
+    /// worker count never changes after construction, which is what the
+    /// pool-reuse tests assert against (no thread growth across submissions).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers(),
+            graphs_run: self.graphs_run.load(Ordering::Relaxed),
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute all tasks of `graph` on the pool, honouring the inferred
+    /// dependencies, and return the execution trace. Blocks until the graph
+    /// has drained; a task panic is re-raised here after the drain, and the
+    /// pool remains usable afterwards.
+    ///
+    /// Calling `run` from inside one of this pool's own task closures is
+    /// supported: the nested graph executes inline on that worker (it cannot
+    /// be dispatched to the pool, whose submission slot is held by the outer
+    /// graph for the duration of the call).
+    ///
+    /// The result left in the data handles is bitwise identical to any other
+    /// execution of the same graph, for any worker count (see the
+    /// [`executor`](crate::executor) module docs).
+    pub fn run<'a>(&self, graph: &mut TaskGraph<'a>) -> ExecutionTrace {
+        let n = graph.len();
+        if n == 0 {
+            return ExecutionTrace::default();
+        }
+        self.graphs_run.fetch_add(1, Ordering::Relaxed);
+        self.tasks_run.fetch_add(n as u64, Ordering::Relaxed);
+        if self.threads.is_empty() || n <= 2 {
+            return run_inline(graph);
+        }
+
+        // A task closure cannot submit to the pool that is executing it: the
+        // outer `run` holds the submission lock and waits for this closure
+        // to finish, so a nested dispatch could never be served (deadlock).
+        // Nested submission is still legitimate — e.g. a pooled optimizer
+        // objective whose helper routes through the same engine pool — so
+        // instead of failing, execute the nested graph inline on this worker
+        // (submission order is a valid topological order, and the outer
+        // graph's dependency accounting is untouched).
+        let me = std::thread::current().id();
+        if self.threads.iter().any(|t| t.thread().id() == me) {
+            return run_inline(graph);
+        }
+
+        let (trace, panic) = {
+            let _submission = self.submit_lock.lock().unwrap();
+            // SAFETY: `wait_done` below blocks until every closure has been
+            // consumed, so no borrow captured by the graph's closures
+            // outlives this call; worker threads may briefly keep the (by
+            // then closure-free) job alive past it.
+            let job = Arc::new(unsafe { Job::new(graph) });
+            {
+                let mut st = self.shared.state.lock().unwrap();
+                st.epoch += 1;
+                st.job = Some(Arc::clone(&job));
+                self.shared.work_cv.notify_all();
+            }
+            job.wait_done();
+            self.shared.state.lock().unwrap().job = None;
+            // The submission lock is released before re-raising, so a task
+            // panic never poisons the pool for later graphs.
+            let outcome = (job.take_trace(), job.panic.lock().unwrap().take());
+            outcome
+        };
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        trace
+    }
+
+    /// Evaluate `f` over `items` as one task graph of independent write-tasks
+    /// (one task per item, each owning its result slot) and collect the
+    /// results in item order.
+    ///
+    /// This is the "embarrassingly parallel map" shape shared by the MVN
+    /// panel sweeps and the Monte-Carlo validation blocks; the helper owns
+    /// the handle-registry/slot-store boilerplate so call sites only supply
+    /// the per-item closure. `cost(i, item)` feeds the abstract cost model of
+    /// the task specs (used for tracing/simulation, not scheduling
+    /// correctness). Results are position-stable: `out[i] == f(i, &items[i])`
+    /// regardless of worker count or interleaving.
+    pub fn run_map<T, R, C, F>(&self, name: &str, items: &[T], cost: C, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + Sync,
+        C: Fn(usize, &T) -> f64,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        use crate::handle::HandleRegistry;
+        use crate::store::TileStore;
+        use crate::task::{AccessMode, TaskSpec};
+
+        let mut registry = HandleRegistry::new();
+        let mut results: TileStore<Option<R>> = TileStore::new();
+        let handles: Vec<_> = (0..items.len())
+            .map(|i| {
+                let h = registry.register(format!("{name}{i}"));
+                results.insert(h, None);
+                h
+            })
+            .collect();
+        {
+            let mut graph = TaskGraph::new();
+            let results_ref = &results;
+            let f_ref = &f;
+            for (i, (item, &h)) in items.iter().zip(&handles).enumerate() {
+                graph.submit(
+                    TaskSpec::new(name)
+                        .access(h, AccessMode::Write)
+                        .cost(cost(i, item)),
+                    Some(Box::new(move || {
+                        *results_ref.write(h) = Some(f_ref(i, item));
+                    })),
+                );
+            }
+            self.run(&mut graph);
+        }
+        handles
+            .iter()
+            .map(|&h| results.take(h).expect("every map task writes its slot"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::HandleRegistry;
+    use crate::task::{AccessMode, TaskSpec};
+    use crate::TileStore;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counting_graph<'a>(
+        reg: &mut HandleRegistry,
+        counter: &'a AtomicUsize,
+        tasks: usize,
+    ) -> TaskGraph<'a> {
+        let mut g = TaskGraph::new();
+        for i in 0..tasks {
+            let h = reg.register(format!("h{i}"));
+            g.submit(
+                TaskSpec::new("inc").access(h, AccessMode::Write),
+                Some(Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let mut reg = HandleRegistry::new();
+        let counter = AtomicUsize::new(0);
+        let mut g = counting_graph(&mut reg, &counter, 40);
+        let trace = pool.run(&mut g);
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+        assert_eq!(trace.records.len(), 40);
+        let mut ids: Vec<usize> = trace.records.iter().map(|r| r.task).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_graphs_without_thread_growth() {
+        let pool = WorkerPool::new(3);
+        let before = pool.stats();
+        assert_eq!(before.workers, 3);
+        let mut reg = HandleRegistry::new();
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let mut g = counting_graph(&mut reg, &counter, 8);
+            pool.run(&mut g);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 400);
+        let after = pool.stats();
+        assert_eq!(after.workers, 3, "pool must never grow threads");
+        assert_eq!(after.graphs_run, before.graphs_run + 50);
+        assert_eq!(after.tasks_run, before.tasks_run + 400);
+    }
+
+    #[test]
+    fn pool_respects_dependency_chains() {
+        let pool = WorkerPool::new(4);
+        let mut reg = HandleRegistry::new();
+        let x = reg.register("x");
+        let value = Mutex::new(0u64);
+        let mut g = TaskGraph::new();
+        for k in 1..=6u64 {
+            let value = &value;
+            g.submit(
+                TaskSpec::new(format!("w{k}")).access(x, AccessMode::Write),
+                Some(Box::new(move || {
+                    let mut v = value.lock().unwrap();
+                    *v = *v * 10 + k;
+                })),
+            );
+        }
+        pool.run(&mut g);
+        assert_eq!(*value.lock().unwrap(), 123_456);
+    }
+
+    #[test]
+    fn single_worker_pool_spawns_no_threads_and_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.stats().workers, 1);
+        let mut reg = HandleRegistry::new();
+        let counter = AtomicUsize::new(0);
+        let mut g = counting_graph(&mut reg, &counter, 5);
+        let trace = pool.run(&mut g);
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        // Inline execution records everything on worker 0 in submission order.
+        assert!(trace.records.iter().all(|r| r.worker == 0));
+        let ids: Vec<usize> = trace.records.iter().map(|r| r.task).collect();
+        assert_eq!(ids, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task_and_stays_usable() {
+        let pool = WorkerPool::new(4);
+        let mut reg = HandleRegistry::new();
+        let done = AtomicUsize::new(0);
+        let mut g = TaskGraph::new();
+        for i in 0..12 {
+            let h = reg.register(format!("h{i}"));
+            let done = &done;
+            g.submit(
+                TaskSpec::new("maybe_panic").access(h, AccessMode::Write),
+                Some(Box::new(move || {
+                    if i == 5 {
+                        panic!("task 5 exploded");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })),
+            );
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&mut g);
+        }));
+        assert!(result.is_err(), "the task panic must reach the caller");
+        assert_eq!(done.load(Ordering::SeqCst), 11, "the graph must drain");
+
+        // The pool (and all of its workers) must still be usable.
+        let counter = AtomicUsize::new(0);
+        let mut g2 = counting_graph(&mut reg, &counter, 16);
+        pool.run(&mut g2);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert_eq!(pool.stats().workers, 4);
+    }
+
+    #[test]
+    fn closures_may_borrow_the_submitting_scope() {
+        // The soundness-critical property: stack-borrowed data is safe
+        // because `run` blocks until every closure is consumed.
+        let pool = WorkerPool::new(4);
+        let mut reg = HandleRegistry::new();
+        let mut store: TileStore<f64> = TileStore::new();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let h = reg.register(format!("s{i}"));
+                store.insert(h, i as f64);
+                h
+            })
+            .collect();
+        let mut g = TaskGraph::new();
+        for &h in &handles {
+            let store = &store;
+            g.submit(
+                TaskSpec::new("double").access(h, AccessMode::ReadWrite),
+                Some(Box::new(move || {
+                    *store.write(h) *= 2.0;
+                })),
+            );
+        }
+        pool.run(&mut g);
+        drop(g);
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(store.take(h), 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn run_map_collects_results_in_item_order_on_any_pool() {
+        let items: Vec<u64> = (0..40).collect();
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let out = pool.run_map("square", &items, |_, _| 1.0, |i, &x| (i as u64, x * x));
+            assert_eq!(out.len(), items.len());
+            for (i, &(idx, sq)) in out.iter().enumerate() {
+                assert_eq!(idx, i as u64);
+                assert_eq!(sq, (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn reentrant_submission_from_a_pool_worker_runs_inline_instead_of_deadlocking() {
+        // A task closure submitting to its own pool must neither hang (the
+        // submission lock is held by the outer run) nor fail: the nested
+        // graph executes inline on the worker.
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let mut reg = HandleRegistry::new();
+        let nested_done = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..4 {
+            let h = reg.register(format!("h{i}"));
+            let pool = std::sync::Arc::clone(&pool);
+            let nested_done = std::sync::Arc::clone(&nested_done);
+            g.submit(
+                TaskSpec::new("nested").access(h, AccessMode::Write),
+                Some(Box::new(move || {
+                    if i == 2 {
+                        // Large enough (> 2 tasks) to miss the small-graph
+                        // inline shortcut, so this exercises the
+                        // worker-thread detection path.
+                        let mut inner = TaskGraph::new();
+                        for _ in 0..5 {
+                            let nested_done = std::sync::Arc::clone(&nested_done);
+                            inner.submit(
+                                TaskSpec::new("inner"),
+                                Some(Box::new(move || {
+                                    nested_done.fetch_add(1, Ordering::SeqCst);
+                                })),
+                            );
+                        }
+                        pool.run(&mut inner);
+                    }
+                })),
+            );
+        }
+        pool.run(&mut g);
+        assert_eq!(nested_done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn empty_graph_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        let mut g = TaskGraph::new();
+        let trace = pool.run(&mut g);
+        assert!(trace.records.is_empty());
+        assert_eq!(pool.stats().graphs_run, 0);
+    }
+}

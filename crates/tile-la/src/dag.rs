@@ -22,7 +22,8 @@ use crate::layout::TileLayout;
 use crate::sym_tile::SymTileMatrix;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use task_runtime::{
-    run_taskgraph, AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec, TileStore,
+    run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry, TaskGraph, TaskSpec,
+    TileStore, WorkerPool,
 };
 
 /// Shared failure state of a factorization task graph.
@@ -217,11 +218,13 @@ pub fn submit_factor_tasks<'a>(
     }
 }
 
-/// In-place tiled Cholesky `Σ = L·Lᵀ`, executed as a dependency-inferred task
-/// graph on `workers` threads (`0` = one worker per available core).
-///
-/// The result is bitwise identical for every worker count.
-pub fn potrf_tiled_dag(a: &mut SymTileMatrix, workers: usize) -> Result<(), CholeskyError> {
+/// Build the factorization graph of `a` and hand it to `run` (either a
+/// one-shot [`run_taskgraph`] or a persistent [`WorkerPool`]). Shared body of
+/// [`potrf_tiled_dag`] and [`potrf_tiled_pool`].
+fn potrf_tiled_with<R>(a: &mut SymTileMatrix, run: R) -> Result<(), CholeskyError>
+where
+    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+{
     let layout = a.layout();
     let mut registry = HandleRegistry::new();
     let (handles, mut store) = detach_tiles(a, &mut registry);
@@ -229,7 +232,7 @@ pub fn potrf_tiled_dag(a: &mut SymTileMatrix, workers: usize) -> Result<(), Chol
     {
         let mut graph = TaskGraph::new();
         submit_factor_tasks(&mut graph, &store, &handles, layout, &status);
-        run_taskgraph(&mut graph, effective_workers(workers));
+        run(&mut graph);
     }
     attach_tiles(a, &handles, &mut store);
     match status.pivot() {
@@ -238,7 +241,32 @@ pub fn potrf_tiled_dag(a: &mut SymTileMatrix, workers: usize) -> Result<(), Chol
     }
 }
 
-/// Resolve a worker-count request: `0` means one worker per available core.
+/// In-place tiled Cholesky `Σ = L·Lᵀ`, executed as a dependency-inferred task
+/// graph on `workers` threads (resolved by [`effective_workers`]).
+///
+/// The result is bitwise identical for every worker count. Spins up a
+/// throwaway thread pool per call; call sites factoring many matrices should
+/// hold a [`WorkerPool`] and use [`potrf_tiled_pool`] instead.
+pub fn potrf_tiled_dag(a: &mut SymTileMatrix, workers: usize) -> Result<(), CholeskyError> {
+    potrf_tiled_with(a, |g| run_taskgraph(g, effective_workers(workers)))
+}
+
+/// In-place tiled Cholesky `Σ = L·Lᵀ` on a caller-owned persistent
+/// [`WorkerPool`] (same task graph — and bitwise-identical factor — as
+/// [`potrf_tiled_dag`], without the per-call pool setup).
+pub fn potrf_tiled_pool(a: &mut SymTileMatrix, pool: &WorkerPool) -> Result<(), CholeskyError> {
+    potrf_tiled_with(a, |g| pool.run(g))
+}
+
+/// Resolve a worker-count request into a concrete thread count.
+///
+/// This is the *single* place defining the meaning of `workers == 0`: zero
+/// requests "available parallelism", i.e. one worker per core reported by
+/// [`std::thread::available_parallelism`] (falling back to one worker when
+/// that is unknown). Every worker-count knob in the workspace —
+/// `Scheduler::Dag { workers }`, the factorization entry points here and in
+/// `tlr`, and `MvnEngine::builder().workers(..)` — funnels through this
+/// function; any non-zero value is used as-is.
 pub fn effective_workers(workers: usize) -> usize {
     if workers == 0 {
         std::thread::available_parallelism()
@@ -295,6 +323,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pool_factor_matches_one_shot_factor_bitwise() {
+        // One persistent pool factoring several matrices must leave exactly
+        // the same bits as the throwaway-pool entry point.
+        let n = 60;
+        let pool = WorkerPool::new(4);
+        for range in [3.0, 8.0, 20.0] {
+            let f = spd_kernel(range);
+            let mut via_pool = SymTileMatrix::from_fn(n, 16, &f);
+            let mut one_shot = SymTileMatrix::from_fn(n, 16, &f);
+            potrf_tiled_pool(&mut via_pool, &pool).unwrap();
+            potrf_tiled_dag(&mut one_shot, 4).unwrap();
+            assert!(
+                max_abs_diff(&via_pool.to_dense_lower(), &one_shot.to_dense_lower()) == 0.0,
+                "range={range}"
+            );
+        }
+        assert_eq!(pool.stats().graphs_run, 3);
+    }
+
+    #[test]
+    fn pool_factor_reports_pivot_failures() {
+        let pool = WorkerPool::new(2);
+        let n = 20;
+        let mut a = SymTileMatrix::from_fn(n, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        a.set(13, 13, -1.0);
+        let err = potrf_tiled_pool(&mut a, &pool).unwrap_err();
+        assert_eq!(err, CholeskyError::NotPositiveDefinite(13));
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::compress::CompressionTol;
 use crate::lowrank::LowRankBlock;
 use crate::tlr_matrix::TlrMatrix;
 use task_runtime::{
-    run_taskgraph, AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec, TileStore,
+    run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry, TaskGraph, TaskSpec,
+    TileStore, WorkerPool,
 };
 use tile_la::dag::{effective_workers, FactorStatus};
 use tile_la::kernels::{potrf_in_place, trsm_left_lower_notrans};
@@ -196,10 +197,13 @@ pub fn submit_tlr_factor_tasks<'a>(
     }
 }
 
-/// In-place TLR Cholesky, executed as a dependency-inferred task graph on
-/// `workers` threads (`0` = one worker per available core). The factor is
-/// bitwise identical for every worker count.
-pub fn potrf_tlr_dag(a: &mut TlrMatrix, workers: usize) -> Result<(), TlrCholeskyError> {
+/// Build the TLR factorization graph of `a` and hand it to `run` (a one-shot
+/// [`run_taskgraph`] or a persistent [`WorkerPool`]). Shared body of
+/// [`potrf_tlr_dag`] and [`potrf_tlr_pool`].
+fn potrf_tlr_with<R>(a: &mut TlrMatrix, run: R) -> Result<(), TlrCholeskyError>
+where
+    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+{
     let layout = a.layout();
     let tol = a.tol();
     let max_rank = a.max_rank();
@@ -218,13 +222,29 @@ pub fn potrf_tlr_dag(a: &mut TlrMatrix, workers: usize) -> Result<(), TlrCholesk
             max_rank,
             &status,
         );
-        run_taskgraph(&mut graph, effective_workers(workers));
+        run(&mut graph);
     }
     attach_tlr_tiles(a, &handles, &mut diag_store, &mut off_store);
     match status.pivot() {
         Some(pivot) => Err(TlrCholeskyError::NotPositiveDefinite { pivot }),
         None => Ok(()),
     }
+}
+
+/// In-place TLR Cholesky, executed as a dependency-inferred task graph on
+/// `workers` threads (resolved by [`effective_workers`]). The factor is
+/// bitwise identical for every worker count. Spins up a throwaway thread pool
+/// per call; call sites factoring many matrices should hold a [`WorkerPool`]
+/// and use [`potrf_tlr_pool`] instead.
+pub fn potrf_tlr_dag(a: &mut TlrMatrix, workers: usize) -> Result<(), TlrCholeskyError> {
+    potrf_tlr_with(a, |g| run_taskgraph(g, effective_workers(workers)))
+}
+
+/// In-place TLR Cholesky on a caller-owned persistent [`WorkerPool`] (same
+/// task graph — and bitwise-identical factor — as [`potrf_tlr_dag`], without
+/// the per-call pool setup).
+pub fn potrf_tlr_pool(a: &mut TlrMatrix, pool: &WorkerPool) -> Result<(), TlrCholeskyError> {
+    potrf_tlr_with(a, |g| pool.run(g))
 }
 
 #[cfg(test)]
@@ -258,6 +278,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pool_tlr_factor_matches_one_shot_bitwise() {
+        let n = 96;
+        let f = kernel(0.5);
+        let pool = WorkerPool::new(4);
+        let base = TlrMatrix::from_fn(n, 24, CompressionTol::Absolute(1e-8), usize::MAX, &f);
+        let mut via_pool = base.clone();
+        let mut one_shot = base.clone();
+        potrf_tlr_pool(&mut via_pool, &pool).unwrap();
+        potrf_tlr_dag(&mut one_shot, 4).unwrap();
+        assert!(max_abs_diff(&via_pool.to_dense_lower(), &one_shot.to_dense_lower()) == 0.0);
+        assert_eq!(pool.stats().graphs_run, 1);
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! The crate provides:
 //!
 //! * [`LowRankBlock`] — a single compressed tile with its `U`, `V` factors,
-//! * [`CompressionTol`] and [`compress_dense`](compress::compress_dense) —
+//! * [`CompressionTol`] and [`compress_dense`] —
 //!   truncated-SVD compression at an absolute or relative Frobenius tolerance,
 //! * [`arithmetic`] — the low-rank kernels used by the factorization
 //!   (`LR×dense`, `LR×LRᵀ`, low-rank additions with QR-based recompression),
 //! * [`TlrMatrix`] — the tile-low-rank symmetric matrix (diagonal dense, lower
 //!   off-diagonal low-rank),
-//! * [`potrf_tlr`](cholesky::potrf_tlr) — the TLR Cholesky factorization,
-//! * [`RankStats`](rank_stats::RankStats) — per-tile rank maps and summaries
+//! * [`potrf_tlr`] — the TLR Cholesky factorization,
+//! * [`RankStats`] — per-tile rank maps and summaries
 //!   (the paper's Figure 5).
 
 pub mod arithmetic;
@@ -29,7 +29,7 @@ pub mod tlr_matrix;
 pub use arithmetic::{lr_aa_t_update, lr_add_recompress, lr_gemm_panel, lr_lr_t_update};
 pub use cholesky::{potrf_tlr, potrf_tlr_forkjoin, TlrCholeskyError};
 pub use compress::{compress_dense, CompressionTol};
-pub use dag::{potrf_tlr_dag, TlrHandles};
+pub use dag::{potrf_tlr_dag, potrf_tlr_pool, TlrHandles};
 pub use lowrank::LowRankBlock;
 pub use rank_stats::RankStats;
 pub use tlr_matrix::TlrMatrix;

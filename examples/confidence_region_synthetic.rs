@@ -12,7 +12,7 @@ use excursion::{
 use geostat::{
     posterior_update, regular_grid, simulate_field, simulate_observations, CovarianceKernel,
 };
-use mvn_core::MvnConfig;
+use mvn_core::{MvnConfig, MvnEngine};
 
 fn main() {
     // 1. Simulate a latent field on a 24x24 grid and observe 20% of the sites
@@ -35,6 +35,10 @@ fn main() {
     let post = posterior_update(&prior_cov, &vec![0.0; n], &obs.indices, &obs.values, 0.5);
 
     // 3. Detect where the field exceeds u = 0.5 with 95% joint confidence.
+    //    One MvnEngine carries the whole session: its worker pool is created
+    //    once and shared by the confidence sweep (batched into a single task
+    //    graph), the bisection probes and the MC validation below.
+    let engine = MvnEngine::builder().build().expect("engine");
     let (factor, sd) = correlation_factor_dense(&post.cov, 96);
     let cfg = CrdConfig {
         threshold: 0.5,
@@ -42,7 +46,7 @@ fn main() {
         levels: 15,
         mvn: MvnConfig::with_samples(4_000),
     };
-    let result = detect_confidence_regions(&factor, &post.mean, &sd, &cfg);
+    let result = detect_confidence_regions(&engine, &factor, &post.mean, &sd, &cfg);
     let marginal_count = result.marginal.iter().filter(|&&p| p >= 0.95).count();
     let region = excursion_set(&result, cfg.alpha);
     println!("marginal-probability region (P > u marginally >= 0.95): {marginal_count} sites");
@@ -52,7 +56,7 @@ fn main() {
     );
 
     // 4. The same region located directly by bisection (O(log n) MVN calls).
-    let (bisect_region, joint_prob) = find_excursion_set(&factor, &post.mean, &sd, &cfg);
+    let (bisect_region, joint_prob) = find_excursion_set(&engine, &factor, &post.mean, &sd, &cfg);
     println!(
         "bisection search: {} sites with joint exceedance probability {:.4}",
         bisect_region.len(),
@@ -61,7 +65,9 @@ fn main() {
 
     // 5. Monte-Carlo validation: the whole detected region should exceed the
     //    threshold in ~95% of posterior samples.
-    let v = mc_validate(&factor, &post.mean, &sd, &region, 0.5, 30_000, 500, 7);
+    let v = mc_validate(
+        &engine, &factor, &post.mean, &sd, &region, 0.5, 30_000, 500, 7,
+    );
     println!(
         "MC validation: p_hat = {:.4} (target {:.2}, standard error {:.4})",
         v.p_hat,

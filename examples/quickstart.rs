@@ -7,7 +7,7 @@
 //! ```
 
 use geostat::{regular_grid, CovarianceKernel};
-use mvn_core::{mvn_prob_dense_fused, mvn_prob_mc, mvn_prob_tlr, MvnConfig};
+use mvn_core::{mvn_prob_mc, MvnConfig, MvnEngine, Problem};
 use tlr::CompressionTol;
 
 fn main() {
@@ -29,32 +29,46 @@ fn main() {
         ..Default::default()
     };
 
-    // 3. Dense path: assemble the covariance in tiled form and run the fused
-    //    factor+sweep pipeline — Cholesky tasks and PMVN panel tasks execute
-    //    as one dependency-inferred task graph, so early panel sweeping
-    //    overlaps the trailing factorization. (The staged alternative —
-    //    `tile_la::potrf_tiled` followed by `mvn_prob_dense` — produces
+    // 3. One MvnEngine is the session: it owns a persistent worker pool that
+    //    every factorization and solve below reuses (no per-call thread
+    //    setup). Dense path: factor once and run the fused factor+sweep
+    //    pipeline — Cholesky tasks and PMVN panel tasks execute as one
+    //    dependency-inferred task graph, so early panel sweeping overlaps the
+    //    trailing factorization. (The staged alternative — `factor_dense`
+    //    followed by `solve` — and the old free functions produce
     //    bitwise-identical results.)
+    let engine = MvnEngine::builder().config(cfg).build().expect("engine");
     let mut sigma = kernel.tiled_covariance(&locations, 128, 1e-9);
-    let dense = mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).expect("SPD");
+    let dense = engine.factor_prob_dense(&mut sigma, &a, &b).expect("SPD");
     println!(
         "dense PMVN : P = {:.6e}  (std error {:.1e}, {} samples, fused factor+sweep)",
         dense.prob, dense.std_error, dense.samples
     );
 
-    // 4. TLR path: same, but the covariance is compressed at tolerance 1e-3
-    //    before the factorization (the paper's fast mode). Shown here in the
-    //    staged form to demonstrate both APIs.
-    let mut sigma_tlr =
+    // 4. TLR path: the covariance is compressed at tolerance 1e-3 before the
+    //    factorization (the paper's fast mode). Shown in the staged session
+    //    form: factor once into a reusable handle, then answer a whole batch
+    //    of queries in one task graph.
+    let sigma_tlr =
         kernel.tlr_covariance(&locations, 128, 1e-9, CompressionTol::Absolute(1e-3), 64);
-    tlr::potrf_tlr(&mut sigma_tlr, 1).expect("SPD");
-    let tlr = mvn_prob_tlr(&sigma_tlr, &a, &b, &cfg);
+    let compression_ratio = sigma_tlr.compression_ratio();
+    let factor = engine.factor_tlr(sigma_tlr).expect("SPD");
+    let tlr = engine.solve(&factor, &a, &b);
     println!(
         "TLR   PMVN : P = {:.6e}  (std error {:.1e}, compression ratio {:.2})",
-        tlr.prob,
-        tlr.std_error,
-        sigma_tlr.compression_ratio()
+        tlr.prob, tlr.std_error, compression_ratio
     );
+    let thresholds = [-0.5, 0.0, 0.5, 1.0];
+    let batch = engine.solve_batch(
+        &factor,
+        &thresholds
+            .iter()
+            .map(|&u| Problem::new(vec![u; n], vec![f64::INFINITY; n]))
+            .collect::<Vec<_>>(),
+    );
+    for (u, r) in thresholds.iter().zip(&batch) {
+        println!("  batched  P(all sites > {u:4.1}) = {:.6e}", r.prob);
+    }
 
     // 5. Naive Monte-Carlo baseline for comparison (impractical in truly high
     //    dimensions, which is the paper's motivation for the SOV algorithm).

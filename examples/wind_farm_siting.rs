@@ -10,8 +10,10 @@ use excursion::{
     correlation_factor_dense, correlation_factor_tlr, detect_confidence_regions, excursion_set,
     CrdConfig,
 };
-use geostat::{default_fluctuation_params, fit_matern, synthetic_wind_dataset, MaternParams};
-use mvn_core::MvnConfig;
+use geostat::{
+    default_fluctuation_params, fit_matern_pooled, synthetic_wind_dataset, MaternParams,
+};
+use mvn_core::{MvnConfig, MvnEngine};
 use tlr::CompressionTol;
 
 fn main() {
@@ -23,9 +25,13 @@ fn main() {
     println!("{n} locations; {above_threshold} have raw wind speed above 4 m/s");
 
     // 2. Standardize and fit Matérn parameters by maximum likelihood
-    //    (ExaGeoStat's role in the paper).
+    //    (ExaGeoStat's role in the paper). The engine is created first so its
+    //    persistent worker pool serves the hundreds of covariance
+    //    factorizations inside the MLE objective as well as the detection
+    //    below — no per-call thread setup.
+    let engine = MvnEngine::builder().build().expect("engine");
     let (std_vals, mean, sd_scale) = wind.standardize();
-    let fit = fit_matern(
+    let fit = fit_matern_pooled(
         &wind.unit_locations,
         &std_vals,
         MaternParams {
@@ -34,6 +40,7 @@ fn main() {
             smoothness: 1.0,
         },
         false,
+        engine.pool(),
     )
     .expect("MLE should converge");
     println!(
@@ -54,11 +61,11 @@ fn main() {
     };
 
     let (dense_factor, csd) = correlation_factor_dense(&cov, 88);
-    let dense = detect_confidence_regions(&dense_factor, &std_vals, &csd, &cfg);
+    let dense = detect_confidence_regions(&engine, &dense_factor, &std_vals, &csd, &cfg);
     let dense_region = excursion_set(&dense, cfg.alpha);
 
     let (tlr_factor, _) = correlation_factor_tlr(&cov, 88, CompressionTol::Absolute(1e-4), 44);
-    let tlr = detect_confidence_regions(&tlr_factor, &std_vals, &csd, &cfg);
+    let tlr = detect_confidence_regions(&engine, &tlr_factor, &std_vals, &csd, &cfg);
     let tlr_region = excursion_set(&tlr, cfg.alpha);
 
     let overlap = dense_region

@@ -8,7 +8,7 @@ use excursion::{
 use geostat::{
     posterior_update, regular_grid, simulate_field, simulate_observations, CovarianceKernel,
 };
-use mvn_core::{mvn_prob_dense, mvn_prob_genz, mvn_prob_mc, mvn_prob_tlr, MvnConfig};
+use mvn_core::{mvn_prob_dense, mvn_prob_genz, mvn_prob_mc, mvn_prob_tlr, MvnConfig, MvnEngine};
 use tlr::CompressionTol;
 
 fn medium_kernel() -> CovarianceKernel {
@@ -86,7 +86,8 @@ fn end_to_end_confidence_region_pipeline_with_posterior_and_validation() {
         levels: 12,
         mvn: MvnConfig::with_samples(3_000),
     };
-    let result = detect_confidence_regions(&factor, &post.mean, &sd, &cfg);
+    let engine = MvnEngine::builder().workers(2).build().unwrap();
+    let result = detect_confidence_regions(&engine, &factor, &post.mean, &sd, &cfg);
     let region = excursion_set(&result, cfg.alpha);
 
     // The joint region is a subset of the marginal region.
@@ -97,7 +98,7 @@ fn end_to_end_confidence_region_pipeline_with_posterior_and_validation() {
     // The confidence-function sweep (with interpolation between evaluated
     // prefix lengths) and the exact bisection search agree up to a handful of
     // boundary sites.
-    let (bisect_region, joint_prob) = find_excursion_set(&factor, &post.mean, &sd, &cfg);
+    let (bisect_region, joint_prob) = find_excursion_set(&engine, &factor, &post.mean, &sd, &cfg);
     assert!(joint_prob >= 1.0 - cfg.alpha - 1e-9);
     assert!(
         region.len().abs_diff(bisect_region.len()) <= n / 20 + 2,
@@ -110,6 +111,7 @@ fn end_to_end_confidence_region_pipeline_with_posterior_and_validation() {
     // compatible with 1-alpha (the bisection region is the one whose joint
     // probability is certified to be >= 1-alpha).
     let v = mc_validate(
+        &engine,
         &factor,
         &post.mean,
         &sd,
@@ -146,8 +148,9 @@ fn dense_and_tlr_confidence_functions_agree_as_in_the_paper() {
         levels: 12,
         mvn: MvnConfig::with_samples(4_000),
     };
-    let rd = detect_confidence_regions(&fd, &mean, &sd, &cfg);
-    let rt = detect_confidence_regions(&ft, &mean, &sd, &cfg);
+    let engine = MvnEngine::builder().workers(2).build().unwrap();
+    let rd = detect_confidence_regions(&engine, &fd, &mean, &sd, &cfg);
+    let rt = detect_confidence_regions(&engine, &ft, &mean, &sd, &cfg);
     let max_diff = rd
         .confidence
         .iter()
@@ -165,7 +168,59 @@ fn dense_and_tlr_confidence_functions_agree_as_in_the_paper() {
     );
 
     // Bisection agrees with the sweep within one site.
-    let (region_b, _) = find_excursion_set(&fd, &mean, &sd, &cfg);
+    let (region_b, _) = find_excursion_set(&engine, &fd, &mean, &sd, &cfg);
     let sweep_len = excursion_set(&rd, 0.05).len();
     assert!(region_b.len().abs_diff(sweep_len) <= (n / 12).max(1));
+}
+
+#[test]
+fn one_engine_session_carries_factorization_solves_and_batches() {
+    // The session workflow the MvnEngine API is built for: factor once, then
+    // answer many probability queries (singly and batched) on one pool, with
+    // results bitwise identical to the one-shot free functions.
+    let locations = regular_grid(10, 10);
+    let n = locations.len();
+    let kernel = medium_kernel();
+    let cfg = MvnConfig {
+        sample_size: 4_000,
+        seed: 31,
+        ..Default::default()
+    };
+
+    let engine = MvnEngine::builder()
+        .workers(2)
+        .config(MvnConfig {
+            scheduler: mvn_core::Scheduler::Dag { workers: 2 },
+            ..cfg
+        })
+        .build()
+        .unwrap();
+    let factor = engine
+        .factor_dense(kernel.tiled_covariance(&locations, 25, 1e-9))
+        .unwrap();
+
+    // Free-function reference (fresh scheduling per call).
+    let mut reference_factor = kernel.tiled_covariance(&locations, 25, 1e-9);
+    tile_la::potrf_tiled(&mut reference_factor, 1).unwrap();
+
+    let thresholds = [-0.5, -0.2, 0.0, 0.3];
+    let problems: Vec<mvn_core::Problem> = thresholds
+        .iter()
+        .map(|&t| mvn_core::Problem::new(vec![t; n], vec![f64::INFINITY; n]))
+        .collect();
+    let batch = engine.solve_batch(&factor, &problems);
+    let before = engine.pool_stats();
+    for (p, r) in problems.iter().zip(&batch) {
+        let single = engine.solve(&factor, &p.a, &p.b);
+        let free = mvn_prob_dense(&reference_factor, &p.a, &p.b, &cfg);
+        assert!(r.prob.to_bits() == single.prob.to_bits());
+        assert!(r.prob.to_bits() == free.prob.to_bits());
+    }
+    // All of the above ran on the session pool, which never grew.
+    let after = engine.pool_stats();
+    assert_eq!(after.workers, before.workers);
+    assert_eq!(
+        after.graphs_run,
+        before.graphs_run + thresholds.len() as u64
+    );
 }
