@@ -4,9 +4,10 @@
 //! SVD compression cost, dense vs. TLR factorization).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvn_core::{mvn_prob_dense, mvn_prob_dense_fused, MvnConfig, MvnEngine, Scheduler};
+use mathx::{clamp_unit, norm_cdf, norm_cdf_diff, norm_quantile};
+use mvn_core::{mvn_prob_dense, mvn_prob_dense_fused, MvnConfig, MvnEngine, QmcScratch, Scheduler};
 use std::hint::black_box;
-use tile_la::kernels::{gemm_nt, jacobi_svd, potrf_in_place};
+use tile_la::kernels::{gemm_nn, gemm_nt, jacobi_svd, potrf_in_place};
 use tile_la::{potrf_tiled, potrf_tiled_dag, potrf_tiled_forkjoin, DenseMatrix, SymTileMatrix};
 use tlr::{compress_dense, potrf_tlr, CompressionTol, TlrMatrix};
 
@@ -14,6 +15,171 @@ fn kernel_matrix(n: usize, offset: usize) -> DenseMatrix {
     DenseMatrix::from_fn(n, n, |i, j| {
         (-((i as f64 - (j + offset) as f64).abs()) / (n as f64)).exp()
     })
+}
+
+/// The pre-chain-major scalar QMC kernel (chain-at-a-time, per-element
+/// Φ/Φ⁻¹ calls, row-major `m × cols` blocks), kept verbatim as the "before"
+/// baseline of the `qmc_kernel` bench points.
+#[allow(clippy::too_many_arguments)]
+fn qmc_kernel_scalar_ref(
+    l_rr: &DenseMatrix,
+    w: &DenseMatrix,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    y: &mut DenseMatrix,
+    prob: &mut [f64],
+) {
+    let m = l_rr.nrows();
+    let cols = w.ncols();
+    for c in 0..cols {
+        if prob[c] == 0.0 {
+            for i in 0..m {
+                y.set(i, c, 0.0);
+            }
+            continue;
+        }
+        for i in 0..m {
+            let mut s = 0.0;
+            for t in 0..i {
+                s += l_rr.get(i, t) * y.get(t, c);
+            }
+            let lii = l_rr.get(i, i);
+            if lii <= 0.0 || !lii.is_finite() {
+                prob[c] = 0.0;
+                for k in i..m {
+                    y.set(k, c, 0.0);
+                }
+                break;
+            }
+            let ai = a.get(i, c);
+            let bi = b.get(i, c);
+            let a_cond = if ai == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                (ai - s) / lii
+            };
+            let b_cond = if bi == f64::INFINITY {
+                f64::INFINITY
+            } else {
+                (bi - s) / lii
+            };
+            let phi_a = norm_cdf(a_cond);
+            let diff = norm_cdf_diff(a_cond, b_cond);
+            prob[c] *= diff;
+            let u = clamp_unit(phi_a + w.get(i, c) * diff);
+            y.set(i, c, norm_quantile(u));
+            if prob[c] == 0.0 {
+                for k in (i + 1)..m {
+                    y.set(k, c, 0.0);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Naive triple-loop `C ← α·A·B + β·C` (the pre-micro-kernel `gemm_nn`),
+/// kept as the "before" baseline of the `gemm` bench points.
+fn gemm_nn_naive_ref(alpha: f64, a: &DenseMatrix, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
+    let m = a.nrows();
+    let k = a.ncols();
+    let n = b.ncols();
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    for j in 0..n {
+        for p in 0..k {
+            let bpj = alpha * b.get(p, j);
+            if bpj == 0.0 {
+                continue;
+            }
+            let a_col = a.col(p);
+            let c_col = c.col_mut(j);
+            for i in 0..m {
+                c_col[i] += a_col[i] * bpj;
+            }
+        }
+    }
+}
+
+/// Naive `C ← α·A·Bᵀ + β·C` (the pre-micro-kernel `gemm_nt`).
+fn gemm_nt_naive_ref(alpha: f64, a: &DenseMatrix, b: &DenseMatrix, beta: f64, c: &mut DenseMatrix) {
+    let m = a.nrows();
+    let k = a.ncols();
+    let n = b.nrows();
+    if beta != 1.0 {
+        c.scale(beta);
+    }
+    for p in 0..k {
+        let a_col = a.col(p);
+        for j in 0..n {
+            let bjp = alpha * b.get(j, p);
+            if bjp == 0.0 {
+                continue;
+            }
+            let c_col = c.col_mut(j);
+            for i in 0..m {
+                c_col[i] += a_col[i] * bjp;
+            }
+        }
+    }
+}
+
+/// One sweep-shaped workload of the QMC kernel: a triangular diagonal tile
+/// and `cols` chains with the given limits, run through either kernel layout.
+/// `semi_infinite` benches the CRD shape (`b = +∞`), the branch-heaviest case
+/// of the scalar kernel.
+fn bench_qmc_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmc_kernel");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let m = 64usize;
+    let cols = 64usize;
+    let mut l_rr = kernel_matrix(m, 0);
+    potrf_in_place(&mut l_rr).unwrap();
+    let wf = |i: usize, c: usize| (((i * cols + c) % 251) as f64 + 0.5) / 251.0;
+
+    for (label, a_val, b_val) in [
+        ("finite_box", -0.8, 1.2),
+        ("semi_infinite", -0.3, f64::INFINITY),
+    ] {
+        // Chain-major blocks for the new kernel …
+        let w_cm = DenseMatrix::from_fn(cols, m, |c, i| wf(i, c));
+        let a_cm = DenseMatrix::from_fn(cols, m, |_, _| a_val);
+        let b_cm = DenseMatrix::from_fn(cols, m, |_, _| b_val);
+        // … and row-major blocks for the scalar reference.
+        let w_rm = DenseMatrix::from_fn(m, cols, wf);
+        let a_rm = DenseMatrix::from_fn(m, cols, |_, _| a_val);
+        let b_rm = DenseMatrix::from_fn(m, cols, |_, _| b_val);
+
+        group.bench_function(BenchmarkId::new("chain_major", label), |bench| {
+            let mut y = DenseMatrix::zeros(cols, m);
+            let mut scratch = QmcScratch::default();
+            bench.iter(|| {
+                let mut prob = vec![1.0; cols];
+                mvn_core::qmc_kernel_scratch(
+                    &l_rr,
+                    &w_cm,
+                    &a_cm,
+                    &b_cm,
+                    &mut y,
+                    &mut prob,
+                    &mut scratch,
+                );
+                black_box(prob)
+            });
+        });
+        group.bench_function(BenchmarkId::new("scalar_ref", label), |bench| {
+            let mut y = DenseMatrix::zeros(m, cols);
+            bench.iter(|| {
+                let mut prob = vec![1.0; cols];
+                qmc_kernel_scalar_ref(&l_rr, &w_rm, &a_rm, &b_rm, &mut y, &mut prob);
+                black_box(prob)
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_tile_kernels(c: &mut Criterion) {
@@ -28,6 +194,27 @@ fn bench_tile_kernels(c: &mut Criterion) {
             bench.iter(|| {
                 let mut cmat = DenseMatrix::zeros(nb, nb);
                 gemm_nt(-1.0, &a, &b, 1.0, &mut cmat);
+                black_box(cmat)
+            });
+        });
+        group.bench_function(BenchmarkId::new("gemm_nt_naive_ref", nb), |bench| {
+            bench.iter(|| {
+                let mut cmat = DenseMatrix::zeros(nb, nb);
+                gemm_nt_naive_ref(-1.0, &a, &b, 1.0, &mut cmat);
+                black_box(cmat)
+            });
+        });
+        group.bench_function(BenchmarkId::new("gemm_nn", nb), |bench| {
+            bench.iter(|| {
+                let mut cmat = DenseMatrix::zeros(nb, nb);
+                gemm_nn(-1.0, &a, &b, 1.0, &mut cmat);
+                black_box(cmat)
+            });
+        });
+        group.bench_function(BenchmarkId::new("gemm_nn_naive_ref", nb), |bench| {
+            bench.iter(|| {
+                let mut cmat = DenseMatrix::zeros(nb, nb);
+                gemm_nn_naive_ref(-1.0, &a, &b, 1.0, &mut cmat);
                 black_box(cmat)
             });
         });
@@ -192,6 +379,7 @@ fn bench_scheduling(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_qmc_kernel,
     bench_tile_kernels,
     bench_factorizations,
     bench_scheduling

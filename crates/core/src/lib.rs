@@ -42,7 +42,10 @@ pub use engine::{EngineError, Factor, MvnEngine, MvnEngineBuilder, Problem, MAX_
 pub use genz::mvn_prob_genz;
 pub use mc::mvn_prob_mc;
 pub use pipeline::{mvn_prob_dense_fused, mvn_prob_tlr_fused, MvnPlanner};
-pub use pmvn::{mvn_prob_dense, mvn_prob_factored, mvn_prob_tlr, qmc_kernel, CholeskyFactor};
+pub use pmvn::{
+    mvn_prob_dense, mvn_prob_factored, mvn_prob_tlr, qmc_kernel, qmc_kernel_scratch,
+    CholeskyFactor, QmcScratch,
+};
 pub use sov::{sov_sample_probability, truncate_limits};
 
 use qmc::SampleKind;

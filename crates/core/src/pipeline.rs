@@ -28,10 +28,10 @@ use task_runtime::{
 use tile_la::dag::{
     attach_tiles, detach_tiles, effective_workers, submit_factor_tasks, FactorStatus,
 };
-use tile_la::kernels::gemm_nn;
+use tile_la::kernels::gemm_nt;
 use tile_la::{CholeskyError, DenseMatrix, SymTileMatrix, TileLayout};
 use tlr::dag::{attach_tlr_tiles, detach_tlr_tiles, submit_tlr_factor_tasks, TlrHandles};
-use tlr::{lr_gemm_panel, LowRankBlock, TlrCholeskyError, TlrMatrix};
+use tlr::{lr_gemm_panel_t, LowRankBlock, TlrCholeskyError, TlrMatrix};
 
 /// A view of factor tiles living in [`TileStore`]s, so the [`PanelState`]
 /// sweep can run against in-flight tiles. Only used inside sweep-task
@@ -60,33 +60,40 @@ impl StoredFactor<'_> {
 
     /// Advance `state` by row block `r`, reading the factor tiles out of the
     /// stores. Mirrors [`PanelState::step`] exactly (same kernel calls in the
-    /// same order), but holds tile read-guards only for the duration of each
-    /// kernel.
+    /// same order, chain-major blocks, all-dead early exit), but holds tile
+    /// read-guards only for the duration of each kernel.
     fn step_stored(&self, state: &mut PanelState, r: usize) {
+        if state.alive == 0 {
+            return;
+        }
         let layout = self.tiling();
         let nt = layout.num_tiles();
         let rows = layout.tile_size(r);
-        if state.y_block.nrows() != rows {
-            state.y_block = DenseMatrix::zeros(rows, state.cols);
+        if state.y_block.ncols() != rows {
+            state.y_block = DenseMatrix::zeros(state.cols, rows);
         }
         match self {
             StoredFactor::Dense { store, handles, .. } => {
                 {
                     let diag = store.read(handles[r][r]);
-                    crate::pmvn::qmc_kernel(
+                    state.alive = crate::pmvn::qmc_kernel_scratch(
                         &diag,
                         &state.w_blocks[r],
                         &state.a_blocks[r],
                         &state.b_blocks[r],
                         &mut state.y_block,
                         &mut state.prob,
+                        &mut state.scratch,
                     );
+                }
+                if state.alive == 0 {
+                    return;
                 }
                 for j in (r + 1)..nt {
                     let tile = store.read(handles[j][r]);
-                    gemm_nn(-1.0, &tile, &state.y_block, 1.0, &mut state.a_blocks[j]);
+                    gemm_nt(-1.0, &state.y_block, &tile, 1.0, &mut state.a_blocks[j]);
                     if !state.skip_b_updates {
-                        gemm_nn(-1.0, &tile, &state.y_block, 1.0, &mut state.b_blocks[j]);
+                        gemm_nt(-1.0, &state.y_block, &tile, 1.0, &mut state.b_blocks[j]);
                     }
                 }
             }
@@ -98,20 +105,24 @@ impl StoredFactor<'_> {
             } => {
                 {
                     let diag = diag_store.read(handles.diag[r]);
-                    crate::pmvn::qmc_kernel(
+                    state.alive = crate::pmvn::qmc_kernel_scratch(
                         &diag,
                         &state.w_blocks[r],
                         &state.a_blocks[r],
                         &state.b_blocks[r],
                         &mut state.y_block,
                         &mut state.prob,
+                        &mut state.scratch,
                     );
+                }
+                if state.alive == 0 {
+                    return;
                 }
                 for j in (r + 1)..nt {
                     let tile = off_store.read(handles.off[j][r]);
-                    lr_gemm_panel(-1.0, &tile, &state.y_block, 1.0, &mut state.a_blocks[j]);
+                    lr_gemm_panel_t(-1.0, &tile, &state.y_block, 1.0, &mut state.a_blocks[j]);
                     if !state.skip_b_updates {
-                        lr_gemm_panel(-1.0, &tile, &state.y_block, 1.0, &mut state.b_blocks[j]);
+                        lr_gemm_panel_t(-1.0, &tile, &state.y_block, 1.0, &mut state.b_blocks[j]);
                     }
                 }
             }

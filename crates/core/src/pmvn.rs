@@ -1,9 +1,9 @@
 //! The tiled, parallel PMVN algorithm (the paper's Algorithms 2 and 3).
 //!
-//! The `N` (quasi-)Monte-Carlo chains are split into independent column panels
-//! of width `m = cfg.panel_width`; each panel is one parallel task (the paper's
-//! step (b)/(d) tasks). Within a panel the SOV recursion advances one row block
-//! of the Cholesky factor at a time:
+//! The `N` (quasi-)Monte-Carlo chains are split into independent panels of
+//! width `m = cfg.panel_width`; each panel is one parallel task (the paper's
+//! step (b)/(d) tasks). Within a panel the SOV recursion advances one row
+//! block of the Cholesky factor at a time:
 //!
 //! 1. the QMC kernel (Algorithm 3) runs the within-block recursion against the
 //!    dense diagonal tile `L_{r,r}`, producing the block of `Y` values and
@@ -12,17 +12,27 @@
 //!    every later row block `j > r` (the paper's step (c) GEMMs). With a TLR
 //!    factor these products use the compressed `U·Vᵀ` form.
 //!
+//! **Chain-major layout.** All per-panel blocks (`w`, `a`, `b`, `y`) store the
+//! *chain* index down their columns: a block covering row block `r` is a
+//! `cols × tile_size(r)` matrix whose column `i` is the contiguous lane of all
+//! chains' values for global row `tile_start(r) + i`. The kernel processes one
+//! row across every live chain at a time, so its inner loops (the triangular
+//! dot products, the conditional-limit updates, the batched Φ/Φ⁻¹ lanes from
+//! [`mathx::batch`]) all run over contiguous memory and autovectorize; the
+//! propagation GEMMs become `acc ← acc − Y·L_{j,r}ᵀ` on the same layout (see
+//! DESIGN.md, "Kernel layout & vectorization").
+//!
 //! The per-panel probability means are combined into the final estimate and a
 //! batch standard error.
 
 use crate::{MvnConfig, MvnEngine, MvnResult, Scheduler};
-use mathx::{clamp_unit, norm_cdf, norm_cdf_diff, norm_quantile};
+use mathx::{clamp_unit, norm_cdf_and_diff_slice, norm_quantile_slice};
 use qmc::{make_point_set, PointSet};
 use rayon::prelude::*;
 use tile_la::dag::effective_workers;
-use tile_la::kernels::gemm_nn;
+use tile_la::kernels::gemm_nt;
 use tile_la::{DenseMatrix, SymTileMatrix, TileLayout};
-use tlr::{lr_gemm_panel, TlrMatrix};
+use tlr::{lr_gemm_panel_t, TlrMatrix};
 
 /// Abstraction over the storage format of the Cholesky factor consumed by the
 /// PMVN sweep: dense tiles ([`SymTileMatrix`]) or tile-low-rank
@@ -34,9 +44,11 @@ pub trait CholeskyFactor: Sync {
     fn tiling(&self) -> TileLayout;
     /// The dense diagonal tile `L_{r,r}`.
     fn diag_block(&self, r: usize) -> &DenseMatrix;
-    /// `acc ← acc − L_{j,r} · y` for a strictly-lower block (`j > r`) and a
-    /// dense panel block `y`.
-    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix);
+    /// Chain-major propagation update `acc ← acc − yt · L_{j,r}ᵀ` for a
+    /// strictly-lower block (`j > r`): `yt` is the `cols × tile_size(r)`
+    /// conditioning-value block and `acc` the `cols × tile_size(j)`
+    /// conditional-limit block, both with one chain per row.
+    fn apply_offdiag(&self, j: usize, r: usize, yt: &DenseMatrix, acc: &mut DenseMatrix);
 }
 
 impl CholeskyFactor for SymTileMatrix {
@@ -49,8 +61,8 @@ impl CholeskyFactor for SymTileMatrix {
     fn diag_block(&self, r: usize) -> &DenseMatrix {
         self.tile(r, r)
     }
-    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
-        gemm_nn(-1.0, self.tile(j, r), y, 1.0, acc);
+    fn apply_offdiag(&self, j: usize, r: usize, yt: &DenseMatrix, acc: &mut DenseMatrix) {
+        gemm_nt(-1.0, yt, self.tile(j, r), 1.0, acc);
     }
 }
 
@@ -64,20 +76,51 @@ impl CholeskyFactor for TlrMatrix {
     fn diag_block(&self, r: usize) -> &DenseMatrix {
         self.diag_tile(r)
     }
-    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
-        lr_gemm_panel(-1.0, self.off_tile(j, r), y, 1.0, acc);
+    fn apply_offdiag(&self, j: usize, r: usize, yt: &DenseMatrix, acc: &mut DenseMatrix) {
+        lr_gemm_panel_t(-1.0, self.off_tile(j, r), yt, 1.0, acc);
+    }
+}
+
+/// Reusable scratch of the chain-major QMC kernel: the hoisted `L_{r,r}` row
+/// plus six chain-lane buffers (triangular dot `s`, conditional limits,
+/// Φ values, the uniforms fed to Φ⁻¹). One instance lives per panel so the
+/// kernel allocates nothing per row block (the GEMM micro-kernels likewise
+/// reuse a thread-local pack buffer).
+#[derive(Debug, Default)]
+pub struct QmcScratch {
+    lrow: Vec<f64>,
+    lanes: Vec<f64>,
+}
+
+impl QmcScratch {
+    fn reserve(&mut self, m: usize, cols: usize) {
+        if self.lrow.len() < m {
+            self.lrow.resize(m, 0.0);
+        }
+        if self.lanes.len() < 6 * cols {
+            self.lanes.resize(6 * cols, 0.0);
+        }
     }
 }
 
 /// Algorithm 3: run the within-block SOV recursion for one row block against
-/// the dense diagonal tile `l_rr`.
+/// the dense diagonal tile `l_rr`, processing each row across all chains at
+/// once (chain-major blocks, see the [module docs](self)).
 ///
 /// * `l_rr` — dense lower-triangular diagonal tile (`m × m`),
-/// * `w` — the uniform sample block (`m × cols`),
-/// * `a`, `b` — the conditional limit blocks (`m × cols`, entries may be ±∞),
-/// * `y` — output block of conditioning values (`m × cols`),
+/// * `w` — the uniform sample block (`cols × m`, chain-major),
+/// * `a`, `b` — the conditional limit blocks (`cols × m`, entries may be ±∞),
+/// * `y` — output block of conditioning values (`cols × m`),
 /// * `prob` — running per-chain probabilities (length `cols`), multiplied in
 ///   place.
+///
+/// Returns the number of chains still alive (`prob > 0`); the caller can skip
+/// the remaining propagation work for the panel once this reaches zero. Dead
+/// chains ride along in the vector lanes with benign values (their uniform is
+/// pinned to `½`, so Φ⁻¹ lands exactly on `0.0`) instead of branching the
+/// inner loops per chain — `prob == 0` *is* the active-chain mask, and a dead
+/// lane can never corrupt a live one because every chain's arithmetic only
+/// reads its own lane slot.
 pub fn qmc_kernel(
     l_rr: &DenseMatrix,
     w: &DenseMatrix,
@@ -85,66 +128,113 @@ pub fn qmc_kernel(
     b: &DenseMatrix,
     y: &mut DenseMatrix,
     prob: &mut [f64],
-) {
-    let m = l_rr.nrows();
-    let cols = w.ncols();
-    debug_assert_eq!(l_rr.ncols(), m);
-    debug_assert_eq!(a.nrows(), m);
-    debug_assert_eq!(b.nrows(), m);
-    debug_assert_eq!(y.nrows(), m);
-    debug_assert_eq!(a.ncols(), cols);
-    debug_assert_eq!(prob.len(), cols);
+) -> usize {
+    let mut scratch = QmcScratch::default();
+    qmc_kernel_scratch(l_rr, w, a, b, y, prob, &mut scratch)
+}
 
-    for c in 0..cols {
-        if prob[c] == 0.0 {
-            // Dead chain: keep the conditioning values finite and move on.
-            for i in 0..m {
-                y.set(i, c, 0.0);
+/// [`qmc_kernel`] with caller-owned scratch buffers (the allocation-free form
+/// the panel sweep uses).
+pub fn qmc_kernel_scratch(
+    l_rr: &DenseMatrix,
+    w: &DenseMatrix,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    y: &mut DenseMatrix,
+    prob: &mut [f64],
+    scratch: &mut QmcScratch,
+) -> usize {
+    let m = l_rr.nrows();
+    let cols = prob.len();
+    debug_assert_eq!(l_rr.ncols(), m);
+    debug_assert_eq!(w.nrows(), cols);
+    debug_assert_eq!(w.ncols(), m);
+    debug_assert_eq!(a.nrows(), cols);
+    debug_assert_eq!(a.ncols(), m);
+    debug_assert_eq!(b.nrows(), cols);
+    debug_assert_eq!(b.ncols(), m);
+    debug_assert_eq!(y.nrows(), cols);
+    debug_assert_eq!(y.ncols(), m);
+
+    scratch.reserve(m, cols);
+    let QmcScratch { lrow, lanes } = scratch;
+    let (s, rest) = lanes.split_at_mut(cols);
+    let (lo, rest) = rest.split_at_mut(cols);
+    let (hi, rest) = rest.split_at_mut(cols);
+    let (phi, rest) = rest.split_at_mut(cols);
+    let (dif, rest) = rest.split_at_mut(cols);
+    let (u, _) = rest.split_at_mut(cols);
+
+    for i in 0..m {
+        let lii = l_rr.get(i, i);
+        if lii <= 0.0 || !lii.is_finite() {
+            // Degenerate factor (non-positive or non-finite diagonal):
+            // dividing by it would poison the whole estimate with NaNs. The
+            // diagonal is shared by every chain, so all of them die here —
+            // probability zero, conditioning values kept finite.
+            for p in prob.iter_mut() {
+                *p = 0.0;
             }
-            continue;
+            for k in i..m {
+                y.col_mut(k).fill(0.0);
+            }
+            return 0;
         }
-        for i in 0..m {
-            let mut s = 0.0;
-            for t in 0..i {
-                s += l_rr.get(i, t) * y.get(t, c);
+        // Hoist row i of the triangular tile, then accumulate the triangular
+        // dot products into the per-chain `s` lane in fixed `t` order (the
+        // order is what keeps the estimate invariant across panel widths and
+        // tile layouts — only whole lanes are vectorized, never the sum).
+        for (t, lt) in lrow[..i].iter_mut().enumerate() {
+            *lt = l_rr.get(i, t);
+        }
+        s.fill(0.0);
+        for (t, &lt) in lrow[..i].iter().enumerate() {
+            let yt = y.col(t);
+            for (sc, &yv) in s.iter_mut().zip(yt) {
+                *sc += lt * yv;
             }
-            let lii = l_rr.get(i, i);
-            if lii <= 0.0 || !lii.is_finite() {
-                // Degenerate factor (non-positive or non-finite diagonal):
-                // dividing by it would poison the whole estimate with NaNs.
-                // Kill this chain instead — it contributes probability zero —
-                // and keep the conditioning values finite.
-                prob[c] = 0.0;
-                for k in i..m {
-                    y.set(k, c, 0.0);
-                }
-                break;
-            }
-            let ai = a.get(i, c);
-            let bi = b.get(i, c);
-            let a_cond = if ai == f64::NEG_INFINITY {
+        }
+        let ac = a.col(i);
+        let bc = b.col(i);
+        for c in 0..cols {
+            lo[c] = if ac[c] == f64::NEG_INFINITY {
                 f64::NEG_INFINITY
             } else {
-                (ai - s) / lii
+                (ac[c] - s[c]) / lii
             };
-            let b_cond = if bi == f64::INFINITY {
+            hi[c] = if bc[c] == f64::INFINITY {
                 f64::INFINITY
             } else {
-                (bi - s) / lii
+                (bc[c] - s[c]) / lii
             };
-            let phi_a = norm_cdf(a_cond);
-            let diff = norm_cdf_diff(a_cond, b_cond);
-            prob[c] *= diff;
-            let u = clamp_unit(phi_a + w.get(i, c) * diff);
-            y.set(i, c, norm_quantile(u));
-            if prob[c] == 0.0 {
-                for k in (i + 1)..m {
-                    y.set(k, c, 0.0);
-                }
-                break;
+        }
+        norm_cdf_and_diff_slice(lo, hi, phi, dif);
+        let wc = w.col(i);
+        let mut alive = 0usize;
+        for c in 0..cols {
+            // Dead chains have prob == 0, so the unconditional multiply
+            // keeps them at exactly 0 whatever their stale `dif` lane holds
+            // (`dif ∈ [0, 1]` for the finite limits the sweep maintains).
+            let p = prob[c] * dif[c];
+            prob[c] = p;
+            // Pin dead lanes to u = ½: Φ⁻¹(½) is exactly 0.0, which keeps
+            // their conditioning values finite without a separate pass.
+            u[c] = if p == 0.0 {
+                0.5
+            } else {
+                clamp_unit(phi[c] + wc[c] * dif[c])
+            };
+            alive += (p != 0.0) as usize;
+        }
+        norm_quantile_slice(u, y.col_mut(i));
+        if alive == 0 {
+            for k in (i + 1)..m {
+                y.col_mut(k).fill(0.0);
             }
+            return 0;
         }
     }
+    prob.iter().filter(|&&p| p != 0.0).count()
 }
 
 /// Per-panel state of the SOV recursion: the conditional limit blocks, the
@@ -152,6 +242,11 @@ pub fn qmc_kernel(
 /// running per-chain probabilities. One instance lives per sample panel; the
 /// sweep advances it one row block at a time (shared by the fork-join path,
 /// the DAG path and the fused pipeline in [`crate::pipeline`]).
+///
+/// All blocks are chain-major (`cols × tile_size(r)`, one chain per row —
+/// see the [module docs](self)). `alive` caches the kernel's live-chain
+/// count so a fully-dead panel skips its remaining row blocks and
+/// propagation GEMMs entirely.
 pub(crate) struct PanelState {
     pub(crate) a_blocks: Vec<DenseMatrix>,
     pub(crate) b_blocks: Vec<DenseMatrix>,
@@ -160,6 +255,8 @@ pub(crate) struct PanelState {
     pub(crate) prob: Vec<f64>,
     pub(crate) cols: usize,
     pub(crate) skip_b_updates: bool,
+    pub(crate) alive: usize,
+    pub(crate) scratch: QmcScratch,
 }
 
 impl PanelState {
@@ -174,11 +271,15 @@ impl PanelState {
             prob: Vec::new(),
             cols: 0,
             skip_b_updates: true,
+            alive: 0,
+            scratch: QmcScratch::default(),
         }
     }
 
     /// Build the state of panel `p`: replicate the limits into row blocks and
-    /// generate the panel's sample columns.
+    /// generate the panel's sample lanes block-major (each row block's
+    /// coordinate range is written directly via [`PointSet::fill_block`] —
+    /// no full-dimension point buffer, no strided re-copy).
     pub(crate) fn init(
         layout: TileLayout,
         a: &[f64],
@@ -187,7 +288,6 @@ impl PanelState {
         cfg: &MvnConfig,
         p: usize,
     ) -> Self {
-        let n = a.len();
         let nt = layout.num_tiles();
         let start = p * cfg.panel_width;
         let end = ((p + 1) * cfg.panel_width).min(cfg.sample_size);
@@ -199,50 +299,55 @@ impl PanelState {
         for r in 0..nt {
             let rows = layout.tile_size(r);
             let r0 = layout.tile_start(r);
-            a_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| a[r0 + i]));
-            b_blocks.push(DenseMatrix::from_fn(rows, cols, |i, _| b[r0 + i]));
-            w_blocks.push(DenseMatrix::zeros(rows, cols));
-        }
-        // Fill the sample block column by column (one full point per chain).
-        let mut point_buf = vec![0.0; n];
-        for c in 0..cols {
-            points.point(start + c, &mut point_buf);
-            for r in 0..nt {
-                let r0 = layout.tile_start(r);
-                for i in 0..layout.tile_size(r) {
-                    w_blocks[r].set(i, c, point_buf[r0 + i]);
-                }
-            }
+            a_blocks.push(DenseMatrix::from_fn(cols, rows, |_, i| a[r0 + i]));
+            b_blocks.push(DenseMatrix::from_fn(cols, rows, |_, i| b[r0 + i]));
+            let mut wb = DenseMatrix::zeros(cols, rows);
+            points.fill_block(start, cols, r0, rows, wb.data_mut());
+            w_blocks.push(wb);
         }
 
         Self {
             a_blocks,
             b_blocks,
             w_blocks,
-            y_block: DenseMatrix::zeros(layout.tile_size(0), cols),
+            y_block: DenseMatrix::zeros(cols, layout.tile_size(0)),
             prob: vec![1.0; cols],
             cols,
             skip_b_updates: b.iter().all(|&x| x == f64::INFINITY),
+            alive: cols,
+            scratch: QmcScratch::default(),
         }
     }
 
     /// Advance the recursion by row block `r`: run the QMC kernel against the
     /// diagonal tile and propagate the conditioning values to the later row
     /// blocks (the paper's step (c) GEMMs).
+    ///
+    /// Once every chain in the panel is dead the remaining row blocks are
+    /// skipped entirely: dead chains keep probability zero and conditioning
+    /// value zero, so neither the kernel nor the propagation GEMMs could
+    /// change the estimate.
     pub(crate) fn step<F: CholeskyFactor + ?Sized>(&mut self, l: &F, layout: TileLayout, r: usize) {
+        if self.alive == 0 {
+            return;
+        }
         let nt = layout.num_tiles();
         let rows = layout.tile_size(r);
-        if self.y_block.nrows() != rows {
-            self.y_block = DenseMatrix::zeros(rows, self.cols);
+        if self.y_block.ncols() != rows {
+            self.y_block = DenseMatrix::zeros(self.cols, rows);
         }
-        qmc_kernel(
+        self.alive = qmc_kernel_scratch(
             l.diag_block(r),
             &self.w_blocks[r],
             &self.a_blocks[r],
             &self.b_blocks[r],
             &mut self.y_block,
             &mut self.prob,
+            &mut self.scratch,
         );
+        if self.alive == 0 {
+            return;
+        }
         for j in (r + 1)..nt {
             l.apply_offdiag(j, r, &self.y_block, &mut self.a_blocks[j]);
             if !self.skip_b_updates {
@@ -271,6 +376,9 @@ pub(crate) fn sweep_panel<F: CholeskyFactor + ?Sized>(
 ) -> (f64, usize) {
     let mut state = PanelState::init(layout, a, b, points, cfg, p);
     for r in 0..layout.num_tiles() {
+        if state.alive == 0 {
+            break;
+        }
         state.step(l, layout, r);
     }
     state.result()
@@ -624,7 +732,8 @@ mod tests {
     fn degenerate_diagonal_kills_the_chain_instead_of_nans() {
         // Regression test for the unchecked division by l_rr[i,i]: a factor
         // with a zero (or negative) diagonal entry must produce a finite
-        // probability (the affected chains die), never NaN.
+        // probability (the affected chains die), never NaN. Blocks are
+        // chain-major: (chain, row) indexing.
         let m = 6;
         let mut l_rr = DenseMatrix::zeros(m, m);
         for i in 0..m {
@@ -632,54 +741,163 @@ mod tests {
         }
         l_rr.set(3, 3, 0.0); // degenerate pivot
         let cols = 4;
-        let a_blk = DenseMatrix::from_fn(m, cols, |_, _| -1.0);
-        let b_blk = DenseMatrix::from_fn(m, cols, |_, _| 1.0);
-        let w_blk = DenseMatrix::from_fn(m, cols, |i, c| {
+        let a_blk = DenseMatrix::from_fn(cols, m, |_, _| -1.0);
+        let b_blk = DenseMatrix::from_fn(cols, m, |_, _| 1.0);
+        let w_blk = DenseMatrix::from_fn(cols, m, |c, i| {
             ((i * cols + c) as f64 + 0.5) / (m * cols) as f64
         });
-        let mut y_blk = DenseMatrix::zeros(m, cols);
+        let mut y_blk = DenseMatrix::zeros(cols, m);
         let mut prob = vec![1.0; cols];
-        qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        let alive = qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        assert_eq!(alive, 0);
         for c in 0..cols {
             assert_eq!(prob[c], 0.0, "chain {c} should be dead");
             for i in 0..m {
-                assert!(y_blk.get(i, c).is_finite(), "y({i},{c}) must stay finite");
+                assert!(y_blk.get(c, i).is_finite(), "y({i},{c}) must stay finite");
             }
         }
 
         // Negative pivot behaves the same.
         l_rr.set(3, 3, -2.0);
         let mut prob = vec![1.0; cols];
-        qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        let alive = qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        assert_eq!(alive, 0);
         assert!(prob.iter().all(|&p| p == 0.0));
     }
 
     #[test]
-    fn qmc_kernel_matches_scalar_recursion_on_one_block() {
+    fn qmc_kernel_matches_scalar_recursion_per_chain() {
+        // Every chain of the chain-major kernel must reproduce the scalar
+        // SOV recursion run on that chain's own sample — lanes may share the
+        // vectorized loops but never each other's values.
         use crate::sov::sov_sample_probability;
         let m = 10;
+        let cols = 7;
         let f = exp_cov(0.5);
         let l_tiled = dense_factor(f, m, m);
         let l_rr = l_tiled.tile(0, 0).clone();
         let a = vec![-0.7; m];
         let b = vec![1.2; m];
-        let w: Vec<f64> = (0..m).map(|i| (i as f64 + 0.5) / m as f64).collect();
+        let w_blk =
+            DenseMatrix::from_fn(cols, m, |c, i| (((i * cols + c) % 29) as f64 + 0.5) / 29.0);
 
-        // Kernel path (single column).
-        let a_blk = DenseMatrix::from_fn(m, 1, |i, _| a[i]);
-        let b_blk = DenseMatrix::from_fn(m, 1, |i, _| b[i]);
-        let w_blk = DenseMatrix::from_fn(m, 1, |i, _| w[i]);
-        let mut y_blk = DenseMatrix::zeros(m, 1);
-        let mut prob = vec![1.0];
-        qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        let a_blk = DenseMatrix::from_fn(cols, m, |_, i| a[i]);
+        let b_blk = DenseMatrix::from_fn(cols, m, |_, i| b[i]);
+        let mut y_blk = DenseMatrix::zeros(cols, m);
+        let mut prob = vec![1.0; cols];
+        let alive = qmc_kernel(&l_rr, &w_blk, &a_blk, &b_blk, &mut y_blk, &mut prob);
+        assert_eq!(alive, cols);
 
-        // Scalar reference path.
-        let mut y = vec![0.0; m];
-        let p_ref = sov_sample_probability(&l_rr, &a, &b, &w, &mut y);
-
-        assert!((prob[0] - p_ref).abs() < 1e-12);
-        for i in 0..m {
-            assert!((y_blk.get(i, 0) - y[i]).abs() < 1e-12);
+        for c in 0..cols {
+            let w: Vec<f64> = (0..m).map(|i| w_blk.get(c, i)).collect();
+            let mut y = vec![0.0; m];
+            let p_ref = sov_sample_probability(&l_rr, &a, &b, &w, &mut y);
+            assert!((prob[c] - p_ref).abs() < 1e-12, "chain {c}");
+            for i in 0..m {
+                assert!((y_blk.get(c, i) - y[i]).abs() < 1e-12, "chain {c} row {i}");
+            }
         }
+    }
+
+    #[test]
+    fn panel_w_blocks_match_per_point_generation_bitwise() {
+        // The block-major fill of PanelState::init must reproduce the
+        // historical column-by-column sample generation bit for bit, for
+        // both deterministic QMC families.
+        use qmc::SampleKind;
+        let n = 45;
+        let layout = TileLayout::new(n, 11); // uneven tail tile
+        let a = vec![-0.5; n];
+        let b = vec![1.0; n];
+        for kind in [SampleKind::Halton, SampleKind::RichtmyerLattice] {
+            let cfg = MvnConfig {
+                sample_size: 100,
+                panel_width: 32,
+                sample_kind: kind,
+                seed: 77,
+                ..Default::default()
+            };
+            let points = make_point_set(kind, n, cfg.seed);
+            for p in 0..cfg.sample_size.div_ceil(cfg.panel_width) {
+                let state = PanelState::init(layout, &a, &b, points.as_ref(), &cfg, p);
+                let start = p * cfg.panel_width;
+                for c in 0..state.cols {
+                    let point = points.point_vec(start + c);
+                    for r in 0..layout.num_tiles() {
+                        let r0 = layout.tile_start(r);
+                        for i in 0..layout.tile_size(r) {
+                            assert_eq!(
+                                state.w_blocks[r].get(c, i).to_bits(),
+                                point[r0 + i].to_bits(),
+                                "{kind:?}: panel {p}, chain {c}, row {}",
+                                r0 + i
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_dead_panel_skips_remaining_blocks() {
+        // Limits that kill every chain mid-sweep (an empty box at row 15,
+        // inside block 1 of 4): the remaining row blocks and their
+        // propagation GEMMs must be skipped without changing the result.
+        let n = 40;
+        let f = exp_cov(0.4);
+        let l = dense_factor(f, n, 10);
+        let layout = l.layout();
+        let mut a = vec![-1.0; n];
+        let mut b = vec![1.0; n];
+        a[15] = 2.0;
+        b[15] = 1.0; // a > b: Φ-diff is 0 for every chain
+        let cfg = MvnConfig {
+            sample_size: 256,
+            panel_width: 64,
+            seed: 3,
+            ..Default::default()
+        };
+        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
+
+        let mut state = PanelState::init(layout, &a, &b, points.as_ref(), &cfg, 0);
+        state.step(&l, layout, 0);
+        assert_eq!(state.alive, state.cols, "block 0 keeps all chains alive");
+        state.step(&l, layout, 1);
+        assert_eq!(state.alive, 0, "the empty box kills every chain");
+        // The later limit blocks must no longer be touched.
+        let a2_before = state.a_blocks[2].clone();
+        let a3_before = state.a_blocks[3].clone();
+        state.step(&l, layout, 2);
+        state.step(&l, layout, 3);
+        assert_eq!(state.a_blocks[2], a2_before);
+        assert_eq!(state.a_blocks[3], a3_before);
+        assert!(state.prob.iter().all(|&p| p == 0.0));
+        let (mean, _) = state.result();
+        assert_eq!(mean, 0.0);
+
+        // End-to-end: both schedulers report exactly zero probability (and
+        // agree bitwise, dead panels or not).
+        let fj = mvn_prob_dense(
+            &l,
+            &a,
+            &b,
+            &MvnConfig {
+                scheduler: crate::Scheduler::ForkJoin,
+                ..cfg
+            },
+        );
+        let dag = mvn_prob_dense(
+            &l,
+            &a,
+            &b,
+            &MvnConfig {
+                scheduler: crate::Scheduler::Dag { workers: 2 },
+                sample_size: 4000,
+                ..cfg
+            },
+        );
+        assert_eq!(fj.prob, 0.0);
+        assert_eq!(dag.prob, 0.0);
     }
 }

@@ -12,17 +12,25 @@
 //! * [`bessel_k`] — modified Bessel function of the second kind `K_ν(x)` for real
 //!   order ν ≥ 0 (Temme series + continued fractions, Numerical-Recipes style),
 //!   required by the Matérn covariance,
-//! * numeric helpers used across the workspace ([`relative_error`], [`clamp_unit`]).
+//! * numeric helpers used across the workspace ([`relative_error`], [`clamp_unit`]),
+//! * batched slice forms of the normal primitives ([`batch`]:
+//!   [`norm_cdf_slice`], [`norm_cdf_diff_slice`], [`norm_quantile_slice`],
+//!   [`norm_cdf_and_diff_slice`]) — bitwise identical to the scalar
+//!   functions, shaped for the chain-major PMVN kernel's contiguous lanes.
 //!
-//! Everything is scalar code with no allocations, so it can be called from the
-//! innermost loops of the tiled QMC kernels.
+//! Everything is allocation-free, so it can be called from the innermost
+//! loops of the tiled QMC kernels.
 
+pub mod batch;
 pub mod bessel;
 pub mod erf;
 pub mod gamma;
 pub mod normal;
 pub mod util;
 
+pub use batch::{
+    norm_cdf_and_diff_slice, norm_cdf_diff_slice, norm_cdf_slice, norm_quantile_slice,
+};
 pub use bessel::{bessel_i, bessel_k, bessel_k_scaled};
 pub use erf::{erf, erfc, erfcx};
 pub use gamma::{gamma, ln_gamma};

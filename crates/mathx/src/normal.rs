@@ -85,50 +85,48 @@ pub fn standardize(x: f64, mean: f64, sd: f64) -> f64 {
     (x - mean) / sd
 }
 
-/// Inverse standard normal CDF Φ⁻¹(p) (the quantile / probit function).
+/// Central-region AS241 rational approximation: Φ⁻¹(0.5 + q) for
+/// `|q| ≤ 0.425`.
 ///
-/// Wichura's algorithm AS241 (PPND16), relative accuracy about 1e-16 over
-/// p ∈ (0, 1). Returns ±∞ for p = 0 or 1 and NaN outside [0, 1].
-pub fn norm_quantile(p: f64) -> f64 {
-    if p.is_nan() || !(0.0..=1.0).contains(&p) {
-        return f64::NAN;
-    }
-    if p == 0.0 {
-        return f64::NEG_INFINITY;
-    }
-    if p == 1.0 {
-        return f64::INFINITY;
-    }
-    let q = p - 0.5;
-    if q.abs() <= 0.425 {
-        let r = 0.180625 - q * q;
-        let num = (((((((2.509_080_928_730_122_6e3 * r + 3.343_057_558_358_812_8e4) * r
-            + 6.726_577_092_700_870_1e4)
-            * r
-            + 4.592_195_393_154_987_1e4)
-            * r
-            + 1.373_169_376_550_946_1e4)
-            * r
-            + 1.971_590_950_306_551_3e3)
-            * r
-            + 1.331_416_678_917_843_8e2)
-            * r
-            + 3.387_132_872_796_366_5e0)
-            * q;
-        let den = ((((((5.226_495_278_852_545_5e3 * r + 2.872_908_573_572_194_3e4) * r
-            + 3.930_789_580_009_271_1e4)
-            * r
-            + 2.121_379_430_158_659_7e4)
-            * r
-            + 5.394_196_021_424_751_1e3)
-            * r
-            + 6.871_870_074_920_579_1e2)
-            * r
-            + 4.231_333_070_160_091_1e1)
-            * r
-            + 1.0;
-        return num / den;
-    }
+/// Branch-free (a pure rational polynomial in `q²`), so the batched
+/// [`crate::batch::norm_quantile_slice`] can evaluate whole chain lanes
+/// through it when every lane falls in the central region. Kept as the single
+/// definition shared with the scalar [`norm_quantile`] so the two are bitwise
+/// identical by construction.
+#[inline]
+pub(crate) fn quantile_central(q: f64) -> f64 {
+    let r = 0.180625 - q * q;
+    let num = (((((((2.509_080_928_730_122_6e3 * r + 3.343_057_558_358_812_8e4) * r
+        + 6.726_577_092_700_870_1e4)
+        * r
+        + 4.592_195_393_154_987_1e4)
+        * r
+        + 1.373_169_376_550_946_1e4)
+        * r
+        + 1.971_590_950_306_551_3e3)
+        * r
+        + 1.331_416_678_917_843_8e2)
+        * r
+        + 3.387_132_872_796_366_5e0)
+        * q;
+    let den = ((((((5.226_495_278_852_545_5e3 * r + 2.872_908_573_572_194_3e4) * r
+        + 3.930_789_580_009_271_1e4)
+        * r
+        + 2.121_379_430_158_659_7e4)
+        * r
+        + 5.394_196_021_424_751_1e3)
+        * r
+        + 6.871_870_074_920_579_1e2)
+        * r
+        + 4.231_333_070_160_091_1e1)
+        * r
+        + 1.0;
+    num / den
+}
+
+/// Tail-region AS241 evaluation for `|p − 0.5| > 0.425` (`q = p − 0.5`).
+#[inline]
+pub(crate) fn quantile_tail(p: f64, q: f64) -> f64 {
     let mut r = if q < 0.0 { p } else { 1.0 - p };
     r = (-r.ln()).sqrt();
     let val = if r <= 5.0 {
@@ -190,6 +188,29 @@ pub fn norm_quantile(p: f64) -> f64 {
         -val
     } else {
         val
+    }
+}
+
+/// Inverse standard normal CDF Φ⁻¹(p) (the quantile / probit function).
+///
+/// Wichura's algorithm AS241 (PPND16), relative accuracy about 1e-16 over
+/// p ∈ (0, 1). Returns ±∞ for p = 0 or 1 and NaN outside [0, 1].
+#[inline]
+pub fn norm_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    let q = p - 0.5;
+    if q.abs() <= 0.425 {
+        quantile_central(q)
+    } else {
+        quantile_tail(p, q)
     }
 }
 

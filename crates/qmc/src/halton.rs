@@ -50,6 +50,22 @@ impl PointSet for HaltonSequence {
             *o = Self::radical_inverse(n, b);
         }
     }
+
+    fn fill_block(&self, first: usize, count: usize, dim0: usize, ndims: usize, out: &mut [f64]) {
+        assert!(
+            dim0 + ndims <= self.bases.len(),
+            "coordinate range out of bounds"
+        );
+        assert_eq!(out.len(), count * ndims, "output block size mismatch");
+        // Coordinates are independent radical inverses, so a block fills one
+        // contiguous chain lane per base — bitwise identical to `point`.
+        for i in 0..ndims {
+            let b = self.bases[dim0 + i];
+            for (c, o) in out[i * count..(i + 1) * count].iter_mut().enumerate() {
+                *o = Self::radical_inverse((first + c + 1) as u64, b);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,25 @@ impl PointSet for RichtmyerLattice {
             *o = if v >= 1.0 { 0.0 } else { v };
         }
     }
+
+    fn fill_block(&self, first: usize, count: usize, dim0: usize, ndims: usize, out: &mut [f64]) {
+        assert!(
+            dim0 + ndims <= self.generators.len(),
+            "coordinate range out of bounds"
+        );
+        assert_eq!(out.len(), count * ndims, "output block size mismatch");
+        // Each coordinate is an independent Weyl sequence, so a block fills
+        // one contiguous chain lane per generator — same expressions as
+        // `point`, hence bitwise identical values.
+        for i in 0..ndims {
+            let g = self.generators[dim0 + i];
+            for (c, o) in out[i * count..(i + 1) * count].iter_mut().enumerate() {
+                let j = (first + c + 1) as f64;
+                let v = (j * g).fract();
+                *o = if v >= 1.0 { 0.0 } else { v };
+            }
+        }
+    }
 }
 
 #[cfg(test)]

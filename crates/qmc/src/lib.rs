@@ -44,6 +44,28 @@ pub trait PointSet: Send + Sync {
         self.point(index, &mut out);
         out
     }
+    /// Fill a chain-major sample block: coordinate `dim0 + i` of point
+    /// `first + c` lands at `out[i * count + c]` for `c < count`,
+    /// `i < ndims` (one contiguous chain lane per coordinate — the layout of
+    /// the PMVN sweep's `w` blocks).
+    ///
+    /// The values are **bitwise identical** to calling [`PointSet::point`]
+    /// per chain and copying out the `dim0..dim0 + ndims` coordinate range;
+    /// the default implementation does exactly that. Separable families
+    /// (Halton, lattice) override it to generate the requested coordinate
+    /// range directly, skipping the `O(dim)` work per chain for the
+    /// coordinates outside the block that the column-by-column fill wasted.
+    fn fill_block(&self, first: usize, count: usize, dim0: usize, ndims: usize, out: &mut [f64]) {
+        assert!(dim0 + ndims <= self.dim(), "coordinate range out of bounds");
+        assert_eq!(out.len(), count * ndims, "output block size mismatch");
+        let mut buf = vec![0.0; self.dim()];
+        for c in 0..count {
+            self.point(first + c, &mut buf);
+            for i in 0..ndims {
+                out[i * count + c] = buf[dim0 + i];
+            }
+        }
+    }
 }
 
 /// Which sampling family to use for the MVN integration.
@@ -138,6 +160,16 @@ impl<P: PointSet> PointSet for ShiftedPointSet<P> {
         self.inner.point(index, out);
         for (o, s) in out.iter_mut().zip(&self.shift) {
             *o = (*o + *s).fract();
+        }
+    }
+
+    fn fill_block(&self, first: usize, count: usize, dim0: usize, ndims: usize, out: &mut [f64]) {
+        self.inner.fill_block(first, count, dim0, ndims, out);
+        for i in 0..ndims {
+            let s = self.shift[dim0 + i];
+            for o in &mut out[i * count..(i + 1) * count] {
+                *o = (*o + s).fract();
+            }
         }
     }
 }
@@ -243,5 +275,48 @@ mod tests {
     fn shift_length_mismatch_panics() {
         let lat = RichtmyerLattice::new(3);
         let _ = ShiftedPointSet::new(lat, vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn fill_block_is_bitwise_identical_to_per_point_generation() {
+        // The block-major fill (overridden for the separable families, the
+        // default for pseudo-random points) must reproduce the column-by-
+        // column path bit for bit — this is what keeps the chain-major PMVN
+        // sweep's sample panels identical to the historical layout.
+        for kind in [
+            SampleKind::PseudoRandom,
+            SampleKind::RichtmyerLattice,
+            SampleKind::Halton,
+        ] {
+            let dim = 23;
+            let ps = make_point_set(kind, dim, 1234);
+            for &(first, count, dim0, ndims) in &[
+                (0usize, 7usize, 0usize, 23usize),
+                (13, 5, 4, 9),
+                (64, 1, 22, 1),
+            ] {
+                let mut block = vec![0.0; count * ndims];
+                ps.fill_block(first, count, dim0, ndims, &mut block);
+                for c in 0..count {
+                    let point = ps.point_vec(first + c);
+                    for i in 0..ndims {
+                        assert_eq!(
+                            block[i * count + c].to_bits(),
+                            point[dim0 + i].to_bits(),
+                            "{kind:?}: chain {c}, coordinate {}",
+                            dim0 + i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fill_block_rejects_out_of_range_coordinates() {
+        let ps = make_point_set(SampleKind::RichtmyerLattice, 4, 1);
+        let mut block = vec![0.0; 2 * 3];
+        ps.fill_block(0, 2, 2, 3, &mut block);
     }
 }

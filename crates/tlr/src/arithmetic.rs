@@ -41,6 +41,50 @@ pub fn lr_gemm_panel(
     gemm_nn(alpha, &lr.u, &w, beta, c);
 }
 
+/// `Cᵀ ← β·Cᵀ + α·Bᵀ·(U·Vᵀ)ᵀ` — the chain-major (transposed-panel) variant
+/// of [`lr_gemm_panel`].
+///
+/// The chain-major PMVN sweep stores its panels with the chain index down
+/// the columns: `bt` is `p × n` (`p` chains by `n = lr.ncols()` factor
+/// columns) and `ct` is `p × m`. Writing `Bᵀ = bt`, `Cᵀ = ct`, this computes
+/// the transpose of [`lr_gemm_panel`]'s update via `W = Bᵀ·V` (`p × k`)
+/// followed by `Cᵀ ← β·Cᵀ + α·W·Uᵀ`, so every chain's contraction runs over
+/// contiguous lanes.
+pub fn lr_gemm_panel_t(
+    alpha: f64,
+    lr: &LowRankBlock,
+    bt: &DenseMatrix,
+    beta: f64,
+    ct: &mut DenseMatrix,
+) {
+    assert_eq!(
+        bt.ncols(),
+        lr.ncols(),
+        "lr_gemm_panel_t: inner dimension mismatch"
+    );
+    assert_eq!(
+        ct.ncols(),
+        lr.nrows(),
+        "lr_gemm_panel_t: output col mismatch"
+    );
+    assert_eq!(
+        ct.nrows(),
+        bt.nrows(),
+        "lr_gemm_panel_t: output row mismatch"
+    );
+    if lr.rank() == 0 {
+        if beta != 1.0 {
+            ct.scale(beta);
+        }
+        return;
+    }
+    // W = B^T V  (p × k)
+    let mut w = DenseMatrix::zeros(bt.nrows(), lr.rank());
+    gemm_nn(1.0, bt, &lr.v, 0.0, &mut w);
+    // C^T = beta C^T + alpha W U^T
+    gemm_nt(alpha, &w, &lr.u, beta, ct);
+}
+
 /// `D ← D − A·Aᵀ` where `A = U·Vᵀ` is low-rank and `D` is a dense (diagonal)
 /// tile — the TLR `SYRK`.
 pub fn lr_aa_t_update(diag: &mut DenseMatrix, a: &LowRankBlock) {
@@ -206,6 +250,30 @@ mod tests {
         want.scale(0.25);
         lr_gemm_panel(1.0, &lr, &b, 0.25, &mut c);
         assert!(max_abs_diff(&c, &want) < 1e-15);
+    }
+
+    #[test]
+    fn lr_gemm_panel_t_matches_transposed_dense_product() {
+        let lr = rand_lowrank(8, 6, 3, 1);
+        let bt = rand_matrix(4, 6, 3); // 4 chains × 6 factor columns
+        let mut ct = rand_matrix(4, 8, 5);
+        let mut want = ct.clone();
+        want.scale(0.5);
+        // Cᵀ += α·Bᵀ·(UVᵀ)ᵀ  ⇔  want += α·bt·dense(lr)ᵀ
+        want.add_scaled(-2.0, &bt.matmul_nt(&lr.to_dense()));
+        lr_gemm_panel_t(-2.0, &lr, &bt, 0.5, &mut ct);
+        assert!(max_abs_diff(&ct, &want) < 1e-12);
+    }
+
+    #[test]
+    fn lr_gemm_panel_t_rank_zero_only_scales() {
+        let lr = LowRankBlock::zero(5, 6);
+        let bt = rand_matrix(3, 6, 9);
+        let mut ct = rand_matrix(3, 5, 10);
+        let mut want = ct.clone();
+        want.scale(0.25);
+        lr_gemm_panel_t(1.0, &lr, &bt, 0.25, &mut ct);
+        assert!(max_abs_diff(&ct, &want) < 1e-15);
     }
 
     #[test]

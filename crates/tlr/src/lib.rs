@@ -26,7 +26,9 @@ pub mod lowrank;
 pub mod rank_stats;
 pub mod tlr_matrix;
 
-pub use arithmetic::{lr_aa_t_update, lr_add_recompress, lr_gemm_panel, lr_lr_t_update};
+pub use arithmetic::{
+    lr_aa_t_update, lr_add_recompress, lr_gemm_panel, lr_gemm_panel_t, lr_lr_t_update,
+};
 pub use cholesky::{potrf_tlr, potrf_tlr_forkjoin, TlrCholeskyError};
 pub use compress::{compress_dense, CompressionTol};
 pub use dag::{potrf_tlr_dag, potrf_tlr_pool, TlrHandles};
