@@ -7,8 +7,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mathx::{clamp_unit, norm_cdf, norm_cdf_diff, norm_quantile};
 use mvn_core::{mvn_prob_dense, mvn_prob_dense_fused, MvnConfig, MvnEngine, QmcScratch, Scheduler};
 use std::hint::black_box;
+use task_runtime::WorkerPool;
+use tile_la::dag::effective_workers;
 use tile_la::kernels::{gemm_nn, gemm_nt, jacobi_svd, potrf_in_place};
-use tile_la::{potrf_tiled, potrf_tiled_dag, potrf_tiled_forkjoin, DenseMatrix, SymTileMatrix};
+use tile_la::{
+    potrf_tiled, potrf_tiled_dag, potrf_tiled_forkjoin, potrf_tiled_stream, DenseMatrix,
+    SymTileMatrix,
+};
 use tlr::{compress_dense, potrf_tlr, CompressionTol, TlrMatrix};
 
 fn kernel_matrix(n: usize, offset: usize) -> DenseMatrix {
@@ -272,17 +277,24 @@ fn bench_factorizations(c: &mut Criterion) {
     group.finish();
 }
 
-/// Fork-join vs DAG scheduling of the same numerical work — the bench backing
-/// the task-runtime refactor. Three points:
+/// Fork-join vs DAG vs streaming scheduling of the same numerical work — the
+/// bench backing the task-runtime refactor. Four timing points:
 ///
 /// * `forkjoin_potrf_pmvn` — per-panel fork-join factorization, then the
 ///   fork-join panel sweep (the seed's scheduling),
 /// * `dag_potrf_pmvn` — DAG-scheduled factorization, then the DAG-scheduled
 ///   sweep (still two phases, barrier between them),
-/// * `fused_potrf_pmvn` — one task graph for factor + sweep, early row-block
-///   sweeping overlapping the trailing factorization.
+/// * `fused_potrf_pmvn` — one materialized task graph for factor + sweep,
+///   early row-block sweeping overlapping the trailing factorization,
+/// * `stream_potrf_pmvn` — the same fused task set submitted through the
+///   lookahead-limited streaming window (peak task storage `O(lookahead)`
+///   instead of the whole graph; execution overlaps submission).
 ///
-/// All three produce bitwise-identical probabilities; only wall time differs.
+/// All four produce bitwise-identical probabilities; only wall time and peak
+/// task storage differ. The peak in-flight task count of the streaming
+/// session (vs. the materialized task total) is emitted as two extra
+/// JSON-lines points so it lands in the `BENCH_kernels.json` artifact next
+/// to the makespans.
 fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling");
     group.sample_size(10);
@@ -326,6 +338,37 @@ fn bench_scheduling(c: &mut Criterion) {
             black_box(mvn_prob_dense_fused(&mut sigma, &a, &b, &dag_cfg).unwrap())
         });
     });
+    let stream_cfg = MvnConfig {
+        scheduler: Scheduler::Streaming {
+            workers: 0,
+            lookahead: 0,
+        },
+        ..fj_cfg
+    };
+    group.bench_function("stream_potrf_pmvn", |bench| {
+        bench.iter(|| {
+            let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+            black_box(mvn_prob_dense_fused(&mut sigma, &a, &b, &stream_cfg).unwrap())
+        });
+    });
+    // Peak-task accounting of the streaming window vs. the materialized
+    // graph, reported in the same JSON-lines shape as the timing points
+    // (the value rides in the `mean_ns` field; it is a task count, not a
+    // duration). One streamed factorization of the bench matrix suffices —
+    // the counters are deterministic.
+    {
+        let pool = WorkerPool::new(effective_workers(0));
+        let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+        let stats = potrf_tiled_stream(&mut sigma, &pool, 0).unwrap();
+        println!(
+            "{{\"benchmark\":\"scheduling/stream_peak_in_flight_tasks\",\"mean_ns\":{},\"samples\":1}}",
+            stats.peak_in_flight
+        );
+        println!(
+            "{{\"benchmark\":\"scheduling/materialized_task_total\",\"mean_ns\":{},\"samples\":1}}",
+            stats.tasks
+        );
+    }
 
     // The session-API ablation: 64 small solves against one factor, either
     // constructing a fresh engine (pool spawn + teardown) per solve — the

@@ -39,7 +39,7 @@
 //! assert_eq!(r.prob.to_bits(), batch[0].prob.to_bits());
 //! ```
 
-use crate::pipeline::{run_dense_fused_with, run_tlr_fused_with};
+use crate::pipeline::{run_dense_fused_with, run_tlr_fused_with, FusedExec};
 use crate::pmvn::{combine_panel_results, sweep_panel, CholeskyFactor};
 use crate::{MvnConfig, MvnResult, Scheduler};
 use qmc::{make_point_set, PointSet, SampleKind};
@@ -184,8 +184,29 @@ impl MvnEngineBuilder {
     /// Worker threads for the engine's pool (`0` — the default — means one
     /// worker per available core; see [`effective_workers`]). Explicit values
     /// above [`MAX_ENGINE_WORKERS`] are rejected by [`build`](Self::build).
+    /// Preserves a previously requested [`streaming`](Self::streaming) mode.
     pub fn workers(mut self, workers: usize) -> Self {
-        self.cfg.scheduler = Scheduler::Dag { workers };
+        self.cfg.scheduler = match self.cfg.scheduler {
+            Scheduler::Streaming { lookahead, .. } => Scheduler::Streaming { workers, lookahead },
+            _ => Scheduler::Dag { workers },
+        };
+        self
+    }
+
+    /// Switch the engine to **streaming, lookahead-limited submission**
+    /// ([`Scheduler::Streaming`]): solve and fused-pipeline task sets are
+    /// handed to the pool as they are submitted through a window of at most
+    /// `lookahead` in-flight tasks (`0` = the default window of `4 ×
+    /// workers`), instead of being materialized whole. Results stay bitwise
+    /// identical to the materialized scheduler; peak task storage drops from
+    /// `O(total tasks)` to `O(lookahead)`. Preserves a previously requested
+    /// worker count.
+    pub fn streaming(mut self, lookahead: usize) -> Self {
+        let workers = match self.cfg.scheduler {
+            Scheduler::Dag { workers } | Scheduler::Streaming { workers, .. } => workers,
+            Scheduler::ForkJoin => 0,
+        };
+        self.cfg.scheduler = Scheduler::Streaming { workers, lookahead };
         self
     }
 
@@ -231,7 +252,7 @@ impl MvnEngineBuilder {
             return Err(EngineError::InvalidConfig("panel_width must be positive"));
         }
         let requested = match self.cfg.scheduler {
-            Scheduler::Dag { workers } => workers,
+            Scheduler::Dag { workers } | Scheduler::Streaming { workers, .. } => workers,
             // The engine is inherently DAG-scheduled; the fork-join setting
             // maps to "available parallelism" exactly as in MvnPlanner.
             Scheduler::ForkJoin => 0,
@@ -312,15 +333,31 @@ impl MvnEngine {
 
     /// Factor a dense tiled covariance on the engine's pool, returning a
     /// reusable [`Factor`] (bitwise identical to [`tile_la::potrf_tiled`]).
+    /// A [streaming](MvnEngineBuilder::streaming) engine submits the
+    /// factorization through its lookahead window
+    /// ([`tile_la::potrf_tiled_stream`]) instead of materializing the graph;
+    /// the factor is bitwise identical either way.
     pub fn factor_dense(&self, mut sigma: SymTileMatrix) -> Result<Factor, CholeskyError> {
-        potrf_tiled_pool(&mut sigma, &self.pool)?;
+        match self.cfg.scheduler {
+            Scheduler::Streaming { lookahead, .. } => {
+                tile_la::potrf_tiled_stream(&mut sigma, &self.pool, lookahead)?;
+            }
+            _ => potrf_tiled_pool(&mut sigma, &self.pool)?,
+        }
         Ok(Factor::Dense(sigma))
     }
 
     /// Factor a TLR covariance on the engine's pool, returning a reusable
-    /// [`Factor`] (bitwise identical to [`tlr::potrf_tlr`]).
+    /// [`Factor`] (bitwise identical to [`tlr::potrf_tlr`]); a
+    /// [streaming](MvnEngineBuilder::streaming) engine uses
+    /// [`tlr::potrf_tlr_stream`].
     pub fn factor_tlr(&self, mut sigma: TlrMatrix) -> Result<Factor, TlrCholeskyError> {
-        potrf_tlr_pool(&mut sigma, &self.pool)?;
+        match self.cfg.scheduler {
+            Scheduler::Streaming { lookahead, .. } => {
+                tlr::potrf_tlr_stream(&mut sigma, &self.pool, lookahead)?;
+            }
+            _ => potrf_tlr_pool(&mut sigma, &self.pool)?,
+        }
         Ok(Factor::Tlr(sigma))
     }
 
@@ -338,8 +375,11 @@ impl MvnEngine {
     }
 
     /// [`solve_factored`](Self::solve_factored) with an explicit
-    /// per-call sampling configuration (the engine contributes only its
-    /// pool; `cfg.scheduler` is ignored — the pool decides the workers).
+    /// per-call sampling configuration. The engine's pool decides the
+    /// worker count (the count inside `cfg.scheduler` is ignored), but the
+    /// scheduler's *mode* applies: [`Scheduler::Streaming`] streams the
+    /// panel tasks through its lookahead window instead of materializing
+    /// them, with bitwise-identical results.
     pub fn solve_factored_with<F: CholeskyFactor>(
         &self,
         l: &F,
@@ -386,7 +426,7 @@ impl MvnEngine {
         a: &[f64],
         b: &[f64],
     ) -> Result<MvnResult, CholeskyError> {
-        run_dense_fused_with(sigma, a, b, &self.cfg, |g| self.pool.run(g))
+        run_dense_fused_with(sigma, a, b, &self.cfg, self.fused_exec())
     }
 
     /// TLR variant of [`factor_prob_dense`](Self::factor_prob_dense).
@@ -396,7 +436,20 @@ impl MvnEngine {
         a: &[f64],
         b: &[f64],
     ) -> Result<MvnResult, TlrCholeskyError> {
-        run_tlr_fused_with(sigma, a, b, &self.cfg, |g| self.pool.run(g))
+        run_tlr_fused_with(sigma, a, b, &self.cfg, self.fused_exec())
+    }
+
+    /// The fused-pipeline execution strategy selected by the engine's
+    /// scheduler: the session pool, with streaming submission when the engine
+    /// was built with [`MvnEngineBuilder::streaming`].
+    fn fused_exec(&self) -> FusedExec<'_> {
+        match self.cfg.scheduler {
+            Scheduler::Streaming { lookahead, .. } => FusedExec::Stream {
+                pool: &self.pool,
+                lookahead,
+            },
+            _ => FusedExec::Pool(&self.pool),
+        }
     }
 
     /// Shared body of the solve entry points: one `panel_sweep` task per
@@ -429,20 +482,29 @@ impl MvnEngine {
         let points_ref: &dyn PointSet = points.as_ref();
 
         // One independent write-task per (problem, panel) pair, flattened so
-        // every pair becomes one slot of a pool-level map.
+        // every pair becomes one slot of a pool-level map. With a streaming
+        // configuration the pairs go through the lookahead window instead of
+        // one materialized graph — at most `lookahead` sweep closures exist
+        // at any instant, and early panels run while later ones are still
+        // being submitted; the per-pair results (and hence every aggregate)
+        // are bitwise identical either way.
         let jobs: Vec<(usize, usize)> = (0..problems.len())
             .flat_map(|q| (0..n_panels).map(move |p| (q, p)))
             .collect();
         let cost = layout.num_tiles() as f64 * cfg.panel_width as f64;
-        let flat = self.pool.run_map(
-            "panel_sweep",
-            &jobs,
-            |_, _| cost,
-            |_, &(q, p)| {
-                let (a, b) = problems[q];
-                sweep_panel(l, layout, a, b, points_ref, cfg, p)
-            },
-        );
+        let sweep = |_: usize, &(q, p): &(usize, usize)| {
+            let (a, b) = problems[q];
+            sweep_panel(l, layout, a, b, points_ref, cfg, p)
+        };
+        let flat = match cfg.scheduler {
+            Scheduler::Streaming { lookahead, .. } => {
+                let window = task_runtime::effective_lookahead(lookahead, self.pool.workers());
+                self.pool
+                    .stream_map("panel_sweep", &jobs, |_, _| cost, sweep, window)
+                    .0
+            }
+            _ => self.pool.run_map("panel_sweep", &jobs, |_, _| cost, sweep),
+        };
         flat.chunks(n_panels).map(combine_panel_results).collect()
     }
 }
@@ -576,6 +638,123 @@ mod tests {
                 assert!(r.std_error.to_bits() == single.std_error.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn streaming_engine_matches_materialized_engine_bitwise() {
+        // Engine-level tentpole acceptance: a streaming engine's solve,
+        // solve_batch and fused pipeline are bitwise identical to the
+        // materialized engine for every worker count and several windows,
+        // and the pool stats prove the peak in-flight task count never
+        // exceeded the window.
+        let n = 45;
+        let f = exp_cov(0.3);
+        let problems: Vec<Problem> = (0..6)
+            .map(|k| {
+                let lo = -0.2 - 0.1 * k as f64;
+                Problem::new(vec![lo; n], vec![f64::INFINITY; n])
+            })
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let dag_engine = MvnEngine::builder()
+                .config(test_cfg(workers))
+                .build()
+                .unwrap();
+            let factor = dag_engine
+                .factor_dense(SymTileMatrix::from_fn(n, 12, f))
+                .unwrap();
+            let want = dag_engine.solve_batch(&factor, &problems);
+            for lookahead in [1usize, 3, 0] {
+                let stream_engine = MvnEngine::builder()
+                    .config(test_cfg(workers))
+                    .streaming(lookahead)
+                    .build()
+                    .unwrap();
+                // Factor through the streaming path too: the whole streamed
+                // session (factor + batched solves) must reproduce the
+                // materialized engine bit for bit.
+                let stream_factor = stream_engine
+                    .factor_dense(SymTileMatrix::from_fn(n, 12, f))
+                    .unwrap();
+                let got = stream_engine.solve_batch(&stream_factor, &problems);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        g.prob.to_bits() == w.prob.to_bits(),
+                        "workers={workers} lookahead={lookahead}: {} vs {}",
+                        g.prob,
+                        w.prob
+                    );
+                    assert!(g.std_error.to_bits() == w.std_error.to_bits());
+                }
+                let stats = stream_engine.pool_stats();
+                let window = task_runtime::effective_lookahead(lookahead, workers);
+                assert!(stats.streams_run >= 1);
+                assert!(
+                    stats.stream_peak_tasks <= window,
+                    "workers={workers} lookahead={lookahead}: peak {} > window {window}",
+                    stats.stream_peak_tasks
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_engine_fused_pipeline_matches_materialized_bitwise() {
+        let n = 48;
+        let f = exp_cov(0.6);
+        let a = vec![-0.3; n];
+        let b = vec![1.1; n];
+        let mut sigma_ref = SymTileMatrix::from_fn(n, 12, f);
+        let engine_ref = MvnEngine::with_config(test_cfg(2)).unwrap();
+        let want = engine_ref
+            .factor_prob_dense(&mut sigma_ref, &a, &b)
+            .unwrap();
+        let stream_engine = MvnEngine::builder()
+            .config(test_cfg(2))
+            .streaming(4)
+            .build()
+            .unwrap();
+        let mut sigma = SymTileMatrix::from_fn(n, 12, f);
+        let got = stream_engine.factor_prob_dense(&mut sigma, &a, &b).unwrap();
+        assert!(got.prob.to_bits() == want.prob.to_bits());
+        let lf = sigma.to_dense_lower();
+        let ls = sigma_ref.to_dense_lower();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(lf.get(i, j).to_bits() == ls.get(i, j).to_bits());
+            }
+        }
+        assert!(stream_engine.pool_stats().stream_peak_tasks <= 4);
+    }
+
+    #[test]
+    fn builder_streaming_and_workers_compose_in_any_order() {
+        let e1 = MvnEngine::builder()
+            .workers(2)
+            .streaming(8)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e1.config().scheduler,
+            Scheduler::Streaming {
+                workers: 2,
+                lookahead: 8
+            }
+        ));
+        let e2 = MvnEngine::builder()
+            .streaming(8)
+            .workers(2)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e2.config().scheduler,
+            Scheduler::Streaming {
+                workers: 2,
+                lookahead: 8
+            }
+        ));
+        assert_eq!(e2.workers(), 2);
     }
 
     #[test]

@@ -66,6 +66,21 @@ pub enum Scheduler {
         /// the meaning of `0`).
         workers: usize,
     },
+    /// Streaming, lookahead-limited submission: tasks are handed to the
+    /// worker pool the moment they are submitted and the submitting thread
+    /// blocks once `lookahead` tasks are in flight, so peak task
+    /// storage is `O(lookahead)` instead of `O(total tasks)` — the mode for
+    /// paper-scale graphs whose materialized form would not fit in memory.
+    /// Results are bitwise identical to the materialized schedulers for
+    /// every worker count and window size.
+    Streaming {
+        /// Worker threads, resolved by [`tile_la::dag::effective_workers`].
+        workers: usize,
+        /// Maximum number of in-flight tasks; `0` requests the default
+        /// window of `4 × workers` (see
+        /// [`task_runtime::effective_lookahead`]).
+        lookahead: usize,
+    },
 }
 
 impl Default for Scheduler {

@@ -22,8 +22,8 @@ use crate::pmvn::{combine_panel_results, PanelState};
 use crate::{MvnConfig, MvnResult, Scheduler};
 use qmc::{make_point_set, PointSet};
 use task_runtime::{
-    run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry, TaskGraph, TaskSpec,
-    TileStore,
+    effective_lookahead, run_taskgraph, AccessMode, DataHandle, HandleRegistry, TaskGraph,
+    TaskSink, TaskSpec, TileStore, WorkerPool,
 };
 use tile_la::dag::{
     attach_tiles, detach_tiles, effective_workers, submit_factor_tasks, FactorStatus,
@@ -138,11 +138,12 @@ impl StoredFactor<'_> {
     }
 }
 
-/// Submit the PMVN panel-sweep tasks into `graph`, with read dependencies on
-/// the factor tiles each step consumes. Returns the per-panel result handles.
+/// Submit the PMVN panel-sweep tasks into any [`TaskSink`] (a materialized
+/// graph or a lookahead-limited stream), with read dependencies on the factor
+/// tiles each step consumes.
 #[allow(clippy::too_many_arguments)]
-fn submit_sweep_tasks<'a>(
-    graph: &mut TaskGraph<'a>,
+fn submit_sweep_tasks<'a, S: TaskSink<'a> + ?Sized>(
+    graph: &mut S,
     factor: &'a StoredFactor<'a>,
     panel_store: &'a TileStore<PanelState>,
     panel_handles: &[DataHandle],
@@ -157,7 +158,7 @@ fn submit_sweep_tasks<'a>(
     for (p, &panel_h) in panel_handles.iter().enumerate() {
         // Panel initialization: limits replication + sample generation. No
         // factor dependency, so it runs while the factorization starts.
-        graph.submit(
+        graph.submit_task(
             TaskSpec::new("panel_init")
                 .access(panel_h, AccessMode::Write)
                 .cost(cfg.panel_width as f64),
@@ -176,7 +177,7 @@ fn submit_sweep_tasks<'a>(
             for j in r..nt {
                 spec = spec.access(factor.tile_handle(j, r), AccessMode::Read);
             }
-            graph.submit(
+            graph.submit_task(
                 spec,
                 Some(Box::new(move || {
                     if status.is_failed() {
@@ -200,9 +201,11 @@ fn submit_sweep_tasks<'a>(
 /// bitwise identical to the staged factor-then-sweep result.
 #[derive(Debug, Clone, Copy)]
 pub struct MvnPlanner {
-    /// The MVN estimator configuration (`scheduler` selects the worker count;
-    /// `Scheduler::ForkJoin` is treated as `Dag { workers: 0 }` here, since
-    /// the fused pipeline is inherently DAG-scheduled).
+    /// The MVN estimator configuration. `scheduler` selects the worker count
+    /// and the submission mode: [`Scheduler::Streaming`] streams the fused
+    /// task set through a bounded lookahead window instead of materializing
+    /// it, and [`Scheduler::ForkJoin`] is treated as `Dag { workers: 0 }`,
+    /// since the fused pipeline is inherently DAG-scheduled.
     pub cfg: MvnConfig,
 }
 
@@ -214,8 +217,25 @@ impl MvnPlanner {
 
     fn workers(&self) -> usize {
         match self.cfg.scheduler {
-            Scheduler::Dag { workers } => effective_workers(workers),
+            Scheduler::Dag { workers } | Scheduler::Streaming { workers, .. } => {
+                effective_workers(workers)
+            }
             Scheduler::ForkJoin => effective_workers(0),
+        }
+    }
+
+    /// The execution strategy selected by the planner's scheduler. Streaming
+    /// needs a pool to stream to; the caller provides the slot so the
+    /// throwaway pool outlives the returned strategy.
+    fn exec<'p>(&self, pool_slot: &'p mut Option<WorkerPool>) -> FusedExec<'p> {
+        match self.cfg.scheduler {
+            Scheduler::Streaming { lookahead, .. } => FusedExec::Stream {
+                pool: pool_slot.insert(WorkerPool::new(self.workers())),
+                lookahead,
+            },
+            _ => FusedExec::OneShot {
+                workers: self.workers(),
+            },
         }
     }
 
@@ -227,7 +247,8 @@ impl MvnPlanner {
         a: &[f64],
         b: &[f64],
     ) -> Result<MvnResult, CholeskyError> {
-        run_dense_fused_with(sigma, a, b, &self.cfg, |g| run_taskgraph(g, self.workers()))
+        let mut pool = None;
+        run_dense_fused_with(sigma, a, b, &self.cfg, self.exec(&mut pool))
     }
 
     /// Factor `sigma` in place and estimate `Φₙ(a, b; 0, Σ)` in one fused
@@ -238,23 +259,74 @@ impl MvnPlanner {
         a: &[f64],
         b: &[f64],
     ) -> Result<MvnResult, TlrCholeskyError> {
-        run_tlr_fused_with(sigma, a, b, &self.cfg, |g| run_taskgraph(g, self.workers()))
+        let mut pool = None;
+        run_tlr_fused_with(sigma, a, b, &self.cfg, self.exec(&mut pool))
     }
 }
 
-/// Build and execute the fused dense factor + sweep graph with `run` (a
-/// one-shot executor or an engine-owned pool). Shared body of
-/// [`MvnPlanner::run_dense`] and `MvnEngine::factor_prob_dense`.
-pub(crate) fn run_dense_fused_with<R>(
+/// How the fused factor + sweep task set executes: materialized into one
+/// [`TaskGraph`] and run on a throwaway or session pool, or **streamed**
+/// through a bounded lookahead window (`0` = default window, see
+/// [`effective_lookahead`]) so peak task storage is `O(lookahead)` and
+/// execution overlaps submission. All three produce bitwise-identical
+/// estimates and factors.
+pub(crate) enum FusedExec<'p> {
+    /// Materialize the graph, run it via [`run_taskgraph`].
+    OneShot { workers: usize },
+    /// Materialize the graph, run it on a caller-owned pool.
+    Pool(&'p WorkerPool),
+    /// Stream submission through a lookahead window on a caller-owned pool.
+    Stream {
+        pool: &'p WorkerPool,
+        lookahead: usize,
+    },
+}
+
+/// Identity funnel pinning a submission closure to *one* sink lifetime.
+/// Without it, annotating the closure parameter as `&mut dyn TaskSink<'_>`
+/// makes the closure higher-ranked over the sink's task lifetime, and the
+/// borrows of the local tile stores can no longer satisfy it.
+fn sink_closure<'a, F: FnOnce(&mut dyn TaskSink<'a>)>(f: F) -> F {
+    f
+}
+
+impl FusedExec<'_> {
+    /// Drive one submission routine through the strategy: materialize a
+    /// [`TaskGraph`] and run it, or stream the submissions through the
+    /// lookahead window. Taking the routine once (as a `dyn`-sink closure)
+    /// is what guarantees the streamed and materialized task sequences are
+    /// the same sequence.
+    fn execute<'a>(self, submit_all: impl FnOnce(&mut dyn TaskSink<'a>)) {
+        match self {
+            FusedExec::OneShot { workers } => {
+                let mut graph = TaskGraph::new();
+                submit_all(&mut graph);
+                run_taskgraph(&mut graph, workers);
+            }
+            FusedExec::Pool(pool) => {
+                let mut graph = TaskGraph::new();
+                submit_all(&mut graph);
+                pool.run(&mut graph);
+            }
+            FusedExec::Stream { pool, lookahead } => {
+                pool.stream(effective_lookahead(lookahead, pool.workers()), |s| {
+                    submit_all(s)
+                });
+            }
+        }
+    }
+}
+
+/// Build and execute the fused dense factor + sweep task set with the given
+/// execution strategy. Shared body of [`MvnPlanner::run_dense`] and
+/// `MvnEngine::factor_prob_dense`.
+pub(crate) fn run_dense_fused_with(
     sigma: &mut SymTileMatrix,
     a: &[f64],
     b: &[f64],
     cfg: &MvnConfig,
-    run: R,
-) -> Result<MvnResult, CholeskyError>
-where
-    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
-{
+    exec: FusedExec<'_>,
+) -> Result<MvnResult, CholeskyError> {
     let n = sigma.n();
     assert_eq!(a.len(), n, "lower limit length mismatch");
     assert_eq!(b.len(), n, "upper limit length mismatch");
@@ -283,20 +355,24 @@ where
         handles: &handles,
     };
     {
-        let mut graph = TaskGraph::new();
-        submit_factor_tasks(&mut graph, &store, &handles, layout, &status);
-        submit_sweep_tasks(
-            &mut graph,
-            &factor,
-            &panel_store,
-            &panel_handles,
-            &status,
-            a,
-            b,
-            points.as_ref(),
-            cfg,
-        );
-        run(&mut graph);
+        // One submission routine for every execution strategy (through the
+        // dyn sink), so the streamed and materialized task sequences cannot
+        // diverge.
+        let submit_all = sink_closure(|sink| {
+            submit_factor_tasks(sink, &store, &handles, layout, &status);
+            submit_sweep_tasks(
+                sink,
+                &factor,
+                &panel_store,
+                &panel_handles,
+                &status,
+                a,
+                b,
+                points.as_ref(),
+                cfg,
+            );
+        });
+        exec.execute(submit_all);
     }
     attach_tiles(sigma, &handles, &mut store);
     if let Some(p) = status.pivot() {
@@ -311,16 +387,13 @@ where
 
 /// TLR variant of [`run_dense_fused_with`]. Shared body of
 /// [`MvnPlanner::run_tlr`] and `MvnEngine::factor_prob_tlr`.
-pub(crate) fn run_tlr_fused_with<R>(
+pub(crate) fn run_tlr_fused_with(
     sigma: &mut TlrMatrix,
     a: &[f64],
     b: &[f64],
     cfg: &MvnConfig,
-    run: R,
-) -> Result<MvnResult, TlrCholeskyError>
-where
-    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
-{
+    exec: FusedExec<'_>,
+) -> Result<MvnResult, TlrCholeskyError> {
     let n = sigma.n();
     assert_eq!(a.len(), n, "lower limit length mismatch");
     assert_eq!(b.len(), n, "upper limit length mismatch");
@@ -352,29 +425,31 @@ where
         handles: &handles,
     };
     {
-        let mut graph = TaskGraph::new();
-        submit_tlr_factor_tasks(
-            &mut graph,
-            &diag_store,
-            &off_store,
-            &handles,
-            layout,
-            tol,
-            max_rank,
-            &status,
-        );
-        submit_sweep_tasks(
-            &mut graph,
-            &factor,
-            &panel_store,
-            &panel_handles,
-            &status,
-            a,
-            b,
-            points.as_ref(),
-            cfg,
-        );
-        run(&mut graph);
+        // Same single-submission-routine shape as the dense body above.
+        let submit_all = sink_closure(|sink| {
+            submit_tlr_factor_tasks(
+                sink,
+                &diag_store,
+                &off_store,
+                &handles,
+                layout,
+                tol,
+                max_rank,
+                &status,
+            );
+            submit_sweep_tasks(
+                sink,
+                &factor,
+                &panel_store,
+                &panel_handles,
+                &status,
+                a,
+                b,
+                points.as_ref(),
+                cfg,
+            );
+        });
+        exec.execute(submit_all);
     }
     attach_tlr_tiles(sigma, &handles, &mut diag_store, &mut off_store);
     if let Some(pivot) = status.pivot() {
@@ -487,6 +562,121 @@ mod tests {
             fused.prob,
             staged.prob
         );
+    }
+
+    #[test]
+    fn fused_streaming_matches_materialized_bitwise_across_workers_and_windows() {
+        // The tentpole acceptance criterion for the fused pipeline: streaming
+        // submission (factor + sweep through a bounded window) must leave the
+        // same probability and the same factor, to the bit, as the
+        // materialized scheduler, for every worker count and window size.
+        let n = 60;
+        let f = exp_cov(0.5);
+        let a = vec![-0.4; n];
+        let b = vec![0.9; n];
+        let base_cfg = MvnConfig {
+            sample_size: 2000,
+            seed: 17,
+            ..Default::default()
+        };
+        let mut sigma_ref = SymTileMatrix::from_fn(n, 16, f);
+        let reference = mvn_prob_dense_fused(
+            &mut sigma_ref,
+            &a,
+            &b,
+            &MvnConfig {
+                scheduler: Scheduler::Dag { workers: 2 },
+                ..base_cfg
+            },
+        )
+        .unwrap();
+        let ref_factor = sigma_ref.to_dense_lower();
+
+        for workers in [1usize, 2, 4] {
+            for lookahead in [1usize, 4, 0] {
+                let cfg = MvnConfig {
+                    scheduler: Scheduler::Streaming { workers, lookahead },
+                    ..base_cfg
+                };
+                let mut sigma = SymTileMatrix::from_fn(n, 16, f);
+                let got = mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).unwrap();
+                assert!(
+                    got.prob.to_bits() == reference.prob.to_bits(),
+                    "workers={workers} lookahead={lookahead}: {} vs {}",
+                    got.prob,
+                    reference.prob
+                );
+                assert!(got.std_error.to_bits() == reference.std_error.to_bits());
+                let lf = sigma.to_dense_lower();
+                for i in 0..n {
+                    for j in 0..n {
+                        assert!(
+                            lf.get(i, j).to_bits() == ref_factor.get(i, j).to_bits(),
+                            "workers={workers} lookahead={lookahead}: ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tlr_streaming_matches_materialized_bitwise() {
+        let n = 100;
+        let f = exp_cov(0.8);
+        let a = vec![-0.2; n];
+        let b = vec![f64::INFINITY; n];
+        let base_cfg = MvnConfig {
+            sample_size: 1500,
+            seed: 5,
+            ..Default::default()
+        };
+        let make = || TlrMatrix::from_fn(n, 25, CompressionTol::Absolute(1e-8), usize::MAX, f);
+        let mut sigma_ref = make();
+        let reference = mvn_prob_tlr_fused(
+            &mut sigma_ref,
+            &a,
+            &b,
+            &MvnConfig {
+                scheduler: Scheduler::Dag { workers: 2 },
+                ..base_cfg
+            },
+        )
+        .unwrap();
+        for workers in [1usize, 2, 4] {
+            for lookahead in [1usize, 6] {
+                let cfg = MvnConfig {
+                    scheduler: Scheduler::Streaming { workers, lookahead },
+                    ..base_cfg
+                };
+                let mut sigma = make();
+                let got = mvn_prob_tlr_fused(&mut sigma, &a, &b, &cfg).unwrap();
+                assert!(
+                    got.prob.to_bits() == reference.prob.to_bits(),
+                    "workers={workers} lookahead={lookahead}: {} vs {}",
+                    got.prob,
+                    reference.prob
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_streaming_rejects_indefinite_covariance() {
+        let n = 20;
+        let mut sigma = SymTileMatrix::from_fn(n, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        sigma.set(13, 13, -1.0);
+        let a = vec![-1.0; n];
+        let b = vec![1.0; n];
+        let cfg = MvnConfig {
+            scheduler: Scheduler::Streaming {
+                workers: 2,
+                lookahead: 4,
+            },
+            ..MvnConfig::with_samples(500)
+        };
+        let err = mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).unwrap_err();
+        assert_eq!(err, CholeskyError::NotPositiveDefinite(13));
     }
 
     #[test]

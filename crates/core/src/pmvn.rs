@@ -407,10 +407,12 @@ pub(crate) fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult
 /// Generic PMVN sweep over any [`CholeskyFactor`] storage.
 ///
 /// `cfg.scheduler` selects how the independent sample panels execute: as one
-/// rayon fork-join ([`Scheduler::ForkJoin`]) or as tasks on the
-/// `task-runtime` DAG executor ([`Scheduler::Dag`], the default). The
-/// estimate is bitwise identical across schedulers and worker counts; only
-/// the wall time differs. To also overlap the sweep with the factorization
+/// rayon fork-join ([`Scheduler::ForkJoin`]), as tasks on the `task-runtime`
+/// DAG executor ([`Scheduler::Dag`], the default), or streamed through a
+/// bounded lookahead window ([`Scheduler::Streaming`] — at most `lookahead`
+/// panel tasks materialized at once). The estimate is bitwise identical
+/// across schedulers, worker counts and window sizes; only the wall time and
+/// peak memory differ. To also overlap the sweep with the factorization
 /// producing `l`, use the fused pipeline in [`crate::pipeline`].
 ///
 /// *Prefer [`MvnEngine`] for repeated solves.* On the DAG scheduler this
@@ -453,7 +455,7 @@ pub fn mvn_prob_factored<F: CholeskyFactor>(
 
     match cfg.scheduler {
         Scheduler::ForkJoin => sweep_local(true),
-        Scheduler::Dag { workers } => {
+        Scheduler::Streaming { workers, .. } | Scheduler::Dag { workers } => {
             if effective_workers(workers) == 1 || n_panels <= 2 {
                 // The graph would execute inline anyway; sweep the panels
                 // sequentially without spawning a throwaway pool.

@@ -18,15 +18,39 @@ use tlr::{potrf_tlr, CompressionTol, TlrMatrix};
 pub use mvn_core::Factor as CorrelationFactor;
 
 /// Standard deviations (square roots of the diagonal) of a covariance matrix.
+///
+/// Zero diagonal entries are allowed: they mark *degenerate* locations
+/// (conditioned/observed sites of a kriging posterior, whose posterior
+/// variance is exactly zero). The factor builders below give such locations
+/// an independent unit row in the correlation matrix — a placeholder
+/// variable the MVN integrals neutralize with hard `±∞` limits (see
+/// `crd::prefix_problem`), so it never influences the probability. Negative
+/// diagonals panic.
 pub fn standard_deviations(cov: &DenseMatrix) -> Vec<f64> {
     assert_eq!(cov.nrows(), cov.ncols());
     (0..cov.nrows())
         .map(|i| {
             let v = cov.get(i, i);
-            assert!(v > 0.0, "covariance diagonal must be positive (index {i})");
+            assert!(
+                v >= 0.0,
+                "covariance diagonal must be non-negative (index {i})"
+            );
             v.sqrt()
         })
         .collect()
+}
+
+/// The standardized correlation entry for the factor builders: `Σᵢⱼ/(σᵢσⱼ)`
+/// with a tiny diagonal regularization, and an independent unit row for
+/// degenerate (`σ == 0`) locations so the matrix stays positive definite.
+fn correlation_entry(cov: &DenseMatrix, sd: &[f64], i: usize, j: usize) -> f64 {
+    if i == j {
+        1.0 + 1e-10
+    } else if sd[i] == 0.0 || sd[j] == 0.0 {
+        0.0
+    } else {
+        cov.get(i, j) / (sd[i] * sd[j])
+    }
 }
 
 /// Build the dense tiled Cholesky factor of the correlation matrix of `cov`,
@@ -34,9 +58,7 @@ pub fn standard_deviations(cov: &DenseMatrix) -> Vec<f64> {
 pub fn correlation_factor_dense(cov: &DenseMatrix, nb: usize) -> (CorrelationFactor, Vec<f64>) {
     let sd = standard_deviations(cov);
     let n = cov.nrows();
-    let mut corr = SymTileMatrix::from_fn(n, nb, |i, j| {
-        cov.get(i, j) / (sd[i] * sd[j]) + if i == j { 1e-10 } else { 0.0 }
-    });
+    let mut corr = SymTileMatrix::from_fn(n, nb, |i, j| correlation_entry(cov, &sd, i, j));
     potrf_tiled(&mut corr, 1).expect("correlation matrix must be positive definite");
     (CorrelationFactor::Dense(corr), sd)
 }
@@ -52,7 +74,7 @@ pub fn correlation_factor_tlr(
     let sd = standard_deviations(cov);
     let n = cov.nrows();
     let mut corr = TlrMatrix::from_fn(n, nb, tol, max_rank, |i, j| {
-        cov.get(i, j) / (sd[i] * sd[j]) + if i == j { 1e-10 } else { 0.0 }
+        correlation_entry(cov, &sd, i, j)
     });
     potrf_tlr(&mut corr, 1).expect("correlation matrix must be positive definite");
     (CorrelationFactor::Tlr(corr), sd)
@@ -127,9 +149,44 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn zero_variance_diagonal_panics() {
+    fn negative_variance_diagonal_panics() {
         let mut cov = cov_matrix();
-        cov.set(3, 3, 0.0);
+        cov.set(3, 3, -1.0);
         let _ = standard_deviations(&cov);
+    }
+
+    #[test]
+    fn zero_variance_sites_get_independent_unit_rows() {
+        // Degenerate (conditioned) sites must not break the factorization:
+        // they become independent unit placeholder variables, and the other
+        // correlations are untouched.
+        let mut cov = cov_matrix();
+        let n = cov.nrows();
+        for &d in &[3usize, 17] {
+            for j in 0..n {
+                cov.set(d, j, 0.0);
+                cov.set(j, d, 0.0);
+            }
+        }
+        let (factor, sd) = correlation_factor_dense(&cov, 16);
+        assert_eq!(sd[3], 0.0);
+        assert_eq!(sd[17], 0.0);
+        let CorrelationFactor::Dense(l) = &factor else {
+            panic!("expected dense factor")
+        };
+        let ld = l.to_dense_lower();
+        let rec = ld.matmul_nt(&ld);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j {
+                    1.0
+                } else if sd[i] == 0.0 || sd[j] == 0.0 {
+                    0.0
+                } else {
+                    cov.get(i, j) / (sd[i] * sd[j])
+                };
+                assert!((rec.get(i, j) - want).abs() < 1e-6, "({i},{j})");
+            }
+        }
     }
 }

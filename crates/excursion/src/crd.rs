@@ -36,10 +36,24 @@ pub struct CrdConfig {
     /// when building the confidence function (use `usize::MAX` or any value
     /// `≥ n` for the paper's full per-prefix sweep).
     pub levels: usize,
+    /// How many prefix integrals [`detect_confidence_regions`] submits to the
+    /// engine as one batched task graph. Each batch materializes
+    /// `prefix_batch` problems of `O(n)` limits at once, so this knob trades
+    /// peak memory (small batches) against per-graph submission overhead and
+    /// available parallelism (large batches). `0` solves *all* evaluated
+    /// prefixes as a single batch — `O(levels · n)` peak memory, quadratic
+    /// for the full per-prefix sweep. The probabilities are bitwise
+    /// independent of the batch size (tested).
+    ///
+    /// Default: 32.
+    pub prefix_batch: usize,
     /// Sampling configuration of the underlying MVN probability estimator
     /// (sample size/kind, panel width, seed). The worker pool comes from the
-    /// [`MvnEngine`] passed to the detection entry points, so the
-    /// `scheduler` field here is ignored.
+    /// [`MvnEngine`] passed to the detection entry points, so the worker
+    /// count in the `scheduler` field here is ignored; its *mode* still
+    /// applies (`Scheduler::Streaming` streams the panel sweeps through a
+    /// bounded lookahead window instead of materializing them, with bitwise
+    /// identical probabilities).
     pub mvn: MvnConfig,
 }
 
@@ -49,6 +63,7 @@ impl Default for CrdConfig {
             threshold: 0.0,
             alpha: 0.05,
             levels: 20,
+            prefix_batch: 32,
             mvn: MvnConfig::default(),
         }
     }
@@ -72,6 +87,15 @@ pub struct CrdResult {
 /// The integration box of a prefix: standardized threshold at prefix
 /// positions, `-inf` elsewhere; upper limits all `+inf` (Algorithm 1, lines
 /// 9, 12-13).
+///
+/// A degenerate in-prefix location (`sd == 0`, e.g. a conditioned site of a
+/// kriging posterior) contributes the hard limit of the standardization: its
+/// exceedance is deterministic, so the lower limit is `-inf` when
+/// `mean > threshold` (the event holds surely — factor 1) and `+inf`
+/// otherwise (the event is impossible — the whole prefix probability is 0).
+/// This matches [`marginal_exceedance`]'s deterministic convention; note the
+/// naive division `(threshold - mean)/sd` would produce `NaN` at the
+/// `mean == threshold` tie.
 fn prefix_problem(
     mean: &[f64],
     sd: &[f64],
@@ -82,7 +106,15 @@ fn prefix_problem(
     let n = mean.len();
     let mut a = vec![f64::NEG_INFINITY; n];
     for &c in &order[..prefix_len] {
-        a[c] = (threshold - mean[c]) / sd[c];
+        a[c] = if sd[c] == 0.0 {
+            if mean[c] > threshold {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (threshold - mean[c]) / sd[c]
+        };
     }
     Problem::new(a, vec![f64::INFINITY; n])
 }
@@ -147,10 +179,16 @@ pub fn detect_confidence_regions<F: CholeskyFactor>(
     // graph (its panel sweeps share the engine's pool), while peak memory
     // stays O(batch · n). Materializing all problems at once would be
     // O(levels · n) — quadratic for the full per-prefix sweep
-    // (`levels >= n`), i.e. tens of GB at paper-scale grids.
-    const PREFIX_BATCH: usize = 32;
+    // (`levels >= n`), i.e. tens of GB at paper-scale grids. The batch size
+    // is the caller's knob (`CrdConfig::prefix_batch`; `0` = one batch) and
+    // never changes the probabilities, bitwise.
+    let batch = if cfg.prefix_batch == 0 {
+        prefix_lens.len().max(1)
+    } else {
+        cfg.prefix_batch
+    };
     let mut prefix_probs: Vec<(usize, f64)> = Vec::with_capacity(prefix_lens.len());
-    for chunk in prefix_lens.chunks(PREFIX_BATCH) {
+    for chunk in prefix_lens.chunks(batch) {
         let problems: Vec<Problem> = chunk
             .iter()
             .map(|&len| prefix_problem(mean, sd, cfg.threshold, &order, len))
@@ -242,24 +280,41 @@ pub fn find_excursion_set<F: CholeskyFactor>(
         )
     };
 
-    // Empty prefix always qualifies (probability 1). If even the full set
-    // qualifies, return everything.
-    let p_full = joint(n);
+    // Empty prefix always qualifies (probability 1; `joint(0)` is 1 by
+    // definition). If even the full set qualifies, return everything. The
+    // full-set probability is clamped against the empty-prefix bracket
+    // (`≤ 1`) exactly like every bisection probe below.
+    let p_full = joint(n).min(1.0);
     if p_full >= target {
-        return (order.clone(), p_full.min(1.0));
+        return (order.clone(), p_full);
     }
-    // Invariant: joint(lo) >= target > joint(hi).
+    // Bisection invariant: joint(lo) ≥ target > joint(hi), with
+    // lo_prob/hi_prob the (monotone-consistent) probabilities of the
+    // bracket. Joint probabilities of nested prefixes are theoretically
+    // non-increasing in the prefix length, but the raw QMC estimates are
+    // not: estimator noise can return `joint(mid) > joint(lo)` for
+    // `mid > lo` (or below `joint(hi)`), and carrying such a value forward
+    // used to report a boundary probability inconsistent with the clamped
+    // confidence function of `detect_confidence_regions` on the same
+    // inputs. Clamping every probe into the running bracket
+    // `[hi_prob, lo_prob]` washes the noise out: the stored bracket stays a
+    // genuine non-increasing sequence, and the returned probability is the
+    // monotone-consistent estimate of the selected prefix (the minimum over
+    // the accepted probes). `min`/`max` rather than `f64::clamp` so a NaN
+    // probe cannot poison the bracket or panic.
     let mut lo = 0usize;
     let mut hi = n;
-    let mut lo_prob = 1.0;
+    let mut lo_prob = 1.0f64;
+    let mut hi_prob = p_full;
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        let p = joint(mid);
+        let p = joint(mid).min(lo_prob).max(hi_prob);
         if p >= target {
             lo = mid;
             lo_prob = p;
         } else {
             hi = mid;
+            hi_prob = p;
         }
     }
     let mut region: Vec<usize> = order[..lo].to_vec();
@@ -310,6 +365,7 @@ mod tests {
             alpha: 0.05,
             levels: n, // full sweep
             mvn: MvnConfig::with_samples(500),
+            ..Default::default()
         };
         let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         // Check the evaluated prefix probabilities against the product form.
@@ -328,6 +384,7 @@ mod tests {
             alpha: 0.05,
             levels: 15,
             mvn: MvnConfig::with_samples(1000),
+            ..Default::default()
         };
         let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         for w in r.order.windows(2) {
@@ -350,6 +407,7 @@ mod tests {
             alpha: 0.05,
             levels: 16,
             mvn: MvnConfig::with_samples(1500),
+            ..Default::default()
         };
         let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         let loose = excursion_set(&r, 0.5);
@@ -370,6 +428,7 @@ mod tests {
             alpha: 0.1,
             levels: n,
             mvn: MvnConfig::with_samples(500),
+            ..Default::default()
         };
         let r = detect_confidence_regions(&test_engine(), &factor, &mean, &sd, &cfg);
         let sweep_region = excursion_set(&r, cfg.alpha);
@@ -400,6 +459,228 @@ mod tests {
     }
 
     #[test]
+    fn bisection_reports_monotone_consistent_probability_under_noise() {
+        // Regression for the bisection bugfix. Raw QMC prefix probabilities
+        // are *not* monotone in the prefix length — estimator noise wobbles
+        // them — and the pre-fix bisection returned the raw estimate of the
+        // final accepted prefix even when an earlier (shorter!) accepted
+        // prefix had a lower estimate, i.e. a probability inconsistent with
+        // the clamped confidence function `detect_confidence_regions` builds
+        // from the same values. The fix clamps every probe into the running
+        // bracket, so the returned probability is the running minimum over
+        // the accepted probes.
+        //
+        // Noise-prone config: strongly equicorrelated field, tiny
+        // pseudo-random sample, and — crucially — marginal probabilities
+        // *increasing* with the location index, so the marginal ordering
+        // runs against the factor's row order. (When the orders coincide,
+        // each new prefix site is the last processed row and the
+        // common-point SOV estimates are pathwise monotone by construction;
+        // with the reversed ordering every extension perturbs all downstream
+        // per-sample factors, which is what makes raw estimates
+        // non-monotone in practice.)
+        let n = 24;
+        let cov = DenseMatrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.95 });
+        let (factor, sd) = correlation_factor_dense(&cov, 8);
+        let mean: Vec<f64> = (0..n).map(|i| 0.35 + 0.05 * i as f64).collect();
+        let threshold = 0.0;
+        let alpha = 0.32;
+        let target = 1.0 - alpha;
+        let engine = test_engine();
+        let order = crate::descending_order(&crate::marginal_exceedance(&mean, &sd, threshold));
+
+        // Search deterministically for a seed whose raw estimates make the
+        // bisection's accepted chain non-monotone; the search order is
+        // fixed, so the test is reproducible.
+        let mut found = None;
+        'seeds: for seed in 0..200u64 {
+            let mvn = MvnConfig {
+                sample_size: 32,
+                sample_kind: qmc::SampleKind::PseudoRandom,
+                seed,
+                ..Default::default()
+            };
+            let raw: Vec<f64> = (1..=n)
+                .map(|k| {
+                    prefix_joint_probability(
+                        &engine, &factor, &mean, &sd, threshold, &order, k, &mvn,
+                    )
+                })
+                .collect();
+            if raw[n - 1].min(1.0) >= target {
+                continue; // full set qualifies, no bisection
+            }
+            // Replay the bisection's probe sequence on the raw values (the
+            // bracket clamp never changes an accept/reject decision, only
+            // the reported probability, so this mirrors both the pre- and
+            // post-fix visit order).
+            let (mut lo, mut hi) = (0usize, n);
+            let mut accepted_min = 1.0f64;
+            let mut last_accepted = 1.0f64;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if raw[mid - 1] >= target {
+                    lo = mid;
+                    accepted_min = accepted_min.min(raw[mid - 1]);
+                    last_accepted = raw[mid - 1];
+                } else {
+                    hi = mid;
+                }
+            }
+            // The bug is observable only when the accepted chain itself is
+            // non-monotone: the final accepted raw value (what the pre-fix
+            // code returned) sits strictly above an earlier accepted one.
+            if lo > 0 && accepted_min < last_accepted {
+                found = Some((mvn, lo, accepted_min, last_accepted));
+                break 'seeds;
+            }
+        }
+        let (mvn, lo, accepted_min, last_accepted) =
+            found.expect("the noise-prone config must exhibit a non-monotone accepted chain");
+        assert!(accepted_min < last_accepted);
+
+        let cfg = CrdConfig {
+            threshold,
+            alpha,
+            levels: n,
+            mvn,
+            ..Default::default()
+        };
+        let (region, prob) = find_excursion_set(&engine, &factor, &mean, &sd, &cfg);
+        assert_eq!(region.len(), lo, "probe replay must match the bisection");
+        // Pre-fix this returned `last_accepted` (the raw final probe);
+        // post-fix it must be the monotone-consistent running minimum.
+        assert!(
+            prob.to_bits() == accepted_min.to_bits(),
+            "returned probability {prob} must be the bracket-clamped minimum \
+             {accepted_min}, not the raw final probe {last_accepted}"
+        );
+        assert!(prob >= target);
+    }
+
+    #[test]
+    fn bisection_agrees_with_full_sweep_across_thresholds_and_alphas() {
+        // `find_excursion_set` against the paper's full per-prefix sweep
+        // (`levels >= n`) + `excursion_set`, same seed, several thresholds
+        // and confidence levels: the prefix integrals are bitwise identical
+        // between the two paths (batched vs. individual solves), so with a
+        // well-resolved estimator both must select exactly the same region.
+        let (factor, sd, mean) = spatial_factor(7);
+        let engine = test_engine();
+        for &threshold in &[0.0, 0.4, 0.8] {
+            for &alpha in &[0.05, 0.1, 0.3] {
+                let cfg = CrdConfig {
+                    threshold,
+                    alpha,
+                    levels: usize::MAX, // full sweep
+                    mvn: MvnConfig::with_samples(2000),
+                    ..Default::default()
+                };
+                let r = detect_confidence_regions(&engine, &factor, &mean, &sd, &cfg);
+                let sweep_region = excursion_set(&r, alpha);
+                let (bisect_region, prob) = find_excursion_set(&engine, &factor, &mean, &sd, &cfg);
+                assert!(bisect_region.is_empty() || prob >= 1.0 - alpha);
+                assert_eq!(
+                    bisect_region, sweep_region,
+                    "threshold={threshold} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crd_handles_zero_variance_sites_end_to_end() {
+        // A kriging posterior has sd == 0 at conditioned sites; CRD must
+        // treat them deterministically instead of panicking (pre-fix:
+        // `marginal_exceedance` asserted s > 0 and `prefix_problem` divided
+        // by zero).
+        let locs = regular_grid(6, 6);
+        let k = CovarianceKernel::Exponential {
+            sigma2: 1.0,
+            range: 0.25,
+        };
+        let mut cov = k.dense_covariance(&locs, 1e-8);
+        let n = locs.len();
+        let mut mean: Vec<f64> = locs.iter().map(|l| 1.5 - 2.0 * (l.x + l.y) / 2.0).collect();
+        // Three observed sites: two surely above the threshold, one surely
+        // below (and one exactly at it — not an exceedance).
+        let (sure_hi, sure_lo, at_threshold) = (5usize, 20usize, 30usize);
+        for &d in &[sure_hi, sure_lo, at_threshold] {
+            for j in 0..n {
+                cov.set(d, j, 0.0);
+                cov.set(j, d, 0.0);
+            }
+        }
+        let threshold = 0.5;
+        mean[sure_hi] = 2.0;
+        mean[sure_lo] = -1.0;
+        mean[at_threshold] = threshold;
+        let (factor, sd) = correlation_factor_dense(&cov, 12);
+        assert_eq!(sd[sure_hi], 0.0);
+
+        let cfg = CrdConfig {
+            threshold,
+            alpha: 0.05,
+            levels: usize::MAX,
+            mvn: MvnConfig::with_samples(1000),
+            ..Default::default()
+        };
+        let engine = test_engine();
+        let r = detect_confidence_regions(&engine, &factor, &mean, &sd, &cfg);
+        assert_eq!(r.marginal[sure_hi], 1.0);
+        assert_eq!(r.marginal[sure_lo], 0.0);
+        assert_eq!(r.marginal[at_threshold], 0.0, "ties are not exceedances");
+        // The sure site sorts first and its prefix has probability exactly 1.
+        assert_eq!(r.order[0], sure_hi);
+        assert_eq!(r.prefix_probs[0].1, 1.0);
+        let region = excursion_set(&r, cfg.alpha);
+        assert!(region.contains(&sure_hi), "sure site belongs to the region");
+        assert!(!region.contains(&sure_lo));
+        assert!(!region.contains(&at_threshold));
+        // Bisection sees the same degenerate convention.
+        let (bregion, prob) = find_excursion_set(&engine, &factor, &mean, &sd, &cfg);
+        assert!(bregion.contains(&sure_hi));
+        assert!(!bregion.contains(&sure_lo));
+        assert!(prob >= 1.0 - cfg.alpha);
+        assert_eq!(bregion, region, "sweep and bisection agree end-to-end");
+    }
+
+    #[test]
+    fn prefix_batch_size_never_changes_the_probabilities_bitwise() {
+        // The batched sweep must be a pure memory/scheduling knob: any batch
+        // size (including 0 = "one batch" and sizes that split unevenly)
+        // yields bitwise-identical prefix probabilities and confidence
+        // values.
+        let (factor, sd, mean) = spatial_factor(6);
+        let engine = test_engine();
+        let mk = |prefix_batch: usize| CrdConfig {
+            threshold: 0.4,
+            alpha: 0.05,
+            levels: usize::MAX,
+            prefix_batch,
+            mvn: MvnConfig::with_samples(600),
+        };
+        let want = detect_confidence_regions(&engine, &factor, &mean, &sd, &mk(32));
+        for pb in [0usize, 1, 2, 5, 7, usize::MAX] {
+            let got = detect_confidence_regions(&engine, &factor, &mean, &sd, &mk(pb));
+            assert_eq!(got.prefix_probs.len(), want.prefix_probs.len());
+            for (g, w) in got.prefix_probs.iter().zip(&want.prefix_probs) {
+                assert_eq!(g.0, w.0);
+                assert!(
+                    g.1.to_bits() == w.1.to_bits(),
+                    "prefix_batch={pb} len={}: {} vs {}",
+                    g.0,
+                    g.1,
+                    w.1
+                );
+            }
+            for (g, w) in got.confidence.iter().zip(&want.confidence) {
+                assert!(g.to_bits() == w.to_bits(), "prefix_batch={pb}");
+            }
+        }
+    }
+
+    #[test]
     fn everything_qualifies_when_threshold_is_very_low() {
         let (factor, sd, mean) = spatial_factor(6);
         let cfg = CrdConfig {
@@ -407,6 +688,7 @@ mod tests {
             alpha: 0.05,
             levels: 8,
             mvn: MvnConfig::with_samples(500),
+            ..Default::default()
         };
         let (region, prob) = find_excursion_set(&test_engine(), &factor, &mean, &sd, &cfg);
         assert_eq!(region.len(), mean.len());
@@ -421,6 +703,7 @@ mod tests {
             alpha: 0.05,
             levels: 8,
             mvn: MvnConfig::with_samples(500),
+            ..Default::default()
         };
         let (region, _) = find_excursion_set(&test_engine(), &factor, &mean, &sd, &cfg);
         assert!(region.is_empty());

@@ -64,6 +64,7 @@ mod tests {
             alpha: 0.05,
             levels: 12,
             mvn: MvnConfig::with_samples(2000),
+            ..Default::default()
         };
         let engine = MvnEngine::builder().workers(2).build().unwrap();
         let result = detect_confidence_regions(&engine, &factor, &field.values, &sd, &cfg);

@@ -7,13 +7,30 @@ use mathx::norm_sf;
 ///
 /// `mean` is the (posterior) mean `µᵢ + Yᵢ` and `sd` the (posterior) standard
 /// deviation `√Σᵢᵢ` at every location.
+///
+/// **Degenerate locations** (`sd == 0`) are legitimate inputs — a kriging
+/// posterior has zero variance at every conditioned/observed site — and get
+/// the deterministic limit of the formula: the field equals its mean with
+/// certainty there, so the exceedance probability is `1` when
+/// `mean > threshold` and `0` otherwise (the `σ → 0⁺` limit of
+/// `1 − Φ((u−µ)/σ)`; exactly at `mean == threshold` the exceedance `X > u`
+/// is strict, so the probability is `0`). Negative standard deviations still
+/// panic.
 pub fn marginal_exceedance(mean: &[f64], sd: &[f64], threshold: f64) -> Vec<f64> {
     assert_eq!(mean.len(), sd.len(), "mean and sd must have equal length");
     mean.iter()
         .zip(sd)
         .map(|(&m, &s)| {
-            assert!(s > 0.0, "standard deviations must be positive");
-            norm_sf((threshold - m) / s)
+            assert!(s >= 0.0, "standard deviations must be non-negative");
+            if s == 0.0 {
+                if m > threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                norm_sf((threshold - m) / s)
+            }
         })
         .collect()
 }
@@ -86,5 +103,18 @@ mod tests {
     #[should_panic]
     fn negative_sd_panics() {
         marginal_exceedance(&[0.0], &[-1.0], 0.0);
+    }
+
+    #[test]
+    fn degenerate_locations_get_the_deterministic_limit() {
+        // Regression: sd == 0 used to panic, but it is the normal state of
+        // conditioned sites in a kriging posterior. The probability is the
+        // deterministic limit: 1 above the threshold, 0 at or below it
+        // (exceedance is strict).
+        let p = marginal_exceedance(&[2.0, -2.0, 1.0, 1.0], &[0.0, 0.0, 0.0, 0.5], 1.0);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 0.0, "mean == threshold is not an exceedance");
+        assert!((p[3] - 0.5).abs() < 1e-12, "non-degenerate sites unchanged");
     }
 }

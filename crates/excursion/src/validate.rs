@@ -205,6 +205,7 @@ mod tests {
             alpha: 0.1,
             levels: 10,
             mvn: MvnConfig::with_samples(4000),
+            ..Default::default()
         };
         let engine = test_engine();
         let (region, prob) = find_excursion_set(&engine, &factor, &mean, &sd, &cfg);

@@ -11,35 +11,47 @@ use std::collections::HashMap;
 /// so no `'static` bound is needed.
 pub type TaskClosure<'a> = Box<dyn FnOnce() + Send + 'a>;
 
-/// A task DAG built by submitting tasks in program order.
+/// Anything tasks can be submitted to in program order under the
+/// sequential-task-flow contract: a materialized [`TaskGraph`] (every task
+/// stored, executed later) or a
+/// [`StreamSubmitter`](crate::StreamSubmitter) (tasks handed to the worker
+/// pool immediately, bounded lookahead window).
 ///
-/// The lifetime parameter is the lifetime of the data borrowed by the task
-/// closures; graphs without closures (pure dependency structure, as used by
-/// the `distsim` crate) can use `TaskGraph<'static>`.
-#[derive(Default)]
-pub struct TaskGraph<'a> {
-    specs: Vec<TaskSpec>,
-    closures: Vec<Option<TaskClosure<'a>>>,
-    /// `deps[i]` = indices of tasks that must complete before task `i`.
-    deps: Vec<Vec<usize>>,
-    /// `dependents[i]` = tasks waiting on task `i`.
-    dependents: Vec<Vec<usize>>,
+/// Task producers — the tiled/TLR Cholesky submission loops, the PMVN sweep —
+/// are written against this trait, so the same submission code drives both
+/// execution modes; the dependency semantics (and the resulting data, bitwise)
+/// are identical.
+pub trait TaskSink<'a> {
+    /// Submit a task with its declared accesses and optional closure;
+    /// dependencies on earlier submissions are inferred from the access
+    /// declarations. Returns the submission index.
+    fn submit_task(&mut self, spec: TaskSpec, closure: Option<TaskClosure<'a>>) -> usize;
+}
+
+impl<'a> TaskSink<'a> for TaskGraph<'a> {
+    fn submit_task(&mut self, spec: TaskSpec, closure: Option<TaskClosure<'a>>) -> usize {
+        self.submit(spec, closure)
+    }
+}
+
+/// The sequential-task-flow hazard state — last writer and readers since the
+/// last write, per handle — shared by the materialized [`TaskGraph`] and the
+/// streaming [`StreamSubmitter`](crate::StreamSubmitter), so the two
+/// submission modes cannot drift apart in their dependency semantics (the
+/// bitwise streaming-vs-materialized identity rests on them inferring the
+/// same edges).
+#[derive(Debug, Default)]
+pub(crate) struct HazardTracker {
     last_writer: HashMap<DataHandle, usize>,
     readers_since_write: HashMap<DataHandle, Vec<usize>>,
 }
 
-impl<'a> TaskGraph<'a> {
-    /// An empty graph.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Submit a task; its dependencies on previously submitted tasks are
-    /// inferred from the declared data accesses. Returns the task index.
-    pub fn submit(&mut self, spec: TaskSpec, closure: Option<TaskClosure<'a>>) -> usize {
-        let id = self.specs.len();
+impl HazardTracker {
+    /// The dependencies a task with `spec`'s accesses acquires on earlier
+    /// submissions: read-after-write, write-after-write and write-after-read
+    /// edges, sorted and deduplicated.
+    pub(crate) fn dependencies(&self, spec: &TaskSpec) -> Vec<usize> {
         let mut deps: Vec<usize> = Vec::new();
-
         for (handle, mode) in &spec.accesses {
             if mode.reads() {
                 // Read-after-write.
@@ -60,20 +72,67 @@ impl<'a> TaskGraph<'a> {
         }
         deps.sort_unstable();
         deps.dedup();
-        deps.retain(|&d| d != id);
+        deps
+    }
 
-        // Update the bookkeeping after computing dependencies.
+    /// Record the accesses of the just-submitted task `id`. `retain_reader`
+    /// filters a handle's reader list before `id` is appended: the
+    /// materialized graph keeps every reader (`|_| true`), while the
+    /// streaming submitter drops already-retired readers here — a
+    /// write-after-read edge to a retired task is trivially satisfied — so
+    /// its per-handle metadata stays bounded by the lookahead window instead
+    /// of growing with the total read count.
+    pub(crate) fn record(
+        &mut self,
+        spec: &TaskSpec,
+        id: usize,
+        mut retain_reader: impl FnMut(usize) -> bool,
+    ) {
         for (handle, mode) in &spec.accesses {
             if mode.writes() {
                 self.last_writer.insert(*handle, id);
-                self.readers_since_write.insert(*handle, Vec::new());
+                self.readers_since_write.remove(handle);
             } else if mode.reads() {
-                self.readers_since_write
-                    .entry(*handle)
-                    .or_default()
-                    .push(id);
+                let readers = self.readers_since_write.entry(*handle).or_default();
+                readers.retain(|&d| retain_reader(d));
+                readers.push(id);
             }
         }
+    }
+}
+
+/// A task DAG built by submitting tasks in program order.
+///
+/// The lifetime parameter is the lifetime of the data borrowed by the task
+/// closures; graphs without closures (pure dependency structure, as used by
+/// the `distsim` crate) can use `TaskGraph<'static>`.
+#[derive(Default)]
+pub struct TaskGraph<'a> {
+    specs: Vec<TaskSpec>,
+    closures: Vec<Option<TaskClosure<'a>>>,
+    /// `deps[i]` = indices of tasks that must complete before task `i`.
+    deps: Vec<Vec<usize>>,
+    /// `dependents[i]` = tasks waiting on task `i`.
+    dependents: Vec<Vec<usize>>,
+    hazards: HazardTracker,
+}
+
+impl<'a> TaskGraph<'a> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit a task; its dependencies on previously submitted tasks are
+    /// inferred from the declared data accesses. Returns the task index.
+    pub fn submit(&mut self, spec: TaskSpec, closure: Option<TaskClosure<'a>>) -> usize {
+        let id = self.specs.len();
+        let mut deps = self.hazards.dependencies(&spec);
+        deps.retain(|&d| d != id);
+
+        // Update the bookkeeping after computing dependencies; a materialized
+        // graph keeps every reader (all tasks exist until execution).
+        self.hazards.record(&spec, id, |_| true);
 
         for &d in &deps {
             self.dependents[d].push(id);

@@ -16,6 +16,12 @@
 //!   it borrows a throwaway pool per call — it runs the DAG-scheduled tiled
 //!   Cholesky in `tile-la`/`tlr` and the fused factor+sweep PMVN pipeline in
 //!   `mvn-core` when no session pool is held,
+//! * the [`stream`] module provides [`StreamSubmitter`]
+//!   ([`WorkerPool::stream`]), the *streaming* submission mode: tasks start
+//!   executing the moment they are submitted and the submitter blocks once
+//!   `lookahead` tasks are in flight, so peak task storage is
+//!   `O(lookahead)` instead of `O(total tasks)` — producers written against
+//!   the [`TaskSink`] trait drive either mode with bitwise-identical results,
 //! * the [`store`] module provides [`TileStore`], the typed payload storage
 //!   task closures borrow tiles from according to their declared accesses,
 //! * the [`graph`] alone — task names, access lists and abstract costs — is
@@ -27,13 +33,15 @@ pub mod graph;
 pub mod handle;
 pub mod pool;
 pub mod store;
+pub mod stream;
 pub mod task;
 
 pub use executor::{execute_graph, run_taskgraph, ExecutionTrace, TaskRecord};
-pub use graph::TaskGraph;
+pub use graph::{TaskGraph, TaskSink};
 pub use handle::{DataHandle, HandleRegistry};
 pub use pool::{PoolStats, WorkerPool};
 pub use store::{TileRef, TileRefMut, TileStore};
+pub use stream::{effective_lookahead, StreamStats, StreamSubmitter};
 pub use task::{AccessMode, TaskSpec};
 
 #[cfg(test)]

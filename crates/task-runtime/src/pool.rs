@@ -23,6 +23,7 @@
 
 use crate::executor::{run_inline, ExecutionTrace, TaskRecord};
 use crate::graph::{TaskClosure, TaskGraph};
+use crate::stream::{StreamJob, StreamStats, StreamSubmitter};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -220,12 +221,19 @@ struct Shared {
     work_cv: Condvar,
 }
 
+/// What the pool's workers are currently serving: a materialized graph
+/// execution or a streaming submission session.
+enum PoolJob {
+    Graph(Arc<Job>),
+    Stream(Arc<StreamJob>),
+}
+
 struct PoolState {
     /// Monotonic submission counter; workers pick up a job only when the
     /// epoch advances past the last one they served, so a drained job is
     /// never re-entered while the submitter is still collecting its results.
     epoch: u64,
-    job: Option<Arc<Job>>,
+    job: Option<PoolJob>,
     shutdown: bool,
 }
 
@@ -237,8 +245,14 @@ pub struct PoolStats {
     pub workers: usize,
     /// Task graphs executed so far (including inlined ones).
     pub graphs_run: u64,
-    /// Tasks executed so far.
+    /// Tasks executed so far (materialized and streamed).
     pub tasks_run: u64,
+    /// Streaming sessions drained so far (see [`WorkerPool::stream`]).
+    pub streams_run: u64,
+    /// Maximum in-flight task count observed across all streaming sessions —
+    /// bounded by the largest lookahead window any session used (the
+    /// `O(lookahead)` peak-task-storage guarantee, asserted by tests).
+    pub stream_peak_tasks: usize,
 }
 
 /// A persistent pool of worker threads executing [`TaskGraph`]s.
@@ -257,8 +271,18 @@ pub struct WorkerPool {
     threads: Vec<JoinHandle<()>>,
     /// Serializes `run` calls: the pool executes one job at a time.
     submit_lock: Mutex<()>,
+    /// The thread currently inside a [`stream`](WorkerPool::stream)
+    /// submission closure (holding `submit_lock`), if any. Unlike `run` —
+    /// whose graph is fully built before the lock is taken — the stream
+    /// closure runs user code *while* the lock is held, so a nested pool
+    /// entry from that thread would self-deadlock on the non-reentrant
+    /// mutex; `run` and `stream` check this field and execute nested work
+    /// inline instead, exactly like re-entrant submission from a worker.
+    stream_submitter: Mutex<Option<std::thread::ThreadId>>,
     graphs_run: AtomicU64,
     tasks_run: AtomicU64,
+    streams_run: AtomicU64,
+    stream_peak_tasks: AtomicUsize,
 }
 
 impl WorkerPool {
@@ -288,9 +312,21 @@ impl WorkerPool {
             shared,
             threads,
             submit_lock: Mutex::new(()),
+            stream_submitter: Mutex::new(None),
             graphs_run: AtomicU64::new(0),
             tasks_run: AtomicU64::new(0),
+            streams_run: AtomicU64::new(0),
+            stream_peak_tasks: AtomicUsize::new(0),
         }
+    }
+
+    /// `true` when `thread` cannot take the submission lock without
+    /// deadlocking: it is one of this pool's own workers, or it is the
+    /// thread currently inside a `stream` submission closure (which holds
+    /// the lock). Nested work from such threads executes inline.
+    fn must_run_inline(&self, thread: std::thread::ThreadId) -> bool {
+        self.threads.iter().any(|t| t.thread().id() == thread)
+            || *self.stream_submitter.lock().unwrap() == Some(thread)
     }
 
     fn worker_main(shared: Arc<Shared>, worker_id: usize) {
@@ -303,15 +339,25 @@ impl WorkerPool {
                         return;
                     }
                     if st.epoch > seen_epoch {
-                        if let Some(job) = st.job.as_ref() {
-                            seen_epoch = st.epoch;
-                            break Arc::clone(job);
+                        match st.job.as_ref() {
+                            Some(PoolJob::Graph(job)) => {
+                                seen_epoch = st.epoch;
+                                break PoolJob::Graph(Arc::clone(job));
+                            }
+                            Some(PoolJob::Stream(job)) => {
+                                seen_epoch = st.epoch;
+                                break PoolJob::Stream(Arc::clone(job));
+                            }
+                            None => {}
                         }
                     }
                     st = shared.work_cv.wait(st).unwrap();
                 }
             };
-            job.worker_loop(worker_id);
+            match job {
+                PoolJob::Graph(job) => job.worker_loop(worker_id),
+                PoolJob::Stream(job) => job.worker_loop(),
+            }
         }
     }
 
@@ -329,6 +375,8 @@ impl WorkerPool {
             workers: self.workers(),
             graphs_run: self.graphs_run.load(Ordering::Relaxed),
             tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            streams_run: self.streams_run.load(Ordering::Relaxed),
+            stream_peak_tasks: self.stream_peak_tasks.load(Ordering::Relaxed),
         }
     }
 
@@ -359,13 +407,14 @@ impl WorkerPool {
         // A task closure cannot submit to the pool that is executing it: the
         // outer `run` holds the submission lock and waits for this closure
         // to finish, so a nested dispatch could never be served (deadlock).
-        // Nested submission is still legitimate — e.g. a pooled optimizer
-        // objective whose helper routes through the same engine pool — so
-        // instead of failing, execute the nested graph inline on this worker
-        // (submission order is a valid topological order, and the outer
-        // graph's dependency accounting is untouched).
-        let me = std::thread::current().id();
-        if self.threads.iter().any(|t| t.thread().id() == me) {
+        // The same holds for the thread inside a `stream` submission closure
+        // (which holds the submission lock itself). Nested submission is
+        // still legitimate — e.g. a pooled optimizer objective whose helper
+        // routes through the same engine pool — so instead of failing,
+        // execute the nested graph inline on the current thread (submission
+        // order is a valid topological order, and the outer job's dependency
+        // accounting is untouched).
+        if self.must_run_inline(std::thread::current().id()) {
             return run_inline(graph);
         }
 
@@ -379,7 +428,7 @@ impl WorkerPool {
             {
                 let mut st = self.shared.state.lock().unwrap();
                 st.epoch += 1;
-                st.job = Some(Arc::clone(&job));
+                st.job = Some(PoolJob::Graph(Arc::clone(&job)));
                 self.shared.work_cv.notify_all();
             }
             job.wait_done();
@@ -393,6 +442,133 @@ impl WorkerPool {
             resume_unwind(payload);
         }
         trace
+    }
+
+    /// Run one *streaming* submission session on the pool: `f` receives a
+    /// [`StreamSubmitter`] and submits tasks in program order; each task is
+    /// handed to the workers the moment it is submitted, and the submitting
+    /// thread blocks while `lookahead` tasks are in flight — peak
+    /// residency never exceeds the window
+    /// (resolved by [`effective_lookahead`](crate::effective_lookahead) at
+    /// the call sites that expose a `0 = default` knob; here the window is
+    /// used as passed, floored at one).
+    ///
+    /// Dependency inference, determinism and panic semantics are identical to
+    /// [`run`](WorkerPool::run) on a materialized graph of the same
+    /// submission sequence: the data left behind is bitwise identical for
+    /// any worker count and any window, a task panic drains the session and
+    /// re-raises here, and a panic in `f` itself drains the already-submitted
+    /// tasks before resuming. What changes is storage and overlap — peak
+    /// resident task state is `O(lookahead)` instead of `O(total tasks)`,
+    /// and execution overlaps submission (see the
+    /// [`stream`](crate::stream) module docs).
+    ///
+    /// Task closures may borrow anything that outlives this call (the `'env`
+    /// scope), exactly like `std::thread::scope`: `stream` does not return
+    /// until every submitted closure has been consumed. On a single-worker
+    /// pool — or when called from inside one of this pool's own task
+    /// closures — the session runs inline on the submitting thread, each
+    /// task executing at its submission point.
+    ///
+    /// Returns `f`'s result together with the session's [`StreamStats`].
+    pub fn stream<'env, R>(
+        &self,
+        lookahead: usize,
+        f: impl FnOnce(&mut StreamSubmitter<'_, 'env>) -> R,
+    ) -> (R, StreamStats) {
+        let lookahead = lookahead.max(1);
+        let me = std::thread::current().id();
+        if self.threads.is_empty() || self.must_run_inline(me) {
+            // Single-worker pool, or re-entrant submission from a pool
+            // worker or from inside another `stream` closure on this pool
+            // (either way the submission slot is held by the outer job):
+            // run the whole session inline, like `run` does.
+            let mut s = StreamSubmitter::inline(lookahead);
+            let out = catch_unwind(AssertUnwindSafe(|| f(&mut s)));
+            let (stats, panic) = s.finish();
+            self.record_stream(&stats);
+            match out {
+                Ok(r) => {
+                    if let Some(payload) = panic {
+                        resume_unwind(payload);
+                    }
+                    (r, stats)
+                }
+                Err(payload) => resume_unwind(payload),
+            }
+        } else {
+            let (out, stats, panic) = {
+                let _submission = self.submit_lock.lock().unwrap();
+                // Published while the submission closure runs under the
+                // lock, so nested pool entry from this thread is routed
+                // inline (see `must_run_inline`) instead of deadlocking.
+                *self.stream_submitter.lock().unwrap() = Some(me);
+                let job = Arc::new(StreamJob::new(lookahead));
+                {
+                    let mut st = self.shared.state.lock().unwrap();
+                    st.epoch += 1;
+                    st.job = Some(PoolJob::Stream(Arc::clone(&job)));
+                    self.shared.work_cv.notify_all();
+                }
+                let mut s = StreamSubmitter::pooled(&job);
+                // Drain before inspecting the outcome: even if `f` panicked,
+                // already-submitted closures (and the borrows they captured)
+                // must be consumed before this frame unwinds.
+                let out = catch_unwind(AssertUnwindSafe(|| f(&mut s)));
+                let (stats, panic) = s.finish();
+                *self.stream_submitter.lock().unwrap() = None;
+                self.shared.state.lock().unwrap().job = None;
+                (out, stats, panic)
+            };
+            self.record_stream(&stats);
+            match out {
+                Ok(r) => {
+                    if let Some(payload) = panic {
+                        resume_unwind(payload);
+                    }
+                    (r, stats)
+                }
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+    }
+
+    fn record_stream(&self, stats: &StreamStats) {
+        if stats.tasks == 0 {
+            return;
+        }
+        self.streams_run.fetch_add(1, Ordering::Relaxed);
+        self.tasks_run.fetch_add(stats.tasks, Ordering::Relaxed);
+        self.stream_peak_tasks
+            .fetch_max(stats.peak_in_flight, Ordering::Relaxed);
+    }
+
+    /// Streaming counterpart of [`run_map`](WorkerPool::run_map): the same
+    /// independent write-task per item, submitted through a `lookahead`
+    /// window instead of one materialized graph — so at most `lookahead` task
+    /// closures exist at any instant while early items are already being
+    /// evaluated. Results are position-stable and bitwise identical to
+    /// `run_map` for any worker count and window. Returns the per-item
+    /// results and the session's [`StreamStats`].
+    pub fn stream_map<T, R, C, F>(
+        &self,
+        name: &str,
+        items: &[T],
+        cost: C,
+        f: F,
+        lookahead: usize,
+    ) -> (Vec<R>, StreamStats)
+    where
+        T: Sync,
+        R: Send + Sync,
+        C: Fn(usize, &T) -> f64,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let (handles, results) = map_slots(name, items.len());
+        let ((), stats) = self.stream(lookahead, |s| {
+            submit_map_tasks(s, name, items, &handles, &results, &cost, &f)
+        });
+        (collect_map_results(&handles, results), stats)
     }
 
     /// Evaluate `f` over `items` as one task graph of independent write-tasks
@@ -413,40 +589,72 @@ impl WorkerPool {
         C: Fn(usize, &T) -> f64,
         F: Fn(usize, &T) -> R + Sync,
     {
-        use crate::handle::HandleRegistry;
-        use crate::store::TileStore;
-        use crate::task::{AccessMode, TaskSpec};
-
-        let mut registry = HandleRegistry::new();
-        let mut results: TileStore<Option<R>> = TileStore::new();
-        let handles: Vec<_> = (0..items.len())
-            .map(|i| {
-                let h = registry.register(format!("{name}{i}"));
-                results.insert(h, None);
-                h
-            })
-            .collect();
+        let (handles, results) = map_slots(name, items.len());
         {
             let mut graph = TaskGraph::new();
-            let results_ref = &results;
-            let f_ref = &f;
-            for (i, (item, &h)) in items.iter().zip(&handles).enumerate() {
-                graph.submit(
-                    TaskSpec::new(name)
-                        .access(h, AccessMode::Write)
-                        .cost(cost(i, item)),
-                    Some(Box::new(move || {
-                        *results_ref.write(h) = Some(f_ref(i, item));
-                    })),
-                );
-            }
+            submit_map_tasks(&mut graph, name, items, &handles, &results, &cost, &f);
             self.run(&mut graph);
         }
-        handles
-            .iter()
-            .map(|&h| results.take(h).expect("every map task writes its slot"))
-            .collect()
+        collect_map_results(&handles, results)
     }
+}
+
+/// One result slot per item for the `*_map` helpers: a freshly registered
+/// handle and an empty `Option<R>` slot each.
+fn map_slots<R>(name: &str, len: usize) -> (Vec<crate::DataHandle>, crate::TileStore<Option<R>>) {
+    let mut registry = crate::HandleRegistry::new();
+    let mut results = crate::TileStore::new();
+    let handles = (0..len)
+        .map(|i| {
+            let h = registry.register(format!("{name}{i}"));
+            results.insert(h, None);
+            h
+        })
+        .collect();
+    (handles, results)
+}
+
+/// The shared submission loop of [`WorkerPool::run_map`] and
+/// [`WorkerPool::stream_map`]: one independent write-task per item, each
+/// owning its result slot — written once against [`TaskSink`] so the two
+/// modes cannot drift apart.
+fn submit_map_tasks<'a, S, T, R, C, F>(
+    sink: &mut S,
+    name: &str,
+    items: &'a [T],
+    handles: &[crate::DataHandle],
+    results: &'a crate::TileStore<Option<R>>,
+    cost: &C,
+    f: &'a F,
+) where
+    S: crate::TaskSink<'a> + ?Sized,
+    T: Sync,
+    R: Send + Sync,
+    C: Fn(usize, &T) -> f64,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use crate::task::{AccessMode, TaskSpec};
+    for (i, (item, &h)) in items.iter().zip(handles).enumerate() {
+        sink.submit_task(
+            TaskSpec::new(name)
+                .access(h, AccessMode::Write)
+                .cost(cost(i, item)),
+            Some(Box::new(move || {
+                *results.write(h) = Some(f(i, item));
+            })),
+        );
+    }
+}
+
+/// Collect the `*_map` results in item order (every task wrote its slot).
+fn collect_map_results<R>(
+    handles: &[crate::DataHandle],
+    mut results: crate::TileStore<Option<R>>,
+) -> Vec<R> {
+    handles
+        .iter()
+        .map(|&h| results.take(h).expect("every map task writes its slot"))
+        .collect()
 }
 
 impl Drop for WorkerPool {

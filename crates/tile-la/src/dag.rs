@@ -22,8 +22,8 @@ use crate::layout::TileLayout;
 use crate::sym_tile::SymTileMatrix;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use task_runtime::{
-    run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry, TaskGraph, TaskSpec,
-    TileStore, WorkerPool,
+    effective_lookahead, run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry,
+    StreamStats, TaskGraph, TaskSink, TaskSpec, TileStore, WorkerPool,
 };
 
 /// Shared failure state of a factorization task graph.
@@ -120,15 +120,17 @@ pub fn attach_tiles(
 }
 
 /// Submit the right-looking tiled Cholesky factorization of the tiles behind
-/// `handles` into `graph`, declaring per-tile read/write accesses.
+/// `handles` into any [`TaskSink`] — a materialized [`TaskGraph`] or a
+/// lookahead-limited [`StreamSubmitter`](task_runtime::StreamSubmitter) —
+/// declaring per-tile read/write accesses.
 ///
 /// The caller owns the [`TileStore`] holding the tiles and the
 /// [`FactorStatus`]; after executing the graph it must check
 /// [`FactorStatus::pivot`]. Exposed (rather than folded into
 /// [`potrf_tiled_dag`]) so `mvn-core` can submit PMVN sweep tasks into the
 /// *same* graph with read dependencies on the factor tiles.
-pub fn submit_factor_tasks<'a>(
-    graph: &mut TaskGraph<'a>,
+pub fn submit_factor_tasks<'a, S: TaskSink<'a> + ?Sized>(
+    graph: &mut S,
     store: &'a TileStore<DenseMatrix>,
     handles: &[Vec<DataHandle>],
     layout: TileLayout,
@@ -139,7 +141,7 @@ pub fn submit_factor_tasks<'a>(
         let nbk = layout.tile_size(k) as f64;
         let h_kk = handles[k][k];
         let pivot0 = layout.tile_start(k);
-        graph.submit(
+        graph.submit_task(
             TaskSpec::new("potrf")
                 .access(h_kk, AccessMode::ReadWrite)
                 .cost(nbk * nbk * nbk / 3.0),
@@ -157,7 +159,7 @@ pub fn submit_factor_tasks<'a>(
         for i in (k + 1)..nt {
             let h_ik = handles[i][k];
             let nbi = layout.tile_size(i) as f64;
-            graph.submit(
+            graph.submit_task(
                 TaskSpec::new("trsm")
                     .access(h_kk, AccessMode::Read)
                     .access(h_ik, AccessMode::ReadWrite)
@@ -180,7 +182,7 @@ pub fn submit_factor_tasks<'a>(
                 let h_ij = handles[i][j];
                 let nbj = layout.tile_size(j) as f64;
                 if i == j {
-                    graph.submit(
+                    graph.submit_task(
                         TaskSpec::new("syrk")
                             .access(h_ik, AccessMode::Read)
                             .access(h_ij, AccessMode::ReadWrite)
@@ -196,7 +198,7 @@ pub fn submit_factor_tasks<'a>(
                     );
                 } else {
                     let h_jk = handles[j][k];
-                    graph.submit(
+                    graph.submit_task(
                         TaskSpec::new("gemm")
                             .access(h_ik, AccessMode::Read)
                             .access(h_jk, AccessMode::Read)
@@ -218,26 +220,38 @@ pub fn submit_factor_tasks<'a>(
     }
 }
 
-/// Build the factorization graph of `a` and hand it to `run` (either a
-/// one-shot [`run_taskgraph`] or a persistent [`WorkerPool`]). Shared body of
-/// [`potrf_tiled_dag`] and [`potrf_tiled_pool`].
-fn potrf_tiled_with<R>(a: &mut SymTileMatrix, run: R) -> Result<(), CholeskyError>
+/// Detach the tiles of `a`, let `exec` factor them (submitting through a
+/// materialized graph or a stream, however it likes), re-attach, and report
+/// the recorded pivot failure if any. Shared body of [`potrf_tiled_dag`],
+/// [`potrf_tiled_pool`] and [`potrf_tiled_stream`].
+fn potrf_tiled_with<E>(a: &mut SymTileMatrix, exec: E) -> Result<(), CholeskyError>
 where
-    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+    E: FnOnce(&TileStore<DenseMatrix>, &[Vec<DataHandle>], TileLayout, &FactorStatus),
 {
     let layout = a.layout();
     let mut registry = HandleRegistry::new();
     let (handles, mut store) = detach_tiles(a, &mut registry);
     let status = FactorStatus::new();
-    {
-        let mut graph = TaskGraph::new();
-        submit_factor_tasks(&mut graph, &store, &handles, layout, &status);
-        run(&mut graph);
-    }
+    exec(&store, &handles, layout, &status);
     attach_tiles(a, &handles, &mut store);
     match status.pivot() {
         Some(p) => Err(CholeskyError::NotPositiveDefinite(p)),
         None => Ok(()),
+    }
+}
+
+/// Materialize the factorization graph of the detached tiles and hand it to
+/// `run` (a one-shot [`run_taskgraph`] or a persistent pool).
+fn run_materialized<R>(
+    run: R,
+) -> impl FnOnce(&TileStore<DenseMatrix>, &[Vec<DataHandle>], TileLayout, &FactorStatus)
+where
+    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+{
+    move |store, handles, layout, status| {
+        let mut graph = TaskGraph::new();
+        submit_factor_tasks(&mut graph, store, handles, layout, status);
+        run(&mut graph);
     }
 }
 
@@ -248,14 +262,42 @@ where
 /// throwaway thread pool per call; call sites factoring many matrices should
 /// hold a [`WorkerPool`] and use [`potrf_tiled_pool`] instead.
 pub fn potrf_tiled_dag(a: &mut SymTileMatrix, workers: usize) -> Result<(), CholeskyError> {
-    potrf_tiled_with(a, |g| run_taskgraph(g, effective_workers(workers)))
+    potrf_tiled_with(
+        a,
+        run_materialized(|g| run_taskgraph(g, effective_workers(workers))),
+    )
 }
 
 /// In-place tiled Cholesky `Σ = L·Lᵀ` on a caller-owned persistent
 /// [`WorkerPool`] (same task graph — and bitwise-identical factor — as
 /// [`potrf_tiled_dag`], without the per-call pool setup).
 pub fn potrf_tiled_pool(a: &mut SymTileMatrix, pool: &WorkerPool) -> Result<(), CholeskyError> {
-    potrf_tiled_with(a, |g| pool.run(g))
+    potrf_tiled_with(a, run_materialized(|g| pool.run(g)))
+}
+
+/// In-place tiled Cholesky `Σ = L·Lᵀ` with **streaming, lookahead-limited
+/// submission**: tasks are handed to the pool as they are submitted and the
+/// submitting thread blocks once `lookahead` tasks are in flight
+/// (`0` = the default window, see [`effective_lookahead`]), so peak task
+/// storage is `O(lookahead)` instead of the `O((n/nb)³)` a materialized graph
+/// holds — and on multicore pools execution overlaps submission.
+///
+/// The factor is bitwise identical to [`potrf_tiled_dag`] /
+/// [`potrf_tiled_pool`] for every worker count and window size. On success
+/// returns the session's [`StreamStats`] (total tasks, peak in-flight count).
+pub fn potrf_tiled_stream(
+    a: &mut SymTileMatrix,
+    pool: &WorkerPool,
+    lookahead: usize,
+) -> Result<StreamStats, CholeskyError> {
+    let mut stats = None;
+    potrf_tiled_with(a, |store, handles, layout, status| {
+        let ((), s) = pool.stream(effective_lookahead(lookahead, pool.workers()), |sink| {
+            submit_factor_tasks(sink, store, handles, layout, status);
+        });
+        stats = Some(s);
+    })?;
+    Ok(stats.expect("the factorization closure always runs"))
 }
 
 /// Resolve a worker-count request into a concrete thread count.
@@ -343,6 +385,65 @@ mod tests {
             );
         }
         assert_eq!(pool.stats().graphs_run, 3);
+    }
+
+    #[test]
+    fn stream_factor_matches_materialized_bitwise_and_bounds_the_window() {
+        // The tentpole acceptance criterion for the dense factorization:
+        // streaming submission leaves bitwise-identical tiles for 1/2/4
+        // workers and several lookahead windows, while the peak number of
+        // resident tasks stays within the window (vs. the 20 tasks a
+        // materialized 4-tile graph holds).
+        let n = 75;
+        let f = spd_kernel(11.0);
+        let mut reference = SymTileMatrix::from_fn(n, 16, &f);
+        potrf_tiled_dag(&mut reference, 2).unwrap();
+        let ref_dense = reference.to_dense_lower();
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            for lookahead in [1usize, 2, 3, 8, 64] {
+                let mut a = SymTileMatrix::from_fn(n, 16, &f);
+                let stats = potrf_tiled_stream(&mut a, &pool, lookahead).unwrap();
+                assert!(
+                    stats.peak_in_flight <= lookahead,
+                    "workers={workers} lookahead={lookahead}: peak {}",
+                    stats.peak_in_flight
+                );
+                // 5 tile rows: 5 potrf + 10 trsm + 10 syrk + 10 gemm.
+                assert_eq!(stats.tasks, 35);
+                let got = a.to_dense_lower();
+                for i in 0..n {
+                    for j in 0..n {
+                        assert!(
+                            got.get(i, j).to_bits() == ref_dense.get(i, j).to_bits(),
+                            "workers={workers} lookahead={lookahead}: \
+                             entry ({i},{j}) differs bitwise"
+                        );
+                    }
+                }
+            }
+            assert!(pool.stats().stream_peak_tasks <= 64);
+        }
+    }
+
+    #[test]
+    fn stream_factor_default_window_scales_with_workers() {
+        let pool = WorkerPool::new(2);
+        let n = 60;
+        let mut a = SymTileMatrix::from_fn(n, 16, spd_kernel(8.0));
+        let stats = potrf_tiled_stream(&mut a, &pool, 0).unwrap();
+        assert_eq!(stats.lookahead, 8, "0 resolves to 4 x workers");
+        assert!(stats.peak_in_flight <= 8);
+    }
+
+    #[test]
+    fn stream_factor_reports_pivot_failures() {
+        let pool = WorkerPool::new(2);
+        let n = 20;
+        let mut a = SymTileMatrix::from_fn(n, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        a.set(13, 13, -1.0);
+        let err = potrf_tiled_stream(&mut a, &pool, 4).unwrap_err();
+        assert_eq!(err, CholeskyError::NotPositiveDefinite(13));
     }
 
     #[test]

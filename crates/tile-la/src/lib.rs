@@ -33,7 +33,7 @@ pub mod solve;
 pub mod sym_tile;
 
 pub use cholesky::{potrf_tiled, potrf_tiled_forkjoin, CholeskyError};
-pub use dag::{potrf_tiled_dag, potrf_tiled_pool, FactorStatus};
+pub use dag::{potrf_tiled_dag, potrf_tiled_pool, potrf_tiled_stream, FactorStatus};
 pub use dense::DenseMatrix;
 pub use layout::TileLayout;
 pub use norms::{frobenius_norm, max_abs_diff};

@@ -15,8 +15,8 @@ use crate::compress::CompressionTol;
 use crate::lowrank::LowRankBlock;
 use crate::tlr_matrix::TlrMatrix;
 use task_runtime::{
-    run_taskgraph, AccessMode, DataHandle, ExecutionTrace, HandleRegistry, TaskGraph, TaskSpec,
-    TileStore, WorkerPool,
+    effective_lookahead, run_taskgraph, AccessMode, DataHandle, HandleRegistry, StreamStats,
+    TaskGraph, TaskSink, TaskSpec, TileStore, WorkerPool,
 };
 use tile_la::dag::{effective_workers, FactorStatus};
 use tile_la::kernels::{potrf_in_place, trsm_left_lower_notrans};
@@ -98,12 +98,14 @@ pub fn attach_tlr_tiles(
     }
 }
 
-/// Submit the TLR Cholesky factorization into `graph`, declaring per-tile
+/// Submit the TLR Cholesky factorization into any [`TaskSink`] — a
+/// materialized [`TaskGraph`] or a lookahead-limited
+/// [`StreamSubmitter`](task_runtime::StreamSubmitter) — declaring per-tile
 /// accesses. Exposed so `mvn-core` can submit PMVN sweep tasks into the same
 /// graph (reading factor tiles while the trailing factorization runs).
 #[allow(clippy::too_many_arguments)]
-pub fn submit_tlr_factor_tasks<'a>(
-    graph: &mut TaskGraph<'a>,
+pub fn submit_tlr_factor_tasks<'a, S: TaskSink<'a> + ?Sized>(
+    graph: &mut S,
     diag_store: &'a TileStore<DenseMatrix>,
     off_store: &'a TileStore<LowRankBlock>,
     handles: &TlrHandles,
@@ -117,7 +119,7 @@ pub fn submit_tlr_factor_tasks<'a>(
         let nbk = layout.tile_size(k) as f64;
         let h_kk = handles.diag[k];
         let pivot0 = layout.tile_start(k);
-        graph.submit(
+        graph.submit_task(
             TaskSpec::new("potrf")
                 .access(h_kk, AccessMode::ReadWrite)
                 .cost(nbk * nbk * nbk / 3.0),
@@ -134,7 +136,7 @@ pub fn submit_tlr_factor_tasks<'a>(
 
         for i in (k + 1)..nt {
             let h_ik = handles.off[i][k];
-            graph.submit(
+            graph.submit_task(
                 TaskSpec::new("trsm")
                     .access(h_kk, AccessMode::Read)
                     .access(h_ik, AccessMode::ReadWrite)
@@ -157,7 +159,7 @@ pub fn submit_tlr_factor_tasks<'a>(
             for j in (k + 1)..=i {
                 if i == j {
                     let h_ii = handles.diag[i];
-                    graph.submit(
+                    graph.submit_task(
                         TaskSpec::new("syrk")
                             .access(h_ik, AccessMode::Read)
                             .access(h_ii, AccessMode::ReadWrite)
@@ -174,7 +176,7 @@ pub fn submit_tlr_factor_tasks<'a>(
                 } else {
                     let h_jk = handles.off[j][k];
                     let h_ij = handles.off[i][j];
-                    graph.submit(
+                    graph.submit_task(
                         TaskSpec::new("lr_gemm")
                             .access(h_ik, AccessMode::Read)
                             .access(h_jk, AccessMode::Read)
@@ -197,12 +199,13 @@ pub fn submit_tlr_factor_tasks<'a>(
     }
 }
 
-/// Build the TLR factorization graph of `a` and hand it to `run` (a one-shot
-/// [`run_taskgraph`] or a persistent [`WorkerPool`]). Shared body of
-/// [`potrf_tlr_dag`] and [`potrf_tlr_pool`].
-fn potrf_tlr_with<R>(a: &mut TlrMatrix, run: R) -> Result<(), TlrCholeskyError>
+/// Detach the tiles of `a`, let `exec` factor them (submitting through a
+/// materialized graph or a stream, however it likes), re-attach, and report
+/// the recorded pivot failure if any. Shared body of [`potrf_tlr_dag`],
+/// [`potrf_tlr_pool`] and [`potrf_tlr_stream`].
+fn potrf_tlr_with<E>(a: &mut TlrMatrix, exec: E) -> Result<(), TlrCholeskyError>
 where
-    R: for<'g> FnOnce(&mut TaskGraph<'g>) -> ExecutionTrace,
+    E: FnOnce(TlrFactorJob<'_>),
 {
     let layout = a.layout();
     let tol = a.tol();
@@ -210,24 +213,51 @@ where
     let mut registry = HandleRegistry::new();
     let (handles, mut diag_store, mut off_store) = detach_tlr_tiles(a, &mut registry);
     let status = FactorStatus::new();
-    {
-        let mut graph = TaskGraph::new();
-        submit_tlr_factor_tasks(
-            &mut graph,
-            &diag_store,
-            &off_store,
-            &handles,
-            layout,
-            tol,
-            max_rank,
-            &status,
-        );
-        run(&mut graph);
-    }
+    exec(TlrFactorJob {
+        diag_store: &diag_store,
+        off_store: &off_store,
+        handles: &handles,
+        layout,
+        tol,
+        max_rank,
+        status: &status,
+    });
     attach_tlr_tiles(a, &handles, &mut diag_store, &mut off_store);
     match status.pivot() {
         Some(pivot) => Err(TlrCholeskyError::NotPositiveDefinite { pivot }),
         None => Ok(()),
+    }
+}
+
+/// The detached-tile state [`potrf_tlr_with`] hands its execution closure
+/// (the TLR factorization needs both stores plus the compression
+/// parameters, so the dense crate's four-argument closure shape does not
+/// fit).
+struct TlrFactorJob<'j> {
+    diag_store: &'j TileStore<DenseMatrix>,
+    off_store: &'j TileStore<LowRankBlock>,
+    handles: &'j TlrHandles,
+    layout: TileLayout,
+    tol: CompressionTol,
+    max_rank: usize,
+    status: &'j FactorStatus,
+}
+
+impl TlrFactorJob<'_> {
+    /// Submit this factorization into `sink` (shared by the materialized and
+    /// streaming entry points, so the two task sequences are the same
+    /// sequence).
+    fn submit_into<'a, S: TaskSink<'a> + ?Sized>(&'a self, sink: &mut S) {
+        submit_tlr_factor_tasks(
+            sink,
+            self.diag_store,
+            self.off_store,
+            self.handles,
+            self.layout,
+            self.tol,
+            self.max_rank,
+            self.status,
+        );
     }
 }
 
@@ -237,14 +267,46 @@ where
 /// per call; call sites factoring many matrices should hold a [`WorkerPool`]
 /// and use [`potrf_tlr_pool`] instead.
 pub fn potrf_tlr_dag(a: &mut TlrMatrix, workers: usize) -> Result<(), TlrCholeskyError> {
-    potrf_tlr_with(a, |g| run_taskgraph(g, effective_workers(workers)))
+    potrf_tlr_with(a, |job| {
+        let mut graph = TaskGraph::new();
+        job.submit_into(&mut graph);
+        run_taskgraph(&mut graph, effective_workers(workers));
+    })
 }
 
 /// In-place TLR Cholesky on a caller-owned persistent [`WorkerPool`] (same
 /// task graph — and bitwise-identical factor — as [`potrf_tlr_dag`], without
 /// the per-call pool setup).
 pub fn potrf_tlr_pool(a: &mut TlrMatrix, pool: &WorkerPool) -> Result<(), TlrCholeskyError> {
-    potrf_tlr_with(a, |g| pool.run(g))
+    potrf_tlr_with(a, |job| {
+        let mut graph = TaskGraph::new();
+        job.submit_into(&mut graph);
+        pool.run(&mut graph);
+    })
+}
+
+/// In-place TLR Cholesky with **streaming, lookahead-limited submission**:
+/// the TLR counterpart of [`tile_la::potrf_tiled_stream`]. Tasks start on
+/// the pool as they are submitted; at most `lookahead` tasks are resident at
+/// once (`0` = the default window, see [`effective_lookahead`]). The factor
+/// is bitwise identical to [`potrf_tlr_dag`] / [`potrf_tlr_pool`] for every
+/// worker count and window size; on success returns the session's
+/// [`StreamStats`].
+///
+/// [`tile_la::potrf_tiled_stream`]: tile_la::dag::potrf_tiled_stream
+pub fn potrf_tlr_stream(
+    a: &mut TlrMatrix,
+    pool: &WorkerPool,
+    lookahead: usize,
+) -> Result<StreamStats, TlrCholeskyError> {
+    let mut stats = None;
+    potrf_tlr_with(a, |job| {
+        let ((), s) = pool.stream(effective_lookahead(lookahead, pool.workers()), |sink| {
+            job.submit_into(sink);
+        });
+        stats = Some(s);
+    })?;
+    Ok(stats.expect("the factorization closure always runs"))
 }
 
 #[cfg(test)]
@@ -310,6 +372,46 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn stream_tlr_factor_matches_materialized_bitwise_and_bounds_the_window() {
+        // Streaming acceptance criterion, TLR side: bitwise-identical factor
+        // for 1/2/4 workers and several windows, peak in-flight bounded.
+        let n = 96;
+        let f = kernel(0.5);
+        let base = TlrMatrix::from_fn(n, 24, CompressionTol::Absolute(1e-8), usize::MAX, &f);
+        let mut reference = base.clone();
+        potrf_tlr_dag(&mut reference, 2).unwrap();
+        let ref_dense = reference.to_dense_lower();
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            for lookahead in [1usize, 3, 16] {
+                let mut a = base.clone();
+                let stats = potrf_tlr_stream(&mut a, &pool, lookahead).unwrap();
+                assert!(
+                    stats.peak_in_flight <= lookahead,
+                    "workers={workers} lookahead={lookahead}: peak {}",
+                    stats.peak_in_flight
+                );
+                assert!(
+                    max_abs_diff(&a.to_dense_lower(), &ref_dense) == 0.0,
+                    "workers={workers} lookahead={lookahead}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_tlr_rejects_indefinite_matrix() {
+        let pool = WorkerPool::new(2);
+        let f = |i: usize, j: usize| if i == j { -1.0 } else { 0.0 };
+        let mut a = TlrMatrix::from_fn(30, 10, CompressionTol::Absolute(1e-6), usize::MAX, f);
+        let err = potrf_tlr_stream(&mut a, &pool, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            TlrCholeskyError::NotPositiveDefinite { pivot: 0 }
+        ));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use arithmetic::{
 };
 pub use cholesky::{potrf_tlr, potrf_tlr_forkjoin, TlrCholeskyError};
 pub use compress::{compress_dense, CompressionTol};
-pub use dag::{potrf_tlr_dag, potrf_tlr_pool, TlrHandles};
+pub use dag::{potrf_tlr_dag, potrf_tlr_pool, potrf_tlr_stream, TlrHandles};
 pub use lowrank::LowRankBlock;
 pub use rank_stats::RankStats;
 pub use tlr_matrix::TlrMatrix;

@@ -45,6 +45,7 @@ fn main() {
         alpha: 0.05,
         levels: 15,
         mvn: MvnConfig::with_samples(4_000),
+        ..Default::default()
     };
     let result = detect_confidence_regions(&engine, &factor, &post.mean, &sd, &cfg);
     let marginal_count = result.marginal.iter().filter(|&&p| p >= 0.95).count();

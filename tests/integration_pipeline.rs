@@ -85,6 +85,7 @@ fn end_to_end_confidence_region_pipeline_with_posterior_and_validation() {
         alpha: 0.1,
         levels: 12,
         mvn: MvnConfig::with_samples(3_000),
+        ..Default::default()
     };
     let engine = MvnEngine::builder().workers(2).build().unwrap();
     let result = detect_confidence_regions(&engine, &factor, &post.mean, &sd, &cfg);
@@ -147,6 +148,7 @@ fn dense_and_tlr_confidence_functions_agree_as_in_the_paper() {
         alpha: 0.05,
         levels: 12,
         mvn: MvnConfig::with_samples(4_000),
+        ..Default::default()
     };
     let engine = MvnEngine::builder().workers(2).build().unwrap();
     let rd = detect_confidence_regions(&engine, &fd, &mean, &sd, &cfg);
