@@ -1,5 +1,5 @@
 //! Figure 7 and Table III — distributed-memory scaling of one MVN integration,
-//! dense vs. TLR, on a simulated Cray XC40 (see `distsim` and DESIGN.md §4 for
+//! dense vs. TLR, on a simulated Cray XC40 (see `distsim` and DESIGN.md §8 for
 //! the substitution rationale).
 //!
 //! Reproduces both panels of Fig. 7 (16–128 nodes with dimensions up to

@@ -1,0 +1,200 @@
+//! `mvn-serve` — the MVN probability server paired with a closed-loop load
+//! generator, reporting throughput/latency/cache JSON points.
+//!
+//! Two modes:
+//!
+//! * `--smoke` (CI): ~2 s of mixed traffic on laptop-scale problems, then
+//!   hard assertions — non-zero completions, ≥ 2 distinct covariance
+//!   fingerprints exercised, cache hit rate > 0 — exiting non-zero on any
+//!   violation.
+//! * default: a longer run on the same workload shape (tune with `--secs`,
+//!   `--clients`, `--shards`, `--grid`, `--samples`).
+//!
+//! Every run prints JSON-lines points in the workspace bench shape
+//! (`{"benchmark":…,"mean_ns":…,"samples":…}`) so CI can append them to the
+//! `BENCH_kernels.json` artifact:
+//!
+//! * `service_throughput` — mean wall nanoseconds per completed request
+//!   (closed loop; the companion `service_throughput_rps` point carries the
+//!   requests-per-second value directly),
+//! * `service_p50` / `service_p99` — client-observed latency percentiles,
+//! * `service_cache_hit_rate` — aggregate factor-cache hit rate (in
+//!   `mean_ns` for uniformity; dimensionless).
+//!
+//! The load generator speaks the real TCP wire protocol (`ServiceClient`),
+//! so the measured path includes JSON parsing, socket hops, routing,
+//! micro-batching and the factor cache.
+
+use geostat::{regular_grid, CovarianceKernel};
+use mvn_service::{
+    render_solve_request, CovSpec, MvnServer, MvnService, ServiceClient, ServiceConfig,
+};
+use qmc::Xoshiro256pp;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_usize(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let secs = arg_usize("--secs", if smoke { 2 } else { 10 });
+    let clients = arg_usize("--clients", 4);
+    let shards = arg_usize("--shards", 2);
+    let grid = arg_usize("--grid", 6);
+    let samples = arg_usize("--samples", if smoke { 500 } else { 2000 });
+
+    // The mixed workload: the paper's weak/strong synthetic correlation
+    // settings over one grid — two distinct covariance fingerprints, so the
+    // cache must discriminate while the micro-batcher coalesces.
+    let locations = regular_grid(grid, grid);
+    let specs: Vec<CovSpec> = [0.1, 0.234]
+        .iter()
+        .map(|&range| {
+            CovSpec::dense(
+                locations.clone(),
+                CovarianceKernel::Exponential { sigma2: 1.0, range },
+                1e-8,
+                (grid * grid).div_ceil(3).max(4),
+            )
+        })
+        .collect();
+    let n = locations.len();
+
+    let service = Arc::new(
+        MvnService::start(ServiceConfig {
+            shards,
+            workers_per_shard: 1,
+            mvn: mvn_core::MvnConfig {
+                sample_size: samples,
+                seed: 20240518,
+                ..Default::default()
+            },
+            batch_delay: Duration::from_millis(1),
+            ..Default::default()
+        })
+        .expect("service must start"),
+    );
+    let server = MvnServer::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    eprintln!(
+        "mvn-serve: {addr} | shards={shards} clients={clients} n={n} samples={samples} {secs}s"
+    );
+
+    // Closed-loop clients: each thread owns one TCP connection and fires
+    // request -> response -> request for the whole window, alternating
+    // specs pseudo-randomly (seeded per client, reproducible).
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let stop = Arc::clone(&stop);
+                let specs = &specs;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let mut rng = Xoshiro256pp::seed_from(900 + c as u64);
+                    let mut lat = Vec::new();
+                    let mut id = c as u64 * 1_000_000;
+                    while !stop.load(Ordering::Relaxed) {
+                        id += 1;
+                        let spec = &specs[(rng.next_u64() % specs.len() as u64) as usize];
+                        let lo = -0.5 + rng.next_f64();
+                        let a = vec![lo; n];
+                        let b = vec![f64::INFINITY; n];
+                        let t = Instant::now();
+                        let resp = client
+                            .request(&render_solve_request(id, spec, &a, &b))
+                            .expect("request");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        assert!(resp.get("error").is_none(), "server error: {resp}");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs(secs as u64));
+        stop.store(true, Ordering::Relaxed);
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let completed = all.len();
+    let stats = service.stats();
+    drop(server);
+
+    let pct = |q: f64| -> u64 {
+        if all.is_empty() {
+            0
+        } else {
+            all[((all.len() - 1) as f64 * q) as usize]
+        }
+    };
+    let rps = completed as f64 / wall.as_secs_f64();
+    let mean_ns = if completed == 0 {
+        0.0
+    } else {
+        wall.as_nanos() as f64 / completed as f64
+    };
+    let hit_rate = stats.cache_hit_rate();
+
+    eprintln!(
+        "completed={completed} rejected={} rps={rps:.1} p50={}us p99={}us hit_rate={hit_rate:.3} \
+         batch_hist={:?}",
+        stats.rejected,
+        pct(0.50) / 1000,
+        pct(0.99) / 1000,
+        stats.batch_hist,
+    );
+    println!(
+        "{{\"benchmark\":\"service_throughput\",\"mean_ns\":{mean_ns:.1},\"samples\":{completed}}}"
+    );
+    println!(
+        "{{\"benchmark\":\"service_throughput_rps\",\"mean_ns\":{rps:.2},\"samples\":{completed}}}"
+    );
+    println!(
+        "{{\"benchmark\":\"service_p50\",\"mean_ns\":{},\"samples\":{completed}}}",
+        pct(0.50)
+    );
+    println!(
+        "{{\"benchmark\":\"service_p99\",\"mean_ns\":{},\"samples\":{completed}}}",
+        pct(0.99)
+    );
+    println!(
+        "{{\"benchmark\":\"service_cache_hit_rate\",\"mean_ns\":{hit_rate:.6},\"samples\":{}}}",
+        stats.cache_hits() + stats.cache_misses()
+    );
+
+    if smoke {
+        // The CI acceptance gate for the serving layer.
+        assert!(completed > 0, "smoke: no requests completed");
+        assert!(
+            stats.cache_misses() >= specs.len() as u64,
+            "smoke: both fingerprints must be exercised (misses {})",
+            stats.cache_misses()
+        );
+        assert!(
+            hit_rate > 0.0,
+            "smoke: sustained mixed traffic must produce cache hits"
+        );
+        assert_eq!(
+            stats.completed as usize + stats.queue_depth(),
+            stats.submitted as usize,
+            "smoke: accounting must balance"
+        );
+        eprintln!("smoke OK");
+    }
+}

@@ -88,6 +88,99 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Why an integration box is unusable (see [`Problem::validate`]).
+///
+/// Bad limits used to surface as a panic (or a silent all-dead sweep) deep
+/// inside `qmc_kernel`; validating at the API boundary turns them into a
+/// typed error that a serving layer can return to the offending client
+/// without touching the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProblemError {
+    /// `a` and `b` have different lengths.
+    LengthMismatch {
+        /// `a.len()`.
+        a_len: usize,
+        /// `b.len()`.
+        b_len: usize,
+    },
+    /// The limits do not match the factor dimension `n`.
+    DimensionMismatch {
+        /// The factor dimension.
+        expected: usize,
+        /// The limits' length.
+        got: usize,
+    },
+    /// `a[index] > b[index]` — an inverted (empty) box. A degenerate box
+    /// with `a[i] == b[i]` is allowed (probability 0, handled exactly).
+    InvertedLimits {
+        /// The offending coordinate.
+        index: usize,
+        /// The lower limit there.
+        a: f64,
+        /// The upper limit there.
+        b: f64,
+    },
+    /// `a[index]` or `b[index]` is NaN.
+    NanLimit {
+        /// The offending coordinate.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProblemError::LengthMismatch { a_len, b_len } => {
+                write!(
+                    f,
+                    "limit vectors differ in length: a has {a_len}, b has {b_len}"
+                )
+            }
+            ProblemError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "limits have length {got} but the factor dimension is {expected}"
+                )
+            }
+            ProblemError::InvertedLimits { index, a, b } => {
+                write!(f, "inverted box at coordinate {index}: a = {a} > b = {b}")
+            }
+            ProblemError::NanLimit { index } => {
+                write!(f, "NaN limit at coordinate {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// Validate a pair of integration-limit slices: equal lengths, no NaN, and
+/// `a[i] <= b[i]` everywhere (`±inf` and `a[i] == b[i]` are fine). This is
+/// the single boundary check shared by [`Problem::validate`], the engine
+/// solve paths and the free probability functions, so bad input is rejected
+/// before it reaches `qmc_kernel`.
+pub fn validate_limits(a: &[f64], b: &[f64]) -> Result<(), ProblemError> {
+    if a.len() != b.len() {
+        return Err(ProblemError::LengthMismatch {
+            a_len: a.len(),
+            b_len: b.len(),
+        });
+    }
+    for i in 0..a.len() {
+        if a[i].is_nan() || b[i].is_nan() {
+            return Err(ProblemError::NanLimit { index: i });
+        }
+        if a[i] > b[i] {
+            return Err(ProblemError::InvertedLimits {
+                index: i,
+                a: a[i],
+                b: b[i],
+            });
+        }
+    }
+    Ok(())
+}
+
 /// One integration box `[a, b]` for [`MvnEngine::solve_batch`].
 #[derive(Debug, Clone)]
 pub struct Problem {
@@ -101,6 +194,21 @@ impl Problem {
     /// A problem from its limit vectors.
     pub fn new(a: Vec<f64>, b: Vec<f64>) -> Self {
         Self { a, b }
+    }
+
+    /// Check the box is well-formed ([`validate_limits`]) and, when `dim` is
+    /// given, that it matches the factor dimension.
+    pub fn validate(&self, dim: Option<usize>) -> Result<(), ProblemError> {
+        validate_limits(&self.a, &self.b)?;
+        if let Some(n) = dim {
+            if self.a.len() != n {
+                return Err(ProblemError::DimensionMismatch {
+                    expected: n,
+                    got: self.a.len(),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -124,6 +232,20 @@ impl Factor {
         match self {
             Factor::Dense(m) => m.n(),
             Factor::Tlr(m) => m.n(),
+        }
+    }
+
+    /// The factor's storage format in the shared [`FactorKind`](crate::FactorKind)
+    /// vocabulary; for a TLR factor the reported `mean_rank` is the rounded
+    /// mean off-diagonal rank of the stored tiles.
+    pub fn kind(&self) -> crate::FactorKind {
+        match self {
+            Factor::Dense(_) => crate::FactorKind::Dense,
+            Factor::Tlr(m) => crate::FactorKind::Tlr {
+                mean_rank: tlr::RankStats::from_matrix(m)
+                    .mean_off_diagonal_rank()
+                    .round() as usize,
+            },
         }
     }
 
@@ -281,10 +403,30 @@ impl MvnEngineBuilder {
 /// condvar and consume no CPU. Dropping the engine wakes and joins every
 /// worker, so an engine never leaks threads — create engines per session, not
 /// per call (a single-worker engine spawns no threads at all).
+///
+/// # Thread safety
+///
+/// `MvnEngine` is `Send + Sync` (asserted at compile time below): multiple OS
+/// threads may share one engine through `&MvnEngine` and call
+/// `solve`/`solve_batch`/`factor_*` concurrently. Concurrent submissions are
+/// serialized on the pool's internal submission lock — one graph executes at
+/// a time — and every solve is a pure function of the factor, the limits and
+/// the configuration, so concurrent callers get results bitwise identical to
+/// sequential calls (regression-tested). The shard dispatcher of
+/// `mvn-service` depends on this to run one engine per shard behind a set of
+/// serving threads.
 pub struct MvnEngine {
     cfg: MvnConfig,
     pool: WorkerPool,
 }
+
+// The compile-time form of the thread-safety contract above: if a field ever
+// loses `Send`/`Sync` (e.g. an `Rc` or a raw pointer slips into the pool),
+// this fails to build rather than silently breaking the shard dispatcher.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MvnEngine>();
+};
 
 impl std::fmt::Debug for MvnEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -467,8 +609,18 @@ impl MvnEngine {
         assert!(cfg.sample_size > 0, "sample size must be positive");
         assert!(cfg.panel_width > 0, "panel width must be positive");
         for (a, b) in problems {
-            assert_eq!(a.len(), n, "lower limit length mismatch");
-            assert_eq!(b.len(), n, "upper limit length mismatch");
+            // The boundary check: malformed limits (length mismatch, NaN,
+            // inverted box) must never reach `qmc_kernel`. Callers that need
+            // a recoverable error (the serving layer) validate with
+            // `Problem::validate` before submitting.
+            if let Err(e) = validate_limits(a, b) {
+                panic!("invalid MVN problem: {e}");
+            }
+            assert_eq!(
+                a.len(),
+                n,
+                "limit length must match the factor dimension {n}"
+            );
         }
         if problems.is_empty() {
             return Vec::new();
@@ -825,6 +977,160 @@ mod tests {
         bad.set(13, 13, -1.0);
         let err = engine.factor_dense(bad).unwrap_err();
         assert_eq!(err, CholeskyError::NotPositiveDefinite(13));
+    }
+
+    #[test]
+    fn problem_validation_rejects_malformed_limits() {
+        let ok = Problem::new(vec![-1.0, f64::NEG_INFINITY], vec![1.0, f64::INFINITY]);
+        assert_eq!(ok.validate(Some(2)), Ok(()));
+        // Degenerate (a == b) boxes are allowed, including at ±inf.
+        let degenerate = Problem::new(vec![1.0, f64::INFINITY], vec![1.0, f64::INFINITY]);
+        assert_eq!(degenerate.validate(Some(2)), Ok(()));
+
+        let mismatch = Problem::new(vec![0.0], vec![1.0, 2.0]);
+        assert_eq!(
+            mismatch.validate(None),
+            Err(ProblemError::LengthMismatch { a_len: 1, b_len: 2 })
+        );
+        let wrong_dim = Problem::new(vec![0.0; 3], vec![1.0; 3]);
+        assert_eq!(
+            wrong_dim.validate(Some(4)),
+            Err(ProblemError::DimensionMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
+        let inverted = Problem::new(vec![0.0, 2.0], vec![1.0, 1.0]);
+        assert_eq!(
+            inverted.validate(Some(2)),
+            Err(ProblemError::InvertedLimits {
+                index: 1,
+                a: 2.0,
+                b: 1.0
+            })
+        );
+        let nan = Problem::new(vec![0.0, f64::NAN], vec![1.0, 1.0]);
+        assert_eq!(
+            nan.validate(Some(2)),
+            Err(ProblemError::NanLimit { index: 1 })
+        );
+        // Errors render with the offending coordinate.
+        assert!(inverted
+            .validate(Some(2))
+            .unwrap_err()
+            .to_string()
+            .contains("coordinate 1"));
+    }
+
+    #[test]
+    fn engine_rejects_malformed_limits_at_the_boundary() {
+        // The panic must come from the validation at the API boundary (with
+        // the typed error's message), not from deep inside the sweep.
+        let engine = MvnEngine::builder()
+            .workers(1)
+            .sample_size(64)
+            .build()
+            .unwrap();
+        let factor = engine
+            .factor_dense(SymTileMatrix::from_fn(
+                8,
+                4,
+                |i, j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        0.1
+                    }
+                },
+            ))
+            .unwrap();
+        let mut a = vec![-1.0; 8];
+        a[3] = f64::NAN;
+        let b = vec![1.0; 8];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.solve(&factor, &a, &b)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("invalid MVN problem"), "got: {msg}");
+        assert!(msg.contains("NaN limit at coordinate 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn factor_kind_reports_the_storage_format() {
+        let engine = MvnEngine::builder().workers(1).build().unwrap();
+        let f = exp_cov(0.5);
+        let dense = engine
+            .factor_dense(SymTileMatrix::from_fn(40, 10, f))
+            .unwrap();
+        assert_eq!(dense.kind(), crate::FactorKind::Dense);
+        let tlr = engine
+            .factor_tlr(TlrMatrix::from_fn(
+                40,
+                10,
+                CompressionTol::Absolute(1e-8),
+                usize::MAX,
+                f,
+            ))
+            .unwrap();
+        match tlr.kind() {
+            crate::FactorKind::Tlr { mean_rank } => assert!(mean_rank >= 1),
+            other => panic!("expected Tlr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_shared_across_threads_matches_sequential_bitwise() {
+        // The shard-dispatcher contract: two OS threads sharing one engine
+        // via `&` must produce bitwise-identical results to the same solves
+        // run sequentially. Exercised for 1, 2 and 4 workers (inline pool and
+        // real pool paths).
+        let n = 40;
+        let f = exp_cov(0.4);
+        for workers in [1usize, 2, 4] {
+            let engine = MvnEngine::builder()
+                .config(test_cfg(workers))
+                .build()
+                .unwrap();
+            let factor = engine
+                .factor_dense(SymTileMatrix::from_fn(n, 10, f))
+                .unwrap();
+            let problems: Vec<Problem> = (0..8)
+                .map(|k| Problem::new(vec![-0.3 - 0.05 * k as f64; n], vec![f64::INFINITY; n]))
+                .collect();
+            let sequential: Vec<MvnResult> = problems
+                .iter()
+                .map(|p| engine.solve(&factor, &p.a, &p.b))
+                .collect();
+
+            let engine_ref = &engine;
+            let factor_ref = &factor;
+            let (first, second) = std::thread::scope(|scope| {
+                let (front, back) = problems.split_at(problems.len() / 2);
+                let t1 = scope.spawn(move || {
+                    front
+                        .iter()
+                        .map(|p| engine_ref.solve(factor_ref, &p.a, &p.b))
+                        .collect::<Vec<_>>()
+                });
+                let t2 = scope.spawn(move || {
+                    back.iter()
+                        .map(|p| engine_ref.solve(factor_ref, &p.a, &p.b))
+                        .collect::<Vec<_>>()
+                });
+                (t1.join().unwrap(), t2.join().unwrap())
+            });
+            let concurrent: Vec<MvnResult> = first.into_iter().chain(second).collect();
+            for (c, s) in concurrent.iter().zip(&sequential) {
+                assert!(
+                    c.prob.to_bits() == s.prob.to_bits(),
+                    "workers={workers}: concurrent {} vs sequential {}",
+                    c.prob,
+                    s.prob
+                );
+                assert!(c.std_error.to_bits() == s.std_error.to_bits());
+            }
+        }
     }
 
     #[test]

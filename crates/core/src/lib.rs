@@ -38,7 +38,10 @@ pub mod pipeline;
 pub mod pmvn;
 pub mod sov;
 
-pub use engine::{EngineError, Factor, MvnEngine, MvnEngineBuilder, Problem, MAX_ENGINE_WORKERS};
+pub use engine::{
+    validate_limits, EngineError, Factor, MvnEngine, MvnEngineBuilder, Problem, ProblemError,
+    MAX_ENGINE_WORKERS,
+};
 pub use genz::mvn_prob_genz;
 pub use mc::mvn_prob_mc;
 pub use pipeline::{mvn_prob_dense_fused, mvn_prob_tlr_fused, MvnPlanner};
@@ -49,6 +52,27 @@ pub use pmvn::{
 pub use sov::{sov_sample_probability, truncate_limits};
 
 use qmc::SampleKind;
+
+/// Storage format of a Cholesky factorization — the single problem-spec
+/// vocabulary shared by every layer that talks about factors: the `distsim`
+/// task generator (which models the cost of each format) and the
+/// `mvn-service` serving layer (which selects the format a covariance is
+/// factored in). Defining it once here keeps the simulator and the server
+/// from drifting apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactorKind {
+    /// Dense tiles everywhere.
+    Dense,
+    /// Tile low-rank off-diagonal tiles.
+    Tlr {
+        /// Representative off-diagonal rank. The simulator interprets it as
+        /// the modelled *mean* rank of the compressed tiles (cf. the paper's
+        /// Fig. 5: single digits to a few tens at tolerance 1e-3); the
+        /// serving layer uses it as the compression *rank cap* passed to the
+        /// TLR assembly (`0` = uncapped).
+        mean_rank: usize,
+    },
+}
 
 /// How the PMVN panel sweep (and, in the fused pipeline, the factorization it
 /// is interleaved with) is scheduled.

@@ -328,8 +328,16 @@ pub(crate) fn run_dense_fused_with(
     exec: FusedExec<'_>,
 ) -> Result<MvnResult, CholeskyError> {
     let n = sigma.n();
-    assert_eq!(a.len(), n, "lower limit length mismatch");
-    assert_eq!(b.len(), n, "upper limit length mismatch");
+    // Same boundary validation as the staged paths: malformed limits get the
+    // typed `ProblemError` message here, never a panic deep in the sweep.
+    if let Err(e) = crate::engine::validate_limits(a, b) {
+        panic!("invalid MVN problem: {e}");
+    }
+    assert_eq!(
+        a.len(),
+        n,
+        "limit length must match the factor dimension {n}"
+    );
     assert!(cfg.sample_size > 0, "sample size must be positive");
     assert!(cfg.panel_width > 0, "panel width must be positive");
 
@@ -395,8 +403,16 @@ pub(crate) fn run_tlr_fused_with(
     exec: FusedExec<'_>,
 ) -> Result<MvnResult, TlrCholeskyError> {
     let n = sigma.n();
-    assert_eq!(a.len(), n, "lower limit length mismatch");
-    assert_eq!(b.len(), n, "upper limit length mismatch");
+    // Same boundary validation as the staged paths: malformed limits get the
+    // typed `ProblemError` message here, never a panic deep in the sweep.
+    if let Err(e) = crate::engine::validate_limits(a, b) {
+        panic!("invalid MVN problem: {e}");
+    }
+    assert_eq!(
+        a.len(),
+        n,
+        "limit length must match the factor dimension {n}"
+    );
     assert!(cfg.sample_size > 0, "sample size must be positive");
     assert!(cfg.panel_width > 0, "panel width must be positive");
 

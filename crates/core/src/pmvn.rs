@@ -426,8 +426,17 @@ pub fn mvn_prob_factored<F: CholeskyFactor>(
     cfg: &MvnConfig,
 ) -> MvnResult {
     let n = l.dim();
-    assert_eq!(a.len(), n, "lower limit length mismatch");
-    assert_eq!(b.len(), n, "upper limit length mismatch");
+    // Boundary validation, shared with the engine paths: malformed limits
+    // (length mismatch, NaN, inverted box) are rejected here with the typed
+    // `ProblemError` message instead of panicking deep in `qmc_kernel`.
+    if let Err(e) = crate::engine::validate_limits(a, b) {
+        panic!("invalid MVN problem: {e}");
+    }
+    assert_eq!(
+        a.len(),
+        n,
+        "limit length must match the factor dimension {n}"
+    );
     assert!(cfg.sample_size > 0, "sample size must be positive");
     assert!(cfg.panel_width > 0, "panel width must be positive");
 
@@ -852,8 +861,11 @@ mod tests {
         let layout = l.layout();
         let mut a = vec![-1.0; n];
         let mut b = vec![1.0; n];
-        a[15] = 2.0;
-        b[15] = 1.0; // a > b: Φ-diff is 0 for every chain
+        // A degenerate coordinate (a == b, the only empty-box shape that
+        // passes `validate_limits` — inverted boxes are rejected at the API
+        // boundary): Φ-diff is 0 for every chain.
+        a[15] = 1.0;
+        b[15] = 1.0;
         let cfg = MvnConfig {
             sample_size: 256,
             panel_width: 64,

@@ -12,7 +12,7 @@
 //! the curves — how dense and TLR scale with the node count and the problem
 //! dimension (the paper's Fig. 7 and Table III) — is driven by the DAG
 //! structure, the tile counts and the communication volume, all of which are
-//! modelled faithfully. See `DESIGN.md` §4 for the substitution rationale.
+//! modelled faithfully. See `DESIGN.md` §8 for the substitution rationale.
 
 pub mod cluster;
 pub mod sim;

@@ -9,18 +9,10 @@
 use crate::cluster::ClusterSpec;
 use task_runtime::{AccessMode, DataHandle, HandleRegistry, TaskGraph, TaskSpec};
 
-/// Storage format of the factorization being modelled.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum FactorKind {
-    /// Dense tiles everywhere.
-    Dense,
-    /// Tile low-rank off-diagonal tiles with the given mean rank.
-    Tlr {
-        /// Mean rank of the compressed off-diagonal tiles (cf. the paper's
-        /// Fig. 5: single digits to a few tens at tolerance 1e-3).
-        mean_rank: usize,
-    },
-}
+// The dense/TLR storage vocabulary is shared with the serving layer; it is
+// defined once in `mvn_core` so the simulator's cost model and the server's
+// factor requests cannot drift apart.
+pub use mvn_core::FactorKind;
 
 /// Description of the problem whose execution is being modelled.
 #[derive(Debug, Clone, Copy)]

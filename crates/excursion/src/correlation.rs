@@ -53,12 +53,41 @@ fn correlation_entry(cov: &DenseMatrix, sd: &[f64], i: usize, j: usize) -> f64 {
     }
 }
 
+/// Assemble the (unfactored) correlation matrix of `cov` in dense tiled
+/// storage, together with the standard deviations used to standardize it.
+///
+/// This is the single definition of the standardized entries (unit-plus-1e-10
+/// diagonal, independent unit rows for degenerate sites) shared by
+/// [`correlation_factor_dense`] and by callers that factor on their own
+/// worker pool (the `mvn-service` shard engines): factoring this matrix with
+/// any `potrf` path yields a factor bitwise identical to
+/// [`correlation_factor_dense`]'s.
+pub fn correlation_matrix_dense(cov: &DenseMatrix, nb: usize) -> (SymTileMatrix, Vec<f64>) {
+    let sd = standard_deviations(cov);
+    let n = cov.nrows();
+    let corr = SymTileMatrix::from_fn(n, nb, |i, j| correlation_entry(cov, &sd, i, j));
+    (corr, sd)
+}
+
+/// TLR counterpart of [`correlation_matrix_dense`].
+pub fn correlation_matrix_tlr(
+    cov: &DenseMatrix,
+    nb: usize,
+    tol: CompressionTol,
+    max_rank: usize,
+) -> (TlrMatrix, Vec<f64>) {
+    let sd = standard_deviations(cov);
+    let n = cov.nrows();
+    let corr = TlrMatrix::from_fn(n, nb, tol, max_rank, |i, j| {
+        correlation_entry(cov, &sd, i, j)
+    });
+    (corr, sd)
+}
+
 /// Build the dense tiled Cholesky factor of the correlation matrix of `cov`,
 /// returning the factor together with the per-location standard deviations.
 pub fn correlation_factor_dense(cov: &DenseMatrix, nb: usize) -> (CorrelationFactor, Vec<f64>) {
-    let sd = standard_deviations(cov);
-    let n = cov.nrows();
-    let mut corr = SymTileMatrix::from_fn(n, nb, |i, j| correlation_entry(cov, &sd, i, j));
+    let (mut corr, sd) = correlation_matrix_dense(cov, nb);
     potrf_tiled(&mut corr, 1).expect("correlation matrix must be positive definite");
     (CorrelationFactor::Dense(corr), sd)
 }
@@ -71,11 +100,7 @@ pub fn correlation_factor_tlr(
     tol: CompressionTol,
     max_rank: usize,
 ) -> (CorrelationFactor, Vec<f64>) {
-    let sd = standard_deviations(cov);
-    let n = cov.nrows();
-    let mut corr = TlrMatrix::from_fn(n, nb, tol, max_rank, |i, j| {
-        correlation_entry(cov, &sd, i, j)
-    });
+    let (mut corr, sd) = correlation_matrix_tlr(cov, nb, tol, max_rank);
     potrf_tlr(&mut corr, 1).expect("correlation matrix must be positive definite");
     (CorrelationFactor::Tlr(corr), sd)
 }

@@ -25,6 +25,53 @@
 use crate::marginal::{descending_order, marginal_exceedance};
 use mvn_core::{CholeskyFactor, MvnConfig, MvnEngine, Problem};
 
+/// Abstraction over "estimate the joint probabilities of a batch of MVN
+/// problems" — the only capability the CRD drivers below actually need from
+/// the solver stack.
+///
+/// Two implementations exist: [`EngineSolver`] (an engine plus a factor the
+/// caller already holds — the in-process path every `detect_*` entry point
+/// uses) and `mvn-service`'s served solver, which routes the same problems
+/// through the request queue, micro-batcher and factor cache of a running
+/// service. Because each problem's estimate is a pure function of the factor,
+/// the limits and the sampling configuration, both implementations are
+/// bitwise identical for the same configuration (tested in `mvn-service`).
+pub trait JointSolver {
+    /// The MVN dimension `n` every submitted problem must have.
+    fn dim(&self) -> usize;
+
+    /// Joint probabilities of `problems`, position-stable and clamped to
+    /// `[0, 1]`. Implementations must return estimates bitwise identical to
+    /// solving each problem on its own (the `solve_batch` contract), so the
+    /// CRD results cannot depend on how the driver chunks its queries.
+    fn joint_probabilities(&self, problems: &[Problem]) -> Vec<f64>;
+}
+
+/// The in-process [`JointSolver`]: an engine, a factor, and the sampling
+/// configuration to solve with.
+pub struct EngineSolver<'a, F: CholeskyFactor> {
+    /// The session engine (owns the worker pool).
+    pub engine: &'a MvnEngine,
+    /// The correlation factor to solve against.
+    pub factor: &'a F,
+    /// Sampling parameters (sample size/kind, panel width, seed).
+    pub mvn: MvnConfig,
+}
+
+impl<F: CholeskyFactor> JointSolver for EngineSolver<'_, F> {
+    fn dim(&self) -> usize {
+        self.factor.dim()
+    }
+
+    fn joint_probabilities(&self, problems: &[Problem]) -> Vec<f64> {
+        self.engine
+            .solve_batch_factored_with(self.factor, problems, &self.mvn)
+            .iter()
+            .map(|r| r.prob.clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
 /// Configuration of a confidence-region detection run.
 #[derive(Debug, Clone)]
 pub struct CrdConfig {
@@ -158,12 +205,34 @@ pub fn detect_confidence_regions<F: CholeskyFactor>(
     sd: &[f64],
     cfg: &CrdConfig,
 ) -> CrdResult {
+    detect_confidence_regions_with(
+        &EngineSolver {
+            engine,
+            factor,
+            mvn: cfg.mvn,
+        },
+        mean,
+        sd,
+        cfg,
+    )
+}
+
+/// [`detect_confidence_regions`] against any [`JointSolver`] — the generic
+/// driver the engine path above and `mvn-service`'s served CRD both call, so
+/// the algorithm cannot drift between the library and the server. Note the
+/// solver owns its sampling configuration; `cfg.mvn` is not consulted here.
+pub fn detect_confidence_regions_with<S: JointSolver>(
+    solver: &S,
+    mean: &[f64],
+    sd: &[f64],
+    cfg: &CrdConfig,
+) -> CrdResult {
     let n = mean.len();
     assert_eq!(sd.len(), n);
     assert_eq!(
-        factor.dim(),
+        solver.dim(),
         n,
-        "factor dimension must match number of locations"
+        "solver dimension must match number of locations"
     );
     assert!(cfg.alpha > 0.0 && cfg.alpha < 1.0, "alpha must be in (0,1)");
 
@@ -193,13 +262,8 @@ pub fn detect_confidence_regions<F: CholeskyFactor>(
             .iter()
             .map(|&len| prefix_problem(mean, sd, cfg.threshold, &order, len))
             .collect();
-        let results = engine.solve_batch_factored_with(factor, &problems, &cfg.mvn);
-        prefix_probs.extend(
-            chunk
-                .iter()
-                .zip(&results)
-                .map(|(&len, r)| (len, r.prob.clamp(0.0, 1.0))),
-        );
+        let results = solver.joint_probabilities(&problems);
+        prefix_probs.extend(chunk.iter().zip(&results).map(|(&len, &p)| (len, p)));
     }
     // Joint probabilities of nested events are theoretically non-increasing;
     // enforce monotonicity to wash out QMC noise before interpolating.
@@ -262,22 +326,38 @@ pub fn find_excursion_set<F: CholeskyFactor>(
     sd: &[f64],
     cfg: &CrdConfig,
 ) -> (Vec<usize>, f64) {
+    find_excursion_set_with(
+        &EngineSolver {
+            engine,
+            factor,
+            mvn: cfg.mvn,
+        },
+        mean,
+        sd,
+        cfg,
+    )
+}
+
+/// [`find_excursion_set`] against any [`JointSolver`] (see
+/// [`detect_confidence_regions_with`]); the solver owns its sampling
+/// configuration, `cfg.mvn` is not consulted.
+pub fn find_excursion_set_with<S: JointSolver>(
+    solver: &S,
+    mean: &[f64],
+    sd: &[f64],
+    cfg: &CrdConfig,
+) -> (Vec<usize>, f64) {
     let n = mean.len();
     let marginal = marginal_exceedance(mean, sd, cfg.threshold);
     let order = descending_order(&marginal);
     let target = 1.0 - cfg.alpha;
 
     let joint = |len: usize| {
-        prefix_joint_probability(
-            engine,
-            factor,
-            mean,
-            sd,
-            cfg.threshold,
-            &order,
-            len,
-            &cfg.mvn,
-        )
+        if len == 0 {
+            return 1.0;
+        }
+        let problem = prefix_problem(mean, sd, cfg.threshold, &order, len);
+        solver.joint_probabilities(std::slice::from_ref(&problem))[0]
     };
 
     // Empty prefix always qualifies (probability 1; `joint(0)` is 1 by

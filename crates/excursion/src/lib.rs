@@ -33,8 +33,15 @@ pub mod crd;
 pub mod marginal;
 pub mod validate;
 
-pub use correlation::{correlation_factor_dense, correlation_factor_tlr, CorrelationFactor};
-pub use crd::{detect_confidence_regions, excursion_set, find_excursion_set, CrdConfig, CrdResult};
+pub use correlation::{
+    correlation_factor_dense, correlation_factor_tlr, correlation_matrix_dense,
+    correlation_matrix_tlr, standard_deviations, CorrelationFactor,
+};
+pub use crd::{
+    detect_confidence_regions, detect_confidence_regions_with, excursion_set, find_excursion_set,
+    find_excursion_set_with, prefix_joint_probability, CrdConfig, CrdResult, EngineSolver,
+    JointSolver,
+};
 pub use marginal::{descending_order, marginal_exceedance};
 pub use validate::{estimates_agree, mc_validate, McValidation};
 

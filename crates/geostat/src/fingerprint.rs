@@ -1,0 +1,219 @@
+//! Deterministic fingerprinting of covariance specifications.
+//!
+//! A server-side factor cache (see the `mvn-service` crate) is only sound if
+//! two requests that would assemble the *same* covariance matrix map to the
+//! same key, and any parameter change — kernel family, a single coordinate,
+//! the nugget — maps to a different one. The fingerprint here is a stable
+//! 64-bit FNV-1a hash over a canonical byte encoding of the specification:
+//!
+//! * floating-point values are hashed by their IEEE-754 bit pattern
+//!   (`f64::to_bits`), so the fingerprint is exact — no epsilon smearing —
+//!   and reproducible across platforms and runs (unlike `DefaultHasher`,
+//!   which is randomly seeded per process);
+//! * every field is prefixed by the order it is written in, so permuted
+//!   location lists (which produce a *permuted*, i.e. different, covariance
+//!   matrix) fingerprint differently.
+//!
+//! This is a cache key, not a cryptographic commitment: collisions are
+//! 2⁻⁶⁴-unlikely but not adversarially hard. The serving layer treats a hit
+//! purely as "skip re-factorization", so a collision could at worst serve a
+//! probability for the colliding spec — acceptable for trusted clients, and
+//! the documented trade-off of every content-addressed factor cache.
+
+use crate::covariance::{CovarianceKernel, MaternParams};
+use crate::geometry::Location;
+
+/// A stable 64-bit FNV-1a hasher (offset basis / prime from the reference
+/// implementation). Deliberately *not* `std::hash::Hasher`-based: the std
+/// trait invites accidentally hashing with the randomly-seeded
+/// `DefaultHasher`, which would break cache-key stability across processes.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorb a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `usize` (widened to `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb an `f64` by its exact IEEE-754 bit pattern. `-0.0` and `0.0`
+    /// hash differently (they are different bit patterns); NaN payloads are
+    /// preserved. Exactness is the point: a cache keyed on rounded values
+    /// would alias specs that assemble different matrices.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Absorb a covariance kernel: a tag byte per variant, then the parameters
+/// in declaration order.
+pub fn fingerprint_kernel(kernel: &CovarianceKernel, h: &mut Fnv1a) {
+    match *kernel {
+        CovarianceKernel::Exponential { sigma2, range } => {
+            h.write_bytes(b"exp");
+            h.write_f64(sigma2);
+            h.write_f64(range);
+        }
+        CovarianceKernel::Matern(MaternParams {
+            sigma2,
+            range,
+            smoothness,
+        }) => {
+            h.write_bytes(b"matern");
+            h.write_f64(sigma2);
+            h.write_f64(range);
+            h.write_f64(smoothness);
+        }
+        CovarianceKernel::SquaredExponential { sigma2, range } => {
+            h.write_bytes(b"sqexp");
+            h.write_f64(sigma2);
+            h.write_f64(range);
+        }
+    }
+}
+
+/// Absorb a location list, order-sensitively (a permuted list assembles a
+/// permuted covariance matrix, so it must fingerprint differently).
+pub fn fingerprint_locations(locs: &[Location], h: &mut Fnv1a) {
+    h.write_usize(locs.len());
+    for l in locs {
+        h.write_f64(l.x);
+        h.write_f64(l.y);
+    }
+}
+
+/// The fingerprint of a full covariance-matrix specification: kernel,
+/// locations and nugget. Callers that also vary assembly parameters (tile
+/// size, dense vs TLR, compression tolerance) fold those into the same
+/// hasher before finishing — see `mvn-service::spec`.
+pub fn fingerprint_covariance(kernel: &CovarianceKernel, locs: &[Location], nugget: f64) -> Fnv1a {
+    let mut h = Fnv1a::new();
+    fingerprint_kernel(kernel, &mut h);
+    fingerprint_locations(locs, &mut h);
+    h.write_f64(nugget);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::regular_grid;
+
+    fn exp_kernel(range: f64) -> CovarianceKernel {
+        CovarianceKernel::Exponential { sigma2: 1.0, range }
+    }
+
+    #[test]
+    fn identical_specs_fingerprint_identically() {
+        let locs = regular_grid(5, 4);
+        let a = fingerprint_covariance(&exp_kernel(0.1), &locs, 1e-8).finish();
+        let b = fingerprint_covariance(&exp_kernel(0.1), &regular_grid(5, 4), 1e-8).finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_parameter_change_changes_the_fingerprint() {
+        let locs = regular_grid(5, 4);
+        let base = fingerprint_covariance(&exp_kernel(0.1), &locs, 1e-8).finish();
+        // Kernel family.
+        let sqexp = CovarianceKernel::SquaredExponential {
+            sigma2: 1.0,
+            range: 0.1,
+        };
+        assert_ne!(base, fingerprint_covariance(&sqexp, &locs, 1e-8).finish());
+        // Kernel parameter (one ulp).
+        let bumped = CovarianceKernel::Exponential {
+            sigma2: 1.0,
+            range: f64::from_bits(0.1f64.to_bits() + 1),
+        };
+        assert_ne!(base, fingerprint_covariance(&bumped, &locs, 1e-8).finish());
+        // Nugget.
+        assert_ne!(
+            base,
+            fingerprint_covariance(&exp_kernel(0.1), &locs, 1e-9).finish()
+        );
+        // One coordinate.
+        let mut moved = locs.clone();
+        moved[7].x += 1e-12;
+        assert_ne!(
+            base,
+            fingerprint_covariance(&exp_kernel(0.1), &moved, 1e-8).finish()
+        );
+        // Location count.
+        assert_ne!(
+            base,
+            fingerprint_covariance(&exp_kernel(0.1), &locs[..locs.len() - 1], 1e-8).finish()
+        );
+    }
+
+    #[test]
+    fn location_order_matters() {
+        let locs = regular_grid(4, 4);
+        let mut swapped = locs.clone();
+        swapped.swap(1, 2);
+        assert_ne!(
+            fingerprint_covariance(&exp_kernel(0.2), &locs, 0.0).finish(),
+            fingerprint_covariance(&exp_kernel(0.2), &swapped, 0.0).finish()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_runs() {
+        // A golden value: the encoding is part of the cache-key contract, so
+        // an accidental change to the byte layout must fail a test, not
+        // silently invalidate (or worse, alias) persisted keys.
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"abc");
+        assert_eq!(h.finish(), 0xe71f_a219_0541_574b);
+        let golden = fingerprint_covariance(&exp_kernel(0.25), &regular_grid(3, 3), 1e-8).finish();
+        let again = fingerprint_covariance(&exp_kernel(0.25), &regular_grid(3, 3), 1e-8).finish();
+        assert_eq!(golden, again);
+        assert_ne!(golden, 0);
+    }
+
+    #[test]
+    fn matern_and_exponential_never_alias() {
+        // Matérn ν = 1/2 evaluates to the same covariance as the exponential
+        // kernel, but the *spec* is different and may be factored with
+        // different code paths; the fingerprint keeps them distinct.
+        let locs = regular_grid(4, 4);
+        let matern = CovarianceKernel::Matern(crate::MaternParams {
+            sigma2: 1.0,
+            range: 0.1,
+            smoothness: 0.5,
+        });
+        assert_ne!(
+            fingerprint_covariance(&matern, &locs, 0.0).finish(),
+            fingerprint_covariance(&exp_kernel(0.1), &locs, 0.0).finish()
+        );
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod covariance;
 pub mod field;
+pub mod fingerprint;
 pub mod geometry;
 pub mod mle;
 pub mod optim;
@@ -24,6 +25,7 @@ pub mod wind;
 
 pub use covariance::{CovarianceKernel, MaternParams};
 pub use field::{simulate_field, simulate_field_pooled, simulate_observations, FieldSample};
+pub use fingerprint::{fingerprint_covariance, fingerprint_kernel, fingerprint_locations, Fnv1a};
 pub use geometry::{jittered_grid, regular_grid, Location};
 pub use mle::{fit_matern, fit_matern_pooled, gaussian_loglik, gaussian_loglik_pooled, MleResult};
 pub use optim::{nelder_mead, NelderMeadOptions, OptimResult};

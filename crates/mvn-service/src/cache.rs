@@ -1,0 +1,211 @@
+//! The per-shard factor cache: an LRU map from [`FactorFingerprint`] to a
+//! shared Cholesky factor, with its capacity measured in *bytes of stored
+//! factor data* (`stored_elements() × 8`) rather than entry count — a dense
+//! 10k-dimension factor and a 400-dimension one are not interchangeable
+//! occupants.
+//!
+//! The cache is deliberately **not** internally synchronized: each service
+//! shard owns one cache and is the only thread that touches it (requests are
+//! routed by fingerprint, so a factor lives on exactly one shard). This keeps
+//! the hot hit path a plain `HashMap` lookup with no lock traffic.
+//!
+//! Correctness under eviction is the cheap part of the design: a factor is a
+//! pure function of its spec, so an evicted entry is simply rebuilt on the
+//! next request and yields bitwise-identical probabilities (tested in
+//! `tests/service_equivalence.rs`).
+
+use crate::spec::FactorFingerprint;
+use mvn_core::Factor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Usage counters of a [`FactorCache`] (cumulative over the cache lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the factor resident.
+    pub hits: u64,
+    /// Lookups that missed (the caller then rebuilds and inserts).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Factors currently resident.
+    pub entries: usize,
+    /// Bytes of factor data currently resident.
+    pub bytes: usize,
+    /// The configured capacity in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    factor: Arc<Factor>,
+    bytes: usize,
+    /// Logical timestamp of the last hit/insert (monotone counter, not wall
+    /// time — recency is an ordering, not a duration).
+    last_used: u64,
+}
+
+/// An LRU cache of Cholesky factors keyed by spec fingerprint (see the
+/// [module docs](self)).
+pub struct FactorCache {
+    capacity_bytes: usize,
+    tick: u64,
+    entries: HashMap<FactorFingerprint, Entry>,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FactorCache {
+    /// An empty cache holding at most `capacity_bytes` of factor data.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            tick: 0,
+            entries: HashMap::new(),
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a factor, refreshing its recency on a hit. Counts the lookup
+    /// as a hit or miss.
+    pub fn get(&mut self, fp: FactorFingerprint) -> Option<Arc<Factor>> {
+        self.tick += 1;
+        match self.entries.get_mut(&fp) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.factor))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built factor, evicting least-recently-used entries
+    /// until the cache fits its byte capacity again. The entry being
+    /// inserted is never evicted by its own insertion, so a single factor
+    /// larger than the whole capacity is still served (it just monopolizes
+    /// the cache until something displaces it).
+    pub fn insert(&mut self, fp: FactorFingerprint, factor: Arc<Factor>) {
+        self.tick += 1;
+        let bytes = factor.stored_elements() * std::mem::size_of::<f64>();
+        if let Some(old) = self.entries.insert(
+            fp,
+            Entry {
+                factor,
+                bytes,
+                last_used: self.tick,
+            },
+        ) {
+            // Replacing an existing entry (two threads raced to build the
+            // same factor on one shard cannot happen — the shard is single
+            // threaded — but re-insert after eviction can).
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        while self.bytes > self.capacity_bytes && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(&k, _)| k != fp)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("len > 1, so a victim other than fp exists");
+            let evicted = self.entries.remove(&victim).expect("victim is resident");
+            self.bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tile_la::SymTileMatrix;
+
+    fn factor(n: usize) -> Arc<Factor> {
+        let mut m = SymTileMatrix::from_fn(n, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        tile_la::potrf_tiled(&mut m, 1).unwrap();
+        Arc::new(Factor::Dense(m))
+    }
+
+    fn fp(k: u64) -> FactorFingerprint {
+        FactorFingerprint(k)
+    }
+
+    #[test]
+    fn hit_miss_and_recency_accounting() {
+        let mut c = FactorCache::new(usize::MAX);
+        assert!(c.get(fp(1)).is_none());
+        c.insert(fp(1), factor(8));
+        assert!(c.get(fp(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes > 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used_in_bytes() {
+        let one = factor(8);
+        let bytes_each = one.stored_elements() * 8;
+        // Room for exactly two factors.
+        let mut c = FactorCache::new(2 * bytes_each);
+        c.insert(fp(1), factor(8));
+        c.insert(fp(2), factor(8));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(fp(1)).is_some());
+        c.insert(fp(3), factor(8));
+        assert!(c.get(fp(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(fp(1)).is_some());
+        assert!(c.get(fp(3)).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 2 * bytes_each);
+    }
+
+    #[test]
+    fn oversized_entry_is_kept_and_everything_else_evicted() {
+        let small = factor(8);
+        let bytes_small = small.stored_elements() * 8;
+        let mut c = FactorCache::new(bytes_small);
+        c.insert(fp(1), small);
+        // A factor bigger than the whole capacity: it must still be served
+        // (never self-evict), and the older entry goes.
+        c.insert(fp(2), factor(32));
+        assert!(c.get(fp(2)).is_some());
+        assert!(c.get(fp(1)).is_none());
+        assert_eq!(c.stats().entries, 1);
+    }
+}

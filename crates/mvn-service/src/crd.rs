@@ -1,0 +1,106 @@
+//! Confidence-region detection driven through the service path.
+//!
+//! `excursion`'s CRD drivers are generic over [`JointSolver`];
+//! [`ServedSolver`] implements that trait by routing every prefix integral
+//! through a running [`MvnService`] —
+//! request queue, micro-batcher, factor cache and all. Because each batch of
+//! prefix problems shares one fingerprint, the micro-batcher coalesces the
+//! confidence sweep into the same `solve_batch` graphs the in-process path
+//! uses, and the factor is built once (then served from cache across *all*
+//! CRD runs against the same field — the cross-request amortization the
+//! library path cannot provide).
+//!
+//! The probabilities are bitwise identical to
+//! [`excursion::detect_confidence_regions`] with the same sampling
+//! configuration and the spec's correlation factor (tested in
+//! `tests/service_equivalence.rs`).
+
+use crate::service::{MvnService, ServiceError, SpecHandle, Ticket};
+use excursion::{CrdConfig, CrdResult, JointSolver};
+use mvn_core::Problem;
+use std::time::Duration;
+
+/// A [`JointSolver`] that solves through a running [`MvnService`].
+///
+/// The spec must be [standardized](crate::CovSpec::standardize) — CRD
+/// integrates under the correlation matrix — and the sampling configuration
+/// is the *service's* (`ServiceConfig::mvn`), not the `CrdConfig`'s: a
+/// server solves every request with its own configuration.
+pub struct ServedSolver<'a> {
+    service: &'a MvnService,
+    handle: SpecHandle,
+}
+
+impl<'a> ServedSolver<'a> {
+    /// Wrap a service + registered spec pair.
+    pub fn new(service: &'a MvnService, handle: SpecHandle) -> Self {
+        assert!(
+            handle.spec().standardize,
+            "CRD integrates under the correlation matrix: use a standardized spec"
+        );
+        Self { service, handle }
+    }
+
+    /// The registered spec.
+    pub fn handle(&self) -> &SpecHandle {
+        &self.handle
+    }
+}
+
+impl JointSolver for ServedSolver<'_> {
+    fn dim(&self) -> usize {
+        self.handle.spec().n()
+    }
+
+    fn joint_probabilities(&self, problems: &[Problem]) -> Vec<f64> {
+        // Submit everything first so the micro-batcher can coalesce the
+        // whole chunk into shared task graphs, then wait in order.
+        let tickets: Vec<Ticket> = problems
+            .iter()
+            .map(|p| loop {
+                match self.service.submit(&self.handle, p.clone()) {
+                    Ok(t) => break t,
+                    Err(ServiceError::Overloaded { .. }) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("service rejected a CRD prefix integral: {e}"),
+                }
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| {
+                let out = t.wait().expect("service answered the CRD integral");
+                out.result.prob.clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+/// [`excursion::detect_confidence_regions`] through the service: the
+/// marginal ordering and confidence function come from the same generic
+/// driver, with every joint probability served by `service`. `sd` is derived
+/// from the spec ([`crate::CovSpec::standard_deviations`]).
+pub fn detect_confidence_regions_served(
+    service: &MvnService,
+    handle: &SpecHandle,
+    mean: &[f64],
+    cfg: &CrdConfig,
+) -> CrdResult {
+    let solver = ServedSolver::new(service, handle.clone());
+    let sd = handle.spec().standard_deviations();
+    excursion::detect_confidence_regions_with(&solver, mean, &sd, cfg)
+}
+
+/// [`excursion::find_excursion_set`] through the service (see
+/// [`detect_confidence_regions_served`]).
+pub fn find_excursion_set_served(
+    service: &MvnService,
+    handle: &SpecHandle,
+    mean: &[f64],
+    cfg: &CrdConfig,
+) -> (Vec<usize>, f64) {
+    let solver = ServedSolver::new(service, handle.clone());
+    let sd = handle.spec().standard_deviations();
+    excursion::find_excursion_set_with(&solver, mean, &sd, cfg)
+}

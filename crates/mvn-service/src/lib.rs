@@ -1,0 +1,67 @@
+//! # mvn-service — a sharded, micro-batching MVN probability server
+//!
+//! The library crates answer *one* probability query at a time for *one*
+//! caller; this crate is the serving layer that turns them into a system
+//! that takes concurrent traffic. The paper's CRD workload is exactly the
+//! traffic shape it targets — many probability queries against few
+//! covariance matrices — and Cao et al. (2020) observe that the expensive,
+//! reusable artifact in that workload is the Cholesky factorization. The
+//! service is built around those two facts:
+//!
+//! * **Factor cache** ([`cache`]): covariances are named by deterministic
+//!   [fingerprints](spec::CovSpec::fingerprint) of their specification, and
+//!   each shard keeps an LRU cache of factored matrices (capacity in bytes),
+//!   so repeated CRD/MLE traffic skips re-factorization entirely.
+//! * **Adaptive micro-batcher** ([`service`]): concurrently submitted
+//!   problems that share a factor are coalesced into a single
+//!   [`MvnEngine::solve_batch`](mvn_core::MvnEngine::solve_batch) task
+//!   graph, flushing on batch size, deadline, or a foreign fingerprint —
+//!   with the engine's guarantee that a batched solve is bitwise identical
+//!   to a direct `solve`.
+//! * **Shard-per-engine dispatch** ([`service`]): N engines, each owning a
+//!   worker pool; requests are routed by fingerprint so a factor lives on
+//!   one shard and batches never cross pools. Bounded queues reject with a
+//!   typed [`ServiceError::Overloaded`] (admission control), and
+//!   [`ServiceStats`] snapshots queue depth, the batch-size histogram,
+//!   cache hit rate and per-shard pool counters.
+//! * **TCP front-end** ([`tcp`]): a std-only, line-delimited JSON protocol
+//!   (and the matching [`ServiceClient`]) so the service can sit behind a
+//!   socket; `mvn-bench`'s `mvn_serve` binary pairs it with a closed-loop
+//!   load generator.
+//! * **Served CRD** ([`crd`]): `excursion`'s confidence-region drivers run
+//!   unchanged through the service path via the
+//!   [`JointSolver`](excursion::JointSolver) abstraction, with bitwise
+//!   identical probabilities.
+//!
+//! ```no_run
+//! use mvn_service::{CovSpec, MvnService, ServiceConfig, SpecHandle};
+//! use geostat::{regular_grid, CovarianceKernel};
+//!
+//! let service = MvnService::start(ServiceConfig::default()).unwrap();
+//! let spec = SpecHandle::new(CovSpec::dense(
+//!     regular_grid(8, 8),
+//!     CovarianceKernel::Exponential { sigma2: 1.0, range: 0.1 },
+//!     1e-8,
+//!     16,
+//! ));
+//! let n = 64;
+//! let out = service.solve(&spec, &vec![0.0; n], &vec![f64::INFINITY; n]).unwrap();
+//! println!("P = {} (cache {})", out.result.prob, if out.cache_hit { "hit" } else { "miss" });
+//! ```
+
+pub mod cache;
+pub mod crd;
+pub mod json;
+pub mod service;
+pub mod spec;
+pub mod tcp;
+
+pub use cache::{CacheStats, FactorCache};
+pub use crd::{detect_confidence_regions_served, find_excursion_set_served, ServedSolver};
+pub use json::Json;
+pub use service::{
+    MvnService, ServiceConfig, ServiceError, ServiceStats, ShardStats, SolveOutput, SpecHandle,
+    Ticket, BATCH_HIST_BUCKETS,
+};
+pub use spec::{CovSpec, FactorFingerprint};
+pub use tcp::{render_solve_request, render_stats_request, MvnServer, ServiceClient};

@@ -1,0 +1,693 @@
+//! The in-process serving core: shard-per-engine dispatch with an adaptive
+//! micro-batcher and admission control.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                    ┌────────────── MvnService ──────────────┐
+//!  submit(spec, box) │  route by fingerprint: fp % shards     │
+//!         ──────────▶│                                        │
+//!                    │  shard 0          shard 1          …   │
+//!                    │  ┌──────────┐     ┌──────────┐         │
+//!                    │  │ bounded  │     │ bounded  │  ◀ Overloaded when full
+//!                    │  │ queue    │     │ queue    │         │
+//!                    │  ├──────────┤     ├──────────┤         │
+//!                    │  │ micro-   │     │ micro-   │  ◀ flush on batch size,
+//!                    │  │ batcher  │     │ batcher  │    deadline, or foreign
+//!                    │  ├──────────┤     ├──────────┤    fingerprint
+//!                    │  │ factor   │     │ factor   │  ◀ LRU, bytes-capped
+//!                    │  │ cache    │     │ cache    │         │
+//!                    │  ├──────────┤     ├──────────┤         │
+//!                    │  │ MvnEngine│     │ MvnEngine│  ◀ one pool per shard
+//!                    │  └──────────┘     └──────────┘         │
+//!                    └────────────────────────────────────────┘
+//! ```
+//!
+//! * **Routing.** A request is routed by its spec's [`FactorFingerprint`]
+//!   (`fp % shards`), so every query against one covariance lands on the
+//!   same shard: its factor is built once, lives in exactly one cache, and
+//!   batches never span worker pools.
+//! * **Micro-batching.** The shard dispatcher pops the oldest request and
+//!   collects co-batchable ones (same fingerprint) until the batch size cap,
+//!   the deadline measured from the pop, or the presence of a
+//!   different-fingerprint request (batches never mix factors, so waiting
+//!   longer would only delay both parties). The whole batch is submitted as
+//!   one [`MvnEngine::solve_batch`] task graph.
+//! * **Bitwise guarantee.** `solve_batch` results are bitwise identical to
+//!   per-problem `solve` calls (the engine contract), and a factor rebuilt
+//!   after eviction is bitwise identical to the original (pure function of
+//!   the spec) — so *when* a request arrives, *what* it is batched with, and
+//!   *whether* its factor was cached can never change the probability it
+//!   receives. Asserted end-to-end in `tests/service_equivalence.rs`.
+//! * **Admission control.** Each shard queue is bounded; a full queue
+//!   rejects with the typed [`ServiceError::Overloaded`] instead of growing
+//!   without bound, and malformed limits are rejected at submission with
+//!   [`ServiceError::InvalidProblem`] before they can reach a worker pool.
+
+use crate::cache::{CacheStats, FactorCache};
+use crate::spec::{CovSpec, FactorFingerprint};
+use mvn_core::{EngineError, MvnConfig, MvnEngine, MvnResult, Problem, ProblemError, Scheduler};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use task_runtime::PoolStats;
+
+/// Number of buckets in the batch-size histogram: power-of-two buckets
+/// `1, 2, 3–4, 5–8, 9–16, 17–32, 33+`.
+pub const BATCH_HIST_BUCKETS: usize = 7;
+
+/// Configuration of an [`MvnService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (engine + queue + cache triples). Requests are
+    /// routed by fingerprint, so distinct covariances spread across shards
+    /// while all traffic for one covariance stays on one shard.
+    pub shards: usize,
+    /// Worker threads of each shard's engine pool (`0` = one per available
+    /// core — with several shards prefer explicit small values).
+    pub workers_per_shard: usize,
+    /// Sampling configuration of every solve (sample size/kind, panel
+    /// width, seed). The scheduler's worker count is overridden by
+    /// [`workers_per_shard`](Self::workers_per_shard). `Scheduler::Streaming`
+    /// keeps its streaming mode (and lookahead); `Dag` and `ForkJoin` both
+    /// run the shard engines DAG-scheduled — the same mapping
+    /// `MvnEngine::builder` applies, with bitwise-identical results.
+    pub mvn: MvnConfig,
+    /// Flush a batch once it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a non-full batch this long after its first request was
+    /// dequeued. `Duration::ZERO` batches only what is already queued at
+    /// dequeue time.
+    pub batch_delay: Duration,
+    /// Bounded per-shard queue: submissions beyond this depth are rejected
+    /// with [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Byte capacity of each shard's factor cache.
+    pub cache_capacity_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            workers_per_shard: 1,
+            mvn: MvnConfig::default(),
+            max_batch: 32,
+            batch_delay: Duration::from_millis(2),
+            queue_capacity: 1024,
+            cache_capacity_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Why the service could not (or will not) answer a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The target shard's queue is full — back off and retry. This is
+    /// admission control, not failure: rejecting at the door keeps latency
+    /// bounded for the requests already admitted.
+    Overloaded {
+        /// The shard that rejected the request.
+        shard: usize,
+        /// Its queue depth at rejection time.
+        depth: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The problem failed [`Problem::validate`] (length mismatch, NaN,
+    /// inverted box, wrong dimension).
+    InvalidProblem(ProblemError),
+    /// The spec failed [`CovSpec::validate`] (no locations, zero tile size,
+    /// unusable kernel parameters) — rejected at submission so it can never
+    /// panic a shard dispatcher.
+    InvalidSpec(String),
+    /// The spec's covariance could not be factored (e.g. not positive
+    /// definite). Every request of the affected batch receives this.
+    Factorization(String),
+    /// The dispatcher caught a panic while serving this batch (a bug or a
+    /// pathological input that slipped past validation). The shard stays
+    /// alive and keeps serving subsequent batches.
+    Internal(String),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded {
+                shard,
+                depth,
+                capacity,
+            } => write!(
+                f,
+                "overloaded: shard {shard} queue at {depth}/{capacity}, retry later"
+            ),
+            ServiceError::InvalidProblem(e) => write!(f, "invalid problem: {e}"),
+            ServiceError::InvalidSpec(e) => write!(f, "invalid spec: {e}"),
+            ServiceError::Factorization(e) => write!(f, "factorization failed: {e}"),
+            ServiceError::Internal(e) => write!(f, "internal error: {e}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A successfully served probability, with the serving metadata a client or
+/// load generator may want to audit.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOutput {
+    /// The probability estimate (bitwise identical to a direct
+    /// [`MvnEngine::solve`] with the service's configuration).
+    pub result: MvnResult,
+    /// Whether the factor was already resident in the shard cache.
+    pub cache_hit: bool,
+    /// Size of the coalesced batch this request was solved in.
+    pub batch_size: usize,
+    /// The shard that served it.
+    pub shard: usize,
+}
+
+type Response = Result<SolveOutput, ServiceError>;
+
+/// A registered spec: the spec plus its fingerprint, computed once. Cloning
+/// is cheap (`Arc` inside); every request submitted through one handle is
+/// routed and cached under the same key.
+#[derive(Clone)]
+pub struct SpecHandle {
+    spec: Arc<CovSpec>,
+    fp: FactorFingerprint,
+}
+
+impl SpecHandle {
+    /// Register a spec (computes the fingerprint once).
+    pub fn new(spec: CovSpec) -> Self {
+        let fp = spec.fingerprint();
+        Self {
+            spec: Arc::new(spec),
+            fp,
+        }
+    }
+
+    /// The cache/routing key.
+    pub fn fingerprint(&self) -> FactorFingerprint {
+        self.fp
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &CovSpec {
+        &self.spec
+    }
+}
+
+impl std::fmt::Debug for SpecHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecHandle")
+            .field("fingerprint", &format_args!("{}", self.fp))
+            .field("n", &self.spec.n())
+            .finish()
+    }
+}
+
+/// A pending response: wait on it with [`Ticket::wait`]. Submitting first
+/// and waiting later is what lets concurrent callers coalesce into one
+/// batch.
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+    shard: usize,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("shard", &self.shard)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Block until the service answers.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// The shard the request was routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+struct Request {
+    spec: Arc<CovSpec>,
+    fp: FactorFingerprint,
+    problem: Problem,
+    tx: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    requests: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// Per-shard state shared between the submitting threads and the dispatcher.
+struct Shard {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    batches: AtomicU64,
+    solved: AtomicU64,
+    snapshot: Mutex<ShardSnapshot>,
+}
+
+#[derive(Clone, Default)]
+struct ShardSnapshot {
+    cache: CacheStats,
+    pool: Option<PoolStats>,
+}
+
+/// Service-wide counters shared with the shard dispatchers.
+struct ServiceShared {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+/// A point-in-time snapshot of one shard (see [`ServiceStats`]).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Batches dispatched so far.
+    pub batches: u64,
+    /// Requests answered so far.
+    pub solved: u64,
+    /// The shard's factor-cache counters.
+    pub cache: CacheStats,
+    /// The shard engine's pool counters (`None` until the first batch).
+    pub pool: Option<PoolStats>,
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests admitted (including ones still queued).
+    pub submitted: u64,
+    /// Requests answered (success or per-request error).
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Batch-size histogram over power-of-two buckets
+    /// `1, 2, 3–4, 5–8, 9–16, 17–32, 33+`.
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Per-shard snapshots.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Requests currently queued across all shards.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Factor-cache hits across all shards.
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.hits).sum()
+    }
+
+    /// Factor-cache misses across all shards.
+    pub fn cache_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.misses).sum()
+    }
+
+    /// Factor-cache evictions across all shards.
+    pub fn cache_evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.evictions).sum()
+    }
+
+    /// Aggregate cache hit rate (`0.0` before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let (h, m) = (self.cache_hits(), self.cache_misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// The histogram bucket of a batch size (see [`ServiceStats::batch_hist`]).
+fn batch_bucket(size: usize) -> usize {
+    debug_assert!(size >= 1);
+    let b = (usize::BITS - (size - 1).leading_zeros()) as usize;
+    b.min(BATCH_HIST_BUCKETS - 1)
+}
+
+/// A running MVN probability service (see the [module docs](self)).
+///
+/// Dropping the service stops accepting new requests, drains every queued
+/// request (pending [`Ticket`]s still get answers), and joins the shard
+/// dispatchers and their engine pools.
+pub struct MvnService {
+    cfg: ServiceConfig,
+    shards: Vec<Arc<Shard>>,
+    shared: Arc<ServiceShared>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl MvnService {
+    /// Build the shard engines and start one dispatcher thread per shard.
+    pub fn start(cfg: ServiceConfig) -> Result<Self, EngineError> {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(ServiceShared {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        });
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut dispatchers = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
+            // Build (and validate) the engine on the caller's thread so a
+            // bad configuration fails construction instead of a dispatcher.
+            let engine = MvnEngine::builder()
+                .config(MvnConfig {
+                    scheduler: match cfg.mvn.scheduler {
+                        Scheduler::Streaming { lookahead, .. } => Scheduler::Streaming {
+                            workers: cfg.workers_per_shard,
+                            lookahead,
+                        },
+                        _ => Scheduler::Dag {
+                            workers: cfg.workers_per_shard,
+                        },
+                    },
+                    ..cfg.mvn
+                })
+                .build()?;
+            let shard = Arc::new(Shard {
+                queue: Mutex::new(QueueState {
+                    requests: VecDeque::new(),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+                batches: AtomicU64::new(0),
+                solved: AtomicU64::new(0),
+                snapshot: Mutex::new(ShardSnapshot::default()),
+            });
+            shards.push(Arc::clone(&shard));
+            let shared = Arc::clone(&shared);
+            let shard_idx = shards.len() - 1;
+            let max_batch = cfg.max_batch;
+            let batch_delay = cfg.batch_delay;
+            let cache_capacity = cfg.cache_capacity_bytes;
+            dispatchers.push(
+                std::thread::Builder::new()
+                    .name(format!("mvn-service-shard-{shard_idx}"))
+                    .spawn(move || {
+                        dispatcher_main(
+                            shard,
+                            shared,
+                            engine,
+                            shard_idx,
+                            max_batch,
+                            batch_delay,
+                            cache_capacity,
+                        )
+                    })
+                    .expect("failed to spawn shard dispatcher"),
+            );
+        }
+        Ok(Self {
+            cfg,
+            shards,
+            shared,
+            dispatchers,
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shard a spec's requests are routed to.
+    pub fn shard_of(&self, handle: &SpecHandle) -> usize {
+        (handle.fp.0 % self.cfg.shards as u64) as usize
+    }
+
+    /// Submit one problem, returning a [`Ticket`] immediately. Validation
+    /// happens here (the typed-error boundary: both the problem *and* the
+    /// spec, so a malformed request can never panic a shard dispatcher);
+    /// admission control may reject with [`ServiceError::Overloaded`].
+    pub fn submit(&self, handle: &SpecHandle, problem: Problem) -> Result<Ticket, ServiceError> {
+        handle.spec.validate().map_err(ServiceError::InvalidSpec)?;
+        problem
+            .validate(Some(handle.spec.n()))
+            .map_err(ServiceError::InvalidProblem)?;
+        let idx = self.shard_of(handle);
+        let shard = &self.shards[idx];
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = shard.queue.lock().unwrap();
+            if st.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if st.requests.len() >= self.cfg.queue_capacity {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded {
+                    shard: idx,
+                    depth: st.requests.len(),
+                    capacity: self.cfg.queue_capacity,
+                });
+            }
+            st.requests.push_back(Request {
+                spec: Arc::clone(&handle.spec),
+                fp: handle.fp,
+                problem,
+                tx,
+            });
+            shard.cv.notify_one();
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { rx, shard: idx })
+    }
+
+    /// Submit and block for the answer (the one-call convenience path).
+    pub fn solve(&self, handle: &SpecHandle, a: &[f64], b: &[f64]) -> Response {
+        self.submit(handle, Problem::new(a.to_vec(), b.to_vec()))?
+            .wait()
+    }
+
+    /// A point-in-time snapshot of every counter the service keeps.
+    pub fn stats(&self) -> ServiceStats {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let queue_depth = s.queue.lock().unwrap().requests.len();
+                let snap = s.snapshot.lock().unwrap().clone();
+                ShardStats {
+                    shard: i,
+                    queue_depth,
+                    batches: s.batches.load(Ordering::Relaxed),
+                    solved: s.solved.load(Ordering::Relaxed),
+                    cache: snap.cache,
+                    pool: snap.pool,
+                }
+            })
+            .collect();
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            batch_hist: std::array::from_fn(|i| self.shared.batch_hist[i].load(Ordering::Relaxed)),
+            shards,
+        }
+    }
+}
+
+impl Drop for MvnService {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            let mut st = shard.queue.lock().unwrap();
+            st.shutdown = true;
+            shard.cv.notify_all();
+        }
+        for d in self.dispatchers.drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+/// Collect the next micro-batch: the oldest request plus every co-batchable
+/// (same-fingerprint) request, flushing on the size cap, the deadline, or a
+/// foreign fingerprint in the queue (see the module docs). Returns `None`
+/// when the queue is empty and the service is shutting down.
+///
+/// `scratch` is the dispatcher's reusable partition buffer: extraction is a
+/// single O(depth) drain pass per scan (no per-element `VecDeque::remove`
+/// shifting while the submit-side lock is held). A wait can only happen when
+/// the queue has just been fully drained into the batch (anything foreign
+/// flushes immediately), so a post-wakeup rescan only ever sees newly
+/// arrived requests.
+fn collect_batch(
+    shard: &Shard,
+    max_batch: usize,
+    batch_delay: Duration,
+    scratch: &mut VecDeque<Request>,
+) -> Option<Vec<Request>> {
+    let mut st = shard.queue.lock().unwrap();
+    let first = loop {
+        if let Some(r) = st.requests.pop_front() {
+            break r;
+        }
+        if st.shutdown {
+            return None;
+        }
+        st = shard.cv.wait(st).unwrap();
+    };
+    let fp = first.fp;
+    let mut batch = vec![first];
+    let deadline = Instant::now() + batch_delay;
+    loop {
+        // Partition the queue in one pass: ours into the batch (up to the
+        // cap), everything else back in arrival order.
+        debug_assert!(scratch.is_empty());
+        let mut foreign_waiting = false;
+        while let Some(r) = st.requests.pop_front() {
+            if r.fp == fp && batch.len() < max_batch {
+                batch.push(r);
+            } else {
+                foreign_waiting |= r.fp != fp;
+                scratch.push_back(r);
+            }
+        }
+        std::mem::swap(&mut st.requests, scratch);
+        if batch.len() >= max_batch || foreign_waiting || st.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, _timeout) = shard.cv.wait_timeout(st, deadline - now).unwrap();
+        st = guard;
+    }
+    Some(batch)
+}
+
+/// The shard dispatcher: owns the engine and the factor cache, and serves
+/// micro-batches until shutdown drains the queue.
+fn dispatcher_main(
+    shard: Arc<Shard>,
+    shared: Arc<ServiceShared>,
+    engine: MvnEngine,
+    shard_idx: usize,
+    max_batch: usize,
+    batch_delay: Duration,
+    cache_capacity: usize,
+) {
+    let mut cache = FactorCache::new(cache_capacity);
+    let mut scratch = VecDeque::new();
+    while let Some(batch) = collect_batch(&shard, max_batch, batch_delay, &mut scratch) {
+        let size = batch.len();
+        let fp = batch[0].fp;
+        let spec = Arc::clone(&batch[0].spec);
+        shard.batches.fetch_add(1, Ordering::Relaxed);
+        shared.batch_hist[batch_bucket(size)].fetch_add(1, Ordering::Relaxed);
+        let (problems, txs): (Vec<Problem>, Vec<mpsc::Sender<Response>>) =
+            batch.into_iter().map(|r| (r.problem, r.tx)).unzip();
+
+        // Serve the batch with the panic boundary *around* the numerical
+        // work: a panic out of the factorization or the solve (a bug, or a
+        // pathological input that slipped past validation) must not kill
+        // the dispatcher — that would strand every queued request for this
+        // shard and silently brown-out 1/N of the service. The batch gets a
+        // typed `Internal` error and the shard keeps serving.
+        type Served = Result<(Vec<MvnResult>, bool), ServiceError>;
+        let outcome: Served =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Served {
+                let lookup = cache.get(fp);
+                let cache_hit = lookup.is_some();
+                let factor = match lookup {
+                    Some(f) => f,
+                    None => {
+                        let f = Arc::new(
+                            spec.build_factor(&engine)
+                                .map_err(ServiceError::Factorization)?,
+                        );
+                        cache.insert(fp, Arc::clone(&f));
+                        f
+                    }
+                };
+                Ok((engine.solve_batch(&factor, &problems), cache_hit))
+            })) {
+                Ok(served) => served,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    Err(ServiceError::Internal(msg))
+                }
+            };
+
+        // Every counter is published *before* the responses go out, so a
+        // client that reads `stats()` right after its `Ticket::wait`
+        // returns always sees its own request accounted for.
+        shard.solved.fetch_add(
+            if outcome.is_ok() { size as u64 } else { 0 },
+            Ordering::Relaxed,
+        );
+        shared.completed.fetch_add(size as u64, Ordering::Relaxed);
+        *shard.snapshot.lock().unwrap() = ShardSnapshot {
+            cache: cache.stats(),
+            pool: Some(engine.pool_stats()),
+        };
+
+        match outcome {
+            Ok((results, cache_hit)) => {
+                for (result, tx) in results.into_iter().zip(txs) {
+                    // A dropped receiver (client gave up) is fine.
+                    let _ = tx.send(Ok(SolveOutput {
+                        result,
+                        cache_hit,
+                        batch_size: size,
+                        shard: shard_idx,
+                    }));
+                }
+            }
+            Err(e) => {
+                for tx in txs {
+                    let _ = tx.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_bucket_boundaries() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(5), 3);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(16), 4);
+        assert_eq!(batch_bucket(32), 5);
+        assert_eq!(batch_bucket(33), 6);
+        assert_eq!(batch_bucket(1000), 6);
+    }
+}

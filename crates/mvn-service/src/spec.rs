@@ -1,0 +1,335 @@
+//! Covariance specifications and their factor fingerprints.
+//!
+//! A serving request names its covariance *by specification* (kernel +
+//! coordinates + assembly parameters), not by shipping a matrix: the matrix
+//! is derived data the server can rebuild at will, and the specification is
+//! what the factor cache keys on. [`CovSpec::fingerprint`] folds every field
+//! that influences the factor — the covariance fingerprint of
+//! [`geostat::fingerprint`] plus tile size, dense/TLR choice, compression
+//! tolerance and standardization — into one 64-bit key, so two requests get
+//! the same cache entry exactly when they would factor the same matrix the
+//! same way.
+
+use geostat::fingerprint::{fingerprint_covariance, Fnv1a};
+use geostat::{CovarianceKernel, Location};
+use mvn_core::{Factor, FactorKind, MvnEngine};
+use tlr::CompressionTol;
+
+/// The cache key of a factored covariance: a stable 64-bit hash of the full
+/// [`CovSpec`] (see the [module docs](self) for what it covers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactorFingerprint(pub u64);
+
+impl std::fmt::Display for FactorFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A complete, self-contained description of a covariance matrix and how to
+/// factor it — everything a shard needs to rebuild the factor on a cache
+/// miss.
+#[derive(Debug, Clone)]
+pub struct CovSpec {
+    /// Spatial locations (row/column order of the matrix).
+    pub locations: Vec<Location>,
+    /// The stationary covariance kernel.
+    pub kernel: CovarianceKernel,
+    /// Diagonal nugget added for numerical stability.
+    pub nugget: f64,
+    /// Tile size `nb` of the factor storage.
+    pub tile_size: usize,
+    /// Dense or TLR factorization (the shared [`FactorKind`] vocabulary; for
+    /// TLR, `mean_rank` is the compression rank cap, `0` = uncapped).
+    pub kind: FactorKind,
+    /// Absolute TLR compression tolerance (ignored for dense factors).
+    pub tlr_tol: f64,
+    /// Factor the *correlation* matrix `D^{-1/2} Σ D^{-1/2}` instead of the
+    /// covariance itself — the form the CRD/excursion integrals consume
+    /// (limits are then standardized by [`CovSpec::standard_deviations`]).
+    pub standardize: bool,
+}
+
+impl CovSpec {
+    /// A dense-factor spec with no standardization.
+    pub fn dense(
+        locations: Vec<Location>,
+        kernel: CovarianceKernel,
+        nugget: f64,
+        tile_size: usize,
+    ) -> Self {
+        Self {
+            locations,
+            kernel,
+            nugget,
+            tile_size,
+            kind: FactorKind::Dense,
+            tlr_tol: 0.0,
+            standardize: false,
+        }
+    }
+
+    /// A TLR-factor spec with no standardization (`max_rank = 0` means
+    /// uncapped).
+    pub fn tlr(
+        locations: Vec<Location>,
+        kernel: CovarianceKernel,
+        nugget: f64,
+        tile_size: usize,
+        tol: f64,
+        max_rank: usize,
+    ) -> Self {
+        Self {
+            locations,
+            kernel,
+            nugget,
+            tile_size,
+            kind: FactorKind::Tlr {
+                mean_rank: max_rank,
+            },
+            tlr_tol: tol,
+            standardize: false,
+        }
+    }
+
+    /// Switch the spec to factoring the correlation matrix (see
+    /// [`CovSpec::standardize`]).
+    pub fn standardized(mut self) -> Self {
+        self.standardize = true;
+        self
+    }
+
+    /// The MVN dimension (number of locations).
+    pub fn n(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// The deterministic cache key of this spec (see the [module
+    /// docs](self)).
+    pub fn fingerprint(&self) -> FactorFingerprint {
+        let mut h: Fnv1a = fingerprint_covariance(&self.kernel, &self.locations, self.nugget);
+        h.write_usize(self.tile_size);
+        match self.kind {
+            FactorKind::Dense => h.write_bytes(b"dense"),
+            FactorKind::Tlr { mean_rank } => {
+                h.write_bytes(b"tlr");
+                h.write_usize(mean_rank);
+                h.write_f64(self.tlr_tol);
+            }
+        }
+        h.write_bytes(if self.standardize { b"corr" } else { b"cov" });
+        FactorFingerprint(h.finish())
+    }
+
+    /// Per-location standard deviations `√(C(0) + nugget)` of the covariance
+    /// this spec assembles — bitwise identical to
+    /// [`excursion::standard_deviations`] on the assembled dense matrix
+    /// (stationary kernels have a constant diagonal), so limits standardized
+    /// with these values match the library CRD path exactly.
+    pub fn standard_deviations(&self) -> Vec<f64> {
+        vec![(self.kernel.cov(0.0) + self.nugget).sqrt(); self.locations.len()]
+    }
+
+    /// Structural validation of the spec itself: non-empty locations with
+    /// finite coordinates, a positive tile size, usable kernel parameters.
+    /// The service calls this at submission, so a malformed spec is a typed
+    /// rejection to the one offending client — it must never reach a shard
+    /// dispatcher, where a panic would take down 1/N of the service.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.locations.is_empty() {
+            return Err("spec has no locations".to_string());
+        }
+        if self
+            .locations
+            .iter()
+            .any(|l| !l.x.is_finite() || !l.y.is_finite())
+        {
+            return Err("locations must have finite coordinates".to_string());
+        }
+        if self.tile_size == 0 {
+            return Err("tile size must be positive".to_string());
+        }
+        let (sigma2, range) = match self.kernel {
+            CovarianceKernel::Exponential { sigma2, range }
+            | CovarianceKernel::SquaredExponential { sigma2, range } => (sigma2, range),
+            CovarianceKernel::Matern(p) => {
+                if !(p.smoothness.is_finite() && p.smoothness > 0.0) {
+                    return Err("matern smoothness must be positive and finite".to_string());
+                }
+                (p.sigma2, p.range)
+            }
+        };
+        if !(sigma2.is_finite() && sigma2 > 0.0 && range.is_finite() && range > 0.0) {
+            return Err("kernel sigma2 and range must be positive and finite".to_string());
+        }
+        if !(self.nugget.is_finite() && self.nugget >= 0.0) {
+            return Err("nugget must be non-negative and finite".to_string());
+        }
+        if matches!(self.kind, FactorKind::Tlr { .. })
+            && !(self.tlr_tol.is_finite() && self.tlr_tol > 0.0)
+        {
+            return Err("tlr tolerance must be positive and finite".to_string());
+        }
+        Ok(())
+    }
+
+    /// The TLR rank cap encoded in [`CovSpec::kind`] (`0` = uncapped).
+    fn max_rank(&self) -> usize {
+        match self.kind {
+            FactorKind::Dense => 0,
+            FactorKind::Tlr { mean_rank } => {
+                if mean_rank == 0 {
+                    usize::MAX
+                } else {
+                    mean_rank
+                }
+            }
+        }
+    }
+
+    /// Assemble the covariance (or correlation) matrix and factor it on the
+    /// engine's pool. The factor is bitwise identical to the library paths
+    /// for the same spec: `potrf` on the engine pool equals `potrf_tiled(…,
+    /// 1)` for any worker count, and the standardized entries come from
+    /// [`excursion::correlation_matrix_dense`]/`_tlr` — the same definition
+    /// `correlation_factor_dense`/`_tlr` factor.
+    pub fn build_factor(&self, engine: &MvnEngine) -> Result<Factor, String> {
+        assert!(
+            self.tile_size > 0 && !self.locations.is_empty(),
+            "spec must have locations and a positive tile size"
+        );
+        if self.standardize {
+            let cov = self.kernel.dense_covariance(&self.locations, self.nugget);
+            match self.kind {
+                FactorKind::Dense => {
+                    let (corr, _sd) = excursion::correlation_matrix_dense(&cov, self.tile_size);
+                    engine.factor_dense(corr).map_err(|e| e.to_string())
+                }
+                FactorKind::Tlr { .. } => {
+                    let (corr, _sd) = excursion::correlation_matrix_tlr(
+                        &cov,
+                        self.tile_size,
+                        CompressionTol::Absolute(self.tlr_tol),
+                        self.max_rank(),
+                    );
+                    engine.factor_tlr(corr).map_err(|e| e.to_string())
+                }
+            }
+        } else {
+            match self.kind {
+                FactorKind::Dense => {
+                    let sigma =
+                        self.kernel
+                            .tiled_covariance(&self.locations, self.tile_size, self.nugget);
+                    engine.factor_dense(sigma).map_err(|e| e.to_string())
+                }
+                FactorKind::Tlr { .. } => {
+                    let sigma = self.kernel.tlr_covariance(
+                        &self.locations,
+                        self.tile_size,
+                        self.nugget,
+                        CompressionTol::Absolute(self.tlr_tol),
+                        self.max_rank(),
+                    );
+                    engine.factor_tlr(sigma).map_err(|e| e.to_string())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostat::regular_grid;
+
+    fn base_spec() -> CovSpec {
+        CovSpec::dense(
+            regular_grid(5, 5),
+            CovarianceKernel::Exponential {
+                sigma2: 1.0,
+                range: 0.2,
+            },
+            1e-8,
+            8,
+        )
+    }
+
+    #[test]
+    fn fingerprint_covers_every_assembly_knob() {
+        let base = base_spec().fingerprint();
+        assert_eq!(base, base_spec().fingerprint(), "deterministic");
+
+        let mut tile = base_spec();
+        tile.tile_size = 10;
+        assert_ne!(base, tile.fingerprint());
+
+        let mut tlr = base_spec();
+        tlr.kind = FactorKind::Tlr { mean_rank: 0 };
+        tlr.tlr_tol = 1e-6;
+        assert_ne!(base, tlr.fingerprint());
+
+        let mut tighter = tlr.clone();
+        tighter.tlr_tol = 1e-7;
+        assert_ne!(tlr.fingerprint(), tighter.fingerprint());
+
+        let mut capped = tlr.clone();
+        capped.kind = FactorKind::Tlr { mean_rank: 12 };
+        assert_ne!(tlr.fingerprint(), capped.fingerprint());
+
+        assert_ne!(base, base_spec().standardized().fingerprint());
+
+        let mut nugget = base_spec();
+        nugget.nugget = 1e-9;
+        assert_ne!(base, nugget.fingerprint());
+    }
+
+    #[test]
+    fn standard_deviations_match_the_assembled_diagonal_bitwise() {
+        let spec = base_spec();
+        let cov = spec.kernel.dense_covariance(&spec.locations, spec.nugget);
+        let want = excursion::standard_deviations(&cov);
+        let got = spec.standard_deviations();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!(g.to_bits() == w.to_bits(), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn built_factor_matches_the_library_paths_bitwise() {
+        let engine = MvnEngine::builder().workers(2).build().unwrap();
+        // Covariance path vs potrf_tiled.
+        let spec = base_spec();
+        let f = spec.build_factor(&engine).unwrap();
+        let mut want = spec
+            .kernel
+            .tiled_covariance(&spec.locations, spec.tile_size, spec.nugget);
+        tile_la::potrf_tiled(&mut want, 1).unwrap();
+        let Factor::Dense(got) = &f else {
+            panic!("expected dense")
+        };
+        let (gd, wd) = (got.to_dense_lower(), want.to_dense_lower());
+        for i in 0..spec.n() {
+            for j in 0..spec.n() {
+                assert!(gd.get(i, j).to_bits() == wd.get(i, j).to_bits());
+            }
+        }
+        // Correlation path vs correlation_factor_dense.
+        let sspec = base_spec().standardized();
+        let sf = sspec.build_factor(&engine).unwrap();
+        let cov = sspec
+            .kernel
+            .dense_covariance(&sspec.locations, sspec.nugget);
+        let (wantf, _sd) = excursion::correlation_factor_dense(&cov, sspec.tile_size);
+        let (Factor::Dense(got), Factor::Dense(want)) = (&sf, &wantf) else {
+            panic!("expected dense")
+        };
+        let (gd, wd) = (got.to_dense_lower(), want.to_dense_lower());
+        for i in 0..sspec.n() {
+            for j in 0..sspec.n() {
+                assert!(gd.get(i, j).to_bits() == wd.get(i, j).to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,603 @@
+//! The std-only TCP front-end: line-delimited JSON over plain sockets, in
+//! the workspace's hand-rolled offline style (no serde, no tokio — a
+//! `TcpListener`, one reader/writer thread pair per connection, and the
+//! [`json`](crate::json) module).
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line, one response line per request line, **in
+//! request order** (pipelining is encouraged: a client may write many
+//! requests before reading — that is exactly what lets the micro-batcher
+//! coalesce them).
+//!
+//! Solve request:
+//!
+//! ```json
+//! {"id":1,"spec":{"grid":6,"kernel":"exponential","sigma2":1.0,"range":0.1,
+//!  "nugget":1e-8,"tile":12,"kind":"dense"},"a":[0.0, …],"b":[null, …]}
+//! ```
+//!
+//! * `spec.grid: s` is shorthand for the `s × s` regular unit-square grid;
+//!   arbitrary coordinates go in `spec.locations: [[x,y], …]`.
+//! * `spec.kernel` is `"exponential"`, `"matern"` (with `smoothness`) or
+//!   `"sqexp"`; `sigma2` defaults to 1, `nugget` to 0, `tile` to 32.
+//! * `spec.kind` is `"dense"` (default) or `"tlr"` (with `tol`, default
+//!   1e-6, and `max_rank`, default 0 = uncapped); `standardize: true`
+//!   requests the correlation factor (for CRD-style standardized limits).
+//! * JSON has no `±inf`, so a `null` entry means `-inf` in `a` and `+inf`
+//!   in `b`.
+//!
+//! Response: `{"id":1,"prob":0.123,"std_error":0.001,"samples":10000,
+//! "cache":"hit","batch":4,"shard":0}` — or `{"id":1,"error":"…"}` (the
+//! typed [`ServiceError`] rendered as text, e.g. admission-control
+//! rejections). A `std_error` of `null` means "unavailable" (single batch).
+//!
+//! Stats request: `{"id":2,"stats":true}` → `{"id":2,"stats":{"submitted":…,
+//! "completed":…,"rejected":…,"queue_depth":…,"cache_hits":…,
+//! "cache_misses":…,"cache_evictions":…,"cache_hit_rate":…,"batch_hist":[…]}}`.
+
+use crate::json::{write_escaped, write_f64, Json};
+use crate::service::{MvnService, ServiceError, SolveOutput, SpecHandle, Ticket};
+use crate::spec::CovSpec;
+use geostat::{regular_grid, CovarianceKernel, Location, MaternParams};
+use mvn_core::{FactorKind, Problem};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked connection reads wake up to check for server shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A running TCP front-end over an [`MvnService`]. Dropping it stops the
+/// accept loop, unblocks every connection, and joins all handler threads
+/// (pending requests are still answered — the service drains on its own
+/// drop).
+pub struct MvnServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    // Kept so the front-end can outlive the caller's handle to the service.
+    _service: Arc<MvnService>,
+}
+
+impl MvnServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `service`.
+    pub fn serve(service: Arc<MvnService>, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("mvn-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, service, shutdown))
+                .expect("failed to spawn accept thread")
+        };
+        Ok(Self {
+            addr: local,
+            shutdown,
+            accept: Some(accept),
+            _service: service,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MvnServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<MvnService>, shutdown: Arc<AtomicBool>) {
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("mvn-serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(service, stream, shutdown_flag);
+            })
+            .expect("failed to spawn connection thread");
+        let mut conns = conns.lock().unwrap();
+        // Reap finished handlers so a long-running server does not
+        // accumulate one JoinHandle per connection it ever served.
+        conns.retain(|h: &JoinHandle<()>| !h.is_finished());
+        conns.push(handle);
+    }
+    for c in conns.lock().unwrap().drain(..) {
+        let _ = c.join();
+    }
+}
+
+/// What the reader hands the writer for one request line: an immediate
+/// response, or a ticket to wait on (in order, preserving pipelining).
+enum Pending {
+    Ready(String),
+    Waiting(u64, Ticket),
+}
+
+fn handle_connection(
+    service: Arc<MvnService>,
+    stream: TcpStream,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<Pending>();
+    let writer = std::thread::Builder::new()
+        .name("mvn-serve-writer".to_string())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            for pending in rx {
+                let line = match pending {
+                    Pending::Ready(s) => s,
+                    Pending::Waiting(id, ticket) => render_response(id, ticket.wait()),
+                };
+                if writeln!(out, "{line}").and_then(|_| out.flush()).is_err() {
+                    break; // client went away; remaining tickets drop
+                }
+            }
+        })
+        .expect("failed to spawn connection writer");
+
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => {
+                // EOF. `buf` may still hold a request whose bytes arrived
+                // across an earlier read-timeout boundary without a final
+                // newline — serve it like the in-band unterminated case.
+                if !buf.trim().is_empty() {
+                    let _ = tx.send(handle_line(&service, buf.trim()));
+                }
+                break;
+            }
+            Ok(_) => {
+                if !buf.ends_with('\n') {
+                    // EOF without trailing newline: serve it, then stop.
+                    let _ = tx.send(handle_line(&service, buf.trim()));
+                    break;
+                }
+                let line = buf.trim();
+                if !line.is_empty() && tx.send(handle_line(&service, line)).is_err() {
+                    break;
+                }
+                buf.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Partial data (if any) stays in `buf`; just check for
+                // shutdown and keep reading.
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Parse and dispatch one request line.
+fn handle_line(service: &MvnService, line: &str) -> Pending {
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return Pending::Ready(render_error(0, &format!("bad json: {e}"))),
+    };
+    let id = req
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .map(|x| x as u64)
+        .unwrap_or(0);
+    if req.get("stats").and_then(Json::as_bool) == Some(true) {
+        return Pending::Ready(render_stats(id, service));
+    }
+    match parse_solve(&req) {
+        Ok((handle, problem)) => match service.submit(&handle, problem) {
+            Ok(ticket) => Pending::Waiting(id, ticket),
+            Err(e) => Pending::Ready(render_error(id, &e.to_string())),
+        },
+        Err(e) => Pending::Ready(render_error(id, &e)),
+    }
+}
+
+/// Parse a solve request into a registered spec and a problem.
+fn parse_solve(req: &Json) -> Result<(SpecHandle, Problem), String> {
+    let spec = req.get("spec").ok_or("missing \"spec\"")?;
+    let spec = parse_spec(spec)?;
+    let a = limits(req.get("a").ok_or("missing \"a\"")?, f64::NEG_INFINITY)?;
+    let b = limits(req.get("b").ok_or("missing \"b\"")?, f64::INFINITY)?;
+    Ok((SpecHandle::new(spec), Problem::new(a, b)))
+}
+
+/// Parse a limit array; `null` entries become `inf_value` (`-inf` for `a`,
+/// `+inf` for `b`).
+fn limits(v: &Json, inf_value: f64) -> Result<Vec<f64>, String> {
+    v.as_arr()
+        .ok_or("limits must be arrays")?
+        .iter()
+        .map(|x| match x {
+            Json::Null => Ok(inf_value),
+            Json::Num(v) => Ok(*v),
+            other => Err(format!(
+                "limit entries must be numbers or null, got {other}"
+            )),
+        })
+        .collect()
+}
+
+/// Parse a wire spec object into a [`CovSpec`].
+pub fn parse_spec(v: &Json) -> Result<CovSpec, String> {
+    let locations: Vec<Location> = if let Some(side) = v.get("grid") {
+        let side = side.as_usize().ok_or("\"grid\" must be an integer")?;
+        if side < 2 {
+            return Err("\"grid\" must be at least 2".to_string());
+        }
+        regular_grid(side, side)
+    } else if let Some(locs) = v.get("locations") {
+        locs.as_arr()
+            .ok_or("\"locations\" must be an array")?
+            .iter()
+            .map(|p| {
+                let pair = p.as_arr().filter(|a| a.len() == 2);
+                let pair = pair.ok_or("each location must be an [x,y] pair")?;
+                match (pair[0].as_f64(), pair[1].as_f64()) {
+                    (Some(x), Some(y)) => Ok(Location::new(x, y)),
+                    _ => Err("location coordinates must be numbers".to_string()),
+                }
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        return Err("spec needs \"grid\" or \"locations\"".to_string());
+    };
+    if locations.is_empty() {
+        return Err("spec has no locations".to_string());
+    }
+
+    let sigma2 = v.get("sigma2").and_then(Json::as_f64).unwrap_or(1.0);
+    let range = v
+        .get("range")
+        .and_then(Json::as_f64)
+        .ok_or("missing \"range\"")?;
+    if sigma2.is_nan() || sigma2 <= 0.0 || range.is_nan() || range <= 0.0 {
+        return Err("sigma2 and range must be positive".to_string());
+    }
+    let kernel = match v
+        .get("kernel")
+        .and_then(Json::as_str)
+        .unwrap_or("exponential")
+    {
+        "exponential" => CovarianceKernel::Exponential { sigma2, range },
+        "sqexp" => CovarianceKernel::SquaredExponential { sigma2, range },
+        "matern" => {
+            let smoothness = v
+                .get("smoothness")
+                .and_then(Json::as_f64)
+                .ok_or("matern kernel needs \"smoothness\"")?;
+            if smoothness.is_nan() || smoothness <= 0.0 {
+                return Err("smoothness must be positive".to_string());
+            }
+            CovarianceKernel::Matern(MaternParams {
+                sigma2,
+                range,
+                smoothness,
+            })
+        }
+        other => return Err(format!("unknown kernel {other:?}")),
+    };
+
+    let nugget = v.get("nugget").and_then(Json::as_f64).unwrap_or(0.0);
+    if nugget.is_nan() || nugget < 0.0 {
+        return Err("nugget must be non-negative".to_string());
+    }
+    let tile_size = v.get("tile").and_then(Json::as_usize).unwrap_or(32);
+    if tile_size == 0 {
+        return Err("tile must be positive".to_string());
+    }
+    let kind = match v.get("kind").and_then(Json::as_str).unwrap_or("dense") {
+        "dense" => FactorKind::Dense,
+        "tlr" => FactorKind::Tlr {
+            mean_rank: v.get("max_rank").and_then(Json::as_usize).unwrap_or(0),
+        },
+        other => return Err(format!("unknown factor kind {other:?}")),
+    };
+    let tlr_tol = v.get("tol").and_then(Json::as_f64).unwrap_or(1e-6);
+    if matches!(kind, FactorKind::Tlr { .. }) && (tlr_tol.is_nan() || tlr_tol <= 0.0) {
+        return Err("tol must be positive".to_string());
+    }
+
+    Ok(CovSpec {
+        locations,
+        kernel,
+        nugget,
+        tile_size,
+        kind,
+        tlr_tol,
+        standardize: v
+            .get("standardize")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+/// Render a spec in wire form (explicit coordinates, shortest-roundtrip
+/// numbers — parsing it back yields a spec with the identical fingerprint).
+pub fn render_spec(spec: &CovSpec) -> String {
+    let mut s = String::from("{\"locations\":[");
+    for (i, l) in spec.locations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        write_f64(&mut s, l.x);
+        s.push(',');
+        write_f64(&mut s, l.y);
+        s.push(']');
+    }
+    s.push_str("],");
+    match spec.kernel {
+        CovarianceKernel::Exponential { sigma2, range } => {
+            s.push_str("\"kernel\":\"exponential\",\"sigma2\":");
+            write_f64(&mut s, sigma2);
+            s.push_str(",\"range\":");
+            write_f64(&mut s, range);
+        }
+        CovarianceKernel::SquaredExponential { sigma2, range } => {
+            s.push_str("\"kernel\":\"sqexp\",\"sigma2\":");
+            write_f64(&mut s, sigma2);
+            s.push_str(",\"range\":");
+            write_f64(&mut s, range);
+        }
+        CovarianceKernel::Matern(MaternParams {
+            sigma2,
+            range,
+            smoothness,
+        }) => {
+            s.push_str("\"kernel\":\"matern\",\"sigma2\":");
+            write_f64(&mut s, sigma2);
+            s.push_str(",\"range\":");
+            write_f64(&mut s, range);
+            s.push_str(",\"smoothness\":");
+            write_f64(&mut s, smoothness);
+        }
+    }
+    s.push_str(",\"nugget\":");
+    write_f64(&mut s, spec.nugget);
+    s.push_str(&format!(",\"tile\":{}", spec.tile_size));
+    match spec.kind {
+        FactorKind::Dense => s.push_str(",\"kind\":\"dense\""),
+        FactorKind::Tlr { mean_rank } => {
+            s.push_str(&format!(
+                ",\"kind\":\"tlr\",\"max_rank\":{mean_rank},\"tol\":"
+            ));
+            write_f64(&mut s, spec.tlr_tol);
+        }
+    }
+    if spec.standardize {
+        s.push_str(",\"standardize\":true");
+    }
+    s.push('}');
+    s
+}
+
+/// Render a solve request line (`null` for infinite limits).
+pub fn render_solve_request(id: u64, spec: &CovSpec, a: &[f64], b: &[f64]) -> String {
+    let mut s = format!("{{\"id\":{id},\"spec\":{},\"a\":[", render_spec(spec));
+    for (i, &x) in a.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_f64(&mut s, x);
+    }
+    s.push_str("],\"b\":[");
+    for (i, &x) in b.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write_f64(&mut s, x);
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Render a stats request line.
+pub fn render_stats_request(id: u64) -> String {
+    format!("{{\"id\":{id},\"stats\":true}}")
+}
+
+fn render_response(id: u64, response: Result<SolveOutput, ServiceError>) -> String {
+    match response {
+        Ok(out) => {
+            let mut s = format!("{{\"id\":{id},\"prob\":");
+            write_f64(&mut s, out.result.prob);
+            s.push_str(",\"std_error\":");
+            write_f64(&mut s, out.result.std_error); // NaN -> null ("unavailable")
+            s.push_str(&format!(
+                ",\"samples\":{},\"cache\":\"{}\",\"batch\":{},\"shard\":{}}}",
+                out.result.samples,
+                if out.cache_hit { "hit" } else { "miss" },
+                out.batch_size,
+                out.shard
+            ));
+            s
+        }
+        Err(e) => render_error(id, &e.to_string()),
+    }
+}
+
+fn render_error(id: u64, msg: &str) -> String {
+    let mut s = format!("{{\"id\":{id},\"error\":");
+    write_escaped(&mut s, msg);
+    s.push('}');
+    s
+}
+
+fn render_stats(id: u64, service: &MvnService) -> String {
+    let st = service.stats();
+    let mut s = format!(
+        "{{\"id\":{id},\"stats\":{{\"submitted\":{},\"completed\":{},\"rejected\":{},\
+         \"queue_depth\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+         \"cache_hit_rate\":",
+        st.submitted,
+        st.completed,
+        st.rejected,
+        st.queue_depth(),
+        st.cache_hits(),
+        st.cache_misses(),
+        st.cache_evictions(),
+    );
+    write_f64(&mut s, st.cache_hit_rate());
+    s.push_str(",\"batch_hist\":[");
+    for (i, c) in st.batch_hist.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&c.to_string());
+    }
+    s.push_str("]}}");
+    s
+}
+
+/// A minimal blocking client for tests and load generators: one request
+/// line out, one response line back.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to a server address.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one raw request line (no newline) and read one response line.
+    pub fn request(&mut self, line: &str) -> io::Result<Json> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Send one raw request line without waiting for the response
+    /// (pipelining; pair with [`read_response`](Self::read_response)).
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Read the next response line.
+    pub fn read_response(&mut self) -> io::Result<Json> {
+        let mut buf = String::new();
+        let n = self.reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(buf.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_wire_roundtrip_preserves_the_fingerprint() {
+        let spec = CovSpec::tlr(
+            regular_grid(4, 5),
+            CovarianceKernel::Matern(MaternParams {
+                sigma2: 1.3,
+                range: 0.1,
+                smoothness: 1.5,
+            }),
+            1e-8,
+            10,
+            1e-6,
+            7,
+        )
+        .standardized();
+        let wire = render_spec(&spec);
+        let back = parse_spec(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(spec.fingerprint(), back.fingerprint());
+        assert_eq!(back.n(), 20);
+        // And the grid shorthand matches explicit coordinates.
+        let grid_spec = parse_spec(
+            &Json::parse(r#"{"grid":4,"kernel":"exponential","range":0.25,"tile":8}"#).unwrap(),
+        )
+        .unwrap();
+        let explicit = CovSpec::dense(
+            regular_grid(4, 4),
+            CovarianceKernel::Exponential {
+                sigma2: 1.0,
+                range: 0.25,
+            },
+            0.0,
+            8,
+        );
+        assert_eq!(grid_spec.fingerprint(), explicit.fingerprint());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_messages() {
+        for (bad, needle) in [
+            (r#"{"kernel":"exponential","range":0.1}"#, "grid"),
+            (r#"{"grid":4,"kernel":"exponential"}"#, "range"),
+            (
+                r#"{"grid":4,"kernel":"cubic","range":0.1}"#,
+                "unknown kernel",
+            ),
+            (r#"{"grid":4,"kernel":"matern","range":0.1}"#, "smoothness"),
+            (
+                r#"{"grid":1,"kernel":"exponential","range":0.1}"#,
+                "at least 2",
+            ),
+            (
+                r#"{"grid":4,"kernel":"exponential","range":0.1,"kind":"sparse"}"#,
+                "factor kind",
+            ),
+            (
+                r#"{"grid":4,"kernel":"exponential","range":-0.1}"#,
+                "positive",
+            ),
+        ] {
+            let err = parse_spec(&Json::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub use excursion;
 pub use geostat;
 pub use mathx;
 pub use mvn_core;
+pub use mvn_service;
 pub use qmc;
 pub use task_runtime;
 pub use tile_la;
