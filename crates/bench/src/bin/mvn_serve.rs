@@ -1,12 +1,23 @@
 //! `mvn-serve` — the MVN probability server paired with a closed-loop load
 //! generator, reporting throughput/latency/cache JSON points.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * `--smoke` (CI): ~2 s of mixed traffic on laptop-scale problems, then
 //!   hard assertions — non-zero completions, ≥ 2 distinct covariance
 //!   fingerprints exercised, cache hit rate > 0 — exiting non-zero on any
 //!   violation.
+//! * `--soak` (CI, short via `--secs 2`): the sustained-load acceptance run
+//!   for cross-fingerprint batching. Two identical phases — the cross-spec
+//!   batcher and the legacy flush-on-foreign batcher
+//!   (`cross_spec_batching: false`) — each warming *and pinning* both
+//!   fingerprints over the wire, driving strictly interleaved two-spec
+//!   traffic through pipelined clients, probing deadline shedding with a
+//!   zero-deadline request, then scraping the full wire `stats` snapshot.
+//!   Hard floors: cache hit rate ≥ 0.9, p99 ≤ `--p99-ms` (default 5000),
+//!   `mixed_batches > 0` (cross) / `== 0` (legacy), accounting balance, and
+//!   cross-phase mean batch size ≥ legacy. Emits `service_soak_*` points
+//!   for both phases.
 //! * default: a longer run on the same workload shape (tune with `--secs`,
 //!   `--clients`, `--shards`, `--grid`, `--samples`).
 //!
@@ -27,7 +38,8 @@
 
 use geostat::{regular_grid, CovarianceKernel};
 use mvn_service::{
-    render_solve_request, CovSpec, MvnServer, MvnService, ServiceClient, ServiceConfig,
+    render_solve_request, render_solve_request_deadline, render_stats_request, render_warm_request,
+    CovSpec, Json, MvnServer, MvnService, ServiceClient, ServiceConfig,
 };
 use qmc::Xoshiro256pp;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,13 +59,283 @@ fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// What one soak phase measured, read back over the wire.
+struct SoakReport {
+    completed: usize,
+    rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    mean_batch: f64,
+    hit_rate: f64,
+    mixed_batches: u64,
+}
+
+/// Run one soak phase: warm + pin both fingerprints over the wire, drive
+/// `clients` pipelined connections of strictly interleaved two-spec traffic
+/// for `secs`, probe deadline shedding, then scrape and sanity-check the
+/// wire stats snapshot.
+fn soak_phase(
+    cross: bool,
+    specs: &[CovSpec],
+    n: usize,
+    secs: usize,
+    clients: usize,
+    samples: usize,
+) -> SoakReport {
+    let suffix = if cross { "cross" } else { "legacy" };
+    let service = Arc::new(
+        MvnService::start(ServiceConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            mvn: mvn_core::MvnConfig {
+                sample_size: samples,
+                seed: 20240518,
+                ..Default::default()
+            },
+            batch_delay: Duration::from_millis(2),
+            cross_spec_batching: cross,
+            ..Default::default()
+        })
+        .expect("service must start"),
+    );
+    let server = MvnServer::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Warm and pin both fingerprints ahead of the burst, over the wire.
+    let mut admin = ServiceClient::connect(addr).expect("connect");
+    for (i, s) in specs.iter().enumerate() {
+        let resp = admin
+            .request(&render_warm_request(i as u64 + 1, s, true))
+            .expect("warm");
+        assert_eq!(
+            resp.get("resident").and_then(Json::as_bool),
+            Some(true),
+            "soak/{suffix}: warm must leave the factor resident: {resp}"
+        );
+        assert_eq!(
+            resp.get("pinned").and_then(Json::as_bool),
+            Some(true),
+            "soak/{suffix}: warm --pin must pin: {resp}"
+        );
+    }
+
+    // Pipelined closed-loop clients: each sends a window of strictly
+    // interleaved A/B requests, then reads the window back — the queue-depth
+    // shape that gives the micro-batcher something to coalesce.
+    const WINDOW: usize = 8;
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let mut lat = Vec::new();
+                    let mut id = c as u64 * 1_000_000;
+                    let mut round = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let sent = Instant::now();
+                        for k in 0..WINDOW {
+                            id += 1;
+                            let spec = &specs[k % specs.len()];
+                            let lo = -0.45 - 0.005 * ((round % 40) as f64) - 0.01 * k as f64;
+                            client
+                                .send(&render_solve_request(
+                                    id,
+                                    spec,
+                                    &vec![lo; n],
+                                    &vec![f64::INFINITY; n],
+                                ))
+                                .expect("send");
+                        }
+                        round += 1;
+                        for _ in 0..WINDOW {
+                            let resp = client.read_response().expect("response");
+                            assert!(
+                                resp.get("error").is_none(),
+                                "soak/{suffix}: server error: {resp}"
+                            );
+                            lat.push(sent.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs(secs as u64));
+        stop.store(true, Ordering::Relaxed);
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    // Deadline probe: a zero deadline has always lapsed by the time the
+    // dispatcher scans the queue, so this request must be shed with the
+    // typed wire error rather than served.
+    let resp = admin
+        .request(&render_solve_request_deadline(
+            901,
+            &specs[0],
+            &vec![-0.2; n],
+            &vec![f64::INFINITY; n],
+            Some(0.0),
+        ))
+        .expect("deadline probe");
+    let err = resp.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(
+        err.contains("deadline"),
+        "soak/{suffix}: a zero-deadline request must be shed: {resp}"
+    );
+
+    let stats_resp = admin.request(&render_stats_request(902)).expect("stats");
+    let st = stats_resp.get("stats").expect("stats body");
+    let num = |k: &str| st.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let completed = all.len();
+    let pct = |q: f64| -> u64 {
+        if all.is_empty() {
+            0
+        } else {
+            all[((all.len() - 1) as f64 * q) as usize]
+        }
+    };
+
+    let report = SoakReport {
+        completed,
+        rps: completed as f64 / wall.as_secs_f64(),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        mean_batch: num("mean_batch_size"),
+        hit_rate: num("cache_hit_rate"),
+        mixed_batches: num("mixed_batches") as u64,
+    };
+
+    assert!(report.completed > 0, "soak/{suffix}: nothing completed");
+    assert_eq!(
+        num("completed") as u64 + num("queue_depth") as u64,
+        num("submitted") as u64,
+        "soak/{suffix}: accounting must balance: {stats_resp}"
+    );
+    assert!(
+        num("deadline_shed") as u64 >= 1,
+        "soak/{suffix}: the shed probe must be counted: {stats_resp}"
+    );
+    assert!(
+        report.hit_rate >= 0.9,
+        "soak/{suffix}: warmed+pinned two-spec traffic must keep the hit rate \
+         >= 0.9 (got {:.3})",
+        report.hit_rate
+    );
+    if cross {
+        assert!(
+            report.mixed_batches > 0,
+            "soak/cross: interleaved resident traffic must form mixed batches: {stats_resp}"
+        );
+    } else {
+        assert_eq!(
+            report.mixed_batches, 0,
+            "soak/legacy: the flush-on-foreign batcher must never mix: {stats_resp}"
+        );
+    }
+
+    eprintln!(
+        "soak/{suffix}: completed={} rps={:.1} p50={}us p99={}us mean_batch={:.2} \
+         hit_rate={:.3} mixed_batches={}",
+        report.completed,
+        report.rps,
+        report.p50_ns / 1000,
+        report.p99_ns / 1000,
+        report.mean_batch,
+        report.hit_rate,
+        report.mixed_batches,
+    );
+    for (name, value, samples) in [
+        (format!("service_soak_rps_{suffix}"), report.rps, completed),
+        (
+            format!("service_soak_p99_{suffix}"),
+            report.p99_ns as f64,
+            completed,
+        ),
+        (
+            format!("service_soak_mean_batch_{suffix}"),
+            report.mean_batch,
+            num("batches") as usize,
+        ),
+        (
+            format!("service_soak_hit_rate_{suffix}"),
+            report.hit_rate,
+            completed,
+        ),
+    ] {
+        println!("{{\"benchmark\":\"{name}\",\"mean_ns\":{value:.2},\"samples\":{samples}}}");
+    }
+    report
+}
+
+/// The `--soak` acceptance run: the cross-spec phase, the legacy A/B phase,
+/// then the cross-vs-legacy comparison the issue's acceptance demands.
+fn run_soak(secs: usize, clients: usize, grid: usize, samples: usize, p99_ms: usize) {
+    let locations = regular_grid(grid, grid);
+    let specs: Vec<CovSpec> = [0.1, 0.234]
+        .iter()
+        .map(|&range| {
+            CovSpec::dense(
+                locations.clone(),
+                CovarianceKernel::Exponential { sigma2: 1.0, range },
+                1e-8,
+                (grid * grid).div_ceil(3).max(4),
+            )
+        })
+        .collect();
+    let n = locations.len();
+    eprintln!("mvn-serve --soak: clients={clients} n={n} samples={samples} {secs}s/phase");
+
+    let cross = soak_phase(true, &specs, n, secs, clients, samples);
+    let legacy = soak_phase(false, &specs, n, secs, clients, samples);
+
+    let ceiling_ns = p99_ms as u64 * 1_000_000;
+    assert!(
+        cross.p99_ns <= ceiling_ns,
+        "soak: cross-phase p99 {}ms exceeds the --p99-ms ceiling {p99_ms}ms",
+        cross.p99_ns / 1_000_000
+    );
+    assert!(
+        cross.mean_batch >= legacy.mean_batch,
+        "soak: cross-spec batching must coalesce at least as much as the legacy \
+         batcher (mean batch {:.2} vs {:.2})",
+        cross.mean_batch,
+        legacy.mean_batch
+    );
+    assert!(
+        cross.rps >= legacy.rps * 0.5 || cross.mean_batch > legacy.mean_batch,
+        "soak: cross-spec batching must not regress throughput without batching \
+         better ({:.1} vs {:.1} rps, mean batch {:.2} vs {:.2})",
+        cross.rps,
+        legacy.rps,
+        cross.mean_batch,
+        legacy.mean_batch
+    );
+    eprintln!(
+        "soak OK: mean_batch cross {:.2} vs legacy {:.2}, rps {:.1} vs {:.1}",
+        cross.mean_batch, legacy.mean_batch, cross.rps, legacy.rps
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let secs = arg_usize("--secs", if smoke { 2 } else { 10 });
-    let clients = arg_usize("--clients", 4);
+    let soak = std::env::args().any(|a| a == "--soak");
+    let secs = arg_usize("--secs", if smoke || soak { 2 } else { 10 });
+    let clients = arg_usize("--clients", if soak { 2 } else { 4 });
     let shards = arg_usize("--shards", 2);
-    let grid = arg_usize("--grid", 6);
-    let samples = arg_usize("--samples", if smoke { 500 } else { 2000 });
+    let grid = arg_usize("--grid", if soak { 5 } else { 6 });
+    let samples = arg_usize("--samples", if smoke || soak { 500 } else { 2000 });
+
+    if soak {
+        run_soak(secs, clients, grid, samples, arg_usize("--p99-ms", 5000));
+        return;
+    }
 
     // The mixed workload: the paper's weak/strong synthetic correlation
     // settings over one grid — two distinct covariance fingerprints, so the

@@ -43,6 +43,7 @@ use crate::pipeline::{run_dense_fused_with, run_tlr_fused_with, FusedExec};
 use crate::pmvn::{combine_panel_results, sweep_panel, CholeskyFactor};
 use crate::{MvnConfig, MvnResult, Scheduler};
 use qmc::{make_point_set, PointSet, SampleKind};
+use std::sync::Arc;
 use task_runtime::{PoolStats, WorkerPool};
 use tile_la::dag::effective_workers;
 use tile_la::{potrf_tiled_pool, CholeskyError, DenseMatrix, SymTileMatrix, TileLayout};
@@ -529,7 +530,7 @@ impl MvnEngine {
         b: &[f64],
         cfg: &MvnConfig,
     ) -> MvnResult {
-        let mut results = self.run_sweeps(l, &[(a, b)], cfg);
+        let mut results = self.run_sweeps(&[(l, a, b)], cfg);
         results.pop().expect("one problem in, one result out")
     }
 
@@ -551,11 +552,46 @@ impl MvnEngine {
         problems: &[Problem],
         cfg: &MvnConfig,
     ) -> Vec<MvnResult> {
-        let slices: Vec<(&[f64], &[f64])> = problems
+        let items: Vec<(&F, &[f64], &[f64])> = problems
             .iter()
-            .map(|p| (p.a.as_slice(), p.b.as_slice()))
+            .map(|p| (l, p.a.as_slice(), p.b.as_slice()))
             .collect();
-        self.run_sweeps(l, &slices, cfg)
+        self.run_sweeps(&items, cfg)
+    }
+
+    /// Estimate a *mixed* batch — each problem referencing its own factor —
+    /// in a single task graph. This is the cross-fingerprint serving path:
+    /// the panel-sweep tasks of every `(factor, problem)` pair are submitted
+    /// together, so small solves against different covariances share one
+    /// pool dispatch instead of fragmenting into per-factor
+    /// [`solve_batch`](Self::solve_batch) calls. Factors may differ in
+    /// dimension and storage (dense and TLR can share a batch).
+    ///
+    /// Each returned result is bitwise identical to the corresponding
+    /// individual [`solve`](Self::solve): panels draw from a point set that
+    /// is a pure function of `(sample kind, dimension, seed)`, so problems of
+    /// equal dimension share one point set and problems of distinct
+    /// dimensions get exactly the set a solo solve would build. On a
+    /// [streaming](MvnEngineBuilder::streaming) engine the mixed panel tasks
+    /// go through the sink's lookahead window ([`task_runtime::TaskSink`])
+    /// rather than one materialized graph, again bitwise identically.
+    pub fn solve_batch_mixed(&self, batch: &[(Arc<Factor>, Problem)]) -> Vec<MvnResult> {
+        self.solve_batch_mixed_with(batch, &self.cfg)
+    }
+
+    /// [`solve_batch_mixed`](Self::solve_batch_mixed) with an explicit
+    /// per-call sampling configuration (scheduler *mode* applies; the pool
+    /// decides the worker count).
+    pub fn solve_batch_mixed_with(
+        &self,
+        batch: &[(Arc<Factor>, Problem)],
+        cfg: &MvnConfig,
+    ) -> Vec<MvnResult> {
+        let items: Vec<(&Factor, &[f64], &[f64])> = batch
+            .iter()
+            .map(|(f, p)| (f.as_ref(), p.a.as_slice(), p.b.as_slice()))
+            .collect();
+        self.run_sweeps(&items, cfg)
     }
 
     /// Factor `sigma` in place *and* estimate `Φₙ(a, b; 0, Σ)` in one fused
@@ -595,20 +631,20 @@ impl MvnEngine {
     }
 
     /// Shared body of the solve entry points: one `panel_sweep` task per
-    /// (problem, panel) pair, all in one graph on the engine's pool. Panels
-    /// are computed by the same [`sweep_panel`] the free functions use, so
-    /// every per-problem aggregate is bitwise identical to the free-function
-    /// result.
+    /// (item, panel) pair, all in one graph on the engine's pool — items may
+    /// reference distinct factors (the mixed-batch path) or all share one
+    /// (the classic batch). Panels are computed by the same [`sweep_panel`]
+    /// the free functions use against the item's own factor, layout and
+    /// point set, so every per-item aggregate is bitwise identical to the
+    /// free-function result.
     fn run_sweeps<F: CholeskyFactor>(
         &self,
-        l: &F,
-        problems: &[(&[f64], &[f64])],
+        items: &[(&F, &[f64], &[f64])],
         cfg: &MvnConfig,
     ) -> Vec<MvnResult> {
-        let n = l.dim();
         assert!(cfg.sample_size > 0, "sample size must be positive");
         assert!(cfg.panel_width > 0, "panel width must be positive");
-        for (a, b) in problems {
+        for (l, a, b) in items {
             // The boundary check: malformed limits (length mismatch, NaN,
             // inverted box) must never reach `qmc_kernel`. Callers that need
             // a recoverable error (the serving layer) validate with
@@ -616,46 +652,70 @@ impl MvnEngine {
             if let Err(e) = validate_limits(a, b) {
                 panic!("invalid MVN problem: {e}");
             }
+            let n = l.dim();
             assert_eq!(
                 a.len(),
                 n,
                 "limit length must match the factor dimension {n}"
             );
         }
-        if problems.is_empty() {
+        if items.is_empty() {
             return Vec::new();
         }
 
-        let layout = l.tiling();
+        let layouts: Vec<TileLayout> = items.iter().map(|(l, _, _)| l.tiling()).collect();
         let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
-        // All problems of a batch draw the same point set (same kind, n and
-        // seed), exactly as repeated free-function calls would.
-        let points = make_point_set(cfg.sample_kind, n, cfg.seed);
-        let points_ref: &dyn PointSet = points.as_ref();
+        // A point set is a pure function of (kind, dimension, seed), so items
+        // of equal dimension share one set — exactly the set a solo solve of
+        // that dimension would build. Building per *distinct* dimension (not
+        // per item) keeps the classic single-factor batch at one set.
+        let mut dims: Vec<usize> = Vec::new();
+        let mut point_sets: Vec<Box<dyn PointSet>> = Vec::new();
+        let point_idx: Vec<usize> = items
+            .iter()
+            .map(|(l, _, _)| {
+                let n = l.dim();
+                dims.iter().position(|&d| d == n).unwrap_or_else(|| {
+                    dims.push(n);
+                    point_sets.push(make_point_set(cfg.sample_kind, n, cfg.seed));
+                    dims.len() - 1
+                })
+            })
+            .collect();
 
-        // One independent write-task per (problem, panel) pair, flattened so
+        // One independent write-task per (item, panel) pair, flattened so
         // every pair becomes one slot of a pool-level map. With a streaming
         // configuration the pairs go through the lookahead window instead of
         // one materialized graph — at most `lookahead` sweep closures exist
         // at any instant, and early panels run while later ones are still
         // being submitted; the per-pair results (and hence every aggregate)
         // are bitwise identical either way.
-        let jobs: Vec<(usize, usize)> = (0..problems.len())
+        let jobs: Vec<(usize, usize)> = (0..items.len())
             .flat_map(|q| (0..n_panels).map(move |p| (q, p)))
             .collect();
-        let cost = layout.num_tiles() as f64 * cfg.panel_width as f64;
+        let cost = |_: usize, &(q, _): &(usize, usize)| {
+            layouts[q].num_tiles() as f64 * cfg.panel_width as f64
+        };
         let sweep = |_: usize, &(q, p): &(usize, usize)| {
-            let (a, b) = problems[q];
-            sweep_panel(l, layout, a, b, points_ref, cfg, p)
+            let (l, a, b) = items[q];
+            sweep_panel(
+                l,
+                layouts[q],
+                a,
+                b,
+                point_sets[point_idx[q]].as_ref(),
+                cfg,
+                p,
+            )
         };
         let flat = match cfg.scheduler {
             Scheduler::Streaming { lookahead, .. } => {
                 let window = task_runtime::effective_lookahead(lookahead, self.pool.workers());
                 self.pool
-                    .stream_map("panel_sweep", &jobs, |_, _| cost, sweep, window)
+                    .stream_map("panel_sweep", &jobs, cost, sweep, window)
                     .0
             }
-            _ => self.pool.run_map("panel_sweep", &jobs, |_, _| cost, sweep),
+            _ => self.pool.run_map("panel_sweep", &jobs, cost, sweep),
         };
         flat.chunks(n_panels).map(combine_panel_results).collect()
     }
@@ -789,6 +849,114 @@ mod tests {
                 );
                 assert!(r.std_error.to_bits() == single.std_error.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn solve_batch_mixed_matches_individual_solves_bitwise() {
+        // Tentpole: one task graph spanning heterogeneous factors — distinct
+        // covariances, *dimensions* and storage kinds (dense + TLR) — must
+        // reproduce the individual per-factor solves bit for bit, for every
+        // worker count and for the streaming scheduler.
+        for workers in [1usize, 2, 4] {
+            let engine = MvnEngine::builder()
+                .config(test_cfg(workers))
+                .build()
+                .unwrap();
+            let f0 = Arc::new(
+                engine
+                    .factor_dense(SymTileMatrix::from_fn(45, 12, exp_cov(0.3)))
+                    .unwrap(),
+            );
+            let f1 = Arc::new(
+                engine
+                    .factor_dense(SymTileMatrix::from_fn(32, 8, exp_cov(0.7)))
+                    .unwrap(),
+            );
+            let f2 = Arc::new(
+                engine
+                    .factor_tlr(TlrMatrix::from_fn(
+                        45,
+                        16,
+                        CompressionTol::Absolute(1e-8),
+                        usize::MAX,
+                        exp_cov(0.5),
+                    ))
+                    .unwrap(),
+            );
+            let factors = [&f0, &f1, &f2];
+            // Interleave the factors so the graph genuinely mixes them.
+            let batch: Vec<(Arc<Factor>, Problem)> = (0..9)
+                .map(|k| {
+                    let f = factors[k % factors.len()];
+                    let n = f.dim();
+                    let lo = -0.2 - 0.05 * k as f64;
+                    (
+                        Arc::clone(f),
+                        Problem::new(vec![lo; n], vec![f64::INFINITY; n]),
+                    )
+                })
+                .collect();
+            let got = engine.solve_batch_mixed(&batch);
+            assert_eq!(got.len(), batch.len());
+            for (k, ((f, p), r)) in batch.iter().zip(&got).enumerate() {
+                let single = engine.solve(f, &p.a, &p.b);
+                assert!(
+                    r.prob.to_bits() == single.prob.to_bits(),
+                    "workers={workers} item={k}: mixed {} vs single {}",
+                    r.prob,
+                    single.prob
+                );
+                assert!(r.std_error.to_bits() == single.std_error.to_bits());
+            }
+            // The streaming scheduler submits the same mixed pairs through
+            // its lookahead window, again bitwise identically.
+            for lookahead in [1usize, 3, 0] {
+                let stream_engine = MvnEngine::builder()
+                    .config(test_cfg(workers))
+                    .streaming(lookahead)
+                    .build()
+                    .unwrap();
+                let got_s = stream_engine.solve_batch_mixed(&batch);
+                for (k, (g, w)) in got_s.iter().zip(&got).enumerate() {
+                    assert!(
+                        g.prob.to_bits() == w.prob.to_bits(),
+                        "workers={workers} lookahead={lookahead} item={k}: {} vs {}",
+                        g.prob,
+                        w.prob
+                    );
+                    assert!(g.std_error.to_bits() == w.std_error.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_mixed_with_one_factor_matches_solve_batch_bitwise() {
+        // The degenerate mixed batch (every item referencing the same factor)
+        // must be indistinguishable from the classic single-factor batch.
+        let n = 45;
+        let engine = MvnEngine::with_config(test_cfg(2)).unwrap();
+        let factor = Arc::new(
+            engine
+                .factor_dense(SymTileMatrix::from_fn(n, 12, exp_cov(0.3)))
+                .unwrap(),
+        );
+        let problems: Vec<Problem> = (0..5)
+            .map(|k| {
+                let lo = -0.3 - 0.1 * k as f64;
+                Problem::new(vec![lo; n], vec![f64::INFINITY; n])
+            })
+            .collect();
+        let want = engine.solve_batch(&factor, &problems);
+        let batch: Vec<(Arc<Factor>, Problem)> = problems
+            .iter()
+            .map(|p| (Arc::clone(&factor), p.clone()))
+            .collect();
+        let got = engine.solve_batch_mixed(&batch);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(g.prob.to_bits() == w.prob.to_bits());
+            assert!(g.std_error.to_bits() == w.std_error.to_bits());
         }
     }
 

@@ -27,7 +27,10 @@ pub use covariance::{CovarianceKernel, MaternParams};
 pub use field::{simulate_field, simulate_field_pooled, simulate_observations, FieldSample};
 pub use fingerprint::{fingerprint_covariance, fingerprint_kernel, fingerprint_locations, Fnv1a};
 pub use geometry::{jittered_grid, regular_grid, Location};
-pub use mle::{fit_matern, fit_matern_pooled, gaussian_loglik, gaussian_loglik_pooled, MleResult};
+pub use mle::{
+    fit_matern, fit_matern_pooled, fit_matern_with_loglik, gaussian_loglik,
+    gaussian_loglik_factored, gaussian_loglik_pooled, mle_nugget, MleResult,
+};
 pub use optim::{nelder_mead, NelderMeadOptions, OptimResult};
 pub use posterior::{posterior_update, Posterior};
 pub use wind::{default_fluctuation_params, orographic_mean, synthetic_wind_dataset, WindDataset};

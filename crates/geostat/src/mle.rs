@@ -21,6 +21,33 @@ pub struct MleResult {
     pub converged: bool,
 }
 
+/// The stabilizing nugget every MLE covariance assembly uses
+/// (`1e-10 · max(σ², 1e-12)`). Public so callers that assemble the *same*
+/// covariance elsewhere — e.g. the serving layer's factor cache — produce
+/// bitwise-identical matrices and hence identical likelihoods.
+pub fn mle_nugget(kernel: &CovarianceKernel) -> f64 {
+    1e-10 * kernel.sigma2().max(1e-12)
+}
+
+/// Gaussian log-density given an *already factored* covariance (the lower
+/// Cholesky factor of `Σ`): `−½ (zᵀΣ⁻¹z + log|Σ| + n·log 2π)`.
+///
+/// This is the post-factorization half of [`gaussian_loglik`]; splitting it
+/// out lets a caller that caches factors (the serving layer's MLE path) skip
+/// the `O(n³/3)` factorization on a cache hit while producing bitwise the
+/// same value — factors are worker-count-deterministic, so *where* the
+/// factor came from cannot change the likelihood.
+pub fn gaussian_loglik_factored(factor: &SymTileMatrix, data: &[f64]) -> f64 {
+    let n = factor.n();
+    assert_eq!(data.len(), n, "data length must match the factor dimension");
+    let log_det = tile_la::cholesky::log_det_from_factor(factor);
+    // Whitened residual: w = L^{-1} z, quadratic form = ||w||^2.
+    let mut z = DenseMatrix::from_fn(n, 1, |i, _| data[i]);
+    solve_lower_panel(factor, &mut z);
+    let quad: f64 = z.data().iter().map(|v| v * v).sum();
+    -0.5 * (quad + log_det + n as f64 * (2.0 * std::f64::consts::PI).ln())
+}
+
 /// Shared body of the log-likelihood entry points: assemble the covariance,
 /// factor it with `factorize`, and evaluate the Gaussian log-density.
 fn gaussian_loglik_with<R>(
@@ -35,16 +62,11 @@ where
     let n = locs.len();
     assert_eq!(data.len(), n, "data length must match number of locations");
     let nb = default_tile_size(n);
-    let mut sigma = kernel.tiled_covariance(locs, nb, 1e-10 * kernel.sigma2().max(1e-12));
+    let mut sigma = kernel.tiled_covariance(locs, nb, mle_nugget(kernel));
     if factorize(&mut sigma).is_err() {
         return f64::NEG_INFINITY;
     }
-    let log_det = tile_la::cholesky::log_det_from_factor(&sigma);
-    // Whitened residual: w = L^{-1} z, quadratic form = ||w||^2.
-    let mut z = DenseMatrix::from_fn(n, 1, |i, _| data[i]);
-    solve_lower_panel(&sigma, &mut z);
-    let quad: f64 = z.data().iter().map(|v| v * v).sum();
-    -0.5 * (quad + log_det + n as f64 * (2.0 * std::f64::consts::PI).ln())
+    gaussian_loglik_factored(&sigma, data)
 }
 
 /// Exact Gaussian log-likelihood of zero-mean data under the given covariance
@@ -88,7 +110,7 @@ pub fn fit_matern(
     init: MaternParams,
     estimate_smoothness: bool,
 ) -> Option<MleResult> {
-    fit_matern_with(locs, data, init, estimate_smoothness, |k| {
+    fit_matern_with_loglik(locs, data, init, estimate_smoothness, |k| {
         gaussian_loglik(locs, data, k)
     })
 }
@@ -103,14 +125,19 @@ pub fn fit_matern_pooled(
     estimate_smoothness: bool,
     pool: &WorkerPool,
 ) -> Option<MleResult> {
-    fit_matern_with(locs, data, init, estimate_smoothness, |k| {
+    fit_matern_with_loglik(locs, data, init, estimate_smoothness, |k| {
         gaussian_loglik_pooled(locs, data, k, pool)
     })
 }
 
-/// Shared Nelder–Mead driver of the `fit_matern*` entry points; `loglik`
-/// evaluates the Gaussian log-likelihood of a candidate kernel.
-fn fit_matern_with<L>(
+/// The Nelder–Mead driver of the `fit_matern*` entry points, with the
+/// objective supplied by the caller: `loglik` evaluates the Gaussian
+/// log-likelihood of a candidate kernel. Public so alternative likelihood
+/// evaluators — in particular the serving layer's factor-cached one — reuse
+/// the exact optimization loop (same simplex trajectory, bounds guard and
+/// convergence thresholds) and therefore fit bitwise-identical parameters
+/// whenever their `loglik` is bitwise identical.
+pub fn fit_matern_with_loglik<L>(
     locs: &[Location],
     data: &[f64],
     init: MaternParams,

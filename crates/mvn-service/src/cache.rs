@@ -13,13 +13,28 @@
 //! pure function of its spec, so an evicted entry is simply rebuilt on the
 //! next request and yields bitwise-identical probabilities (tested in
 //! `tests/service_equivalence.rs`).
+//!
+//! Two policies refine plain LRU:
+//!
+//! * **Pinning** ([`FactorCache::pin`]): a pinned entry is never chosen as an
+//!   eviction victim, so a hot factor survives an eviction storm of one-shot
+//!   traffic. Pins are an operator lever (the service's `warm` request), so
+//!   pinned bytes may hold the cache above its capacity — the eviction loop
+//!   stops when only pinned entries remain rather than violating a pin.
+//! * **Oversized bypass** ([`FactorCache::insert`]): a single factor larger
+//!   than the whole byte capacity is *not* stored (and evicts nothing). It
+//!   used to evict every resident entry and then monopolize the cache; now
+//!   the caller keeps serving from the `Arc` it already holds, the resident
+//!   working set survives, and the bypass is visible in
+//!   [`CacheStats::oversized`].
 
 use crate::spec::FactorFingerprint;
 use mvn_core::Factor;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Usage counters of a [`FactorCache`] (cumulative over the cache lifetime).
+/// Usage counters of a [`FactorCache`] (cumulative over the cache lifetime,
+/// except the point-in-time `entries`/`pinned`/`bytes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found the factor resident.
@@ -28,8 +43,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Inserts that bypassed the cache because a single factor exceeded the
+    /// whole byte capacity (see the [module docs](self)).
+    pub oversized: u64,
     /// Factors currently resident.
     pub entries: usize,
+    /// Resident factors currently pinned (never eviction victims).
+    pub pinned: usize,
     /// Bytes of factor data currently resident.
     pub bytes: usize,
     /// The configured capacity in bytes.
@@ -54,6 +74,8 @@ struct Entry {
     /// Logical timestamp of the last hit/insert (monotone counter, not wall
     /// time — recency is an ordering, not a duration).
     last_used: u64,
+    /// Pinned entries are never eviction victims.
+    pinned: bool,
 }
 
 /// An LRU cache of Cholesky factors keyed by spec fingerprint (see the
@@ -66,6 +88,7 @@ pub struct FactorCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    oversized: u64,
 }
 
 impl FactorCache {
@@ -79,6 +102,7 @@ impl FactorCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            oversized: 0,
         }
     }
 
@@ -99,40 +123,91 @@ impl FactorCache {
         }
     }
 
-    /// Insert a freshly built factor, evicting least-recently-used entries
-    /// until the cache fits its byte capacity again. The entry being
-    /// inserted is never evicted by its own insertion, so a single factor
-    /// larger than the whole capacity is still served (it just monopolizes
-    /// the cache until something displaces it).
-    pub fn insert(&mut self, fp: FactorFingerprint, factor: Arc<Factor>) {
+    /// Whether a factor is resident, *without* counting a lookup or touching
+    /// recency — the batch-formation probe of the shard dispatcher (a request
+    /// may join a mixed batch only if its factor is already resident, and
+    /// probing every queued request must not skew the hit rate).
+    pub fn contains(&self, fp: FactorFingerprint) -> bool {
+        self.entries.contains_key(&fp)
+    }
+
+    /// Insert a freshly built factor, evicting least-recently-used *unpinned*
+    /// entries until the cache fits its byte capacity again. Returns `false`
+    /// (and stores nothing, evicts nothing) when the factor alone exceeds the
+    /// whole capacity — the oversized bypass of the [module docs](self). The
+    /// entry being inserted is never evicted by its own insertion, and pinned
+    /// entries are never victims, so an insert may leave the cache above
+    /// capacity when pins dominate; the overshoot drains as pins are
+    /// released.
+    pub fn insert(&mut self, fp: FactorFingerprint, factor: Arc<Factor>) -> bool {
         self.tick += 1;
         let bytes = factor.stored_elements() * std::mem::size_of::<f64>();
+        if bytes > self.capacity_bytes {
+            self.oversized += 1;
+            return false;
+        }
         if let Some(old) = self.entries.insert(
             fp,
             Entry {
                 factor,
                 bytes,
                 last_used: self.tick,
+                // Re-inserting under a pinned fingerprint (rebuild after the
+                // pin outlived an exterior copy) keeps the pin.
+                pinned: false,
             },
         ) {
-            // Replacing an existing entry (two threads raced to build the
+            // Replacing an existing entry (two threads racing to build the
             // same factor on one shard cannot happen — the shard is single
             // threaded — but re-insert after eviction can).
             self.bytes -= old.bytes;
+            self.entries.get_mut(&fp).expect("just inserted").pinned = old.pinned;
         }
         self.bytes += bytes;
-        while self.bytes > self.capacity_bytes && self.entries.len() > 1 {
+        while self.bytes > self.capacity_bytes {
             let victim = self
                 .entries
                 .iter()
-                .filter(|(&k, _)| k != fp)
+                .filter(|(&k, e)| k != fp && !e.pinned)
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-                .expect("len > 1, so a victim other than fp exists");
+                .map(|(&k, _)| k);
+            let Some(victim) = victim else {
+                break; // only the new entry and pinned entries remain
+            };
             let evicted = self.entries.remove(&victim).expect("victim is resident");
             self.bytes -= evicted.bytes;
             self.evictions += 1;
         }
+        true
+    }
+
+    /// Pin a resident factor so it is never chosen as an eviction victim.
+    /// Returns whether the factor was resident (a pin on an absent — e.g.
+    /// oversized-bypassed — fingerprint is a no-op).
+    pub fn pin(&mut self, fp: FactorFingerprint) -> bool {
+        match self.entries.get_mut(&fp) {
+            Some(e) => {
+                e.pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Make a pinned factor evictable again. Returns whether it was resident.
+    pub fn unpin(&mut self, fp: FactorFingerprint) -> bool {
+        match self.entries.get_mut(&fp) {
+            Some(e) => {
+                e.pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a resident factor is currently pinned.
+    pub fn is_pinned(&self, fp: FactorFingerprint) -> bool {
+        self.entries.get(&fp).is_some_and(|e| e.pinned)
     }
 
     /// Current counters.
@@ -141,7 +216,9 @@ impl FactorCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            oversized: self.oversized,
             entries: self.entries.len(),
+            pinned: self.entries.values().filter(|e| e.pinned).count(),
             bytes: self.bytes,
             capacity_bytes: self.capacity_bytes,
         }
@@ -167,12 +244,17 @@ mod tests {
     fn hit_miss_and_recency_accounting() {
         let mut c = FactorCache::new(usize::MAX);
         assert!(c.get(fp(1)).is_none());
-        c.insert(fp(1), factor(8));
+        assert!(c.insert(fp(1), factor(8)));
         assert!(c.get(fp(1)).is_some());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!(s.bytes > 0);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        // `contains` probes count nothing.
+        assert!(c.contains(fp(1)));
+        assert!(!c.contains(fp(2)));
+        let s2 = c.stats();
+        assert_eq!((s2.hits, s2.misses), (s.hits, s.misses));
     }
 
     #[test]
@@ -196,16 +278,78 @@ mod tests {
     }
 
     #[test]
-    fn oversized_entry_is_kept_and_everything_else_evicted() {
+    fn oversized_factor_bypasses_the_cache_and_evicts_nothing() {
         let small = factor(8);
         let bytes_small = small.stored_elements() * 8;
         let mut c = FactorCache::new(bytes_small);
-        c.insert(fp(1), small);
-        // A factor bigger than the whole capacity: it must still be served
-        // (never self-evict), and the older entry goes.
-        c.insert(fp(2), factor(32));
-        assert!(c.get(fp(2)).is_some());
-        assert!(c.get(fp(1)).is_none());
+        assert!(c.insert(fp(1), small));
+        // A factor bigger than the whole capacity is not stored — the
+        // resident working set survives and the bypass is counted.
+        assert!(!c.insert(fp(2), factor(32)));
+        assert!(!c.contains(fp(2)));
+        assert!(c.get(fp(1)).is_some(), "resident entry must survive");
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.oversized, 1);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.bytes, bytes_small);
+        // Pinning a bypassed fingerprint is a no-op.
+        assert!(!c.pin(fp(2)));
+        assert!(!c.is_pinned(fp(2)));
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_storms() {
+        let bytes_each = factor(8).stored_elements() * 8;
+        // Room for two factors: one pinned + one rotating slot.
+        let mut c = FactorCache::new(2 * bytes_each);
+        c.insert(fp(1), factor(8));
+        assert!(c.pin(fp(1)));
+        assert!(c.is_pinned(fp(1)));
+        assert_eq!(c.stats().pinned, 1);
+        // A storm of distinct fingerprints: the pinned entry is LRU the whole
+        // time but never the victim.
+        for k in 2..20 {
+            c.insert(fp(k), factor(8));
+            assert!(c.contains(fp(1)), "pinned entry evicted at k={k}");
+        }
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().evictions, 17);
+        // Unpinned, it becomes the LRU victim again.
+        assert!(c.unpin(fp(1)));
+        c.insert(fp(100), factor(8));
+        assert!(!c.contains(fp(1)), "unpinned LRU entry must be evictable");
+    }
+
+    #[test]
+    fn pins_may_hold_the_cache_above_capacity_without_livelock() {
+        let bytes_each = factor(8).stored_elements() * 8;
+        let mut c = FactorCache::new(bytes_each);
+        c.insert(fp(1), factor(8));
+        c.pin(fp(1));
+        // The pin occupies the whole capacity; a second insert has no victim
+        // (the newcomer never self-evicts, the pin is never a victim), so the
+        // cache temporarily overshoots instead of looping or dropping data.
+        assert!(c.insert(fp(2), factor(8)));
+        assert!(c.contains(fp(1)) && c.contains(fp(2)));
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes > s.capacity_bytes);
+        // The overshoot drains through normal LRU once something is evictable.
+        c.insert(fp(3), factor(8));
+        assert!(!c.contains(fp(2)), "unpinned overshoot entry is the victim");
+        assert!(c.contains(fp(1)) && c.contains(fp(3)));
+    }
+
+    #[test]
+    fn reinsert_after_eviction_keeps_pin_state_of_replaced_entry() {
+        let mut c = FactorCache::new(usize::MAX);
+        c.insert(fp(1), factor(8));
+        c.pin(fp(1));
+        // Replacing a resident pinned entry (rebuild race cannot happen on a
+        // shard, but the API allows it) keeps the pin.
+        c.insert(fp(1), factor(8));
+        assert!(c.is_pinned(fp(1)));
         assert_eq!(c.stats().entries, 1);
     }
 }

@@ -12,12 +12,20 @@
 //!   [fingerprints](spec::CovSpec::fingerprint) of their specification, and
 //!   each shard keeps an LRU cache of factored matrices (capacity in bytes),
 //!   so repeated CRD/MLE traffic skips re-factorization entirely.
-//! * **Adaptive micro-batcher** ([`service`]): concurrently submitted
-//!   problems that share a factor are coalesced into a single
-//!   [`MvnEngine::solve_batch`](mvn_core::MvnEngine::solve_batch) task
-//!   graph, flushing on batch size, deadline, or a foreign fingerprint —
-//!   with the engine's guarantee that a batched solve is bitwise identical
-//!   to a direct `solve`.
+//! * **Cross-spec micro-batcher** ([`service`]): concurrently submitted
+//!   problems are coalesced into a single
+//!   [`MvnEngine::solve_batch_mixed`](mvn_core::MvnEngine::solve_batch_mixed)
+//!   task graph *across* fingerprints — a foreign request joins the batch
+//!   whenever its factor is cache-resident, and only a cache miss or the
+//!   flush clock ends batch formation — with the engine's guarantee that a
+//!   batched solve is bitwise identical to a direct `solve`. Requests may
+//!   carry deadlines (expired ones are shed with a typed
+//!   [`ServiceError::DeadlineExceeded`]), and hot factors can be
+//!   [warmed and pinned](MvnService::warm) ahead of a burst.
+//! * **Shared MLE factor path** ([`mle`]): `geostat`'s Gaussian
+//!   log-likelihood (and `fit_matern`) can run against the same
+//!   [`FactorCache`], so parameter estimation and probability traffic share
+//!   factors instead of re-factorizing per objective evaluation.
 //! * **Shard-per-engine dispatch** ([`service`]): N engines, each owning a
 //!   worker pool; requests are routed by fingerprint so a factor lives on
 //!   one shard and batches never cross pools. Bounded queues reject with a
@@ -52,6 +60,7 @@
 pub mod cache;
 pub mod crd;
 pub mod json;
+pub mod mle;
 pub mod service;
 pub mod spec;
 pub mod tcp;
@@ -59,9 +68,13 @@ pub mod tcp;
 pub use cache::{CacheStats, FactorCache};
 pub use crd::{detect_confidence_regions_served, find_excursion_set_served, ServedSolver};
 pub use json::Json;
+pub use mle::{fit_matern_cached, gaussian_loglik_cached, mle_spec};
 pub use service::{
-    MvnService, ServiceConfig, ServiceError, ServiceStats, ShardStats, SolveOutput, SpecHandle,
-    Ticket, BATCH_HIST_BUCKETS,
+    CacheOpOutput, CacheTicket, MvnService, ServiceConfig, ServiceError, ServiceStats, ShardStats,
+    SolveOutput, SpecHandle, Ticket, BATCH_HIST_BUCKETS,
 };
 pub use spec::{CovSpec, FactorFingerprint};
-pub use tcp::{render_solve_request, render_stats_request, MvnServer, ServiceClient};
+pub use tcp::{
+    render_solve_request, render_solve_request_deadline, render_stats_request,
+    render_unpin_request, render_warm_request, MvnServer, ServiceClient,
+};

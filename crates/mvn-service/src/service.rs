@@ -9,14 +9,14 @@
 //!         ──────────▶│                                        │
 //!                    │  shard 0          shard 1          …   │
 //!                    │  ┌──────────┐     ┌──────────┐         │
-//!                    │  │ bounded  │     │ bounded  │  ◀ Overloaded when full
-//!                    │  │ queue    │     │ queue    │         │
+//!                    │  │ bounded  │     │ bounded  │  ◀ Overloaded when full,
+//!                    │  │ queue    │     │ queue    │    DeadlineExceeded when
+//!                    │  ├──────────┤     ├──────────┤    a deadline lapses
+//!                    │  │ micro-   │     │ micro-   │  ◀ coalesces ACROSS
+//!                    │  │ batcher  │     │ batcher  │    fingerprints
 //!                    │  ├──────────┤     ├──────────┤         │
-//!                    │  │ micro-   │     │ micro-   │  ◀ flush on batch size,
-//!                    │  │ batcher  │     │ batcher  │    deadline, or foreign
-//!                    │  ├──────────┤     ├──────────┤    fingerprint
-//!                    │  │ factor   │     │ factor   │  ◀ LRU, bytes-capped
-//!                    │  │ cache    │     │ cache    │         │
+//!                    │  │ factor   │     │ factor   │  ◀ LRU, bytes-capped,
+//!                    │  │ cache    │     │ cache    │    warm/pin aware
 //!                    │  ├──────────┤     ├──────────┤         │
 //!                    │  │ MvnEngine│     │ MvnEngine│  ◀ one pool per shard
 //!                    │  └──────────┘     └──────────┘         │
@@ -27,18 +27,36 @@
 //!   (`fp % shards`), so every query against one covariance lands on the
 //!   same shard: its factor is built once, lives in exactly one cache, and
 //!   batches never span worker pools.
-//! * **Micro-batching.** The shard dispatcher pops the oldest request and
-//!   collects co-batchable ones (same fingerprint) until the batch size cap,
-//!   the deadline measured from the pop, or the presence of a
-//!   different-fingerprint request (batches never mix factors, so waiting
-//!   longer would only delay both parties). The whole batch is submitted as
-//!   one [`MvnEngine::solve_batch`] task graph.
-//! * **Bitwise guarantee.** `solve_batch` results are bitwise identical to
-//!   per-problem `solve` calls (the engine contract), and a factor rebuilt
-//!   after eviction is bitwise identical to the original (pure function of
-//!   the spec) — so *when* a request arrives, *what* it is batched with, and
-//!   *whether* its factor was cached can never change the probability it
-//!   receives. Asserted end-to-end in `tests/service_equivalence.rs`.
+//! * **Cross-spec micro-batching.** The shard dispatcher pops the oldest
+//!   request and collects co-batchable ones until the batch size cap or the
+//!   flush clock. A request is co-batchable when it shares the primary's
+//!   fingerprint *or* (with [`ServiceConfig::cross_spec_batching`], the
+//!   default) its factor is already cache-resident — resident foreigners cost
+//!   no factorization, so the whole mixed batch is submitted as one
+//!   [`MvnEngine::solve_batch_mixed`] task graph. Only a cache-miss
+//!   fingerprint (its factorization would stall everyone) or a queued cache
+//!   operation flushes the batch early. With `cross_spec_batching` off the
+//!   batcher reverts to the historical policy: any foreign fingerprint
+//!   flushes.
+//! * **Deadline shedding.** A request may carry a deadline
+//!   ([`MvnService::submit_with_deadline`]). The dispatcher sheds expired
+//!   requests at every queue scan — they answer
+//!   [`ServiceError::DeadlineExceeded`] instead of occupying a batch slot —
+//!   and a forming batch flushes at its earliest member deadline rather than
+//!   waiting out the full batch delay. Once a request makes it into a batch
+//!   it is always served: the deadline bounds *queueing*, not solve time.
+//! * **Warming & pinning.** [`MvnService::warm`] builds (and optionally
+//!   pins) a spec's factor ahead of traffic through the same shard queue, so
+//!   it cannot race the dispatcher. Pinned factors are never eviction
+//!   victims (see [`FactorCache`]).
+//! * **Bitwise guarantee.** `solve_batch_mixed` results are bitwise
+//!   identical to per-problem `solve` calls (the engine contract), and a
+//!   factor rebuilt after eviction is bitwise identical to the original
+//!   (pure function of the spec) — so *when* a request arrives, *what* it is
+//!   batched with (same or foreign fingerprints), and *whether* its factor
+//!   was cached can never change the probability it receives. Asserted
+//!   end-to-end in `tests/service_equivalence.rs` and
+//!   `tests/mixed_batching.rs`.
 //! * **Admission control.** Each shard queue is bounded; a full queue
 //!   rejects with the typed [`ServiceError::Overloaded`] instead of growing
 //!   without bound, and malformed limits are rejected at submission with
@@ -46,7 +64,9 @@
 
 use crate::cache::{CacheStats, FactorCache};
 use crate::spec::{CovSpec, FactorFingerprint};
-use mvn_core::{EngineError, MvnConfig, MvnEngine, MvnResult, Problem, ProblemError, Scheduler};
+use mvn_core::{
+    EngineError, Factor, MvnConfig, MvnEngine, MvnResult, Problem, ProblemError, Scheduler,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -86,6 +106,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Byte capacity of each shard's factor cache.
     pub cache_capacity_bytes: usize,
+    /// Coalesce requests *across* fingerprints into one mixed task graph
+    /// when the foreign factor is already cache-resident (see the
+    /// [module docs](self)). `false` restores the historical
+    /// flush-on-foreign-fingerprint batcher — useful as an A/B baseline
+    /// (`mvn_serve --soak` exercises both).
+    pub cross_spec_batching: bool,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +124,7 @@ impl Default for ServiceConfig {
             batch_delay: Duration::from_millis(2),
             queue_capacity: 1024,
             cache_capacity_bytes: 64 << 20,
+            cross_spec_batching: true,
         }
     }
 }
@@ -116,6 +143,17 @@ pub enum ServiceError {
         /// The configured capacity.
         capacity: usize,
     },
+    /// The request's deadline lapsed while it waited in the shard queue, so
+    /// the dispatcher shed it instead of solving it (see
+    /// [`MvnService::submit_with_deadline`]). Shedding happens on the
+    /// batcher's clock: the answer may arrive noticeably after the deadline
+    /// itself when the shard is busy solving.
+    DeadlineExceeded {
+        /// The shard that shed the request.
+        shard: usize,
+        /// How far past the deadline the queue scan that shed it ran.
+        missed_by: Duration,
+    },
     /// The problem failed [`Problem::validate`] (length mismatch, NaN,
     /// inverted box, wrong dimension).
     InvalidProblem(ProblemError),
@@ -124,7 +162,8 @@ pub enum ServiceError {
     /// panic a shard dispatcher.
     InvalidSpec(String),
     /// The spec's covariance could not be factored (e.g. not positive
-    /// definite). Every request of the affected batch receives this.
+    /// definite). Every request of the affected fingerprint's group
+    /// receives this; other groups of the same mixed batch still solve.
     Factorization(String),
     /// The dispatcher caught a panic while serving this batch (a bug or a
     /// pathological input that slipped past validation). The shard stays
@@ -145,6 +184,10 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "overloaded: shard {shard} queue at {depth}/{capacity}, retry later"
             ),
+            ServiceError::DeadlineExceeded { shard, missed_by } => write!(
+                f,
+                "deadline exceeded: shard {shard} shed the request {missed_by:?} past its deadline"
+            ),
             ServiceError::InvalidProblem(e) => write!(f, "invalid problem: {e}"),
             ServiceError::InvalidSpec(e) => write!(f, "invalid spec: {e}"),
             ServiceError::Factorization(e) => write!(f, "factorization failed: {e}"),
@@ -163,15 +206,34 @@ pub struct SolveOutput {
     /// The probability estimate (bitwise identical to a direct
     /// [`MvnEngine::solve`] with the service's configuration).
     pub result: MvnResult,
-    /// Whether the factor was already resident in the shard cache.
+    /// Whether this request's factor was already resident in the shard cache
+    /// when its batch was served.
     pub cache_hit: bool,
-    /// Size of the coalesced batch this request was solved in.
+    /// Size of the coalesced batch this request was solved in (the whole
+    /// mixed batch, not just this fingerprint's group).
     pub batch_size: usize,
     /// The shard that served it.
     pub shard: usize,
 }
 
 type Response = Result<SolveOutput, ServiceError>;
+
+/// The outcome of a cache operation ([`MvnService::warm`] /
+/// [`MvnService::unpin`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheOpOutput {
+    /// The shard that served the operation.
+    pub shard: usize,
+    /// Whether the factor was resident *before* the operation.
+    pub was_resident: bool,
+    /// Whether the factor is resident after it (a warm of a factor larger
+    /// than the whole cache reports `false`: the oversized bypass).
+    pub resident: bool,
+    /// Whether the factor is pinned after the operation.
+    pub pinned: bool,
+}
+
+type CacheResponse = Result<CacheOpOutput, ServiceError>;
 
 /// A registered spec: the spec plus its fingerprint, computed once. Cloning
 /// is cheap (`Arc` inside); every request submitted through one handle is
@@ -240,15 +302,69 @@ impl Ticket {
     }
 }
 
-struct Request {
+/// A pending cache-operation response (see [`MvnService::warm_submit`]).
+pub struct CacheTicket {
+    rx: mpsc::Receiver<CacheResponse>,
+    shard: usize,
+}
+
+impl std::fmt::Debug for CacheTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheTicket")
+            .field("shard", &self.shard)
+            .finish()
+    }
+}
+
+impl CacheTicket {
+    /// Block until the shard dispatcher has applied the operation.
+    pub fn wait(self) -> CacheResponse {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// The shard the operation was routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+struct SolveRequest {
     spec: Arc<CovSpec>,
     fp: FactorFingerprint,
     problem: Problem,
+    /// Shed (answer [`ServiceError::DeadlineExceeded`]) if still queued past
+    /// this instant.
+    deadline: Option<Instant>,
     tx: mpsc::Sender<Response>,
 }
 
+/// What a queued cache operation should do to its fingerprint.
+enum CacheOp {
+    /// Ensure the factor is resident (building it if needed), optionally
+    /// pinning it.
+    Warm { pin: bool },
+    /// Make a pinned factor evictable again.
+    Unpin,
+}
+
+struct CacheRequest {
+    spec: Arc<CovSpec>,
+    fp: FactorFingerprint,
+    op: CacheOp,
+    tx: mpsc::Sender<CacheResponse>,
+}
+
+/// One entry of a shard queue. Cache operations flow through the same queue
+/// as solves so they serialize with the dispatcher (the cache is
+/// single-threaded by design) and observe FIFO order relative to the
+/// requests around them.
+enum WorkItem {
+    Solve(SolveRequest),
+    Cache(CacheRequest),
+}
+
 struct QueueState {
-    requests: VecDeque<Request>,
+    items: VecDeque<WorkItem>,
     shutdown: bool,
 }
 
@@ -272,6 +388,8 @@ struct ServiceShared {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    deadline_shed: AtomicU64,
+    mixed_batches: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
@@ -297,10 +415,19 @@ pub struct ShardStats {
 pub struct ServiceStats {
     /// Requests admitted (including ones still queued).
     pub submitted: u64,
-    /// Requests answered (success or per-request error).
+    /// Requests answered — successes, per-request errors, and deadline
+    /// sheds all count, so `completed + queue_depth == submitted` holds at
+    /// quiescence.
     pub completed: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Requests shed because their deadline lapsed in the queue (a subset
+    /// of [`completed`](Self::completed)).
+    pub deadline_shed: u64,
+    /// Batches that mixed more than one fingerprint (the cross-spec
+    /// batcher at work; always `0` with
+    /// [`ServiceConfig::cross_spec_batching`] off).
+    pub mixed_batches: u64,
     /// Batch-size histogram over power-of-two buckets
     /// `1, 2, 3–4, 5–8, 9–16, 17–32, 33+`.
     pub batch_hist: [u64; BATCH_HIST_BUCKETS],
@@ -312,6 +439,26 @@ impl ServiceStats {
     /// Requests currently queued across all shards.
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Batches dispatched across all shards.
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Requests solved across all shards (excludes sheds and errors).
+    pub fn solved(&self) -> u64 {
+        self.shards.iter().map(|s| s.solved).sum()
+    }
+
+    /// Mean coalesced-batch size so far (`0.0` before the first batch).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            0.0
+        } else {
+            self.solved() as f64 / batches as f64
+        }
     }
 
     /// Factor-cache hits across all shards.
@@ -327,6 +474,17 @@ impl ServiceStats {
     /// Factor-cache evictions across all shards.
     pub fn cache_evictions(&self) -> u64 {
         self.shards.iter().map(|s| s.cache.evictions).sum()
+    }
+
+    /// Oversized-bypass inserts across all shards (factors larger than the
+    /// whole cache; see [`FactorCache::insert`]).
+    pub fn cache_oversized(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.oversized).sum()
+    }
+
+    /// Currently pinned factors across all shards.
+    pub fn cache_pinned(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.pinned).sum()
     }
 
     /// Aggregate cache hit rate (`0.0` before any lookup).
@@ -368,6 +526,8 @@ impl MvnService {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            mixed_batches: AtomicU64::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
         });
         let mut shards = Vec::with_capacity(cfg.shards);
@@ -391,7 +551,7 @@ impl MvnService {
                 .build()?;
             let shard = Arc::new(Shard {
                 queue: Mutex::new(QueueState {
-                    requests: VecDeque::new(),
+                    items: VecDeque::new(),
                     shutdown: false,
                 }),
                 cv: Condvar::new(),
@@ -400,25 +560,19 @@ impl MvnService {
                 snapshot: Mutex::new(ShardSnapshot::default()),
             });
             shards.push(Arc::clone(&shard));
-            let shared = Arc::clone(&shared);
-            let shard_idx = shards.len() - 1;
-            let max_batch = cfg.max_batch;
-            let batch_delay = cfg.batch_delay;
+            let ctx = DispatcherCtx {
+                shard,
+                shared: Arc::clone(&shared),
+                shard_idx: shards.len() - 1,
+                max_batch: cfg.max_batch,
+                batch_delay: cfg.batch_delay,
+                cross_spec: cfg.cross_spec_batching,
+            };
             let cache_capacity = cfg.cache_capacity_bytes;
             dispatchers.push(
                 std::thread::Builder::new()
-                    .name(format!("mvn-service-shard-{shard_idx}"))
-                    .spawn(move || {
-                        dispatcher_main(
-                            shard,
-                            shared,
-                            engine,
-                            shard_idx,
-                            max_batch,
-                            batch_delay,
-                            cache_capacity,
-                        )
-                    })
+                    .name(format!("mvn-service-shard-{}", ctx.shard_idx))
+                    .spawn(move || dispatcher_main(ctx, engine, cache_capacity))
                     .expect("failed to spawn shard dispatcher"),
             );
         }
@@ -445,10 +599,27 @@ impl MvnService {
     /// spec, so a malformed request can never panic a shard dispatcher);
     /// admission control may reject with [`ServiceError::Overloaded`].
     pub fn submit(&self, handle: &SpecHandle, problem: Problem) -> Result<Ticket, ServiceError> {
+        self.submit_with_deadline(handle, problem, None)
+    }
+
+    /// [`submit`](Self::submit) with a queueing deadline: if the request is
+    /// still waiting in the shard queue `deadline` after submission, the
+    /// dispatcher sheds it with [`ServiceError::DeadlineExceeded`] instead
+    /// of solving it. The deadline bounds time-in-queue only — a request
+    /// that makes it into a batch is always served, and a forming batch
+    /// flushes early at its earliest member deadline (see the
+    /// [module docs](self)).
+    pub fn submit_with_deadline(
+        &self,
+        handle: &SpecHandle,
+        problem: Problem,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
         handle.spec.validate().map_err(ServiceError::InvalidSpec)?;
         problem
             .validate(Some(handle.spec.n()))
             .map_err(ServiceError::InvalidProblem)?;
+        let deadline = deadline.map(|d| Instant::now() + d);
         let idx = self.shard_of(handle);
         let shard = &self.shards[idx];
         let (tx, rx) = mpsc::channel();
@@ -457,20 +628,21 @@ impl MvnService {
             if st.shutdown {
                 return Err(ServiceError::ShuttingDown);
             }
-            if st.requests.len() >= self.cfg.queue_capacity {
+            if st.items.len() >= self.cfg.queue_capacity {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::Overloaded {
                     shard: idx,
-                    depth: st.requests.len(),
+                    depth: st.items.len(),
                     capacity: self.cfg.queue_capacity,
                 });
             }
-            st.requests.push_back(Request {
+            st.items.push_back(WorkItem::Solve(SolveRequest {
                 spec: Arc::clone(&handle.spec),
                 fp: handle.fp,
                 problem,
+                deadline,
                 tx,
-            });
+            }));
             shard.cv.notify_one();
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -483,6 +655,69 @@ impl MvnService {
             .wait()
     }
 
+    /// Queue a warm-up for a spec's factor, returning a [`CacheTicket`]
+    /// immediately: the shard dispatcher builds the factor if it is not
+    /// already resident and, with `pin`, pins it against eviction. Warming
+    /// ahead of a traffic burst means the first real request hits a resident
+    /// (and batchable) factor instead of paying the factorization.
+    ///
+    /// Cache operations ride the same bounded shard queue as solves (FIFO
+    /// with respect to them) but are not counted in the
+    /// submitted/completed request totals.
+    pub fn warm_submit(&self, handle: &SpecHandle, pin: bool) -> Result<CacheTicket, ServiceError> {
+        self.submit_cache_op(handle, CacheOp::Warm { pin })
+    }
+
+    /// [`warm_submit`](Self::warm_submit) and block for the outcome.
+    pub fn warm(&self, handle: &SpecHandle, pin: bool) -> CacheResponse {
+        self.warm_submit(handle, pin)?.wait()
+    }
+
+    /// Queue an unpin for a spec's factor (the non-blocking form of
+    /// [`unpin`](Self::unpin)).
+    pub fn unpin_submit(&self, handle: &SpecHandle) -> Result<CacheTicket, ServiceError> {
+        self.submit_cache_op(handle, CacheOp::Unpin)
+    }
+
+    /// Make a previously pinned factor evictable again (blocking). Unpinning
+    /// a non-resident or never-pinned fingerprint is a no-op that reports
+    /// the current residency.
+    pub fn unpin(&self, handle: &SpecHandle) -> CacheResponse {
+        self.unpin_submit(handle)?.wait()
+    }
+
+    fn submit_cache_op(
+        &self,
+        handle: &SpecHandle,
+        op: CacheOp,
+    ) -> Result<CacheTicket, ServiceError> {
+        handle.spec.validate().map_err(ServiceError::InvalidSpec)?;
+        let idx = self.shard_of(handle);
+        let shard = &self.shards[idx];
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = shard.queue.lock().unwrap();
+            if st.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if st.items.len() >= self.cfg.queue_capacity {
+                return Err(ServiceError::Overloaded {
+                    shard: idx,
+                    depth: st.items.len(),
+                    capacity: self.cfg.queue_capacity,
+                });
+            }
+            st.items.push_back(WorkItem::Cache(CacheRequest {
+                spec: Arc::clone(&handle.spec),
+                fp: handle.fp,
+                op,
+                tx,
+            }));
+            shard.cv.notify_one();
+        }
+        Ok(CacheTicket { rx, shard: idx })
+    }
+
     /// A point-in-time snapshot of every counter the service keeps.
     pub fn stats(&self) -> ServiceStats {
         let shards = self
@@ -490,7 +725,7 @@ impl MvnService {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let queue_depth = s.queue.lock().unwrap().requests.len();
+                let queue_depth = s.queue.lock().unwrap().items.len();
                 let snap = s.snapshot.lock().unwrap().clone();
                 ShardStats {
                     shard: i,
@@ -506,6 +741,8 @@ impl MvnService {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
+            deadline_shed: self.shared.deadline_shed.load(Ordering::Relaxed),
+            mixed_batches: self.shared.mixed_batches.load(Ordering::Relaxed),
             batch_hist: std::array::from_fn(|i| self.shared.batch_hist[i].load(Ordering::Relaxed)),
             shards,
         }
@@ -525,150 +762,328 @@ impl Drop for MvnService {
     }
 }
 
-/// Collect the next micro-batch: the oldest request plus every co-batchable
-/// (same-fingerprint) request, flushing on the size cap, the deadline, or a
-/// foreign fingerprint in the queue (see the module docs). Returns `None`
-/// when the queue is empty and the service is shutting down.
+/// Everything a shard dispatcher needs besides its engine and cache.
+struct DispatcherCtx {
+    shard: Arc<Shard>,
+    shared: Arc<ServiceShared>,
+    shard_idx: usize,
+    max_batch: usize,
+    batch_delay: Duration,
+    cross_spec: bool,
+}
+
+/// One unit of dispatcher work out of [`collect_work`].
+enum Work {
+    Batch(Vec<SolveRequest>),
+    Cache(CacheRequest),
+}
+
+/// How far past its deadline a queued request is, if it is.
+fn lapsed(r: &SolveRequest) -> Option<Duration> {
+    let d = r.deadline?;
+    let now = Instant::now();
+    if now >= d {
+        Some(now - d)
+    } else {
+        None
+    }
+}
+
+/// Answer a deadline-expired request without solving it. Sheds count as
+/// completions so `completed + queue_depth == submitted` keeps holding.
+fn shed(ctx: &DispatcherCtx, r: SolveRequest, missed_by: Duration) {
+    ctx.shared.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    ctx.shared.completed.fetch_add(1, Ordering::Relaxed);
+    let _ = r.tx.send(Err(ServiceError::DeadlineExceeded {
+        shard: ctx.shard_idx,
+        missed_by,
+    }));
+}
+
+/// Collect the dispatcher's next unit of work: a queued cache operation
+/// (served immediately, FIFO), or a micro-batch — the oldest live request
+/// plus every co-batchable one, flushing on the size cap, the flush clock,
+/// the earliest member deadline, or a *blocked* queued item (a cache-miss
+/// fingerprint or a cache op; waiting longer would only delay it without
+/// coalescing anything). Expired requests are shed at every scan. Returns
+/// `None` when the queue is empty and the service is shutting down.
 ///
 /// `scratch` is the dispatcher's reusable partition buffer: extraction is a
 /// single O(depth) drain pass per scan (no per-element `VecDeque::remove`
 /// shifting while the submit-side lock is held). A wait can only happen when
-/// the queue has just been fully drained into the batch (anything foreign
-/// flushes immediately), so a post-wakeup rescan only ever sees newly
-/// arrived requests.
-fn collect_batch(
-    shard: &Shard,
-    max_batch: usize,
-    batch_delay: Duration,
-    scratch: &mut VecDeque<Request>,
-) -> Option<Vec<Request>> {
+/// the queue has just been fully drained into the batch (anything
+/// non-batchable flushes immediately), so a post-wakeup rescan only ever
+/// sees newly arrived items.
+fn collect_work(
+    ctx: &DispatcherCtx,
+    cache: &FactorCache,
+    scratch: &mut VecDeque<WorkItem>,
+) -> Option<Work> {
+    let shard = &*ctx.shard;
     let mut st = shard.queue.lock().unwrap();
     let first = loop {
-        if let Some(r) = st.requests.pop_front() {
-            break r;
-        }
-        if st.shutdown {
-            return None;
-        }
-        st = shard.cv.wait(st).unwrap();
-    };
-    let fp = first.fp;
-    let mut batch = vec![first];
-    let deadline = Instant::now() + batch_delay;
-    loop {
-        // Partition the queue in one pass: ours into the batch (up to the
-        // cap), everything else back in arrival order.
-        debug_assert!(scratch.is_empty());
-        let mut foreign_waiting = false;
-        while let Some(r) = st.requests.pop_front() {
-            if r.fp == fp && batch.len() < max_batch {
-                batch.push(r);
-            } else {
-                foreign_waiting |= r.fp != fp;
-                scratch.push_back(r);
+        match st.items.pop_front() {
+            Some(WorkItem::Cache(c)) => return Some(Work::Cache(c)),
+            Some(WorkItem::Solve(r)) => match lapsed(&r) {
+                Some(missed) => shed(ctx, r, missed),
+                None => break r,
+            },
+            None => {
+                if st.shutdown {
+                    return None;
+                }
+                st = shard.cv.wait(st).unwrap();
             }
         }
-        std::mem::swap(&mut st.requests, scratch);
-        if batch.len() >= max_batch || foreign_waiting || st.shutdown {
+    };
+    let primary_fp = first.fp;
+    let flush_at = Instant::now() + ctx.batch_delay;
+    let mut batch = vec![first];
+    loop {
+        // Partition the queue in one pass: batchable solves into the batch
+        // (up to the cap), everything else back in arrival order. A solve is
+        // batchable when it shares the primary fingerprint or — with
+        // cross-spec batching — its factor is already resident, so batching
+        // it costs no factorization stall.
+        debug_assert!(scratch.is_empty());
+        let mut blocked_waiting = false;
+        while let Some(item) = st.items.pop_front() {
+            match item {
+                WorkItem::Cache(c) => {
+                    blocked_waiting = true;
+                    scratch.push_back(WorkItem::Cache(c));
+                }
+                WorkItem::Solve(r) => {
+                    if let Some(missed) = lapsed(&r) {
+                        shed(ctx, r, missed);
+                        continue;
+                    }
+                    let joins = batch.len() < ctx.max_batch
+                        && (r.fp == primary_fp || (ctx.cross_spec && cache.contains(r.fp)));
+                    if joins {
+                        batch.push(r);
+                    } else {
+                        blocked_waiting = true;
+                        scratch.push_back(WorkItem::Solve(r));
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut st.items, scratch);
+        if batch.len() >= ctx.max_batch || blocked_waiting || st.shutdown {
             break;
         }
+        // Deadline-aware flush: wait for more batch-mates only until the
+        // flush clock *or* the earliest member deadline — a member is served
+        // at its deadline, never shed for time spent forming its own batch.
+        let wait_until = batch
+            .iter()
+            .filter_map(|r| r.deadline)
+            .fold(flush_at, Instant::min);
         let now = Instant::now();
-        if now >= deadline {
+        if now >= wait_until {
             break;
         }
-        let (guard, _timeout) = shard.cv.wait_timeout(st, deadline - now).unwrap();
+        let (guard, _timeout) = shard.cv.wait_timeout(st, wait_until - now).unwrap();
         st = guard;
     }
-    Some(batch)
+    Some(Work::Batch(batch))
+}
+
+/// Render a caught panic payload for [`ServiceError::Internal`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "unknown panic".to_string())
+}
+
+/// Publish the shard's observability snapshot (done *before* responses go
+/// out, so a client that reads `stats()` right after its `wait` returns
+/// always sees its own request accounted for).
+fn publish_snapshot(ctx: &DispatcherCtx, engine: &MvnEngine, cache: &FactorCache) {
+    *ctx.shard.snapshot.lock().unwrap() = ShardSnapshot {
+        cache: cache.stats(),
+        pool: Some(engine.pool_stats()),
+    };
+}
+
+/// Serve one queued cache operation.
+fn serve_cache_op(
+    ctx: &DispatcherCtx,
+    engine: &MvnEngine,
+    cache: &mut FactorCache,
+    req: CacheRequest,
+) {
+    let CacheRequest { spec, fp, op, tx } = req;
+    // Warm probes with `contains` (uncounted) rather than `get`, so warming
+    // does not skew the hit rate the solve traffic earns on its own.
+    let outcome: CacheResponse =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> CacheResponse {
+            let was_resident = cache.contains(fp);
+            match op {
+                CacheOp::Warm { pin } => {
+                    if !was_resident {
+                        let f = Arc::new(
+                            spec.build_factor(engine)
+                                .map_err(ServiceError::Factorization)?,
+                        );
+                        // May refuse (oversized bypass); `resident` below
+                        // reports what actually happened.
+                        cache.insert(fp, f);
+                    }
+                    if pin {
+                        cache.pin(fp);
+                    }
+                }
+                CacheOp::Unpin => {
+                    cache.unpin(fp);
+                }
+            }
+            Ok(CacheOpOutput {
+                shard: ctx.shard_idx,
+                was_resident,
+                resident: cache.contains(fp),
+                pinned: cache.is_pinned(fp),
+            })
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(ServiceError::Internal(panic_message(payload))),
+        };
+    publish_snapshot(ctx, engine, cache);
+    let _ = tx.send(outcome);
+}
+
+/// Serve one micro-batch: resolve each distinct fingerprint's factor (one
+/// counted cache lookup per fingerprint per batch), then solve every
+/// request of the batch in a single [`MvnEngine::solve_batch_mixed`] graph.
+/// A fingerprint whose factorization fails takes down only its own group;
+/// the rest of the batch still solves.
+fn serve_batch(
+    ctx: &DispatcherCtx,
+    engine: &MvnEngine,
+    cache: &mut FactorCache,
+    batch: Vec<SolveRequest>,
+) {
+    let size = batch.len();
+    ctx.shard.batches.fetch_add(1, Ordering::Relaxed);
+    ctx.shared.batch_hist[batch_bucket(size)].fetch_add(1, Ordering::Relaxed);
+
+    // Group by fingerprint in first-appearance order.
+    let mut groups: Vec<(FactorFingerprint, Arc<CovSpec>)> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(size);
+    for r in &batch {
+        let g = groups
+            .iter()
+            .position(|(fp, _)| *fp == r.fp)
+            .unwrap_or_else(|| {
+                groups.push((r.fp, Arc::clone(&r.spec)));
+                groups.len() - 1
+            });
+        group_of.push(g);
+    }
+    if groups.len() > 1 {
+        ctx.shared.mixed_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // The response channels stay *outside* the panic boundary so even a
+    // panic out of the factorization or the solve (a bug, or a pathological
+    // input that slipped past validation) reaches every client as a typed
+    // `Internal` error instead of killing the dispatcher — that would strand
+    // every queued request for this shard and silently brown-out 1/N of the
+    // service.
+    let (problems, txs): (Vec<Problem>, Vec<mpsc::Sender<Response>>) =
+        batch.into_iter().map(|r| (r.problem, r.tx)).unzip();
+
+    type Slot = Result<(MvnResult, bool), ServiceError>;
+    let outcome: Result<Vec<Slot>, ServiceError> =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Vec<Slot> {
+            // Resolve the factors in two passes: every lookup happens before
+            // any build, and the looked-up `Arc`s are held here — so an
+            // insert-driven eviction during the build pass can never drop a
+            // factor this batch still needs, and each group's `cache_hit`
+            // reflects residency at batch start.
+            let looked_up: Vec<Option<Arc<Factor>>> =
+                groups.iter().map(|(fp, _)| cache.get(*fp)).collect();
+            let resolved: Vec<Result<(Arc<Factor>, bool), ServiceError>> = groups
+                .iter()
+                .zip(looked_up)
+                .map(|((fp, spec), hit)| match hit {
+                    Some(f) => Ok((f, true)),
+                    None => match spec.build_factor(engine) {
+                        Ok(f) => {
+                            let f = Arc::new(f);
+                            cache.insert(*fp, Arc::clone(&f));
+                            Ok((f, false))
+                        }
+                        Err(e) => Err(ServiceError::Factorization(e)),
+                    },
+                })
+                .collect();
+            // One mixed task graph over every solvable request, in queue
+            // order; failed groups keep their slots as typed errors.
+            let mut items: Vec<(Arc<Factor>, Problem)> = Vec::with_capacity(size);
+            let mut slots: Vec<Result<(usize, bool), ServiceError>> = Vec::with_capacity(size);
+            for (problem, &g) in problems.into_iter().zip(&group_of) {
+                match &resolved[g] {
+                    Ok((f, hit)) => {
+                        slots.push(Ok((items.len(), *hit)));
+                        items.push((Arc::clone(f), problem));
+                    }
+                    Err(e) => slots.push(Err(e.clone())),
+                }
+            }
+            let results = engine.solve_batch_mixed(&items);
+            slots
+                .into_iter()
+                .map(|s| s.map(|(i, hit)| (results[i], hit)))
+                .collect()
+        })) {
+            Ok(slots) => Ok(slots),
+            Err(payload) => Err(ServiceError::Internal(panic_message(payload))),
+        };
+
+    // Every counter is published *before* the responses go out.
+    let solved_now = match &outcome {
+        Ok(slots) => slots.iter().filter(|s| s.is_ok()).count() as u64,
+        Err(_) => 0,
+    };
+    ctx.shard.solved.fetch_add(solved_now, Ordering::Relaxed);
+    ctx.shared
+        .completed
+        .fetch_add(size as u64, Ordering::Relaxed);
+    publish_snapshot(ctx, engine, cache);
+
+    match outcome {
+        Ok(slots) => {
+            for (slot, tx) in slots.into_iter().zip(txs) {
+                // A dropped receiver (client gave up) is fine.
+                let _ = tx.send(slot.map(|(result, cache_hit)| SolveOutput {
+                    result,
+                    cache_hit,
+                    batch_size: size,
+                    shard: ctx.shard_idx,
+                }));
+            }
+        }
+        Err(e) => {
+            for tx in txs {
+                let _ = tx.send(Err(e.clone()));
+            }
+        }
+    }
 }
 
 /// The shard dispatcher: owns the engine and the factor cache, and serves
-/// micro-batches until shutdown drains the queue.
-fn dispatcher_main(
-    shard: Arc<Shard>,
-    shared: Arc<ServiceShared>,
-    engine: MvnEngine,
-    shard_idx: usize,
-    max_batch: usize,
-    batch_delay: Duration,
-    cache_capacity: usize,
-) {
+/// micro-batches and cache operations until shutdown drains the queue.
+fn dispatcher_main(ctx: DispatcherCtx, engine: MvnEngine, cache_capacity: usize) {
     let mut cache = FactorCache::new(cache_capacity);
     let mut scratch = VecDeque::new();
-    while let Some(batch) = collect_batch(&shard, max_batch, batch_delay, &mut scratch) {
-        let size = batch.len();
-        let fp = batch[0].fp;
-        let spec = Arc::clone(&batch[0].spec);
-        shard.batches.fetch_add(1, Ordering::Relaxed);
-        shared.batch_hist[batch_bucket(size)].fetch_add(1, Ordering::Relaxed);
-        let (problems, txs): (Vec<Problem>, Vec<mpsc::Sender<Response>>) =
-            batch.into_iter().map(|r| (r.problem, r.tx)).unzip();
-
-        // Serve the batch with the panic boundary *around* the numerical
-        // work: a panic out of the factorization or the solve (a bug, or a
-        // pathological input that slipped past validation) must not kill
-        // the dispatcher — that would strand every queued request for this
-        // shard and silently brown-out 1/N of the service. The batch gets a
-        // typed `Internal` error and the shard keeps serving.
-        type Served = Result<(Vec<MvnResult>, bool), ServiceError>;
-        let outcome: Served =
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Served {
-                let lookup = cache.get(fp);
-                let cache_hit = lookup.is_some();
-                let factor = match lookup {
-                    Some(f) => f,
-                    None => {
-                        let f = Arc::new(
-                            spec.build_factor(&engine)
-                                .map_err(ServiceError::Factorization)?,
-                        );
-                        cache.insert(fp, Arc::clone(&f));
-                        f
-                    }
-                };
-                Ok((engine.solve_batch(&factor, &problems), cache_hit))
-            })) {
-                Ok(served) => served,
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "unknown panic".to_string());
-                    Err(ServiceError::Internal(msg))
-                }
-            };
-
-        // Every counter is published *before* the responses go out, so a
-        // client that reads `stats()` right after its `Ticket::wait`
-        // returns always sees its own request accounted for.
-        shard.solved.fetch_add(
-            if outcome.is_ok() { size as u64 } else { 0 },
-            Ordering::Relaxed,
-        );
-        shared.completed.fetch_add(size as u64, Ordering::Relaxed);
-        *shard.snapshot.lock().unwrap() = ShardSnapshot {
-            cache: cache.stats(),
-            pool: Some(engine.pool_stats()),
-        };
-
-        match outcome {
-            Ok((results, cache_hit)) => {
-                for (result, tx) in results.into_iter().zip(txs) {
-                    // A dropped receiver (client gave up) is fine.
-                    let _ = tx.send(Ok(SolveOutput {
-                        result,
-                        cache_hit,
-                        batch_size: size,
-                        shard: shard_idx,
-                    }));
-                }
-            }
-            Err(e) => {
-                for tx in txs {
-                    let _ = tx.send(Err(e.clone()));
-                }
-            }
+    while let Some(work) = collect_work(&ctx, &cache, &mut scratch) {
+        match work {
+            Work::Cache(req) => serve_cache_op(&ctx, &engine, &mut cache, req),
+            Work::Batch(batch) => serve_batch(&ctx, &engine, &mut cache, batch),
         }
     }
 }

@@ -14,7 +14,8 @@
 //!
 //! ```json
 //! {"id":1,"spec":{"grid":6,"kernel":"exponential","sigma2":1.0,"range":0.1,
-//!  "nugget":1e-8,"tile":12,"kind":"dense"},"a":[0.0, …],"b":[null, …]}
+//!  "nugget":1e-8,"tile":12,"kind":"dense"},"a":[0.0, …],"b":[null, …],
+//!  "deadline_ms":50}
 //! ```
 //!
 //! * `spec.grid: s` is shorthand for the `s × s` regular unit-square grid;
@@ -26,18 +27,38 @@
 //!   requests the correlation factor (for CRD-style standardized limits).
 //! * JSON has no `±inf`, so a `null` entry means `-inf` in `a` and `+inf`
 //!   in `b`.
+//! * `deadline_ms` (optional) is a queueing deadline: a request still queued
+//!   that many milliseconds after admission is shed with a
+//!   `deadline exceeded` error instead of being solved (see
+//!   [`MvnService::submit_with_deadline`]).
 //!
 //! Response: `{"id":1,"prob":0.123,"std_error":0.001,"samples":10000,
 //! "cache":"hit","batch":4,"shard":0}` — or `{"id":1,"error":"…"}` (the
 //! typed [`ServiceError`] rendered as text, e.g. admission-control
-//! rejections). A `std_error` of `null` means "unavailable" (single batch).
+//! rejections or deadline sheds). A `std_error` of `null` means
+//! "unavailable" (single batch).
 //!
-//! Stats request: `{"id":2,"stats":true}` → `{"id":2,"stats":{"submitted":…,
-//! "completed":…,"rejected":…,"queue_depth":…,"cache_hits":…,
-//! "cache_misses":…,"cache_evictions":…,"cache_hit_rate":…,"batch_hist":[…]}}`.
+//! Cache requests: `{"id":2,"warm":true,"pin":true,"spec":{…}}` builds (and
+//! with `"pin"` pins) the spec's factor ahead of traffic;
+//! `{"id":3,"unpin":true,"spec":{…}}` releases a pin. Both answer
+//! `{"id":2,"shard":0,"was_resident":false,"resident":true,"pinned":true}`
+//! (see [`MvnService::warm`]).
+//!
+//! Stats request: `{"id":4,"stats":true}` → `{"id":4,"stats":{"submitted":…,
+//! "completed":…,"rejected":…,"deadline_shed":…,"mixed_batches":…,
+//! "queue_depth":…,"batches":…,"mean_batch_size":…,"cache_hits":…,
+//! "cache_misses":…,"cache_evictions":…,"cache_oversized":…,
+//! "cache_pinned":…,"cache_hit_rate":…,"batch_hist":[…],"shards":[{"shard":0,
+//! "queue_depth":…,"batches":…,"solved":…,"cache_hits":…,"cache_misses":…,
+//! "cache_evictions":…,"cache_entries":…,"cache_pinned":…,"cache_bytes":…}, …]}}`
+//! — the full [`ServiceStats`](crate::ServiceStats) snapshot, so operators
+//! and load tests scrape hit rates and queue depths without process-internal
+//! access.
 
 use crate::json::{write_escaped, write_f64, Json};
-use crate::service::{MvnService, ServiceError, SolveOutput, SpecHandle, Ticket};
+use crate::service::{
+    CacheOpOutput, CacheTicket, MvnService, ServiceError, SolveOutput, SpecHandle, Ticket,
+};
 use crate::spec::CovSpec;
 use geostat::{regular_grid, CovarianceKernel, Location, MaternParams};
 use mvn_core::{FactorKind, Problem};
@@ -134,6 +155,7 @@ fn accept_loop(listener: TcpListener, service: Arc<MvnService>, shutdown: Arc<At
 enum Pending {
     Ready(String),
     Waiting(u64, Ticket),
+    WaitingCache(u64, CacheTicket),
 }
 
 fn handle_connection(
@@ -152,6 +174,7 @@ fn handle_connection(
                 let line = match pending {
                     Pending::Ready(s) => s,
                     Pending::Waiting(id, ticket) => render_response(id, ticket.wait()),
+                    Pending::WaitingCache(id, ticket) => render_cache_response(id, ticket.wait()),
                 };
                 if writeln!(out, "{line}").and_then(|_| out.flush()).is_err() {
                     break; // client went away; remaining tickets drop
@@ -219,22 +242,60 @@ fn handle_line(service: &MvnService, line: &str) -> Pending {
     if req.get("stats").and_then(Json::as_bool) == Some(true) {
         return Pending::Ready(render_stats(id, service));
     }
+    if req.get("warm").and_then(Json::as_bool) == Some(true) {
+        let pin = req.get("pin").and_then(Json::as_bool).unwrap_or(false);
+        return match parse_cache_target(&req) {
+            Ok(handle) => match service.warm_submit(&handle, pin) {
+                Ok(ticket) => Pending::WaitingCache(id, ticket),
+                Err(e) => Pending::Ready(render_error(id, &e.to_string())),
+            },
+            Err(e) => Pending::Ready(render_error(id, &e)),
+        };
+    }
+    if req.get("unpin").and_then(Json::as_bool) == Some(true) {
+        return match parse_cache_target(&req) {
+            Ok(handle) => match service.unpin_submit(&handle) {
+                Ok(ticket) => Pending::WaitingCache(id, ticket),
+                Err(e) => Pending::Ready(render_error(id, &e.to_string())),
+            },
+            Err(e) => Pending::Ready(render_error(id, &e)),
+        };
+    }
     match parse_solve(&req) {
-        Ok((handle, problem)) => match service.submit(&handle, problem) {
-            Ok(ticket) => Pending::Waiting(id, ticket),
-            Err(e) => Pending::Ready(render_error(id, &e.to_string())),
-        },
+        Ok((handle, problem, deadline)) => {
+            match service.submit_with_deadline(&handle, problem, deadline) {
+                Ok(ticket) => Pending::Waiting(id, ticket),
+                Err(e) => Pending::Ready(render_error(id, &e.to_string())),
+            }
+        }
         Err(e) => Pending::Ready(render_error(id, &e)),
     }
 }
 
-/// Parse a solve request into a registered spec and a problem.
-fn parse_solve(req: &Json) -> Result<(SpecHandle, Problem), String> {
+/// Parse the spec of a warm/unpin request.
+fn parse_cache_target(req: &Json) -> Result<SpecHandle, String> {
+    let spec = req.get("spec").ok_or("missing \"spec\"")?;
+    Ok(SpecHandle::new(parse_spec(spec)?))
+}
+
+/// Parse a solve request into a registered spec, a problem, and an optional
+/// queueing deadline.
+fn parse_solve(req: &Json) -> Result<(SpecHandle, Problem, Option<Duration>), String> {
     let spec = req.get("spec").ok_or("missing \"spec\"")?;
     let spec = parse_spec(spec)?;
     let a = limits(req.get("a").ok_or("missing \"a\"")?, f64::NEG_INFINITY)?;
     let b = limits(req.get("b").ok_or("missing \"b\"")?, f64::INFINITY)?;
-    Ok((SpecHandle::new(spec), Problem::new(a, b)))
+    let deadline = match req.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or("\"deadline_ms\" must be a non-negative number")?;
+            Some(Duration::from_secs_f64(ms / 1000.0))
+        }
+    };
+    Ok((SpecHandle::new(spec), Problem::new(a, b), deadline))
 }
 
 /// Parse a limit array; `null` entries become `inf_value` (`-inf` for `a`,
@@ -409,6 +470,17 @@ pub fn render_spec(spec: &CovSpec) -> String {
 
 /// Render a solve request line (`null` for infinite limits).
 pub fn render_solve_request(id: u64, spec: &CovSpec, a: &[f64], b: &[f64]) -> String {
+    render_solve_request_deadline(id, spec, a, b, None)
+}
+
+/// [`render_solve_request`] with an optional `deadline_ms` queueing deadline.
+pub fn render_solve_request_deadline(
+    id: u64,
+    spec: &CovSpec,
+    a: &[f64],
+    b: &[f64],
+    deadline_ms: Option<f64>,
+) -> String {
     let mut s = format!("{{\"id\":{id},\"spec\":{},\"a\":[", render_spec(spec));
     for (i, &x) in a.iter().enumerate() {
         if i > 0 {
@@ -423,8 +495,30 @@ pub fn render_solve_request(id: u64, spec: &CovSpec, a: &[f64], b: &[f64]) -> St
         }
         write_f64(&mut s, x);
     }
-    s.push_str("]}");
+    s.push(']');
+    if let Some(ms) = deadline_ms {
+        s.push_str(",\"deadline_ms\":");
+        write_f64(&mut s, ms);
+    }
+    s.push('}');
     s
+}
+
+/// Render a warm request line (`pin` pins the factor against eviction).
+pub fn render_warm_request(id: u64, spec: &CovSpec, pin: bool) -> String {
+    let pin = if pin { ",\"pin\":true" } else { "" };
+    format!(
+        "{{\"id\":{id},\"warm\":true{pin},\"spec\":{}}}",
+        render_spec(spec)
+    )
+}
+
+/// Render an unpin request line.
+pub fn render_unpin_request(id: u64, spec: &CovSpec) -> String {
+    format!(
+        "{{\"id\":{id},\"unpin\":true,\"spec\":{}}}",
+        render_spec(spec)
+    )
 }
 
 /// Render a stats request line.
@@ -452,6 +546,16 @@ fn render_response(id: u64, response: Result<SolveOutput, ServiceError>) -> Stri
     }
 }
 
+fn render_cache_response(id: u64, response: Result<CacheOpOutput, ServiceError>) -> String {
+    match response {
+        Ok(out) => format!(
+            "{{\"id\":{id},\"shard\":{},\"was_resident\":{},\"resident\":{},\"pinned\":{}}}",
+            out.shard, out.was_resident, out.resident, out.pinned
+        ),
+        Err(e) => render_error(id, &e.to_string()),
+    }
+}
+
 fn render_error(id: u64, msg: &str) -> String {
     let mut s = format!("{{\"id\":{id},\"error\":");
     write_escaped(&mut s, msg);
@@ -463,16 +567,26 @@ fn render_stats(id: u64, service: &MvnService) -> String {
     let st = service.stats();
     let mut s = format!(
         "{{\"id\":{id},\"stats\":{{\"submitted\":{},\"completed\":{},\"rejected\":{},\
-         \"queue_depth\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
-         \"cache_hit_rate\":",
+         \"deadline_shed\":{},\"mixed_batches\":{},\"queue_depth\":{},\"batches\":{},\
+         \"mean_batch_size\":",
         st.submitted,
         st.completed,
         st.rejected,
+        st.deadline_shed,
+        st.mixed_batches,
         st.queue_depth(),
+        st.batches(),
+    );
+    write_f64(&mut s, st.mean_batch_size());
+    s.push_str(&format!(
+        ",\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"cache_oversized\":{},\
+         \"cache_pinned\":{},\"cache_hit_rate\":",
         st.cache_hits(),
         st.cache_misses(),
         st.cache_evictions(),
-    );
+        st.cache_oversized(),
+        st.cache_pinned(),
+    ));
     write_f64(&mut s, st.cache_hit_rate());
     s.push_str(",\"batch_hist\":[");
     for (i, c) in st.batch_hist.iter().enumerate() {
@@ -480,6 +594,27 @@ fn render_stats(id: u64, service: &MvnService) -> String {
             s.push(',');
         }
         s.push_str(&c.to_string());
+    }
+    s.push_str("],\"shards\":[");
+    for (i, sh) in st.shards.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"shard\":{},\"queue_depth\":{},\"batches\":{},\"solved\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"cache_entries\":{},\"cache_pinned\":{},\"cache_bytes\":{}}}",
+            sh.shard,
+            sh.queue_depth,
+            sh.batches,
+            sh.solved,
+            sh.cache.hits,
+            sh.cache.misses,
+            sh.cache.evictions,
+            sh.cache.entries,
+            sh.cache.pinned,
+            sh.cache.bytes,
+        ));
     }
     s.push_str("]}}");
     s
