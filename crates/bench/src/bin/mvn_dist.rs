@@ -1,0 +1,209 @@
+//! Real multi-process strong-scaling replay of Fig. 7 (`mvn-dist` runtime),
+//! with the `distsim` model prediction next to every measured point.
+//!
+//! Unlike `fig7_distributed` — which is *pure* model — this binary actually
+//! launches one worker process per node on the local host (re-invoking
+//! itself with the `worker` subcommand), runs the distributed factor+sweep,
+//! verifies the probability is bitwise identical to the single-process
+//! engine, and prints measured wall time against the simulator's makespan
+//! for the matching problem. Absolute times differ (the model prices a Cray
+//! XC40 interconnect, the measurement shares one host's cores), so the
+//! comparison to make is the *shape* of the scaling curve, not the level.
+//!
+//! Modes:
+//! * `mvn_dist worker <addr>` — internal: run as a worker process.
+//! * `mvn_dist --smoke`      — 4-process bitwise smoke test (CI).
+//! * `mvn_dist [--full]`     — the scaling replay (1..=4 nodes; `--full`
+//!   adds 8 and grows the problem).
+//!
+//! Machine-readable output: `{"benchmark":...,"mean_ns":...,"samples":...}`
+//! lines (the repo's BENCH_kernels.json schema); `samples` carries the node
+//! count.
+
+use distsim::{pmvn_task_graph, simulate, typical_mean_rank, ClusterSpec, ProblemSpec};
+use mvn_bench::{exceedance_limits, full_scale_requested, mvn_config};
+use mvn_core::{FactorKind, MvnEngine, MvnResult};
+use mvn_dist::{solve_dense, solve_tlr, DistConfig, DistReport};
+use std::time::Duration;
+use tile_la::SymTileMatrix;
+use tlr::{CompressionTol, TlrMatrix};
+
+fn cov(n: usize) -> impl Fn(usize, usize) -> f64 + Sync {
+    move |i, j| {
+        let d = (i as f64 - j as f64).abs() / n as f64;
+        (-d / 0.3).exp()
+    }
+}
+
+fn dist_config(nodes: usize) -> DistConfig {
+    let exe = std::env::current_exe()
+        .expect("bench binary path")
+        .to_string_lossy()
+        .into_owned();
+    let mut dc = DistConfig::new(nodes, vec![exe, "worker".to_string()]);
+    dc.timeout = Duration::from_secs(600);
+    dc
+}
+
+fn emit(name: &str, seconds: f64, nodes: usize) {
+    println!(
+        "{{\"benchmark\":\"{name}\",\"mean_ns\":{:.1},\"samples\":{nodes}}}",
+        seconds * 1e9
+    );
+}
+
+fn check_bitwise(tag: &str, got: MvnResult, want: MvnResult) {
+    if got.prob.to_bits() != want.prob.to_bits()
+        || got.std_error.to_bits() != want.std_error.to_bits()
+    {
+        eprintln!(
+            "{tag}: distributed result ({} ± {}) is not bitwise identical to the engine ({} ± {})",
+            got.prob, got.std_error, want.prob, want.std_error
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Model prediction for the same problem on `nodes` nodes of the reference
+/// cluster (the Fig. 7 machine).
+fn predicted_makespan(n: usize, nb: usize, qmc: usize, kind: FactorKind, nodes: usize) -> f64 {
+    let cluster = ClusterSpec::cray_xc40(nodes);
+    let spec = ProblemSpec {
+        n,
+        tile_size: nb,
+        qmc_samples: qmc,
+        panel_width: nb,
+        kind,
+    };
+    simulate(&pmvn_task_graph(&spec, &cluster), &cluster).makespan
+}
+
+fn scaling(full: bool, only_nodes: Option<usize>) {
+    let (n, nb, qmc) = if full {
+        (400, 40, 10_000)
+    } else {
+        (120, 24, 1_000)
+    };
+    let default_counts: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 2, 4] };
+    let single;
+    let node_counts: &[usize] = match only_nodes {
+        Some(k) => {
+            single = [k];
+            &single
+        }
+        None => default_counts,
+    };
+    let cfg = mvn_config(qmc);
+    let (a, b) = exceedance_limits(n);
+    let tol = CompressionTol::Absolute(1e-8);
+
+    let dense = SymTileMatrix::from_fn(n, nb, cov(n));
+    let tlr = TlrMatrix::from_fn(n, nb, tol, usize::MAX, cov(n));
+
+    let engine = MvnEngine::with_config(cfg).expect("engine config");
+    let dense_ref = engine.solve(&engine.factor_dense(dense.clone()).expect("SPD"), &a, &b);
+    let tlr_ref = engine.solve(&engine.factor_tlr(tlr.clone()).expect("SPD"), &a, &b);
+
+    println!("# mvn-dist strong-scaling replay: n={n}, nb={nb}, QMC={qmc}");
+    println!("# predicted = distsim makespan on a Cray-XC40 model at the same node count");
+    println!(
+        "{:>6} {:>7} {:>12} {:>14} {:>12} {:>10}",
+        "kind", "nodes", "wall (s)", "predicted (s)", "comm (KiB)", "fetches"
+    );
+    for &nodes in node_counts {
+        for (kind_name, kind, reference) in [
+            ("dense", FactorKind::Dense, dense_ref),
+            (
+                "tlr",
+                FactorKind::Tlr {
+                    mean_rank: typical_mean_rank(nb, false),
+                },
+                tlr_ref,
+            ),
+        ] {
+            let report: DistReport = match kind {
+                FactorKind::Dense => solve_dense(&dense, &a, &b, &cfg, &dist_config(nodes)),
+                FactorKind::Tlr { .. } => solve_tlr(&tlr, &a, &b, &cfg, &dist_config(nodes)),
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("{kind_name} x{nodes}: {e}");
+                std::process::exit(1);
+            });
+            check_bitwise(&format!("{kind_name} x{nodes}"), report.result, reference);
+            let wall = report.wall.as_secs_f64();
+            let predicted = predicted_makespan(n, nb, qmc, kind, nodes);
+            println!(
+                "{kind_name:>6} {nodes:>7} {wall:>12.3} {predicted:>14.6} {:>12.1} {:>10}",
+                report.comm_bytes as f64 / 1024.0,
+                report.fetches
+            );
+            emit(
+                &format!("dist_scaling_{kind_name}_n{nodes}_wall"),
+                wall,
+                nodes,
+            );
+            emit(
+                &format!("dist_scaling_{kind_name}_n{nodes}_predicted"),
+                predicted,
+                nodes,
+            );
+        }
+    }
+}
+
+fn smoke() {
+    let (n, nb, qmc, nodes) = (60, 16, 256, 4);
+    let cfg = mvn_config(qmc);
+    let (a, b) = exceedance_limits(n);
+    let dense = SymTileMatrix::from_fn(n, nb, cov(n));
+    let tlr = TlrMatrix::from_fn(n, nb, CompressionTol::Absolute(1e-8), usize::MAX, cov(n));
+
+    let engine = MvnEngine::with_config(cfg).expect("engine config");
+    let dense_ref = engine.solve(&engine.factor_dense(dense.clone()).expect("SPD"), &a, &b);
+    let tlr_ref = engine.solve(&engine.factor_tlr(tlr.clone()).expect("SPD"), &a, &b);
+
+    let dr = solve_dense(&dense, &a, &b, &cfg, &dist_config(nodes)).unwrap_or_else(|e| {
+        eprintln!("dense smoke: {e}");
+        std::process::exit(1);
+    });
+    check_bitwise("dense smoke", dr.result, dense_ref);
+    emit("dist_smoke_dense_wall", dr.wall.as_secs_f64(), nodes);
+
+    let tr = solve_tlr(&tlr, &a, &b, &cfg, &dist_config(nodes)).unwrap_or_else(|e| {
+        eprintln!("tlr smoke: {e}");
+        std::process::exit(1);
+    });
+    check_bitwise("tlr smoke", tr.result, tlr_ref);
+    emit("dist_smoke_tlr_wall", tr.wall.as_secs_f64(), nodes);
+
+    println!(
+        "# smoke OK: {nodes} processes, dense p={} tlr p={}, bitwise identical to the engine",
+        dr.result.prob, tr.result.prob
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => {
+            let Some(addr) = args.get(1) else {
+                eprintln!("usage: mvn_dist worker <coordinator-addr>");
+                std::process::exit(2);
+            };
+            if let Err(e) = mvn_dist::run_worker(addr) {
+                eprintln!("mvn_dist worker: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("--smoke") => smoke(),
+        _ => {
+            // `--nodes K` runs the replay at a single process count.
+            let only_nodes = args
+                .iter()
+                .position(|a| a == "--nodes")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok());
+            scaling(full_scale_requested(), only_nodes);
+        }
+    }
+}

@@ -46,8 +46,8 @@ pub use genz::mvn_prob_genz;
 pub use mc::mvn_prob_mc;
 pub use pipeline::{mvn_prob_dense_fused, mvn_prob_tlr_fused, MvnPlanner};
 pub use pmvn::{
-    mvn_prob_dense, mvn_prob_factored, mvn_prob_tlr, qmc_kernel, qmc_kernel_scratch,
-    CholeskyFactor, QmcScratch,
+    combine_panel_results, mvn_prob_dense, mvn_prob_factored, mvn_prob_tlr, qmc_kernel,
+    qmc_kernel_scratch, sweep_panel, CholeskyFactor, QmcScratch,
 };
 pub use sov::{sov_sample_probability, truncate_limits};
 

@@ -363,9 +363,14 @@ impl PanelState {
 }
 
 /// Run the complete sweep of one panel against a finished factor (shared by
-/// the fork-join path here and the engine's batched graph in
-/// [`crate::engine`]).
-pub(crate) fn sweep_panel<F: CholeskyFactor + ?Sized>(
+/// the fork-join path here, the engine's batched graph in [`crate::engine`],
+/// and the per-node partial sweeps of the distributed runtime). Panel `p`
+/// covers chains `p·panel_width ..` of the point set; the result is the
+/// panel's probability mean and live-chain count, and depends only on the
+/// factor bits, the limits, the point set and `p` — not on which process or
+/// thread runs it, which is what makes the distributed sweep bitwise
+/// identical to the single-process one.
+pub fn sweep_panel<F: CholeskyFactor + ?Sized>(
     l: &F,
     layout: TileLayout,
     a: &[f64],
@@ -386,7 +391,12 @@ pub(crate) fn sweep_panel<F: CholeskyFactor + ?Sized>(
 
 /// Combine per-panel `(mean, count)` contributions into the final estimate
 /// (batching the panels into ~10 groups for the standard error).
-pub(crate) fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult {
+///
+/// The combination depends on the *panel order* of the input (batch `i % 10`
+/// membership), so any caller reassembling partial results — the engine's
+/// batched graph or the distributed coordinator — must present them indexed
+/// by panel, exactly as the single-process sweep produces them.
+pub fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult {
     let n_batches = 10.min(panel_results.len());
     let mut batch_sum = vec![0.0; n_batches];
     let mut batch_cnt = vec![0usize; n_batches];

@@ -22,6 +22,48 @@ impl NodeSpec {
     }
 }
 
+/// The 2-D process grid of the block-cyclic tile distribution: the most
+/// square factorization `pr × pc = nodes` with `pr ≤ pc`.
+///
+/// This is the *single* definition of tile ownership shared by the
+/// performance model ([`ClusterSpec::tile_owner`]) and the real
+/// multi-process runtime (`mvn-dist`), so the executor provably runs the
+/// same owner-computes assignment the simulator prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessGrid {
+    pr: usize,
+    pc: usize,
+}
+
+impl ProcessGrid {
+    /// The most square factorization of `nodes` (e.g. 16 → 4×4, 8 → 2×4,
+    /// a prime p → 1×p).
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "process grid needs at least one node");
+        let mut pr = (nodes as f64).sqrt().floor() as usize;
+        while pr > 1 && !nodes.is_multiple_of(pr) {
+            pr -= 1;
+        }
+        let pr = pr.max(1);
+        Self { pr, pc: nodes / pr }
+    }
+
+    /// Total node count `pr · pc`.
+    pub fn nodes(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// The `(pr, pc)` grid dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.pr, self.pc)
+    }
+
+    /// Owner node of tile `(i, j)` under the 2-D block-cyclic distribution.
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        (i % self.pr) * self.pc + (j % self.pc)
+    }
+}
+
 /// Cluster-level parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterSpec {
@@ -64,19 +106,14 @@ impl ClusterSpec {
     }
 
     /// The (pr, pc) 2-D process grid used for block-cyclic tile distribution:
-    /// the most square factorization of the node count.
+    /// the most square factorization of the node count (see [`ProcessGrid`]).
     pub fn process_grid(&self) -> (usize, usize) {
-        let mut pr = (self.nodes as f64).sqrt().floor() as usize;
-        while pr > 1 && !self.nodes.is_multiple_of(pr) {
-            pr -= 1;
-        }
-        (pr.max(1), self.nodes / pr.max(1))
+        ProcessGrid::new(self.nodes).dims()
     }
 
     /// Owner node of tile `(i, j)` under the 2-D block-cyclic distribution.
     pub fn tile_owner(&self, i: usize, j: usize) -> usize {
-        let (pr, pc) = self.process_grid();
-        (i % pr) * pc + (j % pc)
+        ProcessGrid::new(self.nodes).owner(i, j)
     }
 }
 
@@ -119,6 +156,61 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 8, "every node owns at least one tile");
+    }
+
+    /// Exhaustive property check over non-square grids (pr ≠ pc) and prime
+    /// node counts (1 × p grids): ownership is *total* (every lower tile has
+    /// exactly one owner, in range, stable across calls) and *covering*
+    /// (every node owns at least one lower tile whenever the tile rows are
+    /// at least the node count).
+    #[test]
+    fn tile_owner_is_total_stable_and_covering_on_awkward_grids() {
+        for nodes in 1..=24usize {
+            let grid = ProcessGrid::new(nodes);
+            let (pr, pc) = grid.dims();
+            assert_eq!(pr * pc, nodes, "grid must factor the node count");
+            assert!(pr <= pc, "grid must be row-short (pr <= pc)");
+            let cluster = ClusterSpec::cray_xc40(nodes);
+            for nt in nodes..nodes + 4 {
+                let mut owned = vec![0usize; nodes];
+                for i in 0..nt {
+                    for j in 0..=i {
+                        let o = grid.owner(i, j);
+                        assert!(o < nodes, "owner out of range");
+                        assert_eq!(o, grid.owner(i, j), "ownership must be stable");
+                        assert_eq!(
+                            o,
+                            cluster.tile_owner(i, j),
+                            "ClusterSpec and ProcessGrid must agree"
+                        );
+                        owned[o] += 1;
+                    }
+                }
+                // Coverage: with nt >= nodes every node (a, b) owns at least
+                // the tile (i, b) with i the smallest index >= b congruent to
+                // a mod pr — and i <= pr + pc - 2 <= nodes - 1 < nt.
+                for (node, &count) in owned.iter().enumerate() {
+                    assert!(
+                        count > 0,
+                        "nodes={nodes} nt={nt}: node {node} owns no lower tile"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_node_counts_degenerate_to_row_grids() {
+        for p in [2usize, 3, 5, 7, 11, 13, 17, 19, 23] {
+            assert_eq!(ProcessGrid::new(p).dims(), (1, p));
+            // A 1 × p grid owns by column: tile (i, j) belongs to j mod p.
+            let g = ProcessGrid::new(p);
+            for i in 0..3 * p {
+                for j in 0..=i {
+                    assert_eq!(g.owner(i, j), j % p);
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod cluster;
 pub mod sim;
 pub mod taskgen;
 
-pub use cluster::{ClusterSpec, NodeSpec};
+pub use cluster::{ClusterSpec, NodeSpec, ProcessGrid};
 pub use sim::{simulate, SimulationReport};
 pub use taskgen::{
     cholesky_task_graph, pmvn_task_graph, typical_mean_rank, DistributedWorkload, FactorKind,

@@ -1,0 +1,17 @@
+//! The worker executable: `mvn_dist_worker <coordinator-addr>`.
+//!
+//! Launched once per node by the coordinator (or by anything else that
+//! speaks the [`mvn_dist::proto`] handshake); runs the factor+sweep pipeline
+//! and exits when the coordinator orders shutdown.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: mvn_dist_worker <coordinator-addr>");
+        std::process::exit(2);
+    };
+    if let Err(e) = mvn_dist::run_worker(&addr) {
+        eprintln!("mvn_dist_worker: {e}");
+        std::process::exit(1);
+    }
+}

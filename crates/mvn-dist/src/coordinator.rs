@@ -1,0 +1,451 @@
+//! The coordinator: launches one worker process per node, hands each its
+//! block-cyclic tile share and the problem statement, then gathers the
+//! partial sweep results and combines them exactly like the single-process
+//! engine does.
+//!
+//! The coordinator performs no numerics beyond the final
+//! [`mvn_core::combine_panel_results`] call over the panel results sorted by
+//! panel index — the same order the engine's own sweep produces them in —
+//! which is why the distributed probability is bitwise identical to
+//! [`mvn_core::MvnEngine`]'s.
+//!
+//! Failure handling is fail-stop: the first worker error (typed pivot
+//! failure, transport error, or a silently dying process) kills every child
+//! — which also releases any peer blocked in a tile wait on the lost rank —
+//! and surfaces as a typed [`DistError`].
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mvn_core::{combine_panel_results, validate_limits, MvnConfig, MvnResult};
+use tile_la::SymTileMatrix;
+use tlr::TlrMatrix;
+use wire::{read_msg, write_msg};
+
+use crate::plan::{owned_tiles, TileId};
+use crate::proto::{self, FactorSpec, ProblemMsg, SetupMsg, WorkerErrorMsg, WorkerMsg};
+use crate::store::TileValue;
+use distsim::ProcessGrid;
+use tile_la::TileLayout;
+
+/// How a distributed solve is deployed.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of worker processes (nodes).
+    pub nodes: usize,
+    /// Command line of the worker binary; the coordinator address is
+    /// appended as the final argument. Tests use
+    /// `env!("CARGO_BIN_EXE_mvn_dist_worker")`, the bench binary re-invokes
+    /// itself with a `worker` subcommand.
+    pub worker_command: Vec<String>,
+    /// Extra environment for the workers (fault injection, logging).
+    pub worker_env: Vec<(String, String)>,
+    /// Worker threads per node (`0` = available parallelism).
+    pub workers_per_node: usize,
+    /// Streaming lookahead window per node (`0` = default `4 × workers`).
+    pub lookahead: usize,
+    /// End-to-end deadline: handshake, factor, sweep, and gather must all
+    /// land inside it, otherwise the run is torn down with
+    /// [`DistError::Timeout`].
+    pub timeout: Duration,
+}
+
+impl DistConfig {
+    /// A config with `nodes` workers launched via `worker_command`, one
+    /// compute thread each, default lookahead, and a generous deadline.
+    pub fn new(nodes: usize, worker_command: Vec<String>) -> Self {
+        Self {
+            nodes,
+            worker_command,
+            worker_env: Vec::new(),
+            workers_per_node: 1,
+            lookahead: 0,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Everything that can go wrong in a distributed solve.
+#[derive(Debug)]
+pub enum DistError {
+    /// The problem statement is malformed (limit lengths, NaNs, ...).
+    InvalidProblem(String),
+    /// A worker process could not be launched.
+    Spawn(String),
+    /// The handshake did not complete (a worker never connected, said
+    /// something unexpected, or exited before reporting in).
+    Handshake(String),
+    /// A worker process died without reporting an error (crash, kill, ...).
+    WorkerDied {
+        /// Rank of the lost worker.
+        rank: usize,
+    },
+    /// A worker reported a non-factorization failure.
+    WorkerFailed {
+        /// Rank of the failing worker.
+        rank: usize,
+        /// Machine-readable failure kind.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The factorization hit a non-positive pivot (same meaning as the
+    /// engine's factorization error; `pivot` is the global index).
+    Factorization {
+        /// Global pivot index.
+        pivot: usize,
+    },
+    /// A worker sent something outside the protocol (bad panel coverage,
+    /// malformed message).
+    Protocol(String),
+    /// The deadline elapsed.
+    Timeout(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
+            DistError::Spawn(m) => write!(f, "spawning worker: {m}"),
+            DistError::Handshake(m) => write!(f, "worker handshake: {m}"),
+            DistError::WorkerDied { rank } => write!(f, "worker {rank} died"),
+            DistError::WorkerFailed {
+                rank,
+                kind,
+                message,
+            } => write!(f, "worker {rank} failed ({kind}): {message}"),
+            DistError::Factorization { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            DistError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            DistError::Timeout(m) => write!(f, "distributed solve timed out: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// The outcome of a distributed solve, with transfer accounting for the
+/// scaling replay.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// The probability estimate — bitwise identical to the single-process
+    /// engine's for the same problem and config.
+    pub result: MvnResult,
+    /// Number of worker processes used.
+    pub nodes: usize,
+    /// Wall time of the full solve (spawn through gather).
+    pub wall: Duration,
+    /// Total tile-payload bytes shipped between workers.
+    pub comm_bytes: u64,
+    /// Total remote tile fetches across all workers.
+    pub fetches: u64,
+    /// Per-rank fetched bytes (index = rank).
+    pub per_node_comm: Vec<u64>,
+}
+
+/// Solve a dense-factor MVN problem across `dist.nodes` worker processes.
+pub fn solve_dense(
+    sigma: &SymTileMatrix,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+    dist: &DistConfig,
+) -> Result<DistReport, DistError> {
+    run(
+        FactorSpec::Dense,
+        sigma.layout(),
+        &|(i, j)| TileValue::Dense(sigma.tile(i, j).clone()),
+        a,
+        b,
+        cfg,
+        dist,
+    )
+}
+
+/// Solve a TLR-factor MVN problem across `dist.nodes` worker processes.
+pub fn solve_tlr(
+    sigma: &TlrMatrix,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+    dist: &DistConfig,
+) -> Result<DistReport, DistError> {
+    run(
+        FactorSpec::Tlr {
+            tol: sigma.tol(),
+            max_rank: sigma.max_rank(),
+        },
+        sigma.layout(),
+        &|(i, j)| {
+            if i == j {
+                TileValue::Dense(sigma.diag_tile(i).clone())
+            } else {
+                TileValue::LowRank(sigma.off_tile(i, j).clone())
+            }
+        },
+        a,
+        b,
+        cfg,
+        dist,
+    )
+}
+
+/// Kills every still-running child on drop, so any early return tears the
+/// whole deployment down (and thereby unblocks peers waiting on lost ranks).
+struct ChildGuard(Vec<Option<Child>>);
+
+impl ChildGuard {
+    fn any_exited(&mut self) -> Option<String> {
+        for (idx, slot) in self.0.iter_mut().enumerate() {
+            if let Some(child) = slot {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Some(format!("worker process {idx} exited early ({status})"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Wait briefly for voluntary exits after shutdown, then let drop kill
+    /// the stragglers.
+    fn reap(&mut self, grace: Duration) {
+        let deadline = Instant::now() + grace;
+        for slot in &mut self.0 {
+            while let Some(child) = slot {
+                match child.try_wait() {
+                    Ok(Some(_)) => {
+                        *slot = None;
+                    }
+                    _ if Instant::now() >= deadline => break,
+                    _ => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for slot in &mut self.0 {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    factor: FactorSpec,
+    layout: TileLayout,
+    tile_of: &dyn Fn(TileId) -> TileValue,
+    a: &[f64],
+    b: &[f64],
+    cfg: &MvnConfig,
+    dist: &DistConfig,
+) -> Result<DistReport, DistError> {
+    validate_limits(a, b).map_err(|e| DistError::InvalidProblem(e.to_string()))?;
+    if dist.nodes == 0 {
+        return Err(DistError::InvalidProblem("need at least one node".into()));
+    }
+    if layout.n() != a.len() {
+        return Err(DistError::InvalidProblem(format!(
+            "matrix dimension {} does not match limit length {}",
+            layout.n(),
+            a.len()
+        )));
+    }
+
+    let start = Instant::now();
+    let deadline = start + dist.timeout;
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| DistError::Spawn(format!("binding coordinator socket: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| DistError::Spawn(format!("coordinator address: {e}")))?
+        .to_string();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DistError::Spawn(format!("configuring coordinator socket: {e}")))?;
+
+    // Launch the workers. Stdout is inherited-from-null so worker noise can
+    // never corrupt a benchmark's stdout protocol; stderr passes through for
+    // diagnostics.
+    let (cmd, cmd_args) = dist
+        .worker_command
+        .split_first()
+        .ok_or_else(|| DistError::InvalidProblem("empty worker command".into()))?;
+    let mut guard = ChildGuard(Vec::with_capacity(dist.nodes));
+    for _ in 0..dist.nodes {
+        let child = Command::new(cmd)
+            .args(cmd_args)
+            .arg(&addr)
+            .envs(dist.worker_env.iter().map(|(k, v)| (k, v)))
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| DistError::Spawn(format!("{cmd}: {e}")))?;
+        guard.0.push(Some(child));
+    }
+
+    // Handshake: accept one connection per worker (rank = arrival order) and
+    // read its tile-server address.
+    let mut conns: Vec<(BufReader<TcpStream>, TcpStream)> = Vec::with_capacity(dist.nodes);
+    let mut peers: Vec<String> = Vec::with_capacity(dist.nodes);
+    while conns.len() < dist.nodes {
+        if Instant::now() >= deadline {
+            return Err(DistError::Timeout(format!(
+                "{} of {} workers connected",
+                conns.len(),
+                dist.nodes
+            )));
+        }
+        if let Some(reason) = guard.any_exited() {
+            return Err(DistError::Handshake(reason));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| DistError::Handshake(e.to_string()))?;
+                stream
+                    .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now())))
+                    .map_err(|e| DistError::Handshake(e.to_string()))?;
+                let writer = stream
+                    .try_clone()
+                    .map_err(|e| DistError::Handshake(e.to_string()))?;
+                let mut reader = BufReader::new(stream);
+                let hello = read_msg(&mut reader)
+                    .map_err(|e| DistError::Handshake(format!("reading hello: {e}")))?
+                    .ok_or_else(|| DistError::Handshake("worker closed before hello".into()))?;
+                peers.push(proto::parse_hello(&hello).map_err(DistError::Handshake)?);
+                conns.push((reader, writer));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(DistError::Handshake(format!("accept: {e}"))),
+        }
+    }
+
+    // Ship each rank its setup: the problem plus its owned initial tiles.
+    let grid = ProcessGrid::new(dist.nodes);
+    let problem = ProblemMsg {
+        factor,
+        n: layout.n(),
+        nb: layout.nb(),
+        a: a.to_vec(),
+        b: b.to_vec(),
+        sample_size: cfg.sample_size,
+        panel_width: cfg.panel_width,
+        sample_kind: cfg.sample_kind,
+        seed: cfg.seed,
+        lookahead: dist.lookahead,
+        workers: dist.workers_per_node,
+    };
+    for (rank, (_, writer)) in conns.iter_mut().enumerate() {
+        let setup = SetupMsg {
+            rank,
+            nodes: dist.nodes,
+            peers: peers.clone(),
+            problem: problem.clone(),
+            tiles: owned_tiles(&grid, layout, rank)
+                .into_iter()
+                .map(|id| (id, tile_of(id)))
+                .collect(),
+        };
+        write_msg(writer, &proto::setup_to_json(&setup))
+            .map_err(|e| DistError::Handshake(format!("sending setup to rank {rank}: {e}")))?;
+    }
+
+    // Gather: one reader thread per worker feeds a channel; the main thread
+    // applies the deadline and fail-stop policy.
+    let (tx, rx) = mpsc::channel::<(usize, Result<WorkerMsg, String>)>();
+    let mut writers = Vec::with_capacity(dist.nodes);
+    for (rank, (mut reader, writer)) in conns.into_iter().enumerate() {
+        writers.push(writer);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = reader.get_ref().set_read_timeout(None);
+            let outcome = match read_msg(&mut reader) {
+                Ok(Some(msg)) => proto::worker_msg_from_json(&msg),
+                Ok(None) => Err("connection closed".into()),
+                Err(e) => Err(e.to_string()),
+            };
+            let _ = tx.send((rank, outcome));
+        });
+    }
+    drop(tx);
+
+    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+    let mut panel_slots: Vec<Option<(f64, usize)>> = vec![None; n_panels];
+    let mut per_node_comm = vec![0u64; dist.nodes];
+    let mut fetches = 0u64;
+    let mut remaining = dist.nodes;
+    while remaining > 0 {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let (rank, outcome) = rx.recv_timeout(timeout).map_err(|_| {
+            DistError::Timeout(format!(
+                "{remaining} of {} workers still working",
+                dist.nodes
+            ))
+        })?;
+        match outcome {
+            Ok(WorkerMsg::Done(done)) => {
+                for (p, mean, count) in done.panels {
+                    let slot = panel_slots.get_mut(p).ok_or_else(|| {
+                        DistError::Protocol(format!("rank {rank} reported unknown panel {p}"))
+                    })?;
+                    if slot.replace((mean, count)).is_some() {
+                        return Err(DistError::Protocol(format!(
+                            "panel {p} reported by two workers"
+                        )));
+                    }
+                }
+                per_node_comm[rank] = done.comm_bytes;
+                fetches += done.fetches;
+                remaining -= 1;
+            }
+            Ok(WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot })) => {
+                return Err(DistError::Factorization { pivot });
+            }
+            Ok(WorkerMsg::Error(WorkerErrorMsg::Other { kind, message })) => {
+                return Err(DistError::WorkerFailed {
+                    rank,
+                    kind,
+                    message,
+                });
+            }
+            Err(_) => return Err(DistError::WorkerDied { rank }),
+        }
+    }
+
+    // Combine in panel order — the exact order (and batch assignment) the
+    // single-process sweep feeds `combine_panel_results`.
+    let ordered = panel_slots
+        .into_iter()
+        .enumerate()
+        .map(|(p, s)| s.ok_or_else(|| DistError::Protocol(format!("panel {p} never reported"))))
+        .collect::<Result<Vec<_>, _>>()?;
+    let result = combine_panel_results(&ordered);
+    let wall = start.elapsed();
+
+    for writer in &mut writers {
+        let _ = write_msg(writer, &proto::shutdown());
+    }
+    guard.reap(Duration::from_secs(5));
+
+    Ok(DistReport {
+        result,
+        nodes: dist.nodes,
+        wall,
+        comm_bytes: per_node_comm.iter().sum(),
+        fetches,
+        per_node_comm,
+    })
+}

@@ -1,0 +1,635 @@
+//! The coordinator↔worker and worker↔worker message vocabulary, encoded with
+//! the shared bit-exact JSON layer ([`wire`]).
+//!
+//! Everything numeric that must survive the trip bit-for-bit (`f64` tile
+//! entries, integration limits, panel means) rides the shortest-roundtrip
+//! `f64` rendering; `u64` seeds travel as decimal strings because a JSON
+//! number is an `f64` and cannot hold every 64-bit seed exactly. Non-finite
+//! limits use the serving layer's convention: `null` means `-inf` in `a` and
+//! `+inf` in `b` (and the renderer already maps non-finite numbers to
+//! `null`, so encoding is automatic).
+//!
+//! Message shapes (one JSON document per line, see [`wire::frame`]):
+//!
+//! * worker → coordinator: `{"type":"hello","listen":addr}` then, later,
+//!   `{"type":"done","panels":[[p,mean,count],..],"comm_bytes":..,"fetches":..}`
+//!   or `{"type":"error","kind":..,..}`.
+//! * coordinator → worker: `{"type":"setup",..}` with the rank, the peer
+//!   address table, the problem, and the rank's owned initial tiles; then
+//!   `{"type":"shutdown"}`.
+//! * worker → worker (tile transport): `{"get":[i,j]}` answered by
+//!   `{"tile":..}` — dense tiles as `{"r":rows,"c":cols,"d":[..]}`
+//!   (column-major), low-rank tiles as `{"u":..,"v":..}`.
+
+use crate::plan::TileId;
+use crate::store::TileValue;
+use qmc::SampleKind;
+use tile_la::DenseMatrix;
+use tlr::{CompressionTol, LowRankBlock};
+use wire::Json;
+
+/// Factor storage format of the distributed problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactorSpec {
+    /// Dense tiles everywhere.
+    Dense,
+    /// Dense diagonal, compressed off-diagonal tiles.
+    Tlr {
+        /// Recompression tolerance used by the trailing TLR updates.
+        tol: CompressionTol,
+        /// Rank cap (`usize::MAX` = uncapped; travels as `null`).
+        max_rank: usize,
+    },
+}
+
+/// The problem statement each worker receives (everything needed to replay
+/// its share of the factor+sweep pipeline deterministically).
+#[derive(Debug, Clone)]
+pub struct ProblemMsg {
+    /// Factor kind and compression parameters.
+    pub factor: FactorSpec,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Lower integration limits (`-inf` allowed).
+    pub a: Vec<f64>,
+    /// Upper integration limits (`+inf` allowed).
+    pub b: Vec<f64>,
+    /// QMC sample count.
+    pub sample_size: usize,
+    /// Sample-panel width.
+    pub panel_width: usize,
+    /// Sampling family.
+    pub sample_kind: SampleKind,
+    /// QMC shift seed.
+    pub seed: u64,
+    /// Streaming lookahead window (0 = default).
+    pub lookahead: usize,
+    /// Worker threads per node (0 = available parallelism).
+    pub workers: usize,
+}
+
+/// The full setup message for one rank.
+#[derive(Debug, Clone)]
+pub struct SetupMsg {
+    /// This worker's node rank.
+    pub rank: usize,
+    /// Total node count.
+    pub nodes: usize,
+    /// Tile-server address of every rank (index = rank).
+    pub peers: Vec<String>,
+    /// The shared problem statement.
+    pub problem: ProblemMsg,
+    /// Initial (unfactored) values of the tiles this rank owns.
+    pub tiles: Vec<(TileId, TileValue)>,
+}
+
+/// A worker's final report: its panels' partial sweep results plus transfer
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct DoneMsg {
+    /// `(panel index, panel probability mean, live-chain count)` triples.
+    pub panels: Vec<(usize, f64, usize)>,
+    /// Total bytes of tile payloads fetched from peers.
+    pub comm_bytes: u64,
+    /// Number of remote tile fetches (each tile crosses each edge once).
+    pub fetches: u64,
+}
+
+/// A typed failure report from a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerErrorMsg {
+    /// The factorization hit a non-positive pivot (global index).
+    Factorization {
+        /// Global pivot index of the failure.
+        pivot: usize,
+    },
+    /// Any other failure (transport, protocol, ...).
+    Other {
+        /// Short machine-readable kind.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Everything a worker sends the coordinator after setup.
+#[derive(Debug, Clone)]
+pub enum WorkerMsg {
+    /// Sweep finished on this rank.
+    Done(DoneMsg),
+    /// The pipeline failed on this rank.
+    Error(WorkerErrorMsg),
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(x: usize) -> Json {
+    Json::Num(x as f64)
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing/invalid field {key:?}"))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing/invalid field {key:?}"))
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing/invalid field {key:?}"))
+}
+
+/// `{"type":"hello","listen":addr}` — the worker's first message.
+pub fn hello(listen: &str) -> Json {
+    obj(vec![
+        ("type", Json::Str("hello".into())),
+        ("listen", Json::Str(listen.into())),
+    ])
+}
+
+/// Parse a hello, returning the worker's tile-server address.
+pub fn parse_hello(v: &Json) -> Result<String, String> {
+    if get_str(v, "type")? != "hello" {
+        return Err("expected a hello message".into());
+    }
+    Ok(get_str(v, "listen")?.to_string())
+}
+
+/// `{"type":"shutdown"}`.
+pub fn shutdown() -> Json {
+    obj(vec![("type", Json::Str("shutdown".into()))])
+}
+
+/// Whether a coordinator message is the shutdown order.
+pub fn is_shutdown(v: &Json) -> bool {
+    v.get("type").and_then(Json::as_str) == Some("shutdown")
+}
+
+fn dense_to_json(d: &DenseMatrix) -> Json {
+    obj(vec![
+        ("r", num(d.nrows())),
+        ("c", num(d.ncols())),
+        (
+            "d",
+            Json::Arr(d.data().iter().map(|&x| Json::Num(x)).collect()),
+        ),
+    ])
+}
+
+fn dense_from_json(v: &Json) -> Result<DenseMatrix, String> {
+    let rows = get_usize(v, "r")?;
+    let cols = get_usize(v, "c")?;
+    let data = v
+        .get("d")
+        .and_then(Json::as_arr)
+        .ok_or("missing tile data")?;
+    if data.len() != rows * cols {
+        return Err(format!(
+            "tile data length {} does not match {rows}x{cols}",
+            data.len()
+        ));
+    }
+    let vals = data
+        .iter()
+        .map(|x| x.as_f64().ok_or("non-numeric tile entry"))
+        .collect::<Result<Vec<f64>, _>>()?;
+    Ok(DenseMatrix::from_column_major(rows, cols, vals))
+}
+
+/// Encode a tile value (`{"r","c","d"}` dense, `{"u","v"}` low-rank).
+pub fn tile_to_json(t: &TileValue) -> Json {
+    match t {
+        TileValue::Dense(d) => dense_to_json(d),
+        TileValue::LowRank(b) => obj(vec![("u", dense_to_json(&b.u)), ("v", dense_to_json(&b.v))]),
+    }
+}
+
+/// Decode a tile value.
+pub fn tile_from_json(v: &Json) -> Result<TileValue, String> {
+    if v.get("u").is_some() {
+        let u = dense_from_json(v.get("u").unwrap())?;
+        let vv = dense_from_json(v.get("v").ok_or("low-rank tile missing v")?)?;
+        if u.ncols() != vv.ncols() {
+            return Err("low-rank factors must share the rank dimension".into());
+        }
+        Ok(TileValue::LowRank(LowRankBlock::new(u, vv)))
+    } else {
+        Ok(TileValue::Dense(dense_from_json(v)?))
+    }
+}
+
+/// `{"get":[i,j]}` — the tile transport request.
+pub fn tile_request(id: TileId) -> Json {
+    obj(vec![("get", Json::Arr(vec![num(id.0), num(id.1)]))])
+}
+
+/// Parse a tile request.
+pub fn parse_tile_request(v: &Json) -> Result<TileId, String> {
+    let arr = v
+        .get("get")
+        .and_then(Json::as_arr)
+        .ok_or("expected a {\"get\":[i,j]} request")?;
+    match arr {
+        [i, j] => Ok((
+            i.as_usize().ok_or("invalid tile row")?,
+            j.as_usize().ok_or("invalid tile column")?,
+        )),
+        _ => Err("tile id must be a pair".into()),
+    }
+}
+
+/// `{"tile":..}` — the tile transport response.
+pub fn tile_response(t: &TileValue) -> Json {
+    obj(vec![("tile", tile_to_json(t))])
+}
+
+/// Parse a tile response.
+pub fn parse_tile_response(v: &Json) -> Result<TileValue, String> {
+    tile_from_json(v.get("tile").ok_or("missing tile payload")?)
+}
+
+fn sample_kind_str(k: SampleKind) -> &'static str {
+    match k {
+        SampleKind::PseudoRandom => "pseudo_random",
+        SampleKind::RichtmyerLattice => "richtmyer_lattice",
+        SampleKind::Halton => "halton",
+    }
+}
+
+fn sample_kind_from(s: &str) -> Result<SampleKind, String> {
+    match s {
+        "pseudo_random" => Ok(SampleKind::PseudoRandom),
+        "richtmyer_lattice" => Ok(SampleKind::RichtmyerLattice),
+        "halton" => Ok(SampleKind::Halton),
+        other => Err(format!("unknown sample kind {other:?}")),
+    }
+}
+
+fn limits_to_json(xs: &[f64]) -> Json {
+    // The renderer maps non-finite numbers to `null`, which is exactly the
+    // wire convention for infinite limits.
+    Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn limits_from_json(v: &Json, inf: f64) -> Result<Vec<f64>, String> {
+    v.as_arr()
+        .ok_or("limits must be an array")?
+        .iter()
+        .map(|x| match x {
+            Json::Null => Ok(inf),
+            other => other.as_f64().ok_or_else(|| "invalid limit".to_string()),
+        })
+        .collect()
+}
+
+fn problem_to_json(p: &ProblemMsg) -> Json {
+    let mut fields = vec![(
+        "kind",
+        Json::Str(
+            match p.factor {
+                FactorSpec::Dense => "dense",
+                FactorSpec::Tlr { .. } => "tlr",
+            }
+            .into(),
+        ),
+    )];
+    if let FactorSpec::Tlr { tol, max_rank } = p.factor {
+        let (tk, tv) = match tol {
+            CompressionTol::Absolute(x) => ("absolute", x),
+            CompressionTol::Relative(x) => ("relative", x),
+        };
+        fields.push(("tol_kind", Json::Str(tk.into())));
+        fields.push(("tol", Json::Num(tv)));
+        fields.push((
+            "max_rank",
+            if max_rank == usize::MAX {
+                Json::Null
+            } else {
+                num(max_rank)
+            },
+        ));
+    }
+    fields.extend([
+        ("n", num(p.n)),
+        ("nb", num(p.nb)),
+        ("a", limits_to_json(&p.a)),
+        ("b", limits_to_json(&p.b)),
+        ("samples", num(p.sample_size)),
+        ("panel", num(p.panel_width)),
+        (
+            "sample_kind",
+            Json::Str(sample_kind_str(p.sample_kind).into()),
+        ),
+        ("seed", Json::Str(p.seed.to_string())),
+        ("lookahead", num(p.lookahead)),
+        ("workers", num(p.workers)),
+    ]);
+    obj(fields)
+}
+
+fn problem_from_json(v: &Json) -> Result<ProblemMsg, String> {
+    let factor = match get_str(v, "kind")? {
+        "dense" => FactorSpec::Dense,
+        "tlr" => {
+            let tol = match get_str(v, "tol_kind")? {
+                "absolute" => CompressionTol::Absolute(get_f64(v, "tol")?),
+                "relative" => CompressionTol::Relative(get_f64(v, "tol")?),
+                other => return Err(format!("unknown tolerance kind {other:?}")),
+            };
+            let max_rank = match v.get("max_rank") {
+                Some(Json::Null) | None => usize::MAX,
+                Some(x) => x.as_usize().ok_or("invalid max_rank")?,
+            };
+            FactorSpec::Tlr { tol, max_rank }
+        }
+        other => return Err(format!("unknown factor kind {other:?}")),
+    };
+    Ok(ProblemMsg {
+        factor,
+        n: get_usize(v, "n")?,
+        nb: get_usize(v, "nb")?,
+        a: limits_from_json(v.get("a").ok_or("missing a")?, f64::NEG_INFINITY)?,
+        b: limits_from_json(v.get("b").ok_or("missing b")?, f64::INFINITY)?,
+        sample_size: get_usize(v, "samples")?,
+        panel_width: get_usize(v, "panel")?,
+        sample_kind: sample_kind_from(get_str(v, "sample_kind")?)?,
+        seed: get_str(v, "seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("invalid seed: {e}"))?,
+        lookahead: get_usize(v, "lookahead")?,
+        workers: get_usize(v, "workers")?,
+    })
+}
+
+/// Encode the per-rank setup message.
+pub fn setup_to_json(s: &SetupMsg) -> Json {
+    obj(vec![
+        ("type", Json::Str("setup".into())),
+        ("rank", num(s.rank)),
+        ("nodes", num(s.nodes)),
+        (
+            "peers",
+            Json::Arr(s.peers.iter().map(|p| Json::Str(p.clone())).collect()),
+        ),
+        ("problem", problem_to_json(&s.problem)),
+        (
+            "tiles",
+            Json::Arr(
+                s.tiles
+                    .iter()
+                    .map(|((i, j), t)| {
+                        obj(vec![("i", num(*i)), ("j", num(*j)), ("t", tile_to_json(t))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode the per-rank setup message.
+pub fn setup_from_json(v: &Json) -> Result<SetupMsg, String> {
+    if get_str(v, "type")? != "setup" {
+        return Err("expected a setup message".into());
+    }
+    let peers = v
+        .get("peers")
+        .and_then(Json::as_arr)
+        .ok_or("missing peers")?
+        .iter()
+        .map(|p| p.as_str().map(str::to_string).ok_or("invalid peer address"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let tiles = v
+        .get("tiles")
+        .and_then(Json::as_arr)
+        .ok_or("missing tiles")?
+        .iter()
+        .map(|t| {
+            Ok((
+                (get_usize(t, "i")?, get_usize(t, "j")?),
+                tile_from_json(t.get("t").ok_or("missing tile value")?)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SetupMsg {
+        rank: get_usize(v, "rank")?,
+        nodes: get_usize(v, "nodes")?,
+        peers,
+        problem: problem_from_json(v.get("problem").ok_or("missing problem")?)?,
+        tiles,
+    })
+}
+
+/// Encode a worker's final (done or error) message.
+pub fn worker_msg_to_json(m: &WorkerMsg) -> Json {
+    match m {
+        WorkerMsg::Done(d) => obj(vec![
+            ("type", Json::Str("done".into())),
+            (
+                "panels",
+                Json::Arr(
+                    d.panels
+                        .iter()
+                        .map(|&(p, mean, count)| {
+                            Json::Arr(vec![num(p), Json::Num(mean), num(count)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("comm_bytes", num(d.comm_bytes as usize)),
+            ("fetches", num(d.fetches as usize)),
+        ]),
+        WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot }) => obj(vec![
+            ("type", Json::Str("error".into())),
+            ("kind", Json::Str("factorization".into())),
+            ("pivot", num(*pivot)),
+        ]),
+        WorkerMsg::Error(WorkerErrorMsg::Other { kind, message }) => obj(vec![
+            ("type", Json::Str("error".into())),
+            ("kind", Json::Str(kind.clone())),
+            ("msg", Json::Str(message.clone())),
+        ]),
+    }
+}
+
+/// Decode a worker's final message.
+pub fn worker_msg_from_json(v: &Json) -> Result<WorkerMsg, String> {
+    match get_str(v, "type")? {
+        "done" => {
+            let panels = v
+                .get("panels")
+                .and_then(Json::as_arr)
+                .ok_or("missing panels")?
+                .iter()
+                .map(|p| match p.as_arr() {
+                    Some([p, mean, count]) => Ok((
+                        p.as_usize().ok_or("invalid panel index")?,
+                        mean.as_f64().ok_or("invalid panel mean")?,
+                        count.as_usize().ok_or("invalid panel count")?,
+                    )),
+                    _ => Err("panel entry must be a triple".to_string()),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WorkerMsg::Done(DoneMsg {
+                panels,
+                comm_bytes: get_usize(v, "comm_bytes")? as u64,
+                fetches: get_usize(v, "fetches")? as u64,
+            }))
+        }
+        "error" => match get_str(v, "kind")? {
+            "factorization" => Ok(WorkerMsg::Error(WorkerErrorMsg::Factorization {
+                pivot: get_usize(v, "pivot")?,
+            })),
+            kind => Ok(WorkerMsg::Error(WorkerErrorMsg::Other {
+                kind: kind.to_string(),
+                message: v
+                    .get("msg")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            })),
+        },
+        other => Err(format!("unexpected worker message type {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_roundtrip_bitwise() {
+        let d = DenseMatrix::from_fn(3, 2, |i, j| (i as f64 + 0.1) / (j as f64 + 0.3));
+        let t = TileValue::Dense(d.clone());
+        let back = tile_from_json(&Json::parse(&tile_to_json(&t).to_string()).unwrap()).unwrap();
+        assert_eq!(back.as_dense().data().len(), d.data().len());
+        for (a, b) in back.as_dense().data().iter().zip(d.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let lr = TileValue::LowRank(LowRankBlock::new(
+            DenseMatrix::from_fn(4, 2, |i, j| 1.0 / (1.0 + i as f64 + j as f64)),
+            DenseMatrix::from_fn(3, 2, |i, j| (i as f64 - j as f64) * 0.7),
+        ));
+        let back = tile_from_json(&Json::parse(&tile_to_json(&lr).to_string()).unwrap()).unwrap();
+        match (&back, &lr) {
+            (TileValue::LowRank(x), TileValue::LowRank(y)) => {
+                assert_eq!(x.rank(), y.rank());
+                for (a, b) in x.u.data().iter().zip(y.u.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (a, b) in x.v.data().iter().zip(y.v.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            _ => panic!("expected a low-rank tile"),
+        }
+        // Rank 0 survives too (zero off-diagonal tiles exist in practice).
+        let zero = TileValue::LowRank(LowRankBlock::zero(5, 4));
+        let back = tile_from_json(&Json::parse(&tile_to_json(&zero).to_string()).unwrap()).unwrap();
+        match back {
+            TileValue::LowRank(b) => {
+                assert_eq!(b.rank(), 0);
+                assert_eq!((b.nrows(), b.ncols()), (5, 4));
+            }
+            _ => panic!("expected a low-rank tile"),
+        }
+    }
+
+    #[test]
+    fn setup_roundtrips_including_infinite_limits_and_big_seeds() {
+        let msg = SetupMsg {
+            rank: 2,
+            nodes: 4,
+            peers: vec!["a:1".into(), "b:2".into(), "c:3".into(), "d:4".into()],
+            problem: ProblemMsg {
+                factor: FactorSpec::Tlr {
+                    tol: CompressionTol::Absolute(1e-9),
+                    max_rank: usize::MAX,
+                },
+                n: 96,
+                nb: 24,
+                a: vec![f64::NEG_INFINITY, -1.25],
+                b: vec![0.75, f64::INFINITY],
+                sample_size: 2000,
+                panel_width: 64,
+                sample_kind: SampleKind::RichtmyerLattice,
+                seed: u64::MAX - 3, // not representable as f64
+                lookahead: 7,
+                workers: 2,
+            },
+            tiles: vec![((1, 0), TileValue::Dense(DenseMatrix::identity(3)))],
+        };
+        let wire = setup_to_json(&msg).to_string();
+        let back = setup_from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back.rank, 2);
+        assert_eq!(back.nodes, 4);
+        assert_eq!(back.peers, msg.peers);
+        assert_eq!(back.problem.seed, u64::MAX - 3);
+        assert_eq!(back.problem.a[0], f64::NEG_INFINITY);
+        assert_eq!(back.problem.b[1], f64::INFINITY);
+        assert_eq!(back.problem.a[1].to_bits(), (-1.25f64).to_bits());
+        assert!(matches!(
+            back.problem.factor,
+            FactorSpec::Tlr {
+                max_rank: usize::MAX,
+                ..
+            }
+        ));
+        assert_eq!(back.tiles.len(), 1);
+        assert_eq!(back.tiles[0].0, (1, 0));
+    }
+
+    #[test]
+    fn worker_msgs_roundtrip() {
+        let done = WorkerMsg::Done(DoneMsg {
+            panels: vec![(0, 0.25, 64), (4, 0.125, 64)],
+            comm_bytes: 12345,
+            fetches: 6,
+        });
+        match worker_msg_from_json(&Json::parse(&worker_msg_to_json(&done).to_string()).unwrap())
+            .unwrap()
+        {
+            WorkerMsg::Done(d) => {
+                assert_eq!(d.panels.len(), 2);
+                assert_eq!(d.panels[1], (4, 0.125, 64));
+                assert_eq!(d.comm_bytes, 12345);
+            }
+            _ => panic!("expected done"),
+        }
+        let err = WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot: 13 });
+        match worker_msg_from_json(&Json::parse(&worker_msg_to_json(&err).to_string()).unwrap())
+            .unwrap()
+        {
+            WorkerMsg::Error(e) => assert_eq!(e, WorkerErrorMsg::Factorization { pivot: 13 }),
+            _ => panic!("expected error"),
+        }
+    }
+
+    #[test]
+    fn hello_request_and_shutdown_shapes() {
+        assert_eq!(
+            parse_hello(&Json::parse(&hello("127.0.0.1:9").to_string()).unwrap()).unwrap(),
+            "127.0.0.1:9"
+        );
+        assert_eq!(
+            parse_tile_request(&Json::parse(&tile_request((5, 2)).to_string()).unwrap()).unwrap(),
+            (5, 2)
+        );
+        assert!(is_shutdown(&Json::parse(&shutdown().to_string()).unwrap()));
+    }
+}

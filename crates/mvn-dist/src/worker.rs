@@ -1,0 +1,503 @@
+//! The worker process: owns its block-cyclic share of the factor tiles,
+//! executes exactly the owned tasks of the global plan through a local
+//! lookahead-limited streaming session, serves finalized tiles to peers over
+//! TCP, and sweeps its round-robin share of the QMC panels.
+//!
+//! ## Why this cannot deadlock
+//!
+//! Remote input tiles are prefetched **on the submitter thread**, in global
+//! plan order, *before* the task that reads them is submitted; task closures
+//! themselves never touch the network. Consider the globally earliest task
+//! whose closure has not completed: its inputs are final outputs of strictly
+//! earlier tasks (see [`crate::plan`]), so its owner's prefetches are
+//! servable immediately by the peers' serving threads — which run
+//! independently of their submitter — and the task is submitted and
+//! executed. Induction over the plan order does the rest. (Fetching inside
+//! task closures on a multi-worker pool would *not* be safe: a pool could
+//! fill with tasks blocked on tiles whose producers sit behind them in the
+//! same pool.)
+//!
+//! ## Why the result is bitwise identical to the single-process engine
+//!
+//! Each tile's writers all share the tile's owner, and the owner submits
+//! them in global plan order into a hazard-inferring stream — so per-tile
+//! kernel order equals the single-process DAG's, and every kernel consumes
+//! bit-identical inputs (locally produced, or shipped with the
+//! shortest-roundtrip `f64` encoding). The sweep then runs the engine's own
+//! [`mvn_core::sweep_panel`] against bit-identical factor tiles with the
+//! same deterministic point set, and panel results depend only on the panel
+//! index — not on which node computes it.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use distsim::ProcessGrid;
+use mvn_core::{sweep_panel, CholeskyFactor, MvnConfig, Scheduler};
+use qmc::{make_point_set, PointSet};
+use task_runtime::{
+    effective_lookahead, AccessMode, DataHandle, HandleRegistry, TaskSink, TaskSpec, WorkerPool,
+};
+use tile_la::dag::{effective_workers, FactorStatus};
+use tile_la::kernels::{
+    gemm_nt, potrf_in_place, syrk_lower, trsm_left_lower_notrans, trsm_right_lower_trans,
+};
+use tile_la::{DenseMatrix, TileLayout};
+use tlr::{lr_aa_t_update, lr_gemm_panel_t, lr_lr_t_update};
+use wire::{read_msg, write_msg, Json};
+
+use crate::plan::{factor_plan, owned_panels, Kernel, TileId};
+use crate::proto::{self, DoneMsg, FactorSpec, SetupMsg, WorkerErrorMsg, WorkerMsg};
+use crate::store::{DistStore, TileValue};
+
+/// Fault-injection hook: when this env var equals the worker's rank, the
+/// process exits mid-factor (see [`CRASH_AFTER_ENV`]). Used by the
+/// worker-crash tests; inherited through the coordinator's spawn env.
+pub const CRASH_RANK_ENV: &str = "MVN_DIST_CRASH_RANK";
+/// Companion to [`CRASH_RANK_ENV`]: how many owned factor tasks to submit
+/// before exiting.
+pub const CRASH_AFTER_ENV: &str = "MVN_DIST_CRASH_AFTER_TASKS";
+/// Exit code of an injected crash (distinguishable from panics in CI logs).
+pub const CRASH_EXIT_CODE: i32 = 42;
+
+/// Per-peer fetch connections plus transfer accounting. Only the main
+/// (submitter) thread fetches, so no synchronization is needed.
+struct PeerLinks {
+    peers: Vec<String>,
+    conns: HashMap<usize, (BufReader<TcpStream>, TcpStream)>,
+    comm_bytes: u64,
+    fetches: u64,
+}
+
+impl PeerLinks {
+    fn new(peers: Vec<String>) -> Self {
+        Self {
+            peers,
+            conns: HashMap::new(),
+            comm_bytes: 0,
+            fetches: 0,
+        }
+    }
+
+    /// Fetch one tile from its owner (blocking until the owner finalizes
+    /// it). Counts the response payload bytes — the quantity `distsim`'s
+    /// transfer model prices.
+    fn fetch(&mut self, owner: usize, id: TileId) -> Result<TileValue, String> {
+        if !self.conns.contains_key(&owner) {
+            let addr = self
+                .peers
+                .get(owner)
+                .ok_or_else(|| format!("no peer address for node {owner}"))?;
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| format!("connecting to peer {owner} ({addr}): {e}"))?;
+            let reader = BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| format!("cloning peer stream: {e}"))?,
+            );
+            self.conns.insert(owner, (reader, stream));
+        }
+        let (reader, writer) = self.conns.get_mut(&owner).unwrap();
+        write_msg(writer, &proto::tile_request(id))
+            .map_err(|e| format!("requesting tile {id:?} from node {owner}: {e}"))?;
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading tile {id:?} from node {owner}: {e}"))?;
+        if n == 0 {
+            return Err(format!("peer {owner} closed while serving tile {id:?}"));
+        }
+        self.comm_bytes += n as u64;
+        self.fetches += 1;
+        let json = Json::parse(line.trim_end_matches(['\r', '\n']))
+            .map_err(|e| format!("malformed tile response from node {owner}: {e}"))?;
+        proto::parse_tile_response(&json)
+    }
+}
+
+/// The fully assembled factor a sweeping node holds: every lower tile,
+/// locally produced or fetched, viewed through the engine's
+/// [`CholeskyFactor`] abstraction so the sweep kernels are literally the
+/// single-process ones.
+struct DistFactor {
+    n: usize,
+    layout: TileLayout,
+    diag: Vec<Arc<TileValue>>,
+    /// `off[i]` holds tiles `(i, 0..i)`; dense or low-rank by factor kind.
+    off: Vec<Vec<Arc<TileValue>>>,
+}
+
+impl CholeskyFactor for DistFactor {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn tiling(&self) -> TileLayout {
+        self.layout
+    }
+    fn diag_block(&self, r: usize) -> &DenseMatrix {
+        self.diag[r].as_dense()
+    }
+    fn apply_offdiag(&self, j: usize, r: usize, yt: &DenseMatrix, acc: &mut DenseMatrix) {
+        match &*self.off[j][r] {
+            TileValue::Dense(t) => gemm_nt(-1.0, yt, t, 1.0, acc),
+            TileValue::LowRank(b) => lr_gemm_panel_t(-1.0, b, yt, 1.0, acc),
+        }
+    }
+}
+
+/// Run one worker process against the coordinator at `coordinator_addr`.
+/// Returns after the coordinator orders shutdown (or disconnects).
+pub fn run_worker(coordinator_addr: &str) -> Result<(), String> {
+    let coord = TcpStream::connect(coordinator_addr)
+        .map_err(|e| format!("connecting to coordinator {coordinator_addr}: {e}"))?;
+    let mut coord_writer = coord
+        .try_clone()
+        .map_err(|e| format!("cloning coordinator stream: {e}"))?;
+    let mut coord_reader = BufReader::new(coord);
+
+    // The tile server socket: peers fetch finalized tiles here.
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding tile server: {e}"))?;
+    let listen_addr = listener
+        .local_addr()
+        .map_err(|e| format!("tile server address: {e}"))?
+        .to_string();
+
+    write_msg(&mut coord_writer, &proto::hello(&listen_addr))
+        .map_err(|e| format!("sending hello: {e}"))?;
+    let setup = read_msg(&mut coord_reader)
+        .map_err(|e| format!("reading setup: {e}"))?
+        .ok_or("coordinator closed before setup")?;
+    let setup = proto::setup_from_json(&setup)?;
+
+    let outcome = run_pipeline(&setup, listener);
+    let msg = match outcome {
+        Ok(done) => WorkerMsg::Done(done),
+        Err(err) => WorkerMsg::Error(err),
+    };
+    write_msg(&mut coord_writer, &proto::worker_msg_to_json(&msg))
+        .map_err(|e| format!("reporting to coordinator: {e}"))?;
+
+    // Keep serving tiles until the coordinator releases everyone: another
+    // node may still be sweeping against tiles this rank owns.
+    loop {
+        match read_msg(&mut coord_reader) {
+            Ok(Some(m)) if proto::is_shutdown(&m) => return Ok(()),
+            Ok(Some(_)) => {}
+            Ok(None) => return Ok(()), // coordinator gone: shut down too
+            Err(e) => return Err(format!("coordinator link failed: {e}")),
+        }
+    }
+}
+
+/// Factor + sweep, returning this rank's panel results.
+fn run_pipeline(setup: &SetupMsg, listener: TcpListener) -> Result<DoneMsg, WorkerErrorMsg> {
+    let p = &setup.problem;
+    let rank = setup.rank;
+    let grid = ProcessGrid::new(setup.nodes);
+    let layout = TileLayout::new(p.n, p.nb);
+    let nt = layout.num_tiles();
+
+    let store = Arc::new(DistStore::new(
+        (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))),
+    ));
+    for (id, tile) in &setup.tiles {
+        store.insert_initial(*id, tile.clone());
+    }
+
+    // Serving threads: block in `wait_final` per request, independent of the
+    // compute pipeline. Detached — they die with the process.
+    {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || serve_tiles(listener, store));
+    }
+
+    let crash_after: Option<usize> = match std::env::var(CRASH_RANK_ENV) {
+        Ok(r) if r.parse() == Ok(rank) => std::env::var(CRASH_AFTER_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok()),
+        _ => None,
+    };
+
+    let mut links = PeerLinks::new(setup.peers.clone());
+    let pool = WorkerPool::new(effective_workers(p.workers));
+    let window = effective_lookahead(p.lookahead, pool.workers());
+
+    factor(
+        p,
+        rank,
+        &grid,
+        layout,
+        &store,
+        &mut links,
+        &pool,
+        window,
+        crash_after,
+    )?;
+
+    // Sweep this rank's round-robin share of the panels against the full
+    // factor (a sweeping node reads every factor tile — exactly the
+    // all-tiles-to-panel-nodes transfer pattern the simulator prices, and
+    // each tile crosses the edge once thanks to the store's residency
+    // check).
+    let n_panels = p.sample_size.div_ceil(p.panel_width);
+    let my_panels = owned_panels(rank, setup.nodes, n_panels);
+    let mut panels = Vec::new();
+    if !my_panels.is_empty() {
+        for i in 0..nt {
+            for j in 0..=i {
+                if !store.has_final((i, j)) {
+                    let owner = grid.owner(i, j);
+                    let tile = links
+                        .fetch(owner, (i, j))
+                        .map_err(|e| WorkerErrorMsg::Other {
+                            kind: "io".into(),
+                            message: e,
+                        })?;
+                    store.insert_fetched((i, j), tile);
+                }
+            }
+        }
+        let factor = DistFactor {
+            n: p.n,
+            layout,
+            diag: (0..nt).map(|i| store.get_final((i, i))).collect(),
+            off: (0..nt)
+                .map(|i| (0..i).map(|j| store.get_final((i, j))).collect())
+                .collect(),
+        };
+        let points = make_point_set(p.sample_kind, p.n, p.seed);
+        let points_ref: &dyn PointSet = points.as_ref();
+        let cfg = MvnConfig {
+            sample_size: p.sample_size,
+            panel_width: p.panel_width,
+            sample_kind: p.sample_kind,
+            seed: p.seed,
+            scheduler: Scheduler::Streaming {
+                workers: p.workers,
+                lookahead: p.lookahead,
+            },
+        };
+        let cost = |_: usize, _: &usize| (layout.num_tiles() * cfg.panel_width) as f64;
+        let (results, _stats) = pool.stream_map(
+            "dist_panel_sweep",
+            &my_panels,
+            cost,
+            |_, &panel| sweep_panel(&factor, layout, &p.a, &p.b, points_ref, &cfg, panel),
+            window,
+        );
+        panels = my_panels
+            .iter()
+            .zip(results)
+            .map(|(&panel, (mean, count))| (panel, mean, count))
+            .collect();
+    }
+
+    Ok(DoneMsg {
+        panels,
+        comm_bytes: links.comm_bytes,
+        fetches: links.fetches,
+    })
+}
+
+/// Execute the owned slice of the factorization plan through one streaming
+/// session (see the module docs for the prefetch protocol).
+#[allow(clippy::too_many_arguments)]
+fn factor(
+    p: &crate::proto::ProblemMsg,
+    rank: usize,
+    grid: &ProcessGrid,
+    layout: TileLayout,
+    store: &Arc<DistStore>,
+    links: &mut PeerLinks,
+    pool: &WorkerPool,
+    window: usize,
+    crash_after: Option<usize>,
+) -> Result<(), WorkerErrorMsg> {
+    let plan = factor_plan(layout);
+    let nt = layout.num_tiles();
+    let mut registry = HandleRegistry::new();
+    let handles: Vec<Vec<DataHandle>> = (0..nt)
+        .map(|i| {
+            (0..=i)
+                .map(|j| registry.register(format!("L[{i},{j}]")))
+                .collect()
+        })
+        .collect();
+    let status = FactorStatus::new();
+    let (tlr_tol, tlr_max_rank) = match p.factor {
+        FactorSpec::Dense => (None, usize::MAX),
+        FactorSpec::Tlr { tol, max_rank } => (Some(tol), max_rank),
+    };
+
+    let store_ref: &DistStore = store;
+    let status_ref = &status;
+    let (submit_result, _stats) = pool.stream(window, |sink| -> Result<(), WorkerErrorMsg> {
+        let mut submitted = 0usize;
+        for step in &plan {
+            if status_ref.is_failed() {
+                break; // kill the chain: peers are released by the coordinator
+            }
+            if grid.owner(step.out.0, step.out.1) != rank {
+                continue;
+            }
+            // Prefetch remote inputs on this (submitter) thread, in plan
+            // order; the residency check is the per-edge transfer cache.
+            for &rid in &step.reads {
+                if grid.owner(rid.0, rid.1) != rank && !store_ref.has_final(rid) {
+                    let tile = links.fetch(grid.owner(rid.0, rid.1), rid).map_err(|e| {
+                        WorkerErrorMsg::Other {
+                            kind: "io".into(),
+                            message: e,
+                        }
+                    })?;
+                    store_ref.insert_fetched(rid, tile);
+                }
+            }
+            if crash_after == Some(submitted) {
+                // Fault injection: die abruptly mid-factor, exactly like a
+                // lost node — no error message, no cleanup.
+                std::process::exit(CRASH_EXIT_CODE);
+            }
+            submitted += 1;
+
+            let mut spec = TaskSpec::new(kernel_name(step.kernel, tlr_tol.is_some()))
+                .access(handles[step.out.0][step.out.1], AccessMode::ReadWrite)
+                .cost(step.cost);
+            for &(ri, rj) in &step.reads {
+                spec = spec.access(handles[ri][rj], AccessMode::Read);
+            }
+            let out = step.out;
+            let finalizes = step.finalizes;
+            let reads = step.reads.clone();
+            let kernel = step.kernel;
+            let pivot0 = layout.tile_start(out.0);
+            sink.submit_task(
+                spec,
+                Some(Box::new(move || {
+                    if status_ref.is_failed() {
+                        return;
+                    }
+                    let mut tile = store_ref.take(out);
+                    // Unique pre-final by hazard ordering: no peer or local
+                    // reader ever holds a non-final tile, so this mutates in
+                    // place without copying.
+                    let val = Arc::make_mut(&mut tile);
+                    run_kernel(
+                        kernel,
+                        val,
+                        &reads,
+                        store_ref,
+                        status_ref,
+                        pivot0,
+                        tlr_tol,
+                        tlr_max_rank,
+                    );
+                    store_ref.put(out, tile, finalizes);
+                })),
+            );
+        }
+        Ok(())
+    });
+    submit_result?;
+    if let Some(pivot) = status.pivot() {
+        return Err(WorkerErrorMsg::Factorization { pivot });
+    }
+    Ok(())
+}
+
+fn kernel_name(k: Kernel, tlr: bool) -> &'static str {
+    match (k, tlr) {
+        (Kernel::Potrf, _) => "potrf",
+        (Kernel::Trsm, _) => "trsm",
+        (Kernel::Syrk, _) => "syrk",
+        (Kernel::Gemm, false) => "gemm",
+        (Kernel::Gemm, true) => "lr_gemm",
+    }
+}
+
+/// Apply one plan kernel to its detached output tile — the same kernel
+/// calls, in the same per-tile order, as the single-process DAGs in
+/// `tile_la::dag` / `tlr::dag`.
+#[allow(clippy::too_many_arguments)]
+fn run_kernel(
+    kernel: Kernel,
+    out: &mut TileValue,
+    reads: &[TileId],
+    store: &DistStore,
+    status: &FactorStatus,
+    pivot0: usize,
+    tlr_tol: Option<tlr::CompressionTol>,
+    tlr_max_rank: usize,
+) {
+    match kernel {
+        Kernel::Potrf => {
+            let d = match out {
+                TileValue::Dense(d) => d,
+                TileValue::LowRank(_) => unreachable!("diagonal tiles are dense"),
+            };
+            if let Err(local) = potrf_in_place(d) {
+                status.fail(pivot0 + local);
+            }
+        }
+        Kernel::Trsm => {
+            let lkk = store.get_final(reads[0]);
+            match out {
+                TileValue::Dense(t) => trsm_right_lower_trans(lkk.as_dense(), t),
+                TileValue::LowRank(blk) => {
+                    if blk.rank() > 0 {
+                        trsm_left_lower_notrans(lkk.as_dense(), &mut blk.v);
+                    }
+                }
+            }
+        }
+        Kernel::Syrk => {
+            let lik = store.get_final(reads[0]);
+            match (out, &*lik) {
+                (TileValue::Dense(t), TileValue::Dense(l)) => syrk_lower(-1.0, l, 1.0, t),
+                (TileValue::Dense(t), TileValue::LowRank(a_ik)) => lr_aa_t_update(t, a_ik),
+                _ => unreachable!("syrk output (a diagonal tile) is dense"),
+            }
+        }
+        Kernel::Gemm => {
+            let lik = store.get_final(reads[0]);
+            let ljk = store.get_final(reads[1]);
+            match (out, &*lik, &*ljk) {
+                (TileValue::Dense(t), TileValue::Dense(a), TileValue::Dense(b)) => {
+                    gemm_nt(-1.0, a, b, 1.0, t)
+                }
+                (TileValue::LowRank(c), TileValue::LowRank(a_ik), TileValue::LowRank(a_jk)) => {
+                    let tol = tlr_tol.expect("low-rank gemm requires compression parameters");
+                    *c = lr_lr_t_update(c, a_ik, a_jk, tol, tlr_max_rank);
+                }
+                _ => unreachable!("gemm tiles share the factor's storage kind"),
+            }
+        }
+    }
+}
+
+/// Accept loop of the tile server: one thread per peer connection, each
+/// answering sequential `{"get":[i,j]}` requests with finalized tiles.
+fn serve_tiles(listener: TcpListener, store: Arc<DistStore>) {
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { return };
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            let Ok(peer_read) = stream.try_clone() else {
+                return;
+            };
+            let mut reader = BufReader::new(peer_read);
+            let mut writer = stream;
+            while let Ok(Some(msg)) = read_msg(&mut reader) {
+                let Ok(id) = proto::parse_tile_request(&msg) else {
+                    return;
+                };
+                let tile = store.wait_final(id);
+                if write_msg(&mut writer, &proto::tile_response(&tile)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+}

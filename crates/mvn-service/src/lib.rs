@@ -59,7 +59,6 @@
 
 pub mod cache;
 pub mod crd;
-pub mod json;
 pub mod mle;
 pub mod service;
 pub mod spec;
@@ -67,7 +66,9 @@ pub mod tcp;
 
 pub use cache::{CacheStats, FactorCache};
 pub use crd::{detect_confidence_regions_served, find_excursion_set_served, ServedSolver};
-pub use json::Json;
+// The JSON value type and bit-exact f64 encoding moved to the shared `wire`
+// crate (the distributed runtime's tile transport uses the same bits);
+// re-exported here so `mvn_service::json::...` paths keep working.
 pub use mle::{fit_matern_cached, gaussian_loglik_cached, mle_spec};
 pub use service::{
     CacheOpOutput, CacheTicket, MvnService, ServiceConfig, ServiceError, ServiceStats, ShardStats,
@@ -78,3 +79,5 @@ pub use tcp::{
     render_solve_request, render_solve_request_deadline, render_stats_request,
     render_unpin_request, render_warm_request, MvnServer, ServiceClient,
 };
+pub use wire::json;
+pub use wire::Json;

@@ -1,0 +1,67 @@
+//! Line-delimited JSON framing: one compact JSON document per `\n`-terminated
+//! line. The framing is trivial on purpose — it keeps both wire protocols
+//! greppable with `nc`, and because the [`json`](crate::json) renderer never
+//! emits a raw newline (strings escape control characters), a document is
+//! always exactly one line.
+
+use crate::json::Json;
+use std::io::{self, BufRead, Write};
+
+/// Write one JSON document as a single line and flush it.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
+    writeln!(w, "{msg}")?;
+    w.flush()
+}
+
+/// Read one line and parse it as a JSON document.
+///
+/// Returns `Ok(None)` on a clean EOF (the peer closed the connection between
+/// messages); a malformed document maps to [`io::ErrorKind::InvalidData`] so
+/// transport errors and protocol errors surface through one `Result`.
+pub fn read_msg<R: BufRead>(r: &mut R) -> io::Result<Option<Json>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Json::parse(line.trim_end_matches(['\r', '\n']))
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrips_documents_over_a_byte_pipe() {
+        let doc = Json::parse(r#"{"get":[3,1],"x":[0.1,-0.0,1e-300,null]}"#).unwrap();
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &doc).unwrap();
+        write_msg(&mut buf, &Json::Null).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_msg(&mut r).unwrap(), Some(doc));
+        assert_eq!(read_msg(&mut r).unwrap(), Some(Json::Null));
+        assert_eq!(read_msg(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn f64_payloads_survive_framing_bitwise() {
+        let xs = [0.1, -1.0 / 3.0, 1e-300, f64::MIN_POSITIVE, -0.0];
+        let doc = Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect());
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &doc).unwrap();
+        let back = read_msg(&mut BufReader::new(&buf[..])).unwrap().unwrap();
+        for (x, v) in xs.iter().zip(back.as_arr().unwrap()) {
+            assert_eq!(v.as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_lines_surface_as_invalid_data() {
+        let mut r = BufReader::new(&b"{\"unterminated\n"[..]);
+        let err = read_msg(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

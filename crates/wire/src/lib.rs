@@ -1,0 +1,22 @@
+//! # wire — the shared bit-exact wire encoding
+//!
+//! Both network layers of the workspace — the serving front-end
+//! (`mvn-service::tcp`) and the distributed runtime (`mvn-dist`) — speak
+//! line-delimited JSON over `std`-only TCP, with `f64` values rendered in
+//! Rust's shortest-roundtrip form so a number survives any number of
+//! encode/decode trips bit-for-bit. That encoding used to live inside
+//! `mvn-service`; it is factored out here so the two transports cannot drift
+//! apart:
+//!
+//! * [`json`] — the dependency-free JSON value type, recursive-descent
+//!   parser and compact renderer (bitwise `f64` round-trips, depth-limited
+//!   parsing).
+//! * [`frame`] — one-JSON-document-per-line framing over any
+//!   `Read`/`Write` pair, shared by the tile transport and usable by any
+//!   future peer protocol.
+
+pub mod frame;
+pub mod json;
+
+pub use frame::{read_msg, write_msg};
+pub use json::Json;

@@ -13,7 +13,10 @@
 //! * [`mvn_core`] — the SOV / PMVN probability algorithms and the fused
 //!   factor+sweep pipeline ([`mvn_core::MvnPlanner`]),
 //! * [`excursion`] — confidence-region detection and MC validation,
-//! * [`distsim`] — the distributed-memory performance model.
+//! * [`distsim`] — the distributed-memory performance model,
+//! * [`wire`] — the shared bit-exact JSON/f64 wire layer,
+//! * [`mvn_service`] — the sharded, micro-batching probability server,
+//! * [`mvn_dist`] — the real multi-process distributed runtime.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! the paper-reproduction map.
@@ -23,8 +26,10 @@ pub use excursion;
 pub use geostat;
 pub use mathx;
 pub use mvn_core;
+pub use mvn_dist;
 pub use mvn_service;
 pub use qmc;
 pub use task_runtime;
 pub use tile_la;
 pub use tlr;
+pub use wire;
