@@ -13,17 +13,24 @@
 //! Modes:
 //! * `mvn_dist worker <addr>` — internal: run as a worker process.
 //! * `mvn_dist --smoke`      — 4-process bitwise smoke test (CI).
+//! * `mvn_dist --chaos <seed>` — fault-injected smoke: derive a planned
+//!   kill/sever from the seed ([`mvn_dist::faults::FaultPlan::from_seed`]),
+//!   run dense under respawn recovery and TLR under fold recovery, and
+//!   verify the recovered probabilities are still bitwise identical to the
+//!   engine. Combinable with `--smoke` (CI runs both).
 //! * `mvn_dist [--full]`     — the scaling replay (1..=4 nodes; `--full`
 //!   adds 8 and grows the problem).
 //!
 //! Machine-readable output: `{"benchmark":...,"mean_ns":...,"samples":...}`
 //! lines (the repo's BENCH_kernels.json schema); `samples` carries the node
-//! count.
+//! count. The chaos mode adds `dist_chaos_*` points, including the
+//! measured detection-to-recovered wall time.
 
 use distsim::{pmvn_task_graph, simulate, typical_mean_rank, ClusterSpec, ProblemSpec};
 use mvn_bench::{exceedance_limits, full_scale_requested, mvn_config};
 use mvn_core::{FactorKind, MvnEngine, MvnResult};
-use mvn_dist::{solve_dense, solve_tlr, DistConfig, DistReport};
+use mvn_dist::faults::FaultPlan;
+use mvn_dist::{solve_dense, solve_tlr, DistConfig, DistReport, Recovery};
 use std::time::Duration;
 use tile_la::SymTileMatrix;
 use tlr::{CompressionTol, TlrMatrix};
@@ -182,6 +189,64 @@ fn smoke() {
     );
 }
 
+/// Fault-injected smoke: derive a planned fault from the seed, run the
+/// distributed solve under both recovery policies, and require the
+/// recovered probability to be bitwise identical to the engine's.
+fn chaos(seed: u64) {
+    let (n, nb, qmc, nodes) = (60usize, 16usize, 256usize, 4usize);
+    let cfg = mvn_config(qmc);
+    let (a, b) = exceedance_limits(n);
+    let dense = SymTileMatrix::from_fn(n, nb, cov(n));
+    let tlr = TlrMatrix::from_fn(n, nb, CompressionTol::Absolute(1e-8), usize::MAX, cov(n));
+
+    let engine = MvnEngine::with_config(cfg).expect("engine config");
+    let dense_ref = engine.solve(&engine.factor_dense(dense.clone()).expect("SPD"), &a, &b);
+    let tlr_ref = engine.solve(&engine.factor_tlr(tlr.clone()).expect("SPD"), &a, &b);
+
+    // Tight bounds so the seeded kill point always lands inside the
+    // victim's slice: every rank owns >= 2 factor tasks and >= 1 panel at
+    // this problem size and node count.
+    let faults = FaultPlan::from_seed(seed, nodes, 2, 1);
+    println!("# chaos plan (seed {seed}): {}", faults.to_env());
+
+    for (kind, recovery) in [("dense", Recovery::Respawn), ("tlr", Recovery::Fold)] {
+        let mut dc = dist_config(nodes);
+        dc.recovery = recovery;
+        dc.faults = faults.clone();
+        let (report, reference) = match kind {
+            "dense" => (solve_dense(&dense, &a, &b, &cfg, &dc), dense_ref),
+            _ => (solve_tlr(&tlr, &a, &b, &cfg, &dc), tlr_ref),
+        };
+        let report = report.unwrap_or_else(|e| {
+            eprintln!("chaos {kind} ({recovery:?}, seed {seed}): {e}");
+            std::process::exit(1);
+        });
+        check_bitwise(
+            &format!("chaos {kind} ({recovery:?})"),
+            report.result,
+            reference,
+        );
+        println!(
+            "# chaos {kind} ({recovery:?}): {} recoveries, {} replayed tasks, {} reconnects, recovered in {:.3}s",
+            report.recoveries,
+            report.replayed_tasks,
+            report.reconnects,
+            report.recovery_wall.as_secs_f64()
+        );
+        emit(
+            &format!("dist_chaos_{kind}_wall"),
+            report.wall.as_secs_f64(),
+            nodes,
+        );
+        emit(
+            &format!("dist_chaos_{kind}_recovery"),
+            report.recovery_wall.as_secs_f64(),
+            nodes,
+        );
+    }
+    println!("# chaos OK: seed {seed}, recovered results bitwise identical to the engine");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -195,15 +260,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        Some("--smoke") => smoke(),
         _ => {
-            // `--nodes K` runs the replay at a single process count.
-            let only_nodes = args
-                .iter()
-                .position(|a| a == "--nodes")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse().ok());
-            scaling(full_scale_requested(), only_nodes);
+            // `--chaos [seed]` is position-independent so CI can run
+            // `--smoke --chaos 1` as one invocation.
+            let chaos_seed = args.iter().position(|a| a == "--chaos").map(|i| {
+                args.get(i + 1)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(1)
+            });
+            if args.iter().any(|a| a == "--smoke") {
+                smoke();
+            }
+            if let Some(seed) = chaos_seed {
+                chaos(seed);
+            }
+            if chaos_seed.is_none() && !args.iter().any(|a| a == "--smoke") {
+                // `--nodes K` runs the replay at a single process count.
+                let only_nodes = args
+                    .iter()
+                    .position(|a| a == "--nodes")
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok());
+                scaling(full_scale_requested(), only_nodes);
+            }
         }
     }
 }

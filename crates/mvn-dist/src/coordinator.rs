@@ -1,7 +1,8 @@
 //! The coordinator: launches one worker process per node, hands each its
-//! block-cyclic tile share and the problem statement, then gathers the
-//! partial sweep results and combines them exactly like the single-process
-//! engine does.
+//! block-cyclic tile share and the problem statement, then supervises the
+//! deployment — gathering partial sweep results, detecting lost workers,
+//! driving recovery — and finally combines the panel results exactly like
+//! the single-process engine does.
 //!
 //! The coordinator performs no numerics beyond the final
 //! [`mvn_core::combine_panel_results`] call over the panel results sorted by
@@ -9,11 +10,30 @@
 //! which is why the distributed probability is bitwise identical to
 //! [`mvn_core::MvnEngine`]'s.
 //!
-//! Failure handling is fail-stop: the first worker error (typed pivot
-//! failure, transport error, or a silently dying process) kills every child
-//! — which also releases any peer blocked in a tile wait on the lost rank —
-//! and surfaces as a typed [`DistError`].
+//! ## Failure handling
+//!
+//! With [`Recovery::Off`] the policy is fail-stop: the first worker error
+//! (typed pivot failure, transport error, or a silently dying process)
+//! kills every child — which also releases any peer blocked in a tile wait
+//! on the lost rank — and surfaces as a typed [`DistError`].
+//!
+//! With recovery enabled (the default, [`Recovery::Respawn`]) a lost rank
+//! is *recovered* instead: the coordinator bumps the cluster epoch, picks a
+//! recovery assignment — a fresh process that re-assumes the rank, or
+//! ([`Recovery::Fold`]) a survivor that re-owns the rank's tiles — re-sends
+//! the lost rank's initial tiles and unreported panel assignment, and
+//! broadcasts the new view so peers re-route their fetches. The recovery
+//! executor *replays* the rank's factor-plan slice from initial data
+//! ([`crate::plan::rank_slice`]); every tile is a pure function of the
+//! initial data and its plan prefix, so the recombined probability is
+//! bitwise identical to a fault-free run (and to the engine). Reports are
+//! tagged with the sender's incarnation, so a report buffered by a rank
+//! that was later declared dead can never be double-counted.
+//!
+//! Factorization (pivot) failures always fail-stop even with recovery on:
+//! they are deterministic, so a replay would fail identically.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
@@ -23,13 +43,42 @@ use std::time::{Duration, Instant};
 use mvn_core::{combine_panel_results, validate_limits, MvnConfig, MvnResult};
 use tile_la::SymTileMatrix;
 use tlr::TlrMatrix;
-use wire::{read_msg, write_msg};
+use wire::{read_msg, write_msg, Json};
 
-use crate::plan::{owned_tiles, TileId};
-use crate::proto::{self, FactorSpec, ProblemMsg, SetupMsg, WorkerErrorMsg, WorkerMsg};
+use crate::faults::{FaultPlan, FAULTS_ENV};
+use crate::plan::{owned_panels, owned_tiles, TileId};
+use crate::proto::{
+    self, EpochMsg, FactorSpec, ProblemMsg, ReownMsg, SetupMsg, WorkerErrorMsg, WorkerMsg,
+};
 use crate::store::TileValue;
+use crate::worker::{
+    BIND_ENV, CONNECT_RETRIES_ENV, CRASH_AFTER_ENV, CRASH_RANK_ENV, RETRY_BASE_MS_ENV,
+};
 use distsim::ProcessGrid;
 use tile_la::TileLayout;
+
+/// Cap on recovery rounds per solve: past this, something is systemically
+/// wrong (a crash loop) and the run fails with the underlying error instead
+/// of burning the whole deadline on respawns.
+const MAX_RECOVERIES: u64 = 8;
+
+/// What the coordinator does when a worker is lost mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Recovery {
+    /// Fail-stop: tear everything down and surface a typed error (the
+    /// pre-recovery behavior, still used by tests that assert on crashes).
+    Off,
+    /// Spawn a fresh process that re-assumes the lost rank: it receives the
+    /// rank's initial tiles and unreported panels, replays the factor slice
+    /// as a normal pipeline, and serves the rank's tiles again.
+    #[default]
+    Respawn,
+    /// Fold the lost rank onto a survivor: the survivor replays the rank's
+    /// factor-plan slice from initial data in a private workspace, serves
+    /// its tiles from the survivor's tile server, and sweeps + reports its
+    /// unreported panels.
+    Fold,
+}
 
 /// How a distributed solve is deployed.
 #[derive(Debug, Clone)]
@@ -47,15 +96,33 @@ pub struct DistConfig {
     pub workers_per_node: usize,
     /// Streaming lookahead window per node (`0` = default `4 × workers`).
     pub lookahead: usize,
-    /// End-to-end deadline: handshake, factor, sweep, and gather must all
-    /// land inside it, otherwise the run is torn down with
-    /// [`DistError::Timeout`].
+    /// End-to-end deadline: handshake, factor, sweep, gather — and any
+    /// recovery — must all land inside it, otherwise the run is torn down
+    /// with [`DistError::Timeout`].
     pub timeout: Duration,
+    /// Address the coordinator socket and the workers' tile servers bind to
+    /// (default `127.0.0.1`; set to a routable interface to spread workers
+    /// across hosts).
+    pub bind_addr: String,
+    /// Bounded connect attempts for the worker → coordinator handshake
+    /// (default 5). Workers back off exponentially with deterministic
+    /// jitter between attempts — see [`crate::faults::backoff_delay`].
+    pub connect_retries: u32,
+    /// Base backoff between connect attempts (default 50 ms, doubling each
+    /// attempt).
+    pub retry_base: Duration,
+    /// What to do when a worker is lost mid-run.
+    pub recovery: Recovery,
+    /// Deterministic fault plan shipped to the workers (empty = healthy
+    /// run). Respawned incarnations always run fault-free, so an injected
+    /// kill cannot re-fire in a recovery loop.
+    pub faults: FaultPlan,
 }
 
 impl DistConfig {
     /// A config with `nodes` workers launched via `worker_command`, one
-    /// compute thread each, default lookahead, and a generous deadline.
+    /// compute thread each, default lookahead, recovery enabled
+    /// ([`Recovery::Respawn`]), and a generous deadline.
     pub fn new(nodes: usize, worker_command: Vec<String>) -> Self {
         Self {
             nodes,
@@ -64,6 +131,11 @@ impl DistConfig {
             workers_per_node: 1,
             lookahead: 0,
             timeout: Duration::from_secs(120),
+            bind_addr: "127.0.0.1".to_string(),
+            connect_retries: 5,
+            retry_base: Duration::from_millis(50),
+            recovery: Recovery::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,7 +150,8 @@ pub enum DistError {
     /// The handshake did not complete (a worker never connected, said
     /// something unexpected, or exited before reporting in).
     Handshake(String),
-    /// A worker process died without reporting an error (crash, kill, ...).
+    /// A worker process died without reporting an error (crash, kill, ...)
+    /// and recovery was off, exhausted, or impossible.
     WorkerDied {
         /// Rank of the lost worker.
         rank: usize,
@@ -128,14 +201,14 @@ impl std::fmt::Display for DistError {
 
 impl std::error::Error for DistError {}
 
-/// The outcome of a distributed solve, with transfer accounting for the
-/// scaling replay.
+/// The outcome of a distributed solve, with transfer and recovery
+/// accounting for the scaling replay and the chaos smoke.
 #[derive(Debug, Clone)]
 pub struct DistReport {
     /// The probability estimate — bitwise identical to the single-process
-    /// engine's for the same problem and config.
+    /// engine's for the same problem and config, faults or not.
     pub result: MvnResult,
-    /// Number of worker processes used.
+    /// Number of worker processes used (initial deployment).
     pub nodes: usize,
     /// Wall time of the full solve (spawn through gather).
     pub wall: Duration,
@@ -143,8 +216,17 @@ pub struct DistReport {
     pub comm_bytes: u64,
     /// Total remote tile fetches across all workers.
     pub fetches: u64,
-    /// Per-rank fetched bytes (index = rank).
+    /// Per-rank fetched bytes (index = rank the work was done *for*).
     pub per_node_comm: Vec<u64>,
+    /// Recovery rounds performed (epoch bumps; 0 in a healthy run).
+    pub recoveries: u64,
+    /// Factor tasks replayed from initial data across all recoveries.
+    pub replayed_tasks: u64,
+    /// Peer connections workers re-established after an error or sever.
+    pub reconnects: u64,
+    /// Summed wall time from each loss detection to the recovered rank's
+    /// report (0 in a healthy run; overlapping recoveries sum).
+    pub recovery_wall: Duration,
 }
 
 /// Solve a dense-factor MVN problem across `dist.nodes` worker processes.
@@ -199,10 +281,16 @@ pub fn solve_tlr(
 struct ChildGuard(Vec<Option<Child>>);
 
 impl ChildGuard {
+    fn push(&mut self, child: Child) {
+        self.0.push(Some(child));
+    }
+
+    /// Reap the first child found exited, if any, returning a description.
     fn any_exited(&mut self) -> Option<String> {
         for (idx, slot) in self.0.iter_mut().enumerate() {
             if let Some(child) = slot {
                 if let Ok(Some(status)) = child.try_wait() {
+                    *slot = None;
                     return Some(format!("worker process {idx} exited early ({status})"));
                 }
             }
@@ -239,6 +327,138 @@ impl Drop for ChildGuard {
     }
 }
 
+/// What a reader thread hands the supervision loop.
+enum ReportPayload {
+    /// A well-formed worker message.
+    Msg(Box<WorkerMsg>),
+    /// A syntactically broken message (always a protocol failure).
+    Malformed(String),
+    /// The link is gone: EOF or a read error — the worker is dead (or the
+    /// coordinator closed the writer to evict it).
+    Lost(String),
+}
+
+struct Event {
+    rank: usize,
+    incarnation: u64,
+    payload: ReportPayload,
+}
+
+/// Spawn one worker process. `with_faults` is false for recovery respawns:
+/// a replacement incarnation must run fault-free, or an injected kill would
+/// re-fire on every respawn and the run could never converge.
+fn spawn_worker(dist: &DistConfig, addr: &str, with_faults: bool) -> Result<Child, DistError> {
+    let (cmd, cmd_args) = dist
+        .worker_command
+        .split_first()
+        .ok_or_else(|| DistError::InvalidProblem("empty worker command".into()))?;
+    let mut envs: Vec<(String, String)> = dist
+        .worker_env
+        .iter()
+        .filter(|(k, _)| {
+            with_faults
+                || (k.as_str() != FAULTS_ENV
+                    && k.as_str() != CRASH_RANK_ENV
+                    && k.as_str() != CRASH_AFTER_ENV)
+        })
+        .cloned()
+        .collect();
+    if with_faults && !dist.faults.is_empty() {
+        envs.push((FAULTS_ENV.to_string(), dist.faults.to_env()));
+    }
+    envs.push((BIND_ENV.to_string(), dist.bind_addr.clone()));
+    envs.push((
+        CONNECT_RETRIES_ENV.to_string(),
+        dist.connect_retries.to_string(),
+    ));
+    envs.push((
+        RETRY_BASE_MS_ENV.to_string(),
+        dist.retry_base.as_millis().to_string(),
+    ));
+    // Stdout is nulled so worker noise can never corrupt a benchmark's
+    // stdout protocol; stderr passes through for diagnostics.
+    Command::new(cmd)
+        .args(cmd_args)
+        .arg(addr)
+        .envs(envs)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(|e| DistError::Spawn(format!("{cmd}: {e}")))
+}
+
+/// Accept one worker connection and read its hello, returning the reader,
+/// the writer and the worker's tile-server address. `None` = nothing
+/// pending (the listener is non-blocking).
+fn accept_hello(
+    listener: &TcpListener,
+    deadline: Instant,
+) -> Result<Option<(BufReader<TcpStream>, TcpStream, String)>, DistError> {
+    match listener.accept() {
+        Ok((stream, _)) => {
+            stream
+                .set_nonblocking(false)
+                .map_err(|e| DistError::Handshake(e.to_string()))?;
+            stream
+                .set_read_timeout(Some(
+                    deadline
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_millis(1)),
+                ))
+                .map_err(|e| DistError::Handshake(e.to_string()))?;
+            let writer = stream
+                .try_clone()
+                .map_err(|e| DistError::Handshake(e.to_string()))?;
+            let mut reader = BufReader::new(stream);
+            let hello = read_msg(&mut reader)
+                .map_err(|e| DistError::Handshake(format!("reading hello: {e}")))?
+                .ok_or_else(|| DistError::Handshake("worker closed before hello".into()))?;
+            let peer = proto::parse_hello(&hello).map_err(DistError::Handshake)?;
+            Ok(Some((reader, writer, peer)))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(DistError::Handshake(format!("accept: {e}"))),
+    }
+}
+
+/// Start a reader thread for one worker connection, tagged with the
+/// connection's rank and incarnation so stale reports from evicted
+/// incarnations are rejected by the supervision loop. The thread keeps
+/// reading until the link closes — a fold executor sends one report per
+/// rank it executes.
+fn spawn_reader(
+    mut reader: BufReader<TcpStream>,
+    rank: usize,
+    incarnation: u64,
+    tx: mpsc::Sender<Event>,
+) {
+    std::thread::spawn(move || {
+        let _ = reader.get_ref().set_read_timeout(None);
+        loop {
+            let payload = match read_msg(&mut reader) {
+                Ok(Some(msg)) => match proto::worker_msg_from_json(&msg) {
+                    Ok(m) => ReportPayload::Msg(Box::new(m)),
+                    Err(e) => ReportPayload::Malformed(e),
+                },
+                Ok(None) => ReportPayload::Lost("connection closed".into()),
+                Err(e) => ReportPayload::Lost(e.to_string()),
+            };
+            let lost = matches!(payload, ReportPayload::Lost(_));
+            if tx
+                .send(Event {
+                    rank,
+                    incarnation,
+                    payload,
+                })
+                .is_err()
+                || lost
+            {
+                return;
+            }
+        }
+    });
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run(
     factor: FactorSpec,
@@ -263,7 +483,7 @@ fn run(
 
     let start = Instant::now();
     let deadline = start + dist.timeout;
-    let listener = TcpListener::bind("127.0.0.1:0")
+    let listener = TcpListener::bind(format!("{}:0", dist.bind_addr))
         .map_err(|e| DistError::Spawn(format!("binding coordinator socket: {e}")))?;
     let addr = listener
         .local_addr()
@@ -273,28 +493,15 @@ fn run(
         .set_nonblocking(true)
         .map_err(|e| DistError::Spawn(format!("configuring coordinator socket: {e}")))?;
 
-    // Launch the workers. Stdout is inherited-from-null so worker noise can
-    // never corrupt a benchmark's stdout protocol; stderr passes through for
-    // diagnostics.
-    let (cmd, cmd_args) = dist
-        .worker_command
-        .split_first()
-        .ok_or_else(|| DistError::InvalidProblem("empty worker command".into()))?;
     let mut guard = ChildGuard(Vec::with_capacity(dist.nodes));
     for _ in 0..dist.nodes {
-        let child = Command::new(cmd)
-            .args(cmd_args)
-            .arg(&addr)
-            .envs(dist.worker_env.iter().map(|(k, v)| (k, v)))
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .spawn()
-            .map_err(|e| DistError::Spawn(format!("{cmd}: {e}")))?;
-        guard.0.push(Some(child));
+        guard.push(spawn_worker(dist, &addr, true)?);
     }
 
     // Handshake: accept one connection per worker (rank = arrival order) and
-    // read its tile-server address.
+    // read its tile-server address. A child that dies before connecting is
+    // replaced when recovery is on (bounded by the recovery cap).
+    let mut recoveries = 0u64;
     let mut conns: Vec<(BufReader<TcpStream>, TcpStream)> = Vec::with_capacity(dist.nodes);
     let mut peers: Vec<String> = Vec::with_capacity(dist.nodes);
     while conns.len() < dist.nodes {
@@ -306,35 +513,25 @@ fn run(
             )));
         }
         if let Some(reason) = guard.any_exited() {
-            return Err(DistError::Handshake(reason));
+            if dist.recovery != Recovery::Off && recoveries < MAX_RECOVERIES {
+                recoveries += 1;
+                guard.push(spawn_worker(dist, &addr, true)?);
+            } else {
+                return Err(DistError::Handshake(reason));
+            }
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream
-                    .set_nonblocking(false)
-                    .map_err(|e| DistError::Handshake(e.to_string()))?;
-                stream
-                    .set_read_timeout(Some(deadline.saturating_duration_since(Instant::now())))
-                    .map_err(|e| DistError::Handshake(e.to_string()))?;
-                let writer = stream
-                    .try_clone()
-                    .map_err(|e| DistError::Handshake(e.to_string()))?;
-                let mut reader = BufReader::new(stream);
-                let hello = read_msg(&mut reader)
-                    .map_err(|e| DistError::Handshake(format!("reading hello: {e}")))?
-                    .ok_or_else(|| DistError::Handshake("worker closed before hello".into()))?;
-                peers.push(proto::parse_hello(&hello).map_err(DistError::Handshake)?);
+        match accept_hello(&listener, deadline)? {
+            Some((reader, writer, peer)) => {
+                peers.push(peer);
                 conns.push((reader, writer));
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) => return Err(DistError::Handshake(format!("accept: {e}"))),
+            None => std::thread::sleep(Duration::from_millis(2)),
         }
     }
 
     // Ship each rank its setup: the problem plus its owned initial tiles.
     let grid = ProcessGrid::new(dist.nodes);
+    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
     let problem = ProblemMsg {
         factor,
         n: layout.n(),
@@ -347,12 +544,21 @@ fn run(
         seed: cfg.seed,
         lookahead: dist.lookahead,
         workers: dist.workers_per_node,
+        deadline_ms: dist.timeout.as_millis() as u64,
     };
+    let assigned: Vec<Vec<usize>> = (0..dist.nodes)
+        .map(|r| owned_panels(r, dist.nodes, n_panels))
+        .collect();
+    let mut epoch = 0u64;
+    let mut executor: Vec<usize> = (0..dist.nodes).collect();
     for (rank, (_, writer)) in conns.iter_mut().enumerate() {
         let setup = SetupMsg {
             rank,
             nodes: dist.nodes,
+            epoch,
             peers: peers.clone(),
+            executor: executor.clone(),
+            panels: assigned[rank].clone(),
             problem: problem.clone(),
             tiles: owned_tiles(&grid, layout, rank)
                 .into_iter()
@@ -363,65 +569,217 @@ fn run(
             .map_err(|e| DistError::Handshake(format!("sending setup to rank {rank}: {e}")))?;
     }
 
-    // Gather: one reader thread per worker feeds a channel; the main thread
-    // applies the deadline and fail-stop policy.
-    let (tx, rx) = mpsc::channel::<(usize, Result<WorkerMsg, String>)>();
-    let mut writers = Vec::with_capacity(dist.nodes);
-    for (rank, (mut reader, writer)) in conns.into_iter().enumerate() {
-        writers.push(writer);
-        let tx = tx.clone();
-        std::thread::spawn(move || {
-            let _ = reader.get_ref().set_read_timeout(None);
-            let outcome = match read_msg(&mut reader) {
-                Ok(Some(msg)) => proto::worker_msg_from_json(&msg),
-                Ok(None) => Err("connection closed".into()),
-                Err(e) => Err(e.to_string()),
-            };
-            let _ = tx.send((rank, outcome));
-        });
+    // Supervision: reader threads feed a channel; the main loop applies the
+    // deadline, fills panel slots, and turns losses into recoveries.
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut writers: Vec<Option<TcpStream>> = Vec::with_capacity(dist.nodes);
+    let mut incarnation: Vec<u64> = vec![0; dist.nodes];
+    for (rank, (reader, writer)) in conns.into_iter().enumerate() {
+        writers.push(Some(writer));
+        spawn_reader(reader, rank, 0, tx.clone());
     }
-    drop(tx);
 
-    let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
     let mut panel_slots: Vec<Option<(f64, usize)>> = vec![None; n_panels];
+    let mut panels_filled = 0usize;
+    let mut rank_done: Vec<bool> = vec![false; dist.nodes];
     let mut per_node_comm = vec![0u64; dist.nodes];
     let mut fetches = 0u64;
-    let mut remaining = dist.nodes;
-    while remaining > 0 {
-        let timeout = deadline.saturating_duration_since(Instant::now());
-        let (rank, outcome) = rx.recv_timeout(timeout).map_err(|_| {
-            DistError::Timeout(format!(
-                "{remaining} of {} workers still working",
-                dist.nodes
-            ))
-        })?;
-        match outcome {
-            Ok(WorkerMsg::Done(done)) => {
-                for (p, mean, count) in done.panels {
-                    let slot = panel_slots.get_mut(p).ok_or_else(|| {
-                        DistError::Protocol(format!("rank {rank} reported unknown panel {p}"))
-                    })?;
-                    if slot.replace((mean, count)).is_some() {
-                        return Err(DistError::Protocol(format!(
-                            "panel {p} reported by two workers"
-                        )));
+    let mut replayed_tasks = 0u64;
+    let mut reconnects = 0u64;
+    let mut recovery_wall = Duration::ZERO;
+    let mut pending_recovery: HashMap<usize, Instant> = HashMap::new();
+    let mut pending_respawn: VecDeque<usize> = VecDeque::new();
+
+    // The broadcastable cluster view.
+    let view_msg = |epoch: u64, peers: &[String], executor: &[usize]| -> Json {
+        proto::epoch_to_json(&EpochMsg {
+            epoch,
+            peers: peers.to_vec(),
+            executor: executor.to_vec(),
+        })
+    };
+
+    // A solve is complete when every panel is in. In a healthy run that
+    // coincides with every rank's report; during recovery, pending
+    // tile-service-only recoveries are simply abandoned at shutdown.
+    while panels_filled < n_panels {
+        let timeout = deadline
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(10));
+        let event = match rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(DistError::Protocol("all reader threads gone".into()))
+            }
+        };
+
+        if Instant::now() >= deadline {
+            let missing = panel_slots.iter().filter(|s| s.is_none()).count();
+            return Err(DistError::Timeout(format!(
+                "{missing} of {n_panels} panels still outstanding"
+            )));
+        }
+
+        // Complete pending respawn handshakes.
+        if !pending_respawn.is_empty() {
+            if let Some((reader, mut writer, peer)) = accept_hello(&listener, deadline)? {
+                let r = pending_respawn.pop_front().unwrap();
+                incarnation[r] += 1;
+                peers[r] = peer;
+                executor[r] = r;
+                let setup = SetupMsg {
+                    rank: r,
+                    nodes: dist.nodes,
+                    epoch,
+                    peers: peers.clone(),
+                    executor: executor.clone(),
+                    panels: if rank_done[r] {
+                        Vec::new()
+                    } else {
+                        assigned[r].clone()
+                    },
+                    problem: problem.clone(),
+                    tiles: owned_tiles(&grid, layout, r)
+                        .into_iter()
+                        .map(|id| (id, tile_of(id)))
+                        .collect(),
+                };
+                write_msg(&mut writer, &proto::setup_to_json(&setup)).map_err(|e| {
+                    DistError::Handshake(format!("sending setup to respawned rank {r}: {e}"))
+                })?;
+                spawn_reader(reader, r, incarnation[r], tx.clone());
+                writers[r] = Some(writer);
+                // Everyone else learns the new address/executor of r.
+                let msg = view_msg(epoch, &peers, &executor);
+                #[allow(clippy::collapsible_if)]
+                for (other, w) in writers.iter_mut().enumerate() {
+                    if other != r {
+                        if let Some(w) = w {
+                            let _ = write_msg(w, &msg);
+                        }
                     }
                 }
-                per_node_comm[rank] = done.comm_bytes;
-                fetches += done.fetches;
-                remaining -= 1;
             }
-            Ok(WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot })) => {
-                return Err(DistError::Factorization { pivot });
+        }
+
+        let Some(event) = event else { continue };
+        if event.incarnation != incarnation[event.rank] {
+            continue; // stale: a declared-dead incarnation's leftovers
+        }
+
+        match event.payload {
+            ReportPayload::Msg(msg) => match *msg {
+                WorkerMsg::Done(done) => {
+                    let r = done.for_rank;
+                    if r >= dist.nodes {
+                        return Err(DistError::Protocol(format!("report for unknown rank {r}")));
+                    }
+                    if rank_done[r] {
+                        if !done.panels.is_empty() {
+                            return Err(DistError::Protocol(format!(
+                                "rank {r} reported panels twice"
+                            )));
+                        }
+                    } else {
+                        for (p, mean, count) in &done.panels {
+                            let slot = panel_slots.get_mut(*p).ok_or_else(|| {
+                                DistError::Protocol(format!("rank {r} reported unknown panel {p}"))
+                            })?;
+                            if slot.replace((*mean, *count)).is_some() {
+                                return Err(DistError::Protocol(format!(
+                                    "panel {p} reported by two workers"
+                                )));
+                            }
+                            panels_filled += 1;
+                        }
+                        rank_done[r] = true;
+                    }
+                    per_node_comm[r] += done.comm_bytes;
+                    fetches += done.fetches;
+                    replayed_tasks += done.replayed_tasks;
+                    reconnects += done.reconnects;
+                    if let Some(t0) = pending_recovery.remove(&r) {
+                        recovery_wall += t0.elapsed();
+                    }
+                }
+                WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot }) => {
+                    // Deterministic: a replay would hit the same pivot.
+                    return Err(DistError::Factorization { pivot });
+                }
+                WorkerMsg::Error(WorkerErrorMsg::Other { kind, message }) => {
+                    if dist.recovery == Recovery::Off {
+                        return Err(DistError::WorkerFailed {
+                            rank: event.rank,
+                            kind,
+                            message,
+                        });
+                    }
+                    // A reporting-but-broken worker is treated as lost:
+                    // evict it (closing the writer orders it to exit) and
+                    // recover whatever it executed.
+                    writers[event.rank] = None;
+                    recover(RecoverArgs {
+                        dead: event.rank,
+                        why: &format!("{kind}: {message}"),
+                        dist,
+                        grid: &grid,
+                        layout,
+                        tile_of,
+                        addr: &addr,
+                        guard: &mut guard,
+                        epoch: &mut epoch,
+                        peers: &mut peers,
+                        executor: &mut executor,
+                        incarnation: &mut incarnation,
+                        writers: &mut writers,
+                        assigned: &assigned,
+                        rank_done: &rank_done,
+                        pending_respawn: &mut pending_respawn,
+                        pending_recovery: &mut pending_recovery,
+                        recoveries: &mut recoveries,
+                    })?;
+                }
+            },
+            ReportPayload::Malformed(e) => {
+                return Err(DistError::Protocol(format!(
+                    "rank {} sent a malformed report: {e}",
+                    event.rank
+                )));
             }
-            Ok(WorkerMsg::Error(WorkerErrorMsg::Other { kind, message })) => {
-                return Err(DistError::WorkerFailed {
-                    rank,
-                    kind,
-                    message,
-                });
+            ReportPayload::Lost(why) => {
+                writers[event.rank] = None;
+                // A rank gone after every rank has reported is harmless;
+                // otherwise it must be recovered even if everything *it*
+                // executes is done — unfinished peers still need its tiles
+                // for their sweeps.
+                if rank_done.iter().all(|&d| d) {
+                    continue;
+                }
+                if dist.recovery == Recovery::Off {
+                    return Err(DistError::WorkerDied { rank: event.rank });
+                }
+                recover(RecoverArgs {
+                    dead: event.rank,
+                    why: &why,
+                    dist,
+                    grid: &grid,
+                    layout,
+                    tile_of,
+                    addr: &addr,
+                    guard: &mut guard,
+                    epoch: &mut epoch,
+                    peers: &mut peers,
+                    executor: &mut executor,
+                    incarnation: &mut incarnation,
+                    writers: &mut writers,
+                    assigned: &assigned,
+                    rank_done: &rank_done,
+                    pending_respawn: &mut pending_respawn,
+                    pending_recovery: &mut pending_recovery,
+                    recoveries: &mut recoveries,
+                })?;
             }
-            Err(_) => return Err(DistError::WorkerDied { rank }),
         }
     }
 
@@ -435,7 +793,7 @@ fn run(
     let result = combine_panel_results(&ordered);
     let wall = start.elapsed();
 
-    for writer in &mut writers {
+    for writer in writers.iter_mut().flatten() {
         let _ = write_msg(writer, &proto::shutdown());
     }
     guard.reap(Duration::from_secs(5));
@@ -447,5 +805,140 @@ fn run(
         comm_bytes: per_node_comm.iter().sum(),
         fetches,
         per_node_comm,
+        recoveries,
+        replayed_tasks,
+        reconnects,
+        recovery_wall,
     })
+}
+
+/// Everything `recover` needs from the supervision loop's state.
+struct RecoverArgs<'a> {
+    dead: usize,
+    why: &'a str,
+    dist: &'a DistConfig,
+    grid: &'a ProcessGrid,
+    layout: TileLayout,
+    tile_of: &'a dyn Fn(TileId) -> TileValue,
+    addr: &'a str,
+    guard: &'a mut ChildGuard,
+    epoch: &'a mut u64,
+    peers: &'a mut Vec<String>,
+    executor: &'a mut Vec<usize>,
+    incarnation: &'a mut Vec<u64>,
+    writers: &'a mut Vec<Option<TcpStream>>,
+    assigned: &'a [Vec<usize>],
+    rank_done: &'a [bool],
+    pending_respawn: &'a mut VecDeque<usize>,
+    pending_recovery: &'a mut HashMap<usize, Instant>,
+    recoveries: &'a mut u64,
+}
+
+/// One recovery round for the loss of `dead`'s process: bump the epoch,
+/// re-assign every rank `dead` executed (its own, plus any rank previously
+/// folded onto it), and broadcast the new view. With [`Recovery::Respawn`]
+/// each affected rank gets a fresh fault-free process; with
+/// [`Recovery::Fold`] they are re-owned by the smallest live rank (falling
+/// back to respawn if nobody is left to fold onto).
+fn recover(args: RecoverArgs<'_>) -> Result<(), DistError> {
+    let RecoverArgs {
+        dead,
+        why,
+        dist,
+        grid,
+        layout,
+        tile_of,
+        addr,
+        guard,
+        epoch,
+        peers,
+        executor,
+        incarnation,
+        writers,
+        assigned,
+        rank_done,
+        pending_respawn,
+        pending_recovery,
+        recoveries,
+    } = args;
+
+    *recoveries += 1;
+    if *recoveries > MAX_RECOVERIES {
+        return Err(DistError::WorkerDied { rank: dead });
+    }
+    // Invalidate the dead incarnation: its buffered reports are stale now.
+    incarnation[dead] += 1;
+    *epoch += 1;
+    let affected: Vec<usize> = (0..dist.nodes).filter(|&r| executor[r] == dead).collect();
+    let now = Instant::now();
+    for &r in &affected {
+        if !rank_done[r] {
+            pending_recovery.entry(r).or_insert(now);
+        }
+    }
+    eprintln!("mvn-dist: lost rank {dead} ({why}); recovering ranks {affected:?} at epoch {epoch}");
+
+    let survivor = (0..dist.nodes).find(|&s| s != dead && writers[s].is_some());
+    let fold_to = match dist.recovery {
+        Recovery::Fold => survivor,
+        _ => None,
+    };
+    match fold_to {
+        Some(s) => {
+            for &r in &affected {
+                executor[r] = s;
+                peers[r] = peers[s].clone();
+            }
+            for &r in &affected {
+                let reown = ReownMsg {
+                    epoch: *epoch,
+                    rank: r,
+                    peers: peers.clone(),
+                    executor: executor.clone(),
+                    panels: if rank_done[r] {
+                        Vec::new()
+                    } else {
+                        assigned[r].clone()
+                    },
+                    tiles: owned_tiles(grid, layout, r)
+                        .into_iter()
+                        .map(|id| (id, tile_of(id)))
+                        .collect(),
+                };
+                if let Some(w) = writers[s].as_mut() {
+                    write_msg(w, &proto::reown_to_json(&reown)).map_err(|e| {
+                        DistError::Handshake(format!("sending reown of rank {r} to {s}: {e}"))
+                    })?;
+                }
+            }
+            // Everyone else learns the new routes.
+            let msg = proto::epoch_to_json(&EpochMsg {
+                epoch: *epoch,
+                peers: peers.clone(),
+                executor: executor.clone(),
+            });
+            for (other, w) in writers.iter_mut().enumerate() {
+                if other != s {
+                    if let Some(w) = w {
+                        let _ = write_msg(w, &msg);
+                    }
+                }
+            }
+            Ok(())
+        }
+        None => {
+            if dist.recovery == Recovery::Fold && survivor.is_none() {
+                eprintln!("mvn-dist: no survivor to fold onto; respawning instead");
+            }
+            // Respawn: one fresh fault-free process per affected rank; the
+            // handshake completes in the supervision loop, which also
+            // broadcasts the view then (the new tile-server address is only
+            // known at hello time).
+            for &r in &affected {
+                guard.push(spawn_worker(dist, addr, false)?);
+                pending_respawn.push_back(r);
+            }
+            Ok(())
+        }
+    }
 }

@@ -33,13 +33,26 @@
 //! handshake, scatter owned initial tiles, collect per-panel sweep results
 //! and combine them with the engine's own batching
 //! ([`mvn_core::pmvn::combine_panel_results`]).
+//!
+//! **Fault tolerance.** The coordinator is a supervisor, not just a
+//! spawner: with [`coordinator::Recovery`] enabled (the default), a lost
+//! worker is detected (process exit, dropped link, failed report) and its
+//! work is recovered — either by respawning the rank or by folding its tile
+//! ownership onto a survivor that *replays* the dead rank's plan slice from
+//! initial data ([`plan::rank_slice`]). Because every tile is a pure
+//! function of the initial data and its plan prefix, the recovered result
+//! is bitwise identical to a fault-free run. The [`faults`] module provides
+//! the deterministic injection harness (seeded kills, severed fetches) that
+//! keeps those paths honest.
 
 pub mod coordinator;
+pub mod faults;
 pub mod plan;
 pub mod proto;
 pub mod store;
 pub mod worker;
 
-pub use coordinator::{solve_dense, solve_tlr, DistConfig, DistError, DistReport};
-pub use plan::{factor_plan, Kernel, TaskStep, TileId};
+pub use coordinator::{solve_dense, solve_tlr, DistConfig, DistError, DistReport, Recovery};
+pub use faults::{FaultAction, FaultPlan};
+pub use plan::{factor_plan, rank_slice, Kernel, TaskStep, TileId};
 pub use worker::run_worker;

@@ -111,6 +111,18 @@ pub fn owned_panels(rank: usize, nodes: usize, n_panels: usize) -> Vec<usize> {
     (0..n_panels).filter(|p| p % nodes == rank).collect()
 }
 
+/// The sub-sequence of `plan` originally owned by `rank` under `grid`, in
+/// plan order — exactly the slice a recovery executor must replay when it
+/// re-owns a lost rank's tiles. Replaying this slice from the rank's initial
+/// tiles reproduces every one of its final tiles bit for bit: each task is a
+/// pure function of its (final, plan-earlier) inputs, and the slice preserves
+/// the per-tile kernel order of the single-process DAG.
+pub fn rank_slice<'a>(plan: &'a [TaskStep], grid: &ProcessGrid, rank: usize) -> Vec<&'a TaskStep> {
+    plan.iter()
+        .filter(|t| grid.owner(t.out.0, t.out.1) == rank)
+        .collect()
+}
+
 /// All lower tiles of `layout` owned by `rank` under `grid`.
 pub fn owned_tiles(grid: &ProcessGrid, layout: TileLayout, rank: usize) -> Vec<TileId> {
     let nt = layout.num_tiles();
@@ -182,6 +194,32 @@ mod tests {
             }
             if step.finalizes {
                 finalized.insert(step.out);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_slices_partition_the_plan_in_order() {
+        let layout = TileLayout::new(160, 20);
+        let plan = factor_plan(layout);
+        for nodes in [2usize, 3, 4] {
+            let grid = ProcessGrid::new(nodes);
+            let total: usize = (0..nodes).map(|r| rank_slice(&plan, &grid, r).len()).sum();
+            assert_eq!(total, plan.len(), "slices must partition the plan");
+            for r in 0..nodes {
+                let slice = rank_slice(&plan, &grid, r);
+                // Order preserved: the slice is a subsequence of the plan.
+                let mut cursor = 0;
+                for step in &slice {
+                    let pos = plan[cursor..]
+                        .iter()
+                        .position(|p| std::ptr::eq(p, *step))
+                        .expect("slice step must come from the plan, in order");
+                    cursor += pos + 1;
+                }
+                // Every slice task's output is owned by r — the re-own
+                // invariant a recovery executor relies on.
+                assert!(slice.iter().all(|t| grid.owner(t.out.0, t.out.1) == r));
             }
         }
     }

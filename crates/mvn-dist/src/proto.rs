@@ -12,14 +12,31 @@
 //! Message shapes (one JSON document per line, see [`wire::frame`]):
 //!
 //! * worker → coordinator: `{"type":"hello","listen":addr}` then, later,
-//!   `{"type":"done","panels":[[p,mean,count],..],"comm_bytes":..,"fetches":..}`
-//!   or `{"type":"error","kind":..,..}`.
-//! * coordinator → worker: `{"type":"setup",..}` with the rank, the peer
-//!   address table, the problem, and the rank's owned initial tiles; then
+//!   one or more `{"type":"done","epoch":e,"for":r,"panels":[[p,mean,count],..],
+//!   "comm_bytes":..,"fetches":..,"replayed":..,"reconnects":..}` reports
+//!   (`for` names the rank whose work the report carries — the sender's own
+//!   rank normally, a dead rank's after a re-own recovery) or
+//!   `{"type":"error","kind":..,..}`.
+//! * coordinator → worker: `{"type":"setup",..}` with the rank, epoch, the
+//!   peer address table, the executor map, the problem, the panel
+//!   assignment and the rank's owned initial tiles; then, possibly,
+//!   recovery control messages — `{"type":"epoch",..}` (new cluster view
+//!   after a respawn) and `{"type":"reown",..}` (fold a dead rank's tiles
+//!   and panels onto the receiver, with the dead rank's *initial* tiles so
+//!   its plan slice can be replayed from scratch); finally
 //!   `{"type":"shutdown"}`.
-//! * worker → worker (tile transport): `{"get":[i,j]}` answered by
-//!   `{"tile":..}` — dense tiles as `{"r":rows,"c":cols,"d":[..]}`
-//!   (column-major), low-rank tiles as `{"u":..,"v":..}`.
+//! * worker → worker (tile transport): `{"get":[i,j],"epoch":e}` answered
+//!   by `{"tile":..}` — dense tiles as `{"r":rows,"c":cols,"d":[..]}`
+//!   (column-major), low-rank tiles as `{"u":..,"v":..}` — or by
+//!   `{"err":reason}` when the serving side no longer executes that tile's
+//!   rank (the fetcher must re-resolve its route and retry).
+//!
+//! **Epochs.** Every recovery increments the cluster epoch; control-plane
+//! messages carry it so the coordinator can reject stale reports from a
+//! rank that was declared dead (duplicated panels would corrupt the
+//! combine). Tile payloads are deliberately epoch-*agnostic*: a finalized
+//! tile is immutable and every incarnation reproduces it bit for bit, so a
+//! "stale" tile frame is still the right answer.
 
 use crate::plan::TileId;
 use crate::store::TileValue;
@@ -68,6 +85,10 @@ pub struct ProblemMsg {
     pub lookahead: usize,
     /// Worker threads per node (0 = available parallelism).
     pub workers: usize,
+    /// End-to-end deadline budget in milliseconds, measured from setup
+    /// receipt — bounds the worker's fetch-retry loops so a worker never
+    /// outlives the coordinator's own deadline.
+    pub deadline_ms: u64,
 }
 
 /// The full setup message for one rank.
@@ -77,24 +98,87 @@ pub struct SetupMsg {
     pub rank: usize,
     /// Total node count.
     pub nodes: usize,
-    /// Tile-server address of every rank (index = rank).
+    /// Cluster epoch at setup time (0 for the initial deployment; a
+    /// respawned incarnation starts at the epoch of its recovery).
+    pub epoch: u64,
+    /// Tile-server address where each rank's tiles are served (index =
+    /// rank; after a fold recovery several ranks may share an address).
     pub peers: Vec<String>,
+    /// Executor map: `executor[r]` is the live rank currently producing
+    /// rank `r`'s tiles (identity until a fold recovery remaps a dead rank).
+    pub executor: Vec<usize>,
+    /// The sweep panels this rank must compute and report (its round-robin
+    /// share initially; a respawned incarnation only gets the panels its
+    /// predecessor never reported).
+    pub panels: Vec<usize>,
     /// The shared problem statement.
     pub problem: ProblemMsg,
     /// Initial (unfactored) values of the tiles this rank owns.
     pub tiles: Vec<(TileId, TileValue)>,
 }
 
-/// A worker's final report: its panels' partial sweep results plus transfer
-/// accounting.
+/// A worker's report: panel sweep results plus transfer/recovery
+/// accounting. A healthy rank sends exactly one; a fold-recovery executor
+/// additionally sends one per re-owned rank (`for_rank` = the dead rank).
 #[derive(Debug, Clone)]
 pub struct DoneMsg {
+    /// The rank whose work this report carries.
+    pub for_rank: usize,
+    /// Cluster epoch the sender held when reporting.
+    pub epoch: u64,
     /// `(panel index, panel probability mean, live-chain count)` triples.
     pub panels: Vec<(usize, f64, usize)>,
     /// Total bytes of tile payloads fetched from peers.
     pub comm_bytes: u64,
     /// Number of remote tile fetches (each tile crosses each edge once).
     pub fetches: u64,
+    /// Factor tasks replayed from initial data for this report (0 outside
+    /// recovery).
+    pub replayed_tasks: u64,
+    /// Peer connections re-established after an error or sever.
+    pub reconnects: u64,
+}
+
+/// Coordinator → worker recovery control: the new cluster view after a
+/// recovery (respawn or fold elsewhere).
+#[derive(Debug, Clone)]
+pub struct EpochMsg {
+    /// The new epoch (strictly greater than any previous).
+    pub epoch: u64,
+    /// Updated per-rank tile-server address table.
+    pub peers: Vec<String>,
+    /// Updated executor map.
+    pub executor: Vec<usize>,
+}
+
+/// Coordinator → worker recovery control: re-own a dead rank. The receiver
+/// must replay the dead rank's factor plan slice from the enclosed initial
+/// tiles, serve its tiles, and sweep + report the listed panels.
+#[derive(Debug, Clone)]
+pub struct ReownMsg {
+    /// The new epoch.
+    pub epoch: u64,
+    /// The dead rank being folded onto the receiver.
+    pub rank: usize,
+    /// Updated per-rank tile-server address table.
+    pub peers: Vec<String>,
+    /// Updated executor map (maps `rank` to the receiver).
+    pub executor: Vec<usize>,
+    /// The dead rank's unreported panels, to sweep and report.
+    pub panels: Vec<usize>,
+    /// The dead rank's *initial* (unfactored) tiles — replay input.
+    pub tiles: Vec<(TileId, TileValue)>,
+}
+
+/// Everything a worker can receive from the coordinator after setup.
+#[derive(Debug, Clone)]
+pub enum CtrlMsg {
+    /// New cluster view (after a respawn, or a fold handled elsewhere).
+    Epoch(EpochMsg),
+    /// Fold a dead rank onto this worker.
+    Reown(ReownMsg),
+    /// Tear down: all panels are in.
+    Shutdown,
 }
 
 /// A typed failure report from a worker.
@@ -233,9 +317,14 @@ pub fn tile_from_json(v: &Json) -> Result<TileValue, String> {
     }
 }
 
-/// `{"get":[i,j]}` — the tile transport request.
-pub fn tile_request(id: TileId) -> Json {
-    obj(vec![("get", Json::Arr(vec![num(id.0), num(id.1)]))])
+/// `{"get":[i,j],"epoch":e}` — the tile transport request. The epoch is
+/// diagnostic only (finalized tiles are epoch-agnostic, see the module
+/// docs); servers answer requests from any epoch.
+pub fn tile_request(id: TileId, epoch: u64) -> Json {
+    obj(vec![
+        ("get", Json::Arr(vec![num(id.0), num(id.1)])),
+        ("epoch", num(epoch as usize)),
+    ])
 }
 
 /// Parse a tile request.
@@ -258,8 +347,18 @@ pub fn tile_response(t: &TileValue) -> Json {
     obj(vec![("tile", tile_to_json(t))])
 }
 
-/// Parse a tile response.
+/// `{"err":reason}` — a tile-serving refusal (e.g. the serving side no
+/// longer executes the requested tile's rank). The fetcher treats it like a
+/// failed connection: re-resolve the route and retry.
+pub fn tile_error(reason: &str) -> Json {
+    obj(vec![("err", Json::Str(reason.into()))])
+}
+
+/// Parse a tile response; a `{"err":..}` refusal surfaces as `Err`.
 pub fn parse_tile_response(v: &Json) -> Result<TileValue, String> {
+    if let Some(reason) = v.get("err").and_then(Json::as_str) {
+        return Err(format!("peer refused tile: {reason}"));
+    }
     tile_from_json(v.get("tile").ok_or("missing tile payload")?)
 }
 
@@ -338,6 +437,7 @@ fn problem_to_json(p: &ProblemMsg) -> Json {
         ("seed", Json::Str(p.seed.to_string())),
         ("lookahead", num(p.lookahead)),
         ("workers", num(p.workers)),
+        ("deadline_ms", num(p.deadline_ms as usize)),
     ]);
     obj(fields)
 }
@@ -373,48 +473,45 @@ fn problem_from_json(v: &Json) -> Result<ProblemMsg, String> {
             .map_err(|e| format!("invalid seed: {e}"))?,
         lookahead: get_usize(v, "lookahead")?,
         workers: get_usize(v, "workers")?,
+        deadline_ms: get_usize(v, "deadline_ms")? as u64,
     })
 }
 
-/// Encode the per-rank setup message.
-pub fn setup_to_json(s: &SetupMsg) -> Json {
-    obj(vec![
-        ("type", Json::Str("setup".into())),
-        ("rank", num(s.rank)),
-        ("nodes", num(s.nodes)),
-        (
-            "peers",
-            Json::Arr(s.peers.iter().map(|p| Json::Str(p.clone())).collect()),
-        ),
-        ("problem", problem_to_json(&s.problem)),
-        (
-            "tiles",
-            Json::Arr(
-                s.tiles
-                    .iter()
-                    .map(|((i, j), t)| {
-                        obj(vec![("i", num(*i)), ("j", num(*j)), ("t", tile_to_json(t))])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
+fn usize_arr(xs: &[usize]) -> Json {
+    Json::Arr(xs.iter().map(|&x| num(x)).collect())
 }
 
-/// Decode the per-rank setup message.
-pub fn setup_from_json(v: &Json) -> Result<SetupMsg, String> {
-    if get_str(v, "type")? != "setup" {
-        return Err("expected a setup message".into());
-    }
-    let peers = v
-        .get("peers")
+fn usize_arr_from(v: &Json, key: &str) -> Result<Vec<usize>, String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {key}"))?
+        .iter()
+        .map(|x| x.as_usize().ok_or_else(|| format!("invalid {key} entry")))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())
+}
+
+fn peers_from(v: &Json) -> Result<Vec<String>, String> {
+    v.get("peers")
         .and_then(Json::as_arr)
         .ok_or("missing peers")?
         .iter()
         .map(|p| p.as_str().map(str::to_string).ok_or("invalid peer address"))
-        .collect::<Result<Vec<_>, _>>()?;
-    let tiles = v
-        .get("tiles")
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())
+}
+
+fn tiles_to_json(tiles: &[(TileId, TileValue)]) -> Json {
+    Json::Arr(
+        tiles
+            .iter()
+            .map(|((i, j), t)| obj(vec![("i", num(*i)), ("j", num(*j)), ("t", tile_to_json(t))]))
+            .collect(),
+    )
+}
+
+fn tiles_from(v: &Json) -> Result<Vec<(TileId, TileValue)>, String> {
+    v.get("tiles")
         .and_then(Json::as_arr)
         .ok_or("missing tiles")?
         .iter()
@@ -424,14 +521,92 @@ pub fn setup_from_json(v: &Json) -> Result<SetupMsg, String> {
                 tile_from_json(t.get("t").ok_or("missing tile value")?)?,
             ))
         })
-        .collect::<Result<Vec<_>, String>>()?;
+        .collect::<Result<Vec<_>, String>>()
+}
+
+/// Encode the per-rank setup message.
+pub fn setup_to_json(s: &SetupMsg) -> Json {
+    obj(vec![
+        ("type", Json::Str("setup".into())),
+        ("rank", num(s.rank)),
+        ("nodes", num(s.nodes)),
+        ("epoch", num(s.epoch as usize)),
+        (
+            "peers",
+            Json::Arr(s.peers.iter().map(|p| Json::Str(p.clone())).collect()),
+        ),
+        ("executor", usize_arr(&s.executor)),
+        ("panels", usize_arr(&s.panels)),
+        ("problem", problem_to_json(&s.problem)),
+        ("tiles", tiles_to_json(&s.tiles)),
+    ])
+}
+
+/// Decode the per-rank setup message.
+pub fn setup_from_json(v: &Json) -> Result<SetupMsg, String> {
+    if get_str(v, "type")? != "setup" {
+        return Err("expected a setup message".into());
+    }
     Ok(SetupMsg {
         rank: get_usize(v, "rank")?,
         nodes: get_usize(v, "nodes")?,
-        peers,
+        epoch: get_usize(v, "epoch")? as u64,
+        peers: peers_from(v)?,
+        executor: usize_arr_from(v, "executor")?,
+        panels: usize_arr_from(v, "panels")?,
         problem: problem_from_json(v.get("problem").ok_or("missing problem")?)?,
-        tiles,
+        tiles: tiles_from(v)?,
     })
+}
+
+/// Encode an epoch (cluster view) update.
+pub fn epoch_to_json(m: &EpochMsg) -> Json {
+    obj(vec![
+        ("type", Json::Str("epoch".into())),
+        ("epoch", num(m.epoch as usize)),
+        (
+            "peers",
+            Json::Arr(m.peers.iter().map(|p| Json::Str(p.clone())).collect()),
+        ),
+        ("executor", usize_arr(&m.executor)),
+    ])
+}
+
+/// Encode a re-own directive.
+pub fn reown_to_json(m: &ReownMsg) -> Json {
+    obj(vec![
+        ("type", Json::Str("reown".into())),
+        ("epoch", num(m.epoch as usize)),
+        ("rank", num(m.rank)),
+        (
+            "peers",
+            Json::Arr(m.peers.iter().map(|p| Json::Str(p.clone())).collect()),
+        ),
+        ("executor", usize_arr(&m.executor)),
+        ("panels", usize_arr(&m.panels)),
+        ("tiles", tiles_to_json(&m.tiles)),
+    ])
+}
+
+/// Decode any post-setup coordinator → worker control message.
+pub fn ctrl_from_json(v: &Json) -> Result<CtrlMsg, String> {
+    match get_str(v, "type")? {
+        "shutdown" => Ok(CtrlMsg::Shutdown),
+        "epoch" => Ok(CtrlMsg::Epoch(EpochMsg {
+            epoch: get_usize(v, "epoch")? as u64,
+            peers: peers_from(v)?,
+            executor: usize_arr_from(v, "executor")?,
+        })),
+        "reown" => Ok(CtrlMsg::Reown(ReownMsg {
+            epoch: get_usize(v, "epoch")? as u64,
+            rank: get_usize(v, "rank")?,
+            peers: peers_from(v)?,
+            executor: usize_arr_from(v, "executor")?,
+            panels: usize_arr_from(v, "panels")?,
+            tiles: tiles_from(v)?,
+        })),
+        other => Err(format!("unexpected control message type {other:?}")),
+    }
 }
 
 /// Encode a worker's final (done or error) message.
@@ -439,6 +614,8 @@ pub fn worker_msg_to_json(m: &WorkerMsg) -> Json {
     match m {
         WorkerMsg::Done(d) => obj(vec![
             ("type", Json::Str("done".into())),
+            ("for", num(d.for_rank)),
+            ("epoch", num(d.epoch as usize)),
             (
                 "panels",
                 Json::Arr(
@@ -452,6 +629,8 @@ pub fn worker_msg_to_json(m: &WorkerMsg) -> Json {
             ),
             ("comm_bytes", num(d.comm_bytes as usize)),
             ("fetches", num(d.fetches as usize)),
+            ("replayed", num(d.replayed_tasks as usize)),
+            ("reconnects", num(d.reconnects as usize)),
         ]),
         WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot }) => obj(vec![
             ("type", Json::Str("error".into())),
@@ -485,9 +664,13 @@ pub fn worker_msg_from_json(v: &Json) -> Result<WorkerMsg, String> {
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(WorkerMsg::Done(DoneMsg {
+                for_rank: get_usize(v, "for")?,
+                epoch: get_usize(v, "epoch")? as u64,
                 panels,
                 comm_bytes: get_usize(v, "comm_bytes")? as u64,
                 fetches: get_usize(v, "fetches")? as u64,
+                replayed_tasks: get_usize(v, "replayed")? as u64,
+                reconnects: get_usize(v, "reconnects")? as u64,
             }))
         }
         "error" => match get_str(v, "kind")? {
@@ -555,7 +738,10 @@ mod tests {
         let msg = SetupMsg {
             rank: 2,
             nodes: 4,
+            epoch: 3,
             peers: vec!["a:1".into(), "b:2".into(), "c:3".into(), "d:4".into()],
+            executor: vec![0, 1, 2, 1],
+            panels: vec![2, 6, 10],
             problem: ProblemMsg {
                 factor: FactorSpec::Tlr {
                     tol: CompressionTol::Absolute(1e-9),
@@ -571,6 +757,7 @@ mod tests {
                 seed: u64::MAX - 3, // not representable as f64
                 lookahead: 7,
                 workers: 2,
+                deadline_ms: 120_000,
             },
             tiles: vec![((1, 0), TileValue::Dense(DenseMatrix::identity(3)))],
         };
@@ -578,6 +765,10 @@ mod tests {
         let back = setup_from_json(&Json::parse(&wire).unwrap()).unwrap();
         assert_eq!(back.rank, 2);
         assert_eq!(back.nodes, 4);
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.executor, vec![0, 1, 2, 1]);
+        assert_eq!(back.panels, vec![2, 6, 10]);
+        assert_eq!(back.problem.deadline_ms, 120_000);
         assert_eq!(back.peers, msg.peers);
         assert_eq!(back.problem.seed, u64::MAX - 3);
         assert_eq!(back.problem.a[0], f64::NEG_INFINITY);
@@ -597,9 +788,13 @@ mod tests {
     #[test]
     fn worker_msgs_roundtrip() {
         let done = WorkerMsg::Done(DoneMsg {
+            for_rank: 3,
+            epoch: 2,
             panels: vec![(0, 0.25, 64), (4, 0.125, 64)],
             comm_bytes: 12345,
             fetches: 6,
+            replayed_tasks: 11,
+            reconnects: 1,
         });
         match worker_msg_from_json(&Json::parse(&worker_msg_to_json(&done).to_string()).unwrap())
             .unwrap()
@@ -608,6 +803,8 @@ mod tests {
                 assert_eq!(d.panels.len(), 2);
                 assert_eq!(d.panels[1], (4, 0.125, 64));
                 assert_eq!(d.comm_bytes, 12345);
+                assert_eq!((d.for_rank, d.epoch), (3, 2));
+                assert_eq!((d.replayed_tasks, d.reconnects), (11, 1));
             }
             _ => panic!("expected done"),
         }
@@ -627,9 +824,54 @@ mod tests {
             "127.0.0.1:9"
         );
         assert_eq!(
-            parse_tile_request(&Json::parse(&tile_request((5, 2)).to_string()).unwrap()).unwrap(),
+            parse_tile_request(&Json::parse(&tile_request((5, 2), 7).to_string()).unwrap())
+                .unwrap(),
             (5, 2)
         );
         assert!(is_shutdown(&Json::parse(&shutdown().to_string()).unwrap()));
+        assert!(matches!(
+            ctrl_from_json(&Json::parse(&shutdown().to_string()).unwrap()).unwrap(),
+            CtrlMsg::Shutdown
+        ));
+    }
+
+    #[test]
+    fn recovery_control_messages_roundtrip() {
+        let ep = EpochMsg {
+            epoch: 5,
+            peers: vec!["x:1".into(), "y:2".into()],
+            executor: vec![0, 0],
+        };
+        match ctrl_from_json(&Json::parse(&epoch_to_json(&ep).to_string()).unwrap()).unwrap() {
+            CtrlMsg::Epoch(m) => {
+                assert_eq!(m.epoch, 5);
+                assert_eq!(m.peers, ep.peers);
+                assert_eq!(m.executor, vec![0, 0]);
+            }
+            _ => panic!("expected epoch"),
+        }
+
+        let ro = ReownMsg {
+            epoch: 2,
+            rank: 1,
+            peers: vec!["x:1".into(), "x:1".into()],
+            executor: vec![0, 0],
+            panels: vec![1, 3],
+            tiles: vec![((1, 0), TileValue::Dense(DenseMatrix::identity(2)))],
+        };
+        match ctrl_from_json(&Json::parse(&reown_to_json(&ro).to_string()).unwrap()).unwrap() {
+            CtrlMsg::Reown(m) => {
+                assert_eq!((m.epoch, m.rank), (2, 1));
+                assert_eq!(m.panels, vec![1, 3]);
+                assert_eq!(m.executor, vec![0, 0]);
+                assert_eq!(m.tiles.len(), 1);
+                assert_eq!(m.tiles[0].0, (1, 0));
+            }
+            _ => panic!("expected reown"),
+        }
+
+        // A serving-side refusal surfaces as a typed fetch error.
+        let err = parse_tile_response(&Json::parse(&tile_error("moved").to_string()).unwrap());
+        assert!(err.unwrap_err().contains("moved"));
     }
 }

@@ -96,13 +96,33 @@ impl DistStore {
     }
 
     /// Insert a tile fetched from its remote owner (always a final version).
+    ///
+    /// Tolerates a concurrent final insert of the same tile: during
+    /// recovery, a buffered pre-death response and the replay path can both
+    /// deliver a tile, and final versions are bitwise identical by
+    /// determinism — the first one in wins, the duplicate is dropped.
     pub fn insert_fetched(&self, id: TileId, value: TileValue) {
         let slot = self.slot(id);
         let mut st = slot.state.lock().unwrap();
-        assert!(st.value.is_none(), "fetched tile {id:?} already resident");
+        if st.value.is_some() {
+            assert!(
+                st.is_final,
+                "fetched tile {id:?} raced a non-final resident version"
+            );
+            return;
+        }
         st.value = Some(Arc::new(value));
         st.is_final = true;
         slot.cv.notify_all();
+    }
+
+    /// Publish a *replayed* final tile (the re-own recovery path computes a
+    /// lost rank's tiles in a private workspace and publishes only final
+    /// versions). Same duplicate-tolerance as [`DistStore::insert_fetched`]:
+    /// if a final version is already resident it is kept — the replayed bits
+    /// are identical.
+    pub fn publish_final(&self, id: TileId, value: TileValue) {
+        self.insert_fetched(id, value);
     }
 
     /// Whether the tile is resident and final (used by the prefetcher as its
@@ -155,6 +175,30 @@ impl DistStore {
         }
         Arc::clone(st.value.as_ref().unwrap())
     }
+
+    /// Like [`DistStore::wait_final`], but gives up after `timeout` and
+    /// returns `None`. Recovery-aware callers (peer-serving threads, local
+    /// waits on re-owned tiles) use this to periodically re-check the
+    /// cluster view instead of blocking forever on a tile whose producer
+    /// moved or died — a blocked wait must wake and re-route, not hang.
+    pub fn wait_final_timeout(
+        &self,
+        id: TileId,
+        timeout: std::time::Duration,
+    ) -> Option<Arc<TileValue>> {
+        let slot = self.slot(id);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = slot.state.lock().unwrap();
+        while !(st.is_final && st.value.is_some()) {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, res) = slot.cv.wait_timeout(st, left).unwrap();
+            st = guard;
+            if res.timed_out() && !(st.is_final && st.value.is_some()) {
+                return None;
+            }
+        }
+        Some(Arc::clone(st.value.as_ref().unwrap()))
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +239,32 @@ mod tests {
         store.insert_fetched((2, 1), dense(7.0));
         assert!(store.has_final((2, 1)));
         assert_eq!(store.wait_final((2, 1)).as_dense().get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn duplicate_final_inserts_keep_the_first_version() {
+        // Recovery can deliver a tile twice (buffered pre-death response +
+        // replay); both are bitwise identical, the first resident one wins.
+        let store = DistStore::new([(3, 2)]);
+        store.insert_fetched((3, 2), dense(1.5));
+        store.publish_final((3, 2), dense(1.5));
+        store.insert_fetched((3, 2), dense(1.5));
+        assert_eq!(store.get_final((3, 2)).as_dense().get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn wait_final_timeout_times_out_then_succeeds() {
+        let store = Arc::new(DistStore::new([(1, 1)]));
+        assert!(store
+            .wait_final_timeout((1, 1), std::time::Duration::from_millis(20))
+            .is_none());
+        let s2 = Arc::clone(&store);
+        let waiter = std::thread::spawn(move || {
+            s2.wait_final_timeout((1, 1), std::time::Duration::from_secs(5))
+                .map(|t| t.as_dense().get(0, 0))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.publish_final((1, 1), dense(9.0));
+        assert_eq!(waiter.join().unwrap(), Some(9.0));
     }
 }

@@ -1,7 +1,7 @@
 //! The worker process: owns its block-cyclic share of the factor tiles,
 //! executes exactly the owned tasks of the global plan through a local
 //! lookahead-limited streaming session, serves finalized tiles to peers over
-//! TCP, and sweeps its round-robin share of the QMC panels.
+//! TCP, and sweeps its assigned share of the QMC panels.
 //!
 //! ## Why this cannot deadlock
 //!
@@ -15,23 +15,44 @@
 //! executed. Induction over the plan order does the rest. (Fetching inside
 //! task closures on a multi-worker pool would *not* be safe: a pool could
 //! fill with tasks blocked on tiles whose producers sit behind them in the
-//! same pool.)
+//! same pool.) The argument survives recovery: a re-own replay walks the
+//! dead rank's slice in the same plan order on its own thread, so the
+//! globally earliest unfinished task still always has an executor whose
+//! inputs are (or become) servable.
 //!
 //! ## Why the result is bitwise identical to the single-process engine
 //!
-//! Each tile's writers all share the tile's owner, and the owner submits
-//! them in global plan order into a hazard-inferring stream — so per-tile
-//! kernel order equals the single-process DAG's, and every kernel consumes
+//! Each tile's writers all share the tile's *executor*, and the executor
+//! applies them in global plan order — through the hazard-inferring stream
+//! for its own slice, sequentially for a replayed slice — so per-tile kernel
+//! order equals the single-process DAG's, and every kernel consumes
 //! bit-identical inputs (locally produced, or shipped with the
 //! shortest-roundtrip `f64` encoding). The sweep then runs the engine's own
 //! [`mvn_core::sweep_panel`] against bit-identical factor tiles with the
 //! same deterministic point set, and panel results depend only on the panel
-//! index — not on which node computes it.
+//! index — not on which node computes it, nor on whether it was computed
+//! before or after a recovery.
+//!
+//! ## Recovery behavior
+//!
+//! A worker never treats a failed tile fetch as fatal: it drops the broken
+//! connection, waits for a cluster-view change (or a capped backoff), and
+//! retries against the *current* executor of the tile's rank — which the
+//! coordinator updates through epoch/re-own control messages after it
+//! detects a lost rank. A control thread applies those updates concurrently
+//! with the compute pipeline; a re-own directive additionally starts a
+//! replay thread that recomputes the dead rank's tiles from the enclosed
+//! initial data and sweeps its unreported panels. Serving threads answer
+//! from any epoch (final tiles are immutable and identical across
+//! incarnations) but refuse tiles of ranks this worker does not currently
+//! execute, so a peer with a stale route re-resolves instead of hanging.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader};
+use std::collections::{HashMap, HashSet};
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use distsim::ProcessGrid;
 use mvn_core::{sweep_panel, CholeskyFactor, MvnConfig, Scheduler};
@@ -47,13 +68,14 @@ use tile_la::{DenseMatrix, TileLayout};
 use tlr::{lr_aa_t_update, lr_gemm_panel_t, lr_lr_t_update};
 use wire::{read_msg, write_msg, Json};
 
-use crate::plan::{factor_plan, owned_panels, Kernel, TileId};
-use crate::proto::{self, DoneMsg, FactorSpec, SetupMsg, WorkerErrorMsg, WorkerMsg};
+use crate::faults::{backoff_delay, FaultInjector, FetchFault};
+use crate::plan::{factor_plan, Kernel, TileId};
+use crate::proto::{self, CtrlMsg, DoneMsg, FactorSpec, ReownMsg, WorkerErrorMsg, WorkerMsg};
 use crate::store::{DistStore, TileValue};
 
-/// Fault-injection hook: when this env var equals the worker's rank, the
-/// process exits mid-factor (see [`CRASH_AFTER_ENV`]). Used by the
-/// worker-crash tests; inherited through the coordinator's spawn env.
+/// Fault-injection hook (legacy): when this env var equals the worker's
+/// rank, the process exits mid-factor (see [`CRASH_AFTER_ENV`]). Kept for
+/// compatibility; the general mechanism is [`crate::faults::FAULTS_ENV`].
 pub const CRASH_RANK_ENV: &str = "MVN_DIST_CRASH_RANK";
 /// Companion to [`CRASH_RANK_ENV`]: how many owned factor tasks to submit
 /// before exiting.
@@ -61,63 +83,291 @@ pub const CRASH_AFTER_ENV: &str = "MVN_DIST_CRASH_AFTER_TASKS";
 /// Exit code of an injected crash (distinguishable from panics in CI logs).
 pub const CRASH_EXIT_CODE: i32 = 42;
 
-/// Per-peer fetch connections plus transfer accounting. Only the main
-/// (submitter) thread fetches, so no synchronization is needed.
-struct PeerLinks {
-    peers: Vec<String>,
-    conns: HashMap<usize, (BufReader<TcpStream>, TcpStream)>,
-    comm_bytes: u64,
-    fetches: u64,
+/// Env var: the address workers bind their tile server to (default
+/// `127.0.0.1`); set by the coordinator from `DistConfig::bind_addr`.
+pub const BIND_ENV: &str = "MVN_DIST_BIND";
+/// Env var: bounded connect attempts for the worker → coordinator handshake
+/// (default 5); set from `DistConfig::connect_retries`.
+pub const CONNECT_RETRIES_ENV: &str = "MVN_DIST_CONNECT_RETRIES";
+/// Env var: base backoff in milliseconds between connect attempts (default
+/// 50, doubling each attempt with deterministic jitter); set from
+/// `DistConfig::retry_base`.
+pub const RETRY_BASE_MS_ENV: &str = "MVN_DIST_RETRY_BASE_MS";
+
+/// Cap on any single retry backoff sleep.
+const RETRY_CAP: Duration = Duration::from_millis(500);
+/// How long a local wait polls before re-checking the cluster view.
+const LOCAL_WAIT_SLICE: Duration = Duration::from_millis(100);
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
-impl PeerLinks {
-    fn new(peers: Vec<String>) -> Self {
+/// The worker's live picture of the cluster: epoch, per-rank tile-server
+/// addresses, and the executor map. Updated by the control thread on
+/// epoch/re-own messages; fetch-retry loops block on it so a re-route is
+/// applied the moment it is known instead of after a full backoff.
+struct ClusterView {
+    state: Mutex<ViewState>,
+    cv: Condvar,
+}
+
+struct ViewState {
+    epoch: u64,
+    peers: Vec<String>,
+    executor: Vec<usize>,
+}
+
+impl ClusterView {
+    fn new(epoch: u64, peers: Vec<String>, executor: Vec<usize>) -> Self {
         Self {
-            peers,
-            conns: HashMap::new(),
-            comm_bytes: 0,
-            fetches: 0,
+            state: Mutex::new(ViewState {
+                epoch,
+                peers,
+                executor,
+            }),
+            cv: Condvar::new(),
         }
     }
 
-    /// Fetch one tile from its owner (blocking until the owner finalizes
-    /// it). Counts the response payload bytes — the quantity `distsim`'s
-    /// transfer model prices.
-    fn fetch(&mut self, owner: usize, id: TileId) -> Result<TileValue, String> {
-        if !self.conns.contains_key(&owner) {
-            let addr = self
-                .peers
-                .get(owner)
-                .ok_or_else(|| format!("no peer address for node {owner}"))?;
-            let stream = TcpStream::connect(addr)
-                .map_err(|e| format!("connecting to peer {owner} ({addr}): {e}"))?;
-            let reader = BufReader::new(
-                stream
-                    .try_clone()
-                    .map_err(|e| format!("cloning peer stream: {e}"))?,
-            );
-            self.conns.insert(owner, (reader, stream));
+    fn epoch(&self) -> u64 {
+        self.state.lock().unwrap().epoch
+    }
+
+    /// Current route for `rank`'s tiles: `(epoch, executor, address)`.
+    fn route(&self, rank: usize) -> (u64, usize, String) {
+        let st = self.state.lock().unwrap();
+        (st.epoch, st.executor[rank], st.peers[rank].clone())
+    }
+
+    /// Apply a strictly newer view; stale updates are dropped.
+    fn update(&self, epoch: u64, peers: Vec<String>, executor: Vec<usize>) {
+        let mut st = self.state.lock().unwrap();
+        if epoch > st.epoch {
+            st.epoch = epoch;
+            st.peers = peers;
+            st.executor = executor;
+            self.cv.notify_all();
         }
-        let (reader, writer) = self.conns.get_mut(&owner).unwrap();
-        write_msg(writer, &proto::tile_request(id))
-            .map_err(|e| format!("requesting tile {id:?} from node {owner}: {e}"))?;
-        let mut line = String::new();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| format!("reading tile {id:?} from node {owner}: {e}"))?;
-        if n == 0 {
-            return Err(format!("peer {owner} closed while serving tile {id:?}"));
+    }
+
+    /// Block until the epoch advances past `seen` or `timeout` elapses.
+    fn wait_change(&self, seen: u64, timeout: Duration) {
+        let st = self.state.lock().unwrap();
+        if st.epoch > seen {
+            return;
         }
-        self.comm_bytes += n as u64;
-        self.fetches += 1;
-        let json = Json::parse(line.trim_end_matches(['\r', '\n']))
-            .map_err(|e| format!("malformed tile response from node {owner}: {e}"))?;
-        proto::parse_tile_response(&json)
+        let _unused = self
+            .cv
+            .wait_timeout_while(st, timeout, |s| s.epoch <= seen)
+            .unwrap();
+    }
+}
+
+/// Everything the worker's threads share.
+struct WorkerCtx {
+    rank: usize,
+    grid: ProcessGrid,
+    layout: TileLayout,
+    problem: crate::proto::ProblemMsg,
+    /// Epoch this incarnation was set up at; > 0 means it exists to recover
+    /// a lost rank, and its factor work counts as replayed.
+    born_epoch: u64,
+    store: DistStore,
+    view: ClusterView,
+    injector: FaultInjector,
+    /// Writer half of the coordinator link (reports ride it from the main
+    /// and replay threads).
+    coord: Mutex<TcpStream>,
+    /// Absolute give-up point for retry loops (from the problem's deadline
+    /// budget).
+    deadline: Instant,
+    /// Jitter salt (per-process, so concurrent retry storms decorrelate).
+    salt: u64,
+    /// Set by the control thread on shutdown/coordinator loss; retry loops
+    /// abort on it.
+    shutdown: AtomicBool,
+    shutdown_cv: Condvar,
+    shutdown_mx: Mutex<bool>,
+}
+
+impl WorkerCtx {
+    fn io_err(&self, message: String) -> WorkerErrorMsg {
+        WorkerErrorMsg::Other {
+            kind: "io".into(),
+            message,
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        *self.shutdown_mx.lock().unwrap() = true;
+        self.shutdown_cv.notify_all();
+        // Wake any fetch-retry loop blocked on the view.
+        self.view.cv.notify_all();
+    }
+
+    fn send_report(&self, msg: &WorkerMsg) -> Result<(), String> {
+        let mut w = self.coord.lock().unwrap();
+        write_msg(&mut *w, &proto::worker_msg_to_json(msg))
+            .map_err(|e| format!("reporting to coordinator: {e}"))
+    }
+}
+
+/// Transfer accounting for one thread's peer links.
+#[derive(Default)]
+struct LinkStats {
+    comm_bytes: u64,
+    fetches: u64,
+    reconnects: u64,
+}
+
+/// Per-thread fetch connections (keyed by resolved address, so a fold that
+/// routes several ranks to one survivor shares a single connection) plus
+/// transfer accounting. Each fetching thread owns its own links — requests
+/// and responses on one connection never interleave across threads.
+struct PeerLinks {
+    conns: HashMap<String, (BufReader<TcpStream>, TcpStream)>,
+    /// Addresses whose connection was dropped by an error or sever; the
+    /// next successful connect to one counts as a reconnect.
+    dirty: HashSet<String>,
+    stats: LinkStats,
+}
+
+impl PeerLinks {
+    fn new() -> Self {
+        Self {
+            conns: HashMap::new(),
+            dirty: HashSet::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// One fetch attempt against `addr`. Any failure drops the connection
+    /// and marks the edge dirty; the caller owns retries and re-routing.
+    fn try_fetch(
+        &mut self,
+        addr: &str,
+        id: TileId,
+        epoch: u64,
+        injector: &FaultInjector,
+    ) -> Result<TileValue, String> {
+        match injector.on_fetch() {
+            FetchFault::None => {}
+            FetchFault::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            FetchFault::Sever => {
+                // Injected connection loss: drop the link mid-request, as if
+                // the peer (or the network) cut it.
+                self.conns.remove(addr);
+                self.dirty.insert(addr.to_string());
+                return Err(format!("connection to {addr} severed (injected fault)"));
+            }
+        }
+        let attempt = (|| -> Result<TileValue, String> {
+            if !self.conns.contains_key(addr) {
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| format!("connecting to peer {addr}: {e}"))?;
+                let reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| format!("cloning peer stream: {e}"))?,
+                );
+                if self.dirty.remove(addr) {
+                    self.stats.reconnects += 1;
+                }
+                self.conns.insert(addr.to_string(), (reader, stream));
+            }
+            let (reader, writer) = self.conns.get_mut(addr).unwrap();
+            write_msg(writer, &proto::tile_request(id, epoch))
+                .map_err(|e| format!("requesting tile {id:?} from {addr}: {e}"))?;
+            let sized = SizedRead::read(reader)
+                .map_err(|e| format!("reading tile {id:?} from {addr}: {e}"))?;
+            let (json, n) = sized.ok_or_else(|| format!("{addr} closed serving tile {id:?}"))?;
+            let tile = proto::parse_tile_response(&json)
+                .map_err(|e| format!("tile {id:?} from {addr}: {e}"))?;
+            self.stats.comm_bytes += n;
+            self.stats.fetches += 1;
+            Ok(tile)
+        })();
+        if attempt.is_err() {
+            self.conns.remove(addr);
+            self.dirty.insert(addr.to_string());
+        }
+        attempt
+    }
+}
+
+/// A framed read that also reports the payload byte count (the quantity
+/// `distsim`'s transfer model prices).
+struct SizedRead;
+impl SizedRead {
+    fn read(r: &mut BufReader<TcpStream>) -> std::io::Result<Option<(Json, u64)>> {
+        // Render-length of the parsed document tracks the line length to
+        // within whitespace (the renderer is compact, and so are senders).
+        Ok(read_msg(r)?.map(|json| {
+            let n = json.to_string().len() as u64 + 1;
+            (json, n)
+        }))
+    }
+}
+
+/// Block until tile `id` is final on this node, ensuring it by whatever the
+/// current cluster view prescribes: immediate hit if resident, a local wait
+/// if this worker executes the owning rank (its own pipeline or a replay
+/// thread will finalize it), or a remote fetch with re-routing retries.
+fn ensure_final(ctx: &WorkerCtx, links: &mut PeerLinks, id: TileId) -> Result<(), WorkerErrorMsg> {
+    if ctx.store.has_final(id) {
+        return Ok(());
+    }
+    let owner = ctx.grid.owner(id.0, id.1);
+    let mut attempt: u32 = 0;
+    let mut last_err = String::from("never attempted");
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return Err(ctx.io_err(format!("shutdown while waiting for tile {id:?}")));
+        }
+        if Instant::now() >= ctx.deadline {
+            return Err(ctx.io_err(format!(
+                "deadline exceeded waiting for tile {id:?} (owner {owner}): {last_err}"
+            )));
+        }
+        let (epoch, exec, addr) = ctx.view.route(owner);
+        if exec == ctx.rank {
+            // Produced on this node (own pipeline, or a replay thread after
+            // a re-own). Wait in slices so a further view change is noticed.
+            if ctx.store.wait_final_timeout(id, LOCAL_WAIT_SLICE).is_some() {
+                return Ok(());
+            }
+            last_err = format!("tile {id:?} not yet finalized locally");
+        } else {
+            match links.try_fetch(&addr, id, epoch, &ctx.injector) {
+                Ok(tile) => {
+                    ctx.store.insert_fetched(id, tile);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = e;
+                    // Wait for a route change (epoch bump) or back off, then
+                    // retry against whatever the view then says.
+                    let wait = backoff_delay(
+                        Duration::from_millis(10),
+                        attempt,
+                        ctx.salt.wrapping_add(id.0 as u64) ^ (id.1 as u64),
+                        RETRY_CAP,
+                    );
+                    ctx.view.wait_change(epoch, wait);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
     }
 }
 
 /// The fully assembled factor a sweeping node holds: every lower tile,
-/// locally produced or fetched, viewed through the engine's
+/// locally produced, replayed, or fetched, viewed through the engine's
 /// [`CholeskyFactor`] abstraction so the sweep kernels are literally the
 /// single-process ones.
 struct DistFactor {
@@ -146,175 +396,186 @@ impl CholeskyFactor for DistFactor {
     }
 }
 
+fn connect_with_retries(
+    addr: &str,
+    retries: u64,
+    base: Duration,
+    salt: u64,
+) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for attempt in 0..retries.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < retries.max(1) {
+            std::thread::sleep(backoff_delay(
+                base,
+                attempt as u32,
+                salt,
+                Duration::from_secs(2),
+            ));
+        }
+    }
+    Err(format!(
+        "connecting to coordinator {addr}: {last} (after {} attempts)",
+        retries.max(1)
+    ))
+}
+
 /// Run one worker process against the coordinator at `coordinator_addr`.
 /// Returns after the coordinator orders shutdown (or disconnects).
 pub fn run_worker(coordinator_addr: &str) -> Result<(), String> {
-    let coord = TcpStream::connect(coordinator_addr)
-        .map_err(|e| format!("connecting to coordinator {coordinator_addr}: {e}"))?;
-    let mut coord_writer = coord
+    let salt = std::process::id() as u64;
+    let retries = env_u64(CONNECT_RETRIES_ENV, 5);
+    let retry_base = Duration::from_millis(env_u64(RETRY_BASE_MS_ENV, 50));
+    let coord = connect_with_retries(coordinator_addr, retries, retry_base, salt)?;
+    let coord_writer = coord
         .try_clone()
         .map_err(|e| format!("cloning coordinator stream: {e}"))?;
     let mut coord_reader = BufReader::new(coord);
 
     // The tile server socket: peers fetch finalized tiles here.
-    let listener =
-        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding tile server: {e}"))?;
+    let bind = std::env::var(BIND_ENV).unwrap_or_else(|_| "127.0.0.1".to_string());
+    let listener = TcpListener::bind(format!("{bind}:0"))
+        .map_err(|e| format!("binding tile server on {bind}: {e}"))?;
     let listen_addr = listener
         .local_addr()
         .map_err(|e| format!("tile server address: {e}"))?
         .to_string();
 
-    write_msg(&mut coord_writer, &proto::hello(&listen_addr))
-        .map_err(|e| format!("sending hello: {e}"))?;
+    {
+        let mut w = coord_writer
+            .try_clone()
+            .map_err(|e| format!("cloning coordinator stream: {e}"))?;
+        write_msg(&mut w, &proto::hello(&listen_addr))
+            .map_err(|e| format!("sending hello: {e}"))?;
+    }
     let setup = read_msg(&mut coord_reader)
         .map_err(|e| format!("reading setup: {e}"))?
         .ok_or("coordinator closed before setup")?;
     let setup = proto::setup_from_json(&setup)?;
 
-    let outcome = run_pipeline(&setup, listener);
+    let layout = TileLayout::new(setup.problem.n, setup.problem.nb);
+    let nt = layout.num_tiles();
+    let store = DistStore::new((0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))));
+    for (id, tile) in &setup.tiles {
+        store.insert_initial(*id, tile.clone());
+    }
+    let injector = FaultInjector::from_env(setup.rank, CRASH_EXIT_CODE)?;
+    let ctx = Arc::new(WorkerCtx {
+        rank: setup.rank,
+        grid: ProcessGrid::new(setup.nodes),
+        layout,
+        problem: setup.problem.clone(),
+        born_epoch: setup.epoch,
+        store,
+        view: ClusterView::new(setup.epoch, setup.peers.clone(), setup.executor.clone()),
+        injector,
+        coord: Mutex::new(coord_writer),
+        deadline: Instant::now() + Duration::from_millis(setup.problem.deadline_ms.max(1)),
+        salt,
+        shutdown: AtomicBool::new(false),
+        shutdown_cv: Condvar::new(),
+        shutdown_mx: Mutex::new(false),
+    });
+
+    // Serving threads: answer peer tile requests, independent of the
+    // compute pipeline. Detached — they die with the process.
+    {
+        let ctx = Arc::clone(&ctx);
+        std::thread::spawn(move || serve_tiles(listener, ctx));
+    }
+
+    // Control thread: applies coordinator recovery messages (epoch bumps,
+    // re-own directives) while the main thread computes, and signals
+    // shutdown.
+    let control = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::spawn(move || control_loop(&mut coord_reader, ctx))
+    };
+
+    let outcome = run_pipeline(&ctx, &setup.panels);
     let msg = match outcome {
         Ok(done) => WorkerMsg::Done(done),
         Err(err) => WorkerMsg::Error(err),
     };
-    write_msg(&mut coord_writer, &proto::worker_msg_to_json(&msg))
-        .map_err(|e| format!("reporting to coordinator: {e}"))?;
+    ctx.send_report(&msg)?;
 
     // Keep serving tiles until the coordinator releases everyone: another
-    // node may still be sweeping against tiles this rank owns.
+    // node may still be factoring or sweeping against tiles this rank
+    // executes (and a replay thread may still be reporting).
+    let mut done = ctx.shutdown_mx.lock().unwrap();
+    while !*done {
+        done = ctx.shutdown_cv.wait(done).unwrap();
+    }
+    drop(done);
+    control.join().ok();
+    Ok(())
+}
+
+/// Read coordinator control messages until shutdown or link loss.
+fn control_loop(reader: &mut BufReader<TcpStream>, ctx: Arc<WorkerCtx>) {
     loop {
-        match read_msg(&mut coord_reader) {
-            Ok(Some(m)) if proto::is_shutdown(&m) => return Ok(()),
-            Ok(Some(_)) => {}
-            Ok(None) => return Ok(()), // coordinator gone: shut down too
-            Err(e) => return Err(format!("coordinator link failed: {e}")),
+        let msg = match read_msg(reader) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => {
+                // Coordinator gone: nothing left to report to.
+                ctx.signal_shutdown();
+                return;
+            }
+        };
+        match proto::ctrl_from_json(&msg) {
+            Ok(CtrlMsg::Shutdown) => {
+                ctx.signal_shutdown();
+                return;
+            }
+            Ok(CtrlMsg::Epoch(e)) => ctx.view.update(e.epoch, e.peers, e.executor),
+            Ok(CtrlMsg::Reown(r)) => {
+                ctx.view
+                    .update(r.epoch, r.peers.clone(), r.executor.clone());
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || replay_rank(&ctx, r));
+            }
+            Err(_) => { /* unknown control message: ignore */ }
         }
     }
 }
 
-/// Factor + sweep, returning this rank's panel results.
-fn run_pipeline(setup: &SetupMsg, listener: TcpListener) -> Result<DoneMsg, WorkerErrorMsg> {
-    let p = &setup.problem;
-    let rank = setup.rank;
-    let grid = ProcessGrid::new(setup.nodes);
-    let layout = TileLayout::new(p.n, p.nb);
-    let nt = layout.num_tiles();
-
-    let store = Arc::new(DistStore::new(
-        (0..nt).flat_map(|i| (0..=i).map(move |j| (i, j))),
-    ));
-    for (id, tile) in &setup.tiles {
-        store.insert_initial(*id, tile.clone());
-    }
-
-    // Serving threads: block in `wait_final` per request, independent of the
-    // compute pipeline. Detached — they die with the process.
-    {
-        let store = Arc::clone(&store);
-        std::thread::spawn(move || serve_tiles(listener, store));
-    }
-
-    let crash_after: Option<usize> = match std::env::var(CRASH_RANK_ENV) {
-        Ok(r) if r.parse() == Ok(rank) => std::env::var(CRASH_AFTER_ENV)
-            .ok()
-            .and_then(|s| s.parse().ok()),
-        _ => None,
-    };
-
-    let mut links = PeerLinks::new(setup.peers.clone());
+/// Factor + sweep, returning this rank's report.
+fn run_pipeline(ctx: &Arc<WorkerCtx>, panels: &[usize]) -> Result<DoneMsg, WorkerErrorMsg> {
+    let p = &ctx.problem;
+    let mut links = PeerLinks::new();
     let pool = WorkerPool::new(effective_workers(p.workers));
     let window = effective_lookahead(p.lookahead, pool.workers());
 
-    factor(
-        p,
-        rank,
-        &grid,
-        layout,
-        &store,
-        &mut links,
-        &pool,
-        window,
-        crash_after,
-    )?;
-
-    // Sweep this rank's round-robin share of the panels against the full
-    // factor (a sweeping node reads every factor tile — exactly the
-    // all-tiles-to-panel-nodes transfer pattern the simulator prices, and
-    // each tile crosses the edge once thanks to the store's residency
-    // check).
-    let n_panels = p.sample_size.div_ceil(p.panel_width);
-    let my_panels = owned_panels(rank, setup.nodes, n_panels);
-    let mut panels = Vec::new();
-    if !my_panels.is_empty() {
-        for i in 0..nt {
-            for j in 0..=i {
-                if !store.has_final((i, j)) {
-                    let owner = grid.owner(i, j);
-                    let tile = links
-                        .fetch(owner, (i, j))
-                        .map_err(|e| WorkerErrorMsg::Other {
-                            kind: "io".into(),
-                            message: e,
-                        })?;
-                    store.insert_fetched((i, j), tile);
-                }
-            }
-        }
-        let factor = DistFactor {
-            n: p.n,
-            layout,
-            diag: (0..nt).map(|i| store.get_final((i, i))).collect(),
-            off: (0..nt)
-                .map(|i| (0..i).map(|j| store.get_final((i, j))).collect())
-                .collect(),
-        };
-        let points = make_point_set(p.sample_kind, p.n, p.seed);
-        let points_ref: &dyn PointSet = points.as_ref();
-        let cfg = MvnConfig {
-            sample_size: p.sample_size,
-            panel_width: p.panel_width,
-            sample_kind: p.sample_kind,
-            seed: p.seed,
-            scheduler: Scheduler::Streaming {
-                workers: p.workers,
-                lookahead: p.lookahead,
-            },
-        };
-        let cost = |_: usize, _: &usize| (layout.num_tiles() * cfg.panel_width) as f64;
-        let (results, _stats) = pool.stream_map(
-            "dist_panel_sweep",
-            &my_panels,
-            cost,
-            |_, &panel| sweep_panel(&factor, layout, &p.a, &p.b, points_ref, &cfg, panel),
-            window,
-        );
-        panels = my_panels
-            .iter()
-            .zip(results)
-            .map(|(&panel, (mean, count))| (panel, mean, count))
-            .collect();
-    }
+    let executed = factor(ctx, &mut links, &pool, window)?;
+    let panel_results = sweep_assigned(ctx, &mut links, panels, Some((&pool, window)))?;
 
     Ok(DoneMsg {
-        panels,
-        comm_bytes: links.comm_bytes,
-        fetches: links.fetches,
+        for_rank: ctx.rank,
+        epoch: ctx.view.epoch(),
+        panels: panel_results,
+        comm_bytes: links.stats.comm_bytes,
+        fetches: links.stats.fetches,
+        // A respawned incarnation exists to recover a lost rank: every
+        // factor task it re-executes from initial data is replay work.
+        replayed_tasks: if ctx.born_epoch > 0 { executed } else { 0 },
+        reconnects: links.stats.reconnects,
     })
 }
 
 /// Execute the owned slice of the factorization plan through one streaming
-/// session (see the module docs for the prefetch protocol).
-#[allow(clippy::too_many_arguments)]
+/// session (see the module docs for the prefetch protocol). Returns the
+/// number of owned tasks executed.
 fn factor(
-    p: &crate::proto::ProblemMsg,
-    rank: usize,
-    grid: &ProcessGrid,
-    layout: TileLayout,
-    store: &Arc<DistStore>,
+    ctx: &Arc<WorkerCtx>,
     links: &mut PeerLinks,
     pool: &WorkerPool,
     window: usize,
-    crash_after: Option<usize>,
-) -> Result<(), WorkerErrorMsg> {
+) -> Result<u64, WorkerErrorMsg> {
+    let p = &ctx.problem;
+    let layout = ctx.layout;
     let plan = factor_plan(layout);
     let nt = layout.num_tiles();
     let mut registry = HandleRegistry::new();
@@ -331,36 +592,29 @@ fn factor(
         FactorSpec::Tlr { tol, max_rank } => (Some(tol), max_rank),
     };
 
-    let store_ref: &DistStore = store;
+    let store_ref: &DistStore = &ctx.store;
     let status_ref = &status;
-    let (submit_result, _stats) = pool.stream(window, |sink| -> Result<(), WorkerErrorMsg> {
-        let mut submitted = 0usize;
+    let (submit_result, _stats) = pool.stream(window, |sink| -> Result<u64, WorkerErrorMsg> {
+        let mut executed = 0u64;
         for step in &plan {
             if status_ref.is_failed() {
                 break; // kill the chain: peers are released by the coordinator
             }
-            if grid.owner(step.out.0, step.out.1) != rank {
+            if ctx.grid.owner(step.out.0, step.out.1) != ctx.rank {
                 continue;
             }
             // Prefetch remote inputs on this (submitter) thread, in plan
-            // order; the residency check is the per-edge transfer cache.
+            // order; the residency check is the per-edge transfer cache, and
+            // `ensure_final` re-routes around lost peers.
             for &rid in &step.reads {
-                if grid.owner(rid.0, rid.1) != rank && !store_ref.has_final(rid) {
-                    let tile = links.fetch(grid.owner(rid.0, rid.1), rid).map_err(|e| {
-                        WorkerErrorMsg::Other {
-                            kind: "io".into(),
-                            message: e,
-                        }
-                    })?;
-                    store_ref.insert_fetched(rid, tile);
+                if ctx.grid.owner(rid.0, rid.1) != ctx.rank {
+                    ensure_final(ctx, links, rid)?;
                 }
             }
-            if crash_after == Some(submitted) {
-                // Fault injection: die abruptly mid-factor, exactly like a
-                // lost node — no error message, no cleanup.
-                std::process::exit(CRASH_EXIT_CODE);
-            }
-            submitted += 1;
+            // Fault hook: a planned kill fires here, mid-factor, exactly
+            // like a lost node — no error message, no cleanup.
+            ctx.injector.on_task_submit();
+            executed += 1;
 
             let mut spec = TaskSpec::new(kernel_name(step.kernel, tlr_tol.is_some()))
                 .access(handles[step.out.0][step.out.1], AccessMode::ReadWrite)
@@ -398,13 +652,185 @@ fn factor(
                 })),
             );
         }
-        Ok(())
+        Ok(executed)
     });
-    submit_result?;
+    let executed = submit_result?;
     if let Some(pivot) = status.pivot() {
         return Err(WorkerErrorMsg::Factorization { pivot });
     }
-    Ok(())
+    Ok(executed)
+}
+
+/// Sweep the given panels against the fully assembled factor. With a pool,
+/// panels stream through `stream_map` (the main pipeline); without, they
+/// run sequentially in panel order (the replay path). Both produce
+/// bit-identical per-panel results — a panel's result depends only on the
+/// panel index and the factor bits.
+fn sweep_assigned(
+    ctx: &Arc<WorkerCtx>,
+    links: &mut PeerLinks,
+    panels: &[usize],
+    pool: Option<(&WorkerPool, usize)>,
+) -> Result<Vec<(usize, f64, usize)>, WorkerErrorMsg> {
+    if panels.is_empty() {
+        return Ok(Vec::new());
+    }
+    let p = &ctx.problem;
+    let layout = ctx.layout;
+    let nt = layout.num_tiles();
+    // A sweeping node reads every factor tile — exactly the
+    // all-tiles-to-panel-nodes transfer pattern the simulator prices, and
+    // each tile crosses the edge once thanks to the store's residency
+    // check.
+    for i in 0..nt {
+        for j in 0..=i {
+            ensure_final(ctx, links, (i, j))?;
+        }
+    }
+    let factor = DistFactor {
+        n: p.n,
+        layout,
+        diag: (0..nt).map(|i| ctx.store.get_final((i, i))).collect(),
+        off: (0..nt)
+            .map(|i| (0..i).map(|j| ctx.store.get_final((i, j))).collect())
+            .collect(),
+    };
+    let points = make_point_set(p.sample_kind, p.n, p.seed);
+    let points_ref: &dyn PointSet = points.as_ref();
+    let cfg = MvnConfig {
+        sample_size: p.sample_size,
+        panel_width: p.panel_width,
+        sample_kind: p.sample_kind,
+        seed: p.seed,
+        scheduler: Scheduler::Streaming {
+            workers: p.workers,
+            lookahead: p.lookahead,
+        },
+    };
+    let results: Vec<(f64, usize)> = match pool {
+        Some((pool, window)) => {
+            let cost = |_: usize, _: &usize| (nt * cfg.panel_width) as f64;
+            let (results, _stats) = pool.stream_map(
+                "dist_panel_sweep",
+                panels,
+                cost,
+                |_, &panel| {
+                    let r = sweep_panel(&factor, layout, &p.a, &p.b, points_ref, &cfg, panel);
+                    // Fault hook: a planned mid-sweep kill fires here, after
+                    // this panel completes.
+                    ctx.injector.on_panel_done();
+                    r
+                },
+                window,
+            );
+            results
+        }
+        None => panels
+            .iter()
+            .map(|&panel| sweep_panel(&factor, layout, &p.a, &p.b, points_ref, &cfg, panel))
+            .collect(),
+    };
+    Ok(panels
+        .iter()
+        .zip(results)
+        .map(|(&panel, (mean, count))| (panel, mean, count))
+        .collect())
+}
+
+/// Re-own recovery: replay a dead rank's factor plan slice from its initial
+/// tiles, publish the finalized results (so peers re-routed here are
+/// served), sweep its unreported panels, and report them to the
+/// coordinator under the dead rank's identity.
+///
+/// The replay is sequential in plan order — all writers of a tile run on
+/// this one thread, so per-tile kernel order (and therefore every bit)
+/// matches the single-process DAG, the lost rank's own execution, and any
+/// other incarnation's. Tiles that already arrived over the wire before the
+/// rank died are skipped: the fetched final version is bitwise identical to
+/// what the replay would produce.
+fn replay_rank(ctx: &Arc<WorkerCtx>, reown: ReownMsg) {
+    let started = Instant::now();
+    let outcome = replay_rank_inner(ctx, &reown, started);
+    let msg = match outcome {
+        Ok(done) => WorkerMsg::Done(done),
+        Err(err) => WorkerMsg::Error(err),
+    };
+    // A failed send means the coordinator is gone; the control thread will
+    // notice and shut the process down.
+    let _ = ctx.send_report(&msg);
+}
+
+fn replay_rank_inner(
+    ctx: &Arc<WorkerCtx>,
+    reown: &ReownMsg,
+    started: Instant,
+) -> Result<DoneMsg, WorkerErrorMsg> {
+    let p = &ctx.problem;
+    let layout = ctx.layout;
+    let plan = factor_plan(layout);
+    let status = FactorStatus::new();
+    let (tlr_tol, tlr_max_rank) = match p.factor {
+        FactorSpec::Dense => (None, usize::MAX),
+        FactorSpec::Tlr { tol, max_rank } => (Some(tol), max_rank),
+    };
+    let mut links = PeerLinks::new();
+    let mut workspace: HashMap<TileId, TileValue> =
+        reown.tiles.iter().map(|(id, t)| (*id, t.clone())).collect();
+    let mut skip: HashSet<TileId> = HashSet::new();
+    let mut touched: HashSet<TileId> = HashSet::new();
+    let mut replayed = 0u64;
+
+    for step in crate::plan::rank_slice(&plan, &ctx.grid, reown.rank) {
+        // First touch of a tile decides once whether to replay it: if a
+        // final version is already resident (fetched before the owner
+        // died), every one of its tasks is skipped — the bits are the same.
+        if touched.insert(step.out) && ctx.store.has_final(step.out) {
+            skip.insert(step.out);
+        }
+        if skip.contains(&step.out) {
+            continue;
+        }
+        for &rid in &step.reads {
+            ensure_final(ctx, &mut links, rid)?;
+        }
+        let out = workspace.get_mut(&step.out).ok_or_else(|| {
+            ctx.io_err(format!(
+                "re-own of rank {} is missing initial tile {:?}",
+                reown.rank, step.out
+            ))
+        })?;
+        let pivot0 = layout.tile_start(step.out.0);
+        run_kernel(
+            step.kernel,
+            out,
+            &step.reads,
+            &ctx.store,
+            &status,
+            pivot0,
+            tlr_tol,
+            tlr_max_rank,
+        );
+        replayed += 1;
+        if let Some(pivot) = status.pivot() {
+            return Err(WorkerErrorMsg::Factorization { pivot });
+        }
+        if step.finalizes {
+            let val = workspace.remove(&step.out).unwrap();
+            ctx.store.publish_final(step.out, val);
+        }
+    }
+
+    let panel_results = sweep_assigned(ctx, &mut links, &reown.panels, None)?;
+    let _ = started; // recovery wall time is measured by the coordinator
+    Ok(DoneMsg {
+        for_rank: reown.rank,
+        epoch: reown.epoch,
+        panels: panel_results,
+        comm_bytes: links.stats.comm_bytes,
+        fetches: links.stats.fetches,
+        replayed_tasks: replayed,
+        reconnects: links.stats.reconnects,
+    })
 }
 
 fn kernel_name(k: Kernel, tlr: bool) -> &'static str {
@@ -478,11 +904,14 @@ fn run_kernel(
 }
 
 /// Accept loop of the tile server: one thread per peer connection, each
-/// answering sequential `{"get":[i,j]}` requests with finalized tiles.
-fn serve_tiles(listener: TcpListener, store: Arc<DistStore>) {
+/// answering sequential `{"get":[i,j],..}` requests with finalized tiles.
+/// A request for a tile of a rank this worker does not currently execute is
+/// *refused* (`{"err":..}`) instead of waited on — the requester re-resolves
+/// its route and retries, so a stale route never hangs either side.
+fn serve_tiles(listener: TcpListener, ctx: Arc<WorkerCtx>) {
     for conn in listener.incoming() {
         let Ok(stream) = conn else { return };
-        let store = Arc::clone(&store);
+        let ctx = Arc::clone(&ctx);
         std::thread::spawn(move || {
             let Ok(peer_read) = stream.try_clone() else {
                 return;
@@ -493,8 +922,23 @@ fn serve_tiles(listener: TcpListener, store: Arc<DistStore>) {
                 let Ok(id) = proto::parse_tile_request(&msg) else {
                     return;
                 };
-                let tile = store.wait_final(id);
-                if write_msg(&mut writer, &proto::tile_response(&tile)).is_err() {
+                let response = loop {
+                    if let Some(tile) = ctx.store.wait_final_timeout(id, LOCAL_WAIT_SLICE) {
+                        break proto::tile_response(&tile);
+                    }
+                    let owner = ctx.grid.owner(id.0, id.1);
+                    let (_, exec, _) = ctx.view.route(owner);
+                    if exec != ctx.rank {
+                        break proto::tile_error(&format!(
+                            "rank {} does not execute tile {id:?} (owner {owner} -> {exec})",
+                            ctx.rank
+                        ));
+                    }
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                };
+                if write_msg(&mut writer, &response).is_err() {
                     return;
                 }
             }

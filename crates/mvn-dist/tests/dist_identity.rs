@@ -141,6 +141,10 @@ fn worker_crash_mid_factor_is_a_typed_error_not_a_hang() {
 
     let mut dc = dist_config(2);
     dc.timeout = Duration::from_secs(60);
+    // Pin the pre-recovery fail-stop policy: this test asserts the *typed
+    // error* path; the recovery paths have their own test matrix
+    // (tests/dist_recovery.rs).
+    dc.recovery = mvn_dist::Recovery::Off;
     dc.worker_env = vec![
         (
             mvn_dist::worker::CRASH_RANK_ENV.to_string(),

@@ -3,9 +3,77 @@
 //! greppable with `nc`, and because the [`json`](crate::json) renderer never
 //! emits a raw newline (strings escape control characters), a document is
 //! always exactly one line.
+//!
+//! Reads are **defensive**: a frame torn at EOF (bytes with no terminating
+//! newline), a frame larger than the caller's byte cap, or a line that is
+//! not valid JSON all surface as a typed [`FrameError`] instead of a panic,
+//! a hang, or an unbounded buffer. A crashed peer tears its last frame at an
+//! arbitrary byte — mid-`f64`, mid-string — and the distributed runtime's
+//! recovery path needs to tell that apart from a clean close (`Ok(None)`).
 
 use crate::json::Json;
 use std::io::{self, BufRead, Write};
+
+/// Default per-frame byte cap for [`read_msg`]: generous enough for a setup
+/// message carrying a large rank's worth of tile payloads, small enough that
+/// a corrupt stream that never sends a newline cannot exhaust memory.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Everything that can go wrong reading one frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The stream ended mid-frame: `partial` bytes arrived without a
+    /// terminating newline (a crashed or killed peer tears its last frame).
+    Truncated {
+        /// Bytes received before the tear.
+        partial: usize,
+    },
+    /// The frame exceeded the byte cap before a newline appeared.
+    Oversized {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+    /// The line was complete but not a valid JSON document (includes
+    /// invalid UTF-8).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+            FrameError::Truncated { partial } => {
+                write!(f, "frame torn at EOF after {partial} bytes (no newline)")
+            }
+            FrameError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte cap")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(e) => e,
+            FrameError::Truncated { .. } => io::Error::new(io::ErrorKind::UnexpectedEof, e),
+            FrameError::Oversized { .. } => io::Error::new(io::ErrorKind::InvalidData, e),
+            FrameError::Malformed(_) => io::Error::new(io::ErrorKind::InvalidData, e),
+        }
+    }
+}
 
 /// Write one JSON document as a single line and flush it.
 pub fn write_msg<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
@@ -13,26 +81,59 @@ pub fn write_msg<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one line and parse it as a JSON document.
+/// Read one line and parse it as a JSON document, with a per-frame byte cap.
 ///
-/// Returns `Ok(None)` on a clean EOF (the peer closed the connection between
-/// messages); a malformed document maps to [`io::ErrorKind::InvalidData`] so
-/// transport errors and protocol errors surface through one `Result`.
-pub fn read_msg<R: BufRead>(r: &mut R) -> io::Result<Option<Json>> {
-    let mut line = String::new();
-    let n = r.read_line(&mut line)?;
-    if n == 0 {
-        return Ok(None);
+/// Returns `Ok(None)` on a clean EOF (the peer closed the connection
+/// *between* messages). A tear mid-frame, an over-cap frame, and a malformed
+/// document each map to their [`FrameError`] variant; the reader should
+/// treat all three as a broken connection.
+pub fn read_msg_bounded<R: BufRead>(r: &mut R, max: usize) -> Result<Option<Json>, FrameError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf().map_err(FrameError::Io)?;
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(FrameError::Truncated { partial: buf.len() })
+            };
+        }
+        let (line_bytes, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        if buf.len() + line_bytes > max {
+            // Don't consume past the cap: leave the stream as-is; the caller
+            // is expected to drop the connection.
+            return Err(FrameError::Oversized { limit: max });
+        }
+        buf.extend_from_slice(&chunk[..line_bytes]);
+        r.consume(line_bytes);
+        if done {
+            break;
+        }
     }
-    Json::parse(line.trim_end_matches(['\r', '\n']))
+    let text = std::str::from_utf8(&buf)
+        .map_err(|e| FrameError::Malformed(format!("invalid UTF-8: {e}")))?;
+    Json::parse(text.trim_end_matches(['\r', '\n']))
         .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        .map_err(FrameError::Malformed)
+}
+
+/// Read one line and parse it as a JSON document (default
+/// [`MAX_FRAME_BYTES`] cap).
+///
+/// Returns `Ok(None)` on a clean EOF; torn/oversized/malformed frames map
+/// to `io::Error` with kinds `UnexpectedEof`/`InvalidData` (see
+/// [`FrameError`]'s `From<FrameError> for io::Error`).
+pub fn read_msg<R: BufRead>(r: &mut R) -> io::Result<Option<Json>> {
+    read_msg_bounded(r, MAX_FRAME_BYTES).map_err(io::Error::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
+    use std::io::{BufReader, Read};
 
     #[test]
     fn roundtrips_documents_over_a_byte_pipe() {
@@ -63,5 +164,99 @@ mod tests {
         let mut r = BufReader::new(&b"{\"unterminated\n"[..]);
         let err = read_msg(&mut r).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut r = BufReader::new(&b"{\"unterminated\n"[..]);
+        assert!(matches!(
+            read_msg_bounded(&mut r, MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
+    }
+
+    /// A reader that hands out its bytes in fixed-size slivers, so one frame
+    /// spans many `fill_buf` calls — the shape of a peer whose writes are
+    /// split across packets.
+    struct Slivers<'a>(&'a [u8], usize);
+    impl Read for Slivers<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = self.0.len().min(self.1).min(out.len());
+            out[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn split_writes_reassemble_into_one_frame() {
+        let doc = Json::parse(r#"{"tile":{"r":2,"c":2,"d":[0.1,0.2,0.3,0.4]}}"#).unwrap();
+        let mut bytes = Vec::new();
+        write_msg(&mut bytes, &doc).unwrap();
+        write_msg(&mut bytes, &Json::Num(7.0)).unwrap();
+        for sliver in [1usize, 2, 3, 7] {
+            let mut r = BufReader::with_capacity(sliver, Slivers(&bytes, sliver));
+            assert_eq!(
+                read_msg(&mut r).unwrap(),
+                Some(doc.clone()),
+                "sliver {sliver}"
+            );
+            assert_eq!(read_msg(&mut r).unwrap(), Some(Json::Num(7.0)));
+            assert_eq!(read_msg(&mut r).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn torn_frames_are_truncated_not_parsed() {
+        // A frame torn mid-f64 at EOF: the undamaged prefix would parse as a
+        // *different* number — it must surface as Truncated, never as data.
+        let full = b"[1.2546789,3.5]\n";
+        for cut in 1..full.len() - 1 {
+            let mut r = BufReader::new(&full[..cut]);
+            match read_msg_bounded(&mut r, MAX_FRAME_BYTES).unwrap_err() {
+                FrameError::Truncated { partial } => assert_eq!(partial, cut),
+                other => panic!("cut at {cut}: expected Truncated, got {other}"),
+            }
+        }
+        // And through the io::Error wrapper it is an UnexpectedEof.
+        let mut r = BufReader::new(&full[..4]);
+        assert_eq!(
+            read_msg(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn torn_frames_reassembled_from_slivers_still_truncate() {
+        let full = b"{\"d\":[1.25,2.5,9.75]}\n";
+        let torn = &full[..full.len() - 3];
+        let mut r = BufReader::with_capacity(2, Slivers(torn, 2));
+        assert!(matches!(
+            read_msg_bounded(&mut r, MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_buffering_them() {
+        let mut bytes = Vec::new();
+        let big = Json::Arr((0..100).map(|i| Json::Num(i as f64)).collect());
+        write_msg(&mut bytes, &big).unwrap();
+        let mut r = BufReader::new(&bytes[..]);
+        match read_msg_bounded(&mut r, 16).unwrap_err() {
+            FrameError::Oversized { limit } => assert_eq!(limit, 16),
+            other => panic!("expected Oversized, got {other}"),
+        }
+        // A frame exactly at the cap (payload + newline) still goes through.
+        let doc = Json::parse("[1,2]").unwrap();
+        let mut bytes = Vec::new();
+        write_msg(&mut bytes, &doc).unwrap();
+        let mut r = BufReader::new(&bytes[..]);
+        assert_eq!(read_msg_bounded(&mut r, bytes.len()).unwrap(), Some(doc));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut r = BufReader::new(&b"\xff\xfe{}\n"[..]);
+        assert!(matches!(
+            read_msg_bounded(&mut r, MAX_FRAME_BYTES).unwrap_err(),
+            FrameError::Malformed(_)
+        ));
     }
 }

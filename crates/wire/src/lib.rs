@@ -18,5 +18,5 @@
 pub mod frame;
 pub mod json;
 
-pub use frame::{read_msg, write_msg};
+pub use frame::{read_msg, read_msg_bounded, write_msg, FrameError, MAX_FRAME_BYTES};
 pub use json::Json;
