@@ -420,11 +420,131 @@ fn bench_scheduling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Vecchia backend's accuracy/scale points, emitted in the JSON-lines
+/// shape CI appends to `BENCH_kernels.json`:
+///
+/// * `vecchia_n{size}_wall` / `vecchia_n{size}_abs_err` — paper-scale grids
+///   (`n ≈ 1–2k`, `m = 30`): wall nanoseconds for plan + conditioning-solve
+///   build + sweep, and the absolute deviation from the dense-factor
+///   probability on the same covariance (the acceptance tolerance the
+///   property tests pin at small `n`, measured here at paper scale),
+/// * `vecchia_n100000_wall` — the Vecchia-only point in the `n ≫ 10⁴` regime
+///   no dense/TLR factorization can reach on this container (a dense factor
+///   alone would be 40 GB); coordinate ordering, `m = 30`, reduced sample
+///   count so the point stays seconds-scale on one core.
+///
+/// These are one-shot `Instant` measurements (the workload is seconds-scale
+/// and deterministic), not criterion statistics — same pattern as the
+/// streaming peak-task accounting above.
+fn bench_vecchia(_c: &mut Criterion) {
+    use geostat::{conditioning_sets, coordinate_order, maximin_order, regular_grid};
+    use mvn_core::VecchiaPlan;
+    use std::time::Instant;
+
+    let kernel = geostat::CovarianceKernel::Exponential {
+        sigma2: 1.0,
+        range: 0.3,
+    };
+    let nugget = 1e-8;
+    let m = 30usize;
+    let cfg = MvnConfig {
+        sample_size: 1000,
+        seed: 20240518,
+        scheduler: Scheduler::Dag { workers: 0 },
+        ..Default::default()
+    };
+    let engine = MvnEngine::with_config(cfg).unwrap();
+
+    // Paper-scale accuracy points: Vecchia vs the dense factor on the same
+    // covariance over the same grid.
+    for (nx, ny) in [(32usize, 32usize), (64, 32)] {
+        let locs = regular_grid(nx, ny);
+        let n = locs.len();
+        let cov = |i: usize, j: usize| {
+            let c = kernel.cov_loc(&locs[i], &locs[j]);
+            if i == j {
+                c + nugget
+            } else {
+                c
+            }
+        };
+        let a = vec![-3.0; n];
+        let b = vec![f64::INFINITY; n];
+
+        let dense = engine
+            .factor_dense(SymTileMatrix::from_fn(n, 128, cov))
+            .unwrap();
+        let p_dense = engine.solve(&dense, &a, &b).prob;
+
+        let t = Instant::now();
+        let order = maximin_order(&locs);
+        let (starts, neighbors) = conditioning_sets(&locs, &order, m);
+        let plan = VecchiaPlan::new(order, starts, neighbors).unwrap();
+        let vecchia = engine.factor_vecchia(plan, cov).unwrap();
+        let p_vecchia = engine.solve(&vecchia, &a, &b).prob;
+        let wall = t.elapsed().as_nanos();
+
+        let abs_err = (p_dense - p_vecchia).abs();
+        assert!(
+            abs_err < 0.05,
+            "vecchia n={n} m={m} drifted from dense: {p_vecchia} vs {p_dense}"
+        );
+        println!(
+            "{{\"benchmark\":\"vecchia_n{n}_wall\",\"mean_ns\":{wall},\"samples\":{}}}",
+            cfg.sample_size
+        );
+        println!(
+            "{{\"benchmark\":\"vecchia_n{n}_abs_err\",\"mean_ns\":{abs_err:e},\"samples\":{}}}",
+            cfg.sample_size
+        );
+    }
+
+    // The n = 10⁵ Vecchia-only point: coordinate ordering (maximin is O(n²)
+    // and capped at 10⁴ by the serving layer too), O(n·m) storage.
+    {
+        let locs = regular_grid(400, 250);
+        let n = locs.len();
+        let cov = |i: usize, j: usize| {
+            let c = kernel.cov_loc(&locs[i], &locs[j]);
+            if i == j {
+                c + nugget
+            } else {
+                c
+            }
+        };
+        let big_cfg = MvnConfig {
+            sample_size: 500,
+            ..cfg
+        };
+        let a = vec![-4.0; n];
+        let b = vec![f64::INFINITY; n];
+
+        let t = Instant::now();
+        let order = coordinate_order(&locs);
+        let (starts, neighbors) = conditioning_sets(&locs, &order, m);
+        let plan = VecchiaPlan::new(order, starts, neighbors).unwrap();
+        let factor = engine.factor_vecchia(plan, cov).unwrap();
+        let result = engine.solve_factored_with(&factor, &a, &b, &big_cfg);
+        let wall = t.elapsed().as_nanos();
+
+        assert!(
+            result.prob.is_finite() && result.prob > 0.0 && result.prob <= 1.0,
+            "vecchia n={n} produced a degenerate probability {}",
+            result.prob
+        );
+        println!(
+            "{{\"benchmark\":\"vecchia_n{n}_wall\",\"mean_ns\":{wall},\"samples\":{}}}",
+            big_cfg.sample_size
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_qmc_kernel,
     bench_tile_kernels,
     bench_factorizations,
-    bench_scheduling
+    bench_scheduling,
+    bench_vecchia
 );
 criterion_main!(benches);

@@ -131,6 +131,7 @@ fn scaling(full: bool, only_nodes: Option<usize>) {
             let report: DistReport = match kind {
                 FactorKind::Dense => solve_dense(&dense, &a, &b, &cfg, &dist_config(nodes)),
                 FactorKind::Tlr { .. } => solve_tlr(&tlr, &a, &b, &cfg, &dist_config(nodes)),
+                FactorKind::Vecchia { .. } => unreachable!("no distributed vecchia replay"),
             }
             .unwrap_or_else(|e| {
                 eprintln!("{kind_name} x{nodes}: {e}");

@@ -76,13 +76,13 @@ struct SoakReport {
 /// wire stats snapshot.
 fn soak_phase(
     cross: bool,
+    suffix: &str,
     specs: &[CovSpec],
     n: usize,
     secs: usize,
     clients: usize,
     samples: usize,
 ) -> SoakReport {
-    let suffix = if cross { "cross" } else { "legacy" };
     let service = Arc::new(
         MvnService::start(ServiceConfig {
             shards: 1,
@@ -231,12 +231,12 @@ fn soak_phase(
     if cross {
         assert!(
             report.mixed_batches > 0,
-            "soak/cross: interleaved resident traffic must form mixed batches: {stats_resp}"
+            "soak/{suffix}: interleaved resident traffic must form mixed batches: {stats_resp}"
         );
     } else {
         assert_eq!(
             report.mixed_batches, 0,
-            "soak/legacy: the flush-on-foreign batcher must never mix: {stats_resp}"
+            "soak/{suffix}: the flush-on-foreign batcher must never mix: {stats_resp}"
         );
     }
 
@@ -275,9 +275,12 @@ fn soak_phase(
 }
 
 /// The `--soak` acceptance run: the cross-spec phase, the legacy A/B phase,
-/// then the cross-vs-legacy comparison the issue's acceptance demands.
+/// the cross-vs-legacy comparison the issue's acceptance demands, then a
+/// mixed dense + Vecchia phase proving the third factor backend batches,
+/// caches and sheds through the same shard dispatcher.
 fn run_soak(secs: usize, clients: usize, grid: usize, samples: usize, p99_ms: usize) {
     let locations = regular_grid(grid, grid);
+    let tile = (grid * grid).div_ceil(3).max(4);
     let specs: Vec<CovSpec> = [0.1, 0.234]
         .iter()
         .map(|&range| {
@@ -285,15 +288,15 @@ fn run_soak(secs: usize, clients: usize, grid: usize, samples: usize, p99_ms: us
                 locations.clone(),
                 CovarianceKernel::Exponential { sigma2: 1.0, range },
                 1e-8,
-                (grid * grid).div_ceil(3).max(4),
+                tile,
             )
         })
         .collect();
     let n = locations.len();
     eprintln!("mvn-serve --soak: clients={clients} n={n} samples={samples} {secs}s/phase");
 
-    let cross = soak_phase(true, &specs, n, secs, clients, samples);
-    let legacy = soak_phase(false, &specs, n, secs, clients, samples);
+    let cross = soak_phase(true, "cross", &specs, n, secs, clients, samples);
+    let legacy = soak_phase(false, "legacy", &specs, n, secs, clients, samples);
 
     let ceiling_ns = p99_ms as u64 * 1_000_000;
     assert!(
@@ -320,6 +323,35 @@ fn run_soak(secs: usize, clients: usize, grid: usize, samples: usize, p99_ms: us
     eprintln!(
         "soak OK: mean_batch cross {:.2} vs legacy {:.2}, rps {:.1} vs {:.1}",
         cross.mean_batch, legacy.mean_batch, cross.rps, legacy.rps
+    );
+
+    // Vecchia phase: one dense and one Vecchia fingerprint over the same
+    // grid, interleaved through the cross-spec batcher. The phase's own
+    // asserts (hit rate >= 0.9 on warmed+pinned traffic, mixed batches > 0,
+    // deadline shed counted, accounting balance) are exactly the dense-phase
+    // contract — proving the sparse backend is served by the same machinery.
+    let vecchia_specs = vec![
+        specs[0].clone(),
+        CovSpec::vecchia(
+            locations.clone(),
+            CovarianceKernel::Exponential {
+                sigma2: 1.0,
+                range: 0.234,
+            },
+            1e-8,
+            tile,
+            (n / 3).clamp(4, 30),
+        ),
+    ];
+    let vecchia = soak_phase(true, "vecchia", &vecchia_specs, n, secs, clients, samples);
+    assert!(
+        vecchia.p99_ns <= ceiling_ns,
+        "soak: vecchia-phase p99 {}ms exceeds the --p99-ms ceiling {p99_ms}ms",
+        vecchia.p99_ns / 1_000_000
+    );
+    eprintln!(
+        "soak vecchia OK: mean_batch {:.2} rps {:.1} mixed_batches {}",
+        vecchia.mean_batch, vecchia.rps, vecchia.mixed_batches
     );
 }
 

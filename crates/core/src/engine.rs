@@ -40,13 +40,14 @@
 //! ```
 
 use crate::pipeline::{run_dense_fused_with, run_tlr_fused_with, FusedExec};
-use crate::pmvn::{combine_panel_results, sweep_panel, CholeskyFactor};
+use crate::pmvn::{combine_panel_results, sweep_panel};
+use crate::vecchia::{VecchiaError, VecchiaFactor, VecchiaPlan};
 use crate::{MvnConfig, MvnResult, Scheduler};
 use qmc::{make_point_set, PointSet, SampleKind};
 use std::sync::Arc;
 use task_runtime::{PoolStats, WorkerPool};
 use tile_la::dag::effective_workers;
-use tile_la::{potrf_tiled_pool, CholeskyError, DenseMatrix, SymTileMatrix, TileLayout};
+use tile_la::{potrf_tiled_pool, CholeskyError, SymTileMatrix};
 use tlr::{potrf_tlr_pool, TlrCholeskyError, TlrMatrix};
 
 /// Sanity cap on the number of worker threads an engine may be built with.
@@ -126,6 +127,13 @@ pub enum ProblemError {
         /// The offending coordinate.
         index: usize,
     },
+    /// The problem targets a Vecchia factor whose ordering/neighbor structure
+    /// disagrees with the coordinate count (or is internally inconsistent) —
+    /// see [`Problem::validate_for`] and [`crate::vecchia::VecchiaPlan`].
+    VecchiaStructure {
+        /// What is inconsistent.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ProblemError {
@@ -148,6 +156,9 @@ impl std::fmt::Display for ProblemError {
             }
             ProblemError::NanLimit { index } => {
                 write!(f, "NaN limit at coordinate {index}")
+            }
+            ProblemError::VecchiaStructure { reason } => {
+                write!(f, "vecchia structure mismatch: {reason}")
             }
         }
     }
@@ -211,89 +222,201 @@ impl Problem {
         }
         Ok(())
     }
+
+    /// [`Problem::validate`] against a concrete [`Factor`]: the limits must
+    /// be well-formed and match the factor dimension, and a Vecchia factor's
+    /// ordering/neighbor structure must agree with the coordinate count —
+    /// rejected with the typed
+    /// [`ProblemError::VecchiaStructure`]/[`ProblemError::DimensionMismatch`]
+    /// instead of a panic deep in the sweep.
+    pub fn validate_for(&self, factor: &Factor) -> Result<(), ProblemError> {
+        self.validate(Some(factor.dim()))?;
+        if let Factor::Vecchia(v) = factor {
+            v.plan().check_dim(self.a.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// The backend contract of a Cholesky (or Cholesky-like) factor the engine
+/// can sweep: dimensions, the [`FactorKind`](crate::FactorKind) identity and
+/// storage accounting, plus the one computational obligation — running the
+/// SOV recursion for one sample panel.
+///
+/// This is the seam every solve path dispatches through
+/// ([`MvnEngine::solve`], `solve_batch`, `solve_batch_mixed`,
+/// [`mvn_prob_factored`](crate::mvn_prob_factored), the CRD drivers in
+/// `excursion`): a new backend implements these five methods and every layer
+/// above — batching, streaming, serving, caching — works unchanged. *Tiled*
+/// backends (dense, TLR) get their [`FactorBackend::sweep_panel`] for free
+/// from the tile-level [`CholeskyFactor`](crate::CholeskyFactor) contract
+/// (`tiling`/`diag_block`/`apply_offdiag`) via the shared [`sweep_panel`]
+/// free-function driver; non-tiled backends (the sparse conditioning sweep in
+/// [`crate::vecchia`]) implement the panel recursion directly.
+///
+/// Every implementation must be a pure function of the factor bits and the
+/// panel index: the engine relies on that for bitwise-identical results
+/// across worker counts, schedulers and batch compositions.
+pub trait FactorBackend: Sync {
+    /// Matrix dimension `n`.
+    fn dim(&self) -> usize;
+    /// The factor's storage format in the shared
+    /// [`FactorKind`](crate::FactorKind) vocabulary.
+    fn kind(&self) -> crate::FactorKind;
+    /// Total number of stored doubles (storage-format comparison and cache
+    /// byte accounting).
+    fn stored_elements(&self) -> usize;
+    /// Relative scheduling cost of one sample panel of width `panel_width`
+    /// (arbitrary units, only compared against other panels in the same
+    /// batch — never affects results, only load balance).
+    fn panel_cost(&self, panel_width: usize) -> f64;
+    /// Run the complete SOV sweep of sample panel `panel` against this
+    /// factor, returning the panel's `(probability mean, chain count)`.
+    fn sweep_panel(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        points: &dyn PointSet,
+        cfg: &MvnConfig,
+        panel: usize,
+    ) -> (f64, usize);
+}
+
+impl FactorBackend for SymTileMatrix {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    fn kind(&self) -> crate::FactorKind {
+        crate::FactorKind::Dense
+    }
+    fn stored_elements(&self) -> usize {
+        SymTileMatrix::stored_elements(self)
+    }
+    fn panel_cost(&self, panel_width: usize) -> f64 {
+        self.layout().num_tiles() as f64 * panel_width as f64
+    }
+    fn sweep_panel(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        points: &dyn PointSet,
+        cfg: &MvnConfig,
+        panel: usize,
+    ) -> (f64, usize) {
+        sweep_panel(self, self.layout(), a, b, points, cfg, panel)
+    }
+}
+
+impl FactorBackend for TlrMatrix {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    fn kind(&self) -> crate::FactorKind {
+        crate::FactorKind::Tlr {
+            mean_rank: tlr::RankStats::from_matrix(self)
+                .mean_off_diagonal_rank()
+                .round() as usize,
+        }
+    }
+    fn stored_elements(&self) -> usize {
+        TlrMatrix::stored_elements(self)
+    }
+    fn panel_cost(&self, panel_width: usize) -> f64 {
+        self.layout().num_tiles() as f64 * panel_width as f64
+    }
+    fn sweep_panel(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        points: &dyn PointSet,
+        cfg: &MvnConfig,
+        panel: usize,
+    ) -> (f64, usize) {
+        sweep_panel(self, self.layout(), a, b, points, cfg, panel)
+    }
 }
 
 /// A reusable Cholesky factor handle produced by
-/// [`MvnEngine::factor_dense`]/[`MvnEngine::factor_tlr`].
+/// [`MvnEngine::factor_dense`]/[`MvnEngine::factor_tlr`]/
+/// [`MvnEngine::factor_vecchia`].
 ///
 /// Holding the factor (rather than re-factoring per query) is what amortizes
 /// the `O(n³/3)` factorization across many `solve`/`solve_batch` calls. The
 /// variants are public so a factor computed elsewhere (e.g. by
-/// [`tile_la::potrf_tiled`]) can be wrapped directly.
+/// [`tile_la::potrf_tiled`]) can be wrapped directly; all *behavior*
+/// dispatches through [`Factor::backend`] — the single match in this module.
 pub enum Factor {
     /// Dense tiled factor.
     Dense(SymTileMatrix),
     /// Tile low-rank factor.
     Tlr(TlrMatrix),
+    /// Vecchia ordered-conditioning approximation (no global factorization;
+    /// see [`crate::vecchia`]).
+    Vecchia(VecchiaFactor),
 }
 
 impl Factor {
+    /// The variant's backend — the one place the enum is matched for
+    /// behavior. Everything else (engine solves, caching, serving, the CRD
+    /// drivers) goes through the returned [`FactorBackend`].
+    pub fn backend(&self) -> &dyn FactorBackend {
+        match self {
+            Factor::Dense(m) => m,
+            Factor::Tlr(m) => m,
+            Factor::Vecchia(v) => v,
+        }
+    }
+
     /// Matrix dimension `n`.
     pub fn dim(&self) -> usize {
-        match self {
-            Factor::Dense(m) => m.n(),
-            Factor::Tlr(m) => m.n(),
-        }
+        self.backend().dim()
     }
 
     /// The factor's storage format in the shared [`FactorKind`](crate::FactorKind)
     /// vocabulary; for a TLR factor the reported `mean_rank` is the rounded
     /// mean off-diagonal rank of the stored tiles.
     pub fn kind(&self) -> crate::FactorKind {
-        match self {
-            Factor::Dense(_) => crate::FactorKind::Dense,
-            Factor::Tlr(m) => crate::FactorKind::Tlr {
-                mean_rank: tlr::RankStats::from_matrix(m)
-                    .mean_off_diagonal_rank()
-                    .round() as usize,
-            },
-        }
+        self.backend().kind()
     }
 
-    /// Total number of stored doubles (to compare the dense and TLR
-    /// storage formats).
+    /// Total number of stored doubles (to compare the dense, TLR and Vecchia
+    /// storage formats; the serving cache's byte accounting is this × 8).
     pub fn stored_elements(&self) -> usize {
-        match self {
-            Factor::Dense(m) => m.stored_elements(),
-            Factor::Tlr(m) => m.stored_elements(),
-        }
+        self.backend().stored_elements()
     }
 }
 
 impl std::fmt::Debug for Factor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let kind = match self {
-            Factor::Dense(_) => "Dense",
-            Factor::Tlr(_) => "Tlr",
-        };
         f.debug_struct("Factor")
-            .field("kind", &kind)
+            .field("kind", &self.kind().label())
             .field("n", &self.dim())
             .finish()
     }
 }
 
-impl CholeskyFactor for Factor {
+impl FactorBackend for Factor {
     fn dim(&self) -> usize {
-        Factor::dim(self)
+        self.backend().dim()
     }
-    fn tiling(&self) -> TileLayout {
-        match self {
-            Factor::Dense(m) => CholeskyFactor::tiling(m),
-            Factor::Tlr(m) => CholeskyFactor::tiling(m),
-        }
+    fn kind(&self) -> crate::FactorKind {
+        self.backend().kind()
     }
-    fn diag_block(&self, r: usize) -> &DenseMatrix {
-        match self {
-            Factor::Dense(m) => m.diag_block(r),
-            Factor::Tlr(m) => m.diag_block(r),
-        }
+    fn stored_elements(&self) -> usize {
+        self.backend().stored_elements()
     }
-    fn apply_offdiag(&self, j: usize, r: usize, y: &DenseMatrix, acc: &mut DenseMatrix) {
-        match self {
-            Factor::Dense(m) => m.apply_offdiag(j, r, y, acc),
-            Factor::Tlr(m) => m.apply_offdiag(j, r, y, acc),
-        }
+    fn panel_cost(&self, panel_width: usize) -> f64 {
+        self.backend().panel_cost(panel_width)
+    }
+    fn sweep_panel(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        points: &dyn PointSet,
+        cfg: &MvnConfig,
+        panel: usize,
+    ) -> (f64, usize) {
+        self.backend().sweep_panel(a, b, points, cfg, panel)
     }
 }
 
@@ -504,6 +627,20 @@ impl MvnEngine {
         Ok(Factor::Tlr(sigma))
     }
 
+    /// Build a Vecchia ordered-conditioning factor from a conditioning
+    /// [`VecchiaPlan`] and a covariance entry function, batching the
+    /// per-location conditioning solves onto the engine's pool (each
+    /// location's small solve is independent — see
+    /// [`crate::vecchia::build_vecchia_factor`]). The coefficients are a pure
+    /// function of the plan and the covariance, bitwise identical for any
+    /// worker count.
+    pub fn factor_vecchia<C>(&self, plan: VecchiaPlan, cov: C) -> Result<Factor, VecchiaError>
+    where
+        C: Fn(usize, usize) -> f64 + Sync,
+    {
+        crate::vecchia::build_vecchia_factor(plan, &cov, &self.pool).map(Factor::Vecchia)
+    }
+
     /// Estimate `Φₙ(a, b; 0, Σ)` against a factor with the engine's
     /// configuration. Bitwise identical to
     /// [`mvn_prob_factored`](crate::mvn_prob_factored) with the same config.
@@ -511,9 +648,9 @@ impl MvnEngine {
         self.solve_factored(factor, a, b)
     }
 
-    /// [`solve`](Self::solve) for any [`CholeskyFactor`] storage (e.g. an
+    /// [`solve`](Self::solve) for any [`FactorBackend`] storage (e.g. an
     /// `excursion::CorrelationFactor` owned by the caller).
-    pub fn solve_factored<F: CholeskyFactor>(&self, l: &F, a: &[f64], b: &[f64]) -> MvnResult {
+    pub fn solve_factored<F: FactorBackend>(&self, l: &F, a: &[f64], b: &[f64]) -> MvnResult {
         self.solve_factored_with(l, a, b, &self.cfg)
     }
 
@@ -523,7 +660,7 @@ impl MvnEngine {
     /// scheduler's *mode* applies: [`Scheduler::Streaming`] streams the
     /// panel tasks through its lookahead window instead of materializing
     /// them, with bitwise-identical results.
-    pub fn solve_factored_with<F: CholeskyFactor>(
+    pub fn solve_factored_with<F: FactorBackend>(
         &self,
         l: &F,
         a: &[f64],
@@ -544,9 +681,9 @@ impl MvnEngine {
         self.solve_batch_factored_with(factor, problems, &self.cfg)
     }
 
-    /// [`solve_batch`](Self::solve_batch) for any [`CholeskyFactor`] storage
+    /// [`solve_batch`](Self::solve_batch) for any [`FactorBackend`] storage
     /// with an explicit per-call sampling configuration.
-    pub fn solve_batch_factored_with<F: CholeskyFactor>(
+    pub fn solve_batch_factored_with<F: FactorBackend>(
         &self,
         l: &F,
         problems: &[Problem],
@@ -633,11 +770,11 @@ impl MvnEngine {
     /// Shared body of the solve entry points: one `panel_sweep` task per
     /// (item, panel) pair, all in one graph on the engine's pool — items may
     /// reference distinct factors (the mixed-batch path) or all share one
-    /// (the classic batch). Panels are computed by the same [`sweep_panel`]
-    /// the free functions use against the item's own factor, layout and
-    /// point set, so every per-item aggregate is bitwise identical to the
-    /// free-function result.
-    fn run_sweeps<F: CholeskyFactor>(
+    /// (the classic batch). Panels are computed by the item's own
+    /// [`FactorBackend::sweep_panel`] (the same per-panel recursion the free
+    /// functions run) against the item's factor and point set, so every
+    /// per-item aggregate is bitwise identical to the free-function result.
+    fn run_sweeps<F: FactorBackend>(
         &self,
         items: &[(&F, &[f64], &[f64])],
         cfg: &MvnConfig,
@@ -663,7 +800,6 @@ impl MvnEngine {
             return Vec::new();
         }
 
-        let layouts: Vec<TileLayout> = items.iter().map(|(l, _, _)| l.tiling()).collect();
         let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
         // A point set is a pure function of (kind, dimension, seed), so items
         // of equal dimension share one set — exactly the set a solo solve of
@@ -693,20 +829,10 @@ impl MvnEngine {
         let jobs: Vec<(usize, usize)> = (0..items.len())
             .flat_map(|q| (0..n_panels).map(move |p| (q, p)))
             .collect();
-        let cost = |_: usize, &(q, _): &(usize, usize)| {
-            layouts[q].num_tiles() as f64 * cfg.panel_width as f64
-        };
+        let cost = |_: usize, &(q, _): &(usize, usize)| items[q].0.panel_cost(cfg.panel_width);
         let sweep = |_: usize, &(q, p): &(usize, usize)| {
             let (l, a, b) = items[q];
-            sweep_panel(
-                l,
-                layouts[q],
-                a,
-                b,
-                point_sets[point_idx[q]].as_ref(),
-                cfg,
-                p,
-            )
+            l.sweep_panel(a, b, point_sets[point_idx[q]].as_ref(), cfg, p)
         };
         let flat = match cfg.scheduler {
             Scheduler::Streaming { lookahead, .. } => {

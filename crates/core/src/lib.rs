@@ -37,10 +37,11 @@ pub mod mc;
 pub mod pipeline;
 pub mod pmvn;
 pub mod sov;
+pub mod vecchia;
 
 pub use engine::{
-    validate_limits, EngineError, Factor, MvnEngine, MvnEngineBuilder, Problem, ProblemError,
-    MAX_ENGINE_WORKERS,
+    validate_limits, EngineError, Factor, FactorBackend, MvnEngine, MvnEngineBuilder, Problem,
+    ProblemError, MAX_ENGINE_WORKERS,
 };
 pub use genz::mvn_prob_genz;
 pub use mc::mvn_prob_mc;
@@ -49,7 +50,10 @@ pub use pmvn::{
     combine_panel_results, mvn_prob_dense, mvn_prob_factored, mvn_prob_tlr, qmc_kernel,
     qmc_kernel_scratch, sweep_panel, CholeskyFactor, QmcScratch,
 };
-pub use sov::{sov_sample_probability, truncate_limits};
+pub use sov::{sov_sample_probability, truncate_limits, vecchia_sample_probability};
+pub use vecchia::{
+    build_vecchia_factor, full_conditioning_plan, VecchiaError, VecchiaFactor, VecchiaPlan,
+};
 
 use qmc::SampleKind;
 
@@ -72,6 +76,27 @@ pub enum FactorKind {
         /// TLR assembly (`0` = uncapped).
         mean_rank: usize,
     },
+    /// Vecchia ordered-conditioning approximation: `O(n·m)` storage, sweep
+    /// cost linear in `n` — the format for the `n ≫ 10⁴` regime no global
+    /// factorization can reach (see [`vecchia`]).
+    Vecchia {
+        /// Conditioning-set size (maximum number of previously-ordered
+        /// neighbors each location conditions on).
+        m: usize,
+    },
+}
+
+impl FactorKind {
+    /// Short human/wire label of the storage format (`"dense"`, `"tlr"`,
+    /// `"vecchia"`) — the single vocabulary used by `Debug` output, the
+    /// service wire protocol and bench labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FactorKind::Dense => "dense",
+            FactorKind::Tlr { .. } => "tlr",
+            FactorKind::Vecchia { .. } => "vecchia",
+        }
+    }
 }
 
 /// How the PMVN panel sweep (and, in the fused pipeline, the factorization it

@@ -58,10 +58,56 @@ impl StoredFactor<'_> {
         }
     }
 
+    /// Run `f` against the diagonal tile `(r, r)`, holding its read guard
+    /// only for the duration of the call.
+    fn with_diag<R>(&self, r: usize, f: impl FnOnce(&DenseMatrix) -> R) -> R {
+        match self {
+            StoredFactor::Dense { store, handles, .. } => f(&store.read(handles[r][r])),
+            StoredFactor::Tlr {
+                diag_store,
+                handles,
+                ..
+            } => f(&diag_store.read(handles.diag[r])),
+        }
+    }
+
+    /// Propagate `y` through the off-diagonal tile `(j, r)`:
+    /// `blk ← blk − y · L(j,r)ᵀ` for the `a` block and (when present) the `b`
+    /// block, reading the tile guard once for both updates.
+    fn propagate(
+        &self,
+        j: usize,
+        r: usize,
+        y: &DenseMatrix,
+        a_blk: &mut DenseMatrix,
+        b_blk: Option<&mut DenseMatrix>,
+    ) {
+        match self {
+            StoredFactor::Dense { store, handles, .. } => {
+                let tile = store.read(handles[j][r]);
+                gemm_nt(-1.0, y, &tile, 1.0, a_blk);
+                if let Some(b_blk) = b_blk {
+                    gemm_nt(-1.0, y, &tile, 1.0, b_blk);
+                }
+            }
+            StoredFactor::Tlr {
+                off_store, handles, ..
+            } => {
+                let tile = off_store.read(handles.off[j][r]);
+                lr_gemm_panel_t(-1.0, &tile, y, 1.0, a_blk);
+                if let Some(b_blk) = b_blk {
+                    lr_gemm_panel_t(-1.0, &tile, y, 1.0, b_blk);
+                }
+            }
+        }
+    }
+
     /// Advance `state` by row block `r`, reading the factor tiles out of the
     /// stores. Mirrors [`PanelState::step`] exactly (same kernel calls in the
     /// same order, chain-major blocks, all-dead early exit), but holds tile
-    /// read-guards only for the duration of each kernel.
+    /// read-guards only for the duration of each kernel. One generic body for
+    /// every tiled backend — the per-variant kernel choice lives entirely in
+    /// [`StoredFactor::with_diag`]/[`StoredFactor::propagate`].
     fn step_stored(&self, state: &mut PanelState, r: usize) {
         if state.alive == 0 {
             return;
@@ -72,60 +118,37 @@ impl StoredFactor<'_> {
         if state.y_block.ncols() != rows {
             state.y_block = DenseMatrix::zeros(state.cols, rows);
         }
-        match self {
-            StoredFactor::Dense { store, handles, .. } => {
-                {
-                    let diag = store.read(handles[r][r]);
-                    state.alive = crate::pmvn::qmc_kernel_scratch(
-                        &diag,
-                        &state.w_blocks[r],
-                        &state.a_blocks[r],
-                        &state.b_blocks[r],
-                        &mut state.y_block,
-                        &mut state.prob,
-                        &mut state.scratch,
-                    );
-                }
-                if state.alive == 0 {
-                    return;
-                }
-                for j in (r + 1)..nt {
-                    let tile = store.read(handles[j][r]);
-                    gemm_nt(-1.0, &state.y_block, &tile, 1.0, &mut state.a_blocks[j]);
-                    if !state.skip_b_updates {
-                        gemm_nt(-1.0, &state.y_block, &tile, 1.0, &mut state.b_blocks[j]);
-                    }
-                }
-            }
-            StoredFactor::Tlr {
-                diag_store,
-                off_store,
-                handles,
-                ..
-            } => {
-                {
-                    let diag = diag_store.read(handles.diag[r]);
-                    state.alive = crate::pmvn::qmc_kernel_scratch(
-                        &diag,
-                        &state.w_blocks[r],
-                        &state.a_blocks[r],
-                        &state.b_blocks[r],
-                        &mut state.y_block,
-                        &mut state.prob,
-                        &mut state.scratch,
-                    );
-                }
-                if state.alive == 0 {
-                    return;
-                }
-                for j in (r + 1)..nt {
-                    let tile = off_store.read(handles.off[j][r]);
-                    lr_gemm_panel_t(-1.0, &tile, &state.y_block, 1.0, &mut state.a_blocks[j]);
-                    if !state.skip_b_updates {
-                        lr_gemm_panel_t(-1.0, &tile, &state.y_block, 1.0, &mut state.b_blocks[j]);
-                    }
-                }
-            }
+        // Destructure for disjoint borrows across the closure and the
+        // propagation loop.
+        let PanelState {
+            a_blocks,
+            b_blocks,
+            w_blocks,
+            y_block,
+            prob,
+            skip_b_updates,
+            alive,
+            scratch,
+            ..
+        } = state;
+        *alive = self.with_diag(r, |diag| {
+            crate::pmvn::qmc_kernel_scratch(
+                diag,
+                &w_blocks[r],
+                &a_blocks[r],
+                &b_blocks[r],
+                y_block,
+                prob,
+                scratch,
+            )
+        });
+        if *alive == 0 {
+            return;
+        }
+        for j in (r + 1)..nt {
+            let (a_blk, b_blk) = (&mut a_blocks[j], &mut b_blocks[j]);
+            let b_blk = if *skip_b_updates { None } else { Some(b_blk) };
+            self.propagate(j, r, y_block, a_blk, b_blk);
         }
     }
 

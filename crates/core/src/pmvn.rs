@@ -414,7 +414,8 @@ pub fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult {
     MvnResult::from_batches(&batches)
 }
 
-/// Generic PMVN sweep over any [`CholeskyFactor`] storage.
+/// Generic PMVN sweep over any [`FactorBackend`](crate::FactorBackend)
+/// storage — tiled (dense/TLR) and sparse (Vecchia) factors alike.
 ///
 /// `cfg.scheduler` selects how the independent sample panels execute: as one
 /// rayon fork-join ([`Scheduler::ForkJoin`]), as tasks on the `task-runtime`
@@ -429,7 +430,7 @@ pub fn combine_panel_results(panel_results: &[(f64, usize)]) -> MvnResult {
 /// free function constructs a throwaway engine — pool setup and teardown
 /// inside every call — which is exactly the overhead a session-owned engine
 /// amortizes; the result is bitwise identical either way.
-pub fn mvn_prob_factored<F: CholeskyFactor>(
+pub fn mvn_prob_factored<F: crate::FactorBackend>(
     l: &F,
     a: &[f64],
     b: &[f64],
@@ -456,17 +457,16 @@ pub fn mvn_prob_factored<F: CholeskyFactor>(
     // estimate is bitwise identical either way (fixed kernel order per
     // panel, deterministic combination).
     let sweep_local = |parallel: bool| {
-        let layout = l.tiling();
         let points = make_point_set(cfg.sample_kind, n, cfg.seed);
         let points_ref: &dyn PointSet = points.as_ref();
         let panel_results: Vec<(f64, usize)> = if parallel {
             (0..n_panels)
                 .into_par_iter()
-                .map(|p| sweep_panel(l, layout, a, b, points_ref, cfg, p))
+                .map(|p| l.sweep_panel(a, b, points_ref, cfg, p))
                 .collect()
         } else {
             (0..n_panels)
-                .map(|p| sweep_panel(l, layout, a, b, points_ref, cfg, p))
+                .map(|p| l.sweep_panel(a, b, points_ref, cfg, p))
                 .collect()
         };
         combine_panel_results(&panel_results)

@@ -65,6 +65,12 @@ fn cholesky_with_tiles(
     spec: &ProblemSpec,
     cluster: &ClusterSpec,
 ) -> (DistributedWorkload, Vec<Vec<DataHandle>>) {
+    if let FactorKind::Vecchia { m } = spec.kind {
+        // The Vecchia "factorization" has no inter-tile dependency structure
+        // at all — n independent m×m conditioning solves — so it gets its own
+        // builder instead of the triangular-tile loops below.
+        return vecchia_with_blocks(spec, cluster, m);
+    }
     let nb = spec.tile_size;
     let nt = spec.n.div_ceil(nb);
     let nbf = nb as f64;
@@ -84,6 +90,7 @@ fn cholesky_with_tiles(
                         2 * tile_bytes(nb, mean_rank)
                     }
                 }
+                FactorKind::Vecchia { .. } => unreachable!("vecchia uses its own graph builder"),
             };
             let h = registry.register_sized(format!("L[{i},{j}]"), bytes);
             tiles[i].push(h);
@@ -111,6 +118,7 @@ fn cholesky_with_tiles(
             let cost = match spec.kind {
                 FactorKind::Dense => nbf * nbf * nbf,
                 FactorKind::Tlr { mean_rank } => nbf * nbf * mean_rank as f64,
+                FactorKind::Vecchia { .. } => unreachable!("vecchia uses its own graph builder"),
             };
             graph.submit(
                 TaskSpec::new("trsm")
@@ -130,6 +138,9 @@ fn cholesky_with_tiles(
                             let r = mean_rank as f64;
                             2.0 * nbf * r * r + 2.0 * nbf * nbf * r
                         }
+                        FactorKind::Vecchia { .. } => {
+                            unreachable!("vecchia uses its own graph builder")
+                        }
                     };
                     ("syrk", c)
                 } else {
@@ -139,6 +150,9 @@ fn cholesky_with_tiles(
                             // Low-rank product + QR-based recompression.
                             let r = mean_rank as f64;
                             30.0 * nbf * r * r
+                        }
+                        FactorKind::Vecchia { .. } => {
+                            unreachable!("vecchia uses its own graph builder")
                         }
                     };
                     ("lr_gemm", c)
@@ -167,6 +181,56 @@ fn cholesky_with_tiles(
     )
 }
 
+/// Vecchia analogue of [`cholesky_with_tiles`]: one handle per row block of
+/// conditioning coefficients (`O(nb·m)` bytes) and one dependency-free
+/// `cond_solve` task per block — the embarrassingly parallel build that makes
+/// the format linear in `n`.
+fn vecchia_with_blocks(
+    spec: &ProblemSpec,
+    cluster: &ClusterSpec,
+    m: usize,
+) -> (DistributedWorkload, Vec<Vec<DataHandle>>) {
+    let nb = spec.tile_size;
+    let nt = spec.n.div_ceil(nb);
+    let mf = m as f64;
+
+    let mut registry = HandleRegistry::new();
+    let mut owner = Vec::new();
+    let mut blocks: Vec<Vec<DataHandle>> = vec![Vec::new(); nt];
+    for (i, row) in blocks.iter_mut().enumerate() {
+        // Coefficients (f64) + neighbor indices (u32) + conditional sds.
+        let bytes = nb * m * 12 + nb * 8;
+        let h = registry.register_sized(format!("V[{i}]"), bytes);
+        row.push(h);
+        owner.push(cluster.tile_owner(i, 0));
+    }
+
+    let mut graph = TaskGraph::new();
+    let mut exec_node = Vec::new();
+    for (i, row) in blocks.iter().enumerate() {
+        // nb independent m×m conditioning solves: Cholesky (m³/3) plus two
+        // triangular solves (2m²) each. No cross-block dependencies.
+        let cost = nb as f64 * (mf * mf * mf / 3.0 + 2.0 * mf * mf);
+        graph.submit(
+            TaskSpec::new("cond_solve")
+                .access(row[0], AccessMode::ReadWrite)
+                .cost(cost),
+            None,
+        );
+        exec_node.push(cluster.tile_owner(i, 0));
+    }
+
+    (
+        DistributedWorkload {
+            graph,
+            registry,
+            owner,
+            exec_node,
+        },
+        blocks,
+    )
+}
+
 /// Generate the full MVN-integration DAG: Cholesky factorization followed by
 /// the PMVN sweep over all sample panels.
 pub fn pmvn_task_graph(spec: &ProblemSpec, cluster: &ClusterSpec) -> DistributedWorkload {
@@ -182,6 +246,35 @@ pub fn pmvn_task_graph(spec: &ProblemSpec, cluster: &ClusterSpec) -> Distributed
 
     // The QMC special-function cost per element (Phi + Phi^{-1} evaluations).
     const PHI_FLOPS: f64 = 60.0;
+
+    if let FactorKind::Vecchia { m } = spec.kind {
+        // Sparse conditioning sweep: per panel, one task per row block of
+        // ordered steps, each reading the block's coefficients and chained on
+        // the previous block's simulated values (the recursion is sequential
+        // in the ordering; panels stay independent).
+        for p in 0..n_panels {
+            let panel_node = p % cluster.nodes;
+            let mut prev: Option<DataHandle> = None;
+            for r in 0..nt {
+                let h = wl
+                    .registry
+                    .register_sized(format!("panel{p}_block{r}"), tile_bytes(nb, w));
+                wl.owner.push(panel_node);
+                let cost = 2.0 * nbf * m as f64 * wf + PHI_FLOPS * nbf * wf;
+                let mut t = TaskSpec::new("vecchia_sweep")
+                    .access(tile_handle(r, 0), AccessMode::Read)
+                    .access(h, AccessMode::ReadWrite)
+                    .cost(cost);
+                if let Some(ph) = prev {
+                    t = t.access(ph, AccessMode::Read);
+                }
+                wl.graph.submit(t, None);
+                wl.exec_node.push(panel_node);
+                prev = Some(h);
+            }
+        }
+        return wl;
+    }
 
     for p in 0..n_panels {
         let panel_node = p % cluster.nodes;
@@ -213,6 +306,9 @@ pub fn pmvn_task_graph(spec: &ProblemSpec, cluster: &ClusterSpec) -> Distributed
                     // factor tiles in the paper (A/B are non-admissible), so it
                     // stays dense even in the TLR variant.
                     FactorKind::Tlr { .. } => 2.0 * nbf * nbf * wf,
+                    FactorKind::Vecchia { .. } => {
+                        unreachable!("vecchia uses its own sweep builder")
+                    }
                 };
                 wl.graph.submit(
                     TaskSpec::new("panel_gemm")
@@ -289,6 +385,48 @@ mod tests {
         let n_panels = 10;
         assert_eq!(counts["qmc"], nt * n_panels);
         assert_eq!(counts["panel_gemm"], n_panels * nt * (nt - 1) / 2);
+    }
+
+    #[test]
+    fn vecchia_graphs_have_the_sparse_shape() {
+        // The Vecchia build is nt independent conditioning-solve tasks (no
+        // panel factorization at all), and the pmvn sweep is one sequential
+        // chain of nt tasks per panel — O(n·m) storage against the dense
+        // O(n²/2).
+        let cluster = ClusterSpec::cray_xc40(4);
+        let s = spec(3200, FactorKind::Vecchia { m: 30 }); // nt = 10, 10 panels
+        let (nt, n_panels) = (10usize, 10usize);
+
+        let build = cholesky_task_graph(&s, &cluster);
+        let counts = build.graph.kernel_counts();
+        assert_eq!(counts["cond_solve"], nt);
+        assert_eq!(build.graph.len(), nt, "no potrf/trsm/syrk in the build");
+        for i in 0..build.graph.len() {
+            assert!(
+                build.graph.dependencies(i).is_empty(),
+                "conditioning solves are embarrassingly parallel"
+            );
+        }
+        let dense = cholesky_task_graph(&spec(3200, FactorKind::Dense), &cluster);
+        assert!(build.registry.total_bytes() < dense.registry.total_bytes() / 4);
+
+        let full = pmvn_task_graph(&s, &cluster);
+        let counts = full.graph.kernel_counts();
+        assert_eq!(counts["vecchia_sweep"], nt * n_panels);
+        assert_eq!(full.graph.len(), nt + nt * n_panels);
+        // Within a panel the sweep is a chain: every task after the first
+        // depends on its predecessor (the recursion is sequential in the
+        // ordering); the first block only waits on its coefficients.
+        for p in 0..n_panels {
+            let base = nt + p * nt;
+            for r in 1..nt {
+                assert!(
+                    full.graph.dependencies(base + r).contains(&(base + r - 1)),
+                    "panel {p} block {r} must chain on block {}",
+                    r - 1
+                );
+            }
+        }
     }
 
     #[test]

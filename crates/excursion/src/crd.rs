@@ -23,7 +23,7 @@
 //! bitwise identical to evaluating them one by one.
 
 use crate::marginal::{descending_order, marginal_exceedance};
-use mvn_core::{CholeskyFactor, MvnConfig, MvnEngine, Problem};
+use mvn_core::{FactorBackend, MvnConfig, MvnEngine, Problem};
 
 /// Abstraction over "estimate the joint probabilities of a batch of MVN
 /// problems" — the only capability the CRD drivers below actually need from
@@ -49,7 +49,7 @@ pub trait JointSolver {
 
 /// The in-process [`JointSolver`]: an engine, a factor, and the sampling
 /// configuration to solve with.
-pub struct EngineSolver<'a, F: CholeskyFactor> {
+pub struct EngineSolver<'a, F: FactorBackend> {
     /// The session engine (owns the worker pool).
     pub engine: &'a MvnEngine,
     /// The correlation factor to solve against.
@@ -58,7 +58,7 @@ pub struct EngineSolver<'a, F: CholeskyFactor> {
     pub mvn: MvnConfig,
 }
 
-impl<F: CholeskyFactor> JointSolver for EngineSolver<'_, F> {
+impl<F: FactorBackend> JointSolver for EngineSolver<'_, F> {
     fn dim(&self) -> usize {
         self.factor.dim()
     }
@@ -169,7 +169,7 @@ fn prefix_problem(
 /// Joint exceedance probability of a prefix of the ordered locations:
 /// `P(X_c > u for every c in order[..prefix_len])`, solved on the engine's
 /// pool with the sampling parameters of `mvn`.
-pub fn prefix_joint_probability<F: CholeskyFactor>(
+pub fn prefix_joint_probability<F: FactorBackend>(
     engine: &MvnEngine,
     factor: &F,
     mean: &[f64],
@@ -198,7 +198,7 @@ pub fn prefix_joint_probability<F: CholeskyFactor>(
 /// task graph), so their independent panel sweeps share the engine's pool;
 /// each probability is bitwise identical to a standalone
 /// [`prefix_joint_probability`] call.
-pub fn detect_confidence_regions<F: CholeskyFactor>(
+pub fn detect_confidence_regions<F: FactorBackend>(
     engine: &MvnEngine,
     factor: &F,
     mean: &[f64],
@@ -319,7 +319,7 @@ pub fn excursion_set(result: &CrdResult, alpha: f64) -> Vec<usize> {
 /// Find the excursion set `E⁺ᵤ,α` directly by bisection over the prefix length
 /// (at most `⌈log₂ n⌉ + 1` MVN evaluations). Returns the selected location
 /// indices and the joint probability of the selected prefix.
-pub fn find_excursion_set<F: CholeskyFactor>(
+pub fn find_excursion_set<F: FactorBackend>(
     engine: &MvnEngine,
     factor: &F,
     mean: &[f64],

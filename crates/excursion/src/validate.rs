@@ -86,6 +86,26 @@ pub fn mc_validate(
             let lz = match factor {
                 CorrelationFactor::Dense(l) => multiply_lower_panel(l, &z),
                 CorrelationFactor::Tlr(l) => l.multiply_lower_panel(&z),
+                // Sequential conditional simulation: step k draws
+                // x = Σ coeffs·x_cond + d·z, the Vecchia analogue of L·z.
+                CorrelationFactor::Vecchia(v) => {
+                    let mut out = DenseMatrix::zeros(n, cols);
+                    // Step values in ordered-position space, chain-major.
+                    let mut xs = DenseMatrix::zeros(cols, n);
+                    for k in 0..n {
+                        let (i, d, nbrs, coeffs) = v.step(k);
+                        for c in 0..cols {
+                            let mut s = 0.0;
+                            for (&nb, &co) in nbrs.iter().zip(coeffs) {
+                                s += co * xs.get(c, nb as usize);
+                            }
+                            let val = s + d * z.get(k, c);
+                            xs.set(c, k, val);
+                            out.set(i, c, val);
+                        }
+                    }
+                    out
+                }
             };
             (0..cols)
                 .filter(|&c| {

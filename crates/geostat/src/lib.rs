@@ -11,6 +11,8 @@
 //!   Eq. (7)–(8) for partially observed fields,
 //! * [`optim`] + [`mle`] — Nelder–Mead maximum-likelihood estimation of Matérn
 //!   parameters (the ExaGeoStat + NLopt step),
+//! * [`vecchia`] — maximin/coordinate orderings and k-nearest
+//!   conditioning-set selection feeding the `mvn-core` Vecchia backend,
 //! * [`wind`] — a synthetic Saudi-Arabia-like wind-speed dataset generator
 //!   standing in for the proprietary reanalysis data used in Section V.
 
@@ -21,6 +23,7 @@ pub mod geometry;
 pub mod mle;
 pub mod optim;
 pub mod posterior;
+pub mod vecchia;
 pub mod wind;
 
 pub use covariance::{CovarianceKernel, MaternParams};
@@ -33,6 +36,7 @@ pub use mle::{
 };
 pub use optim::{nelder_mead, NelderMeadOptions, OptimResult};
 pub use posterior::{posterior_update, Posterior};
+pub use vecchia::{conditioning_sets, coordinate_order, maximin_order};
 pub use wind::{default_fluctuation_params, orographic_mean, synthetic_wind_dataset, WindDataset};
 
 #[cfg(test)]

@@ -342,6 +342,48 @@ mod tests {
     }
 
     #[test]
+    fn vecchia_factors_are_cached_and_accounted_through_the_same_path() {
+        // Byte accounting goes through `Factor::stored_elements()`, so a
+        // third backend needs no cache changes: a Vecchia factor's charge is
+        // its sparse O(n·m) storage, and it evicts like any other entry.
+        let engine = mvn_core::MvnEngine::builder().workers(1).build().unwrap();
+        let vecchia = |n: usize, m: usize| {
+            let order: Vec<usize> = (0..n).collect();
+            let mut starts = vec![0usize];
+            let mut neighbors = Vec::new();
+            for k in 0..n {
+                for c in k.saturating_sub(m)..k {
+                    neighbors.push(c as u32);
+                }
+                starts.push(neighbors.len());
+            }
+            let plan = mvn_core::VecchiaPlan::new(order, starts, neighbors).unwrap();
+            let f = engine
+                .factor_vecchia(plan, |i, j| if i == j { 1.0 } else { 0.2 })
+                .unwrap();
+            Arc::new(f)
+        };
+        let v = vecchia(64, 4);
+        let v_bytes = v.stored_elements() * 8;
+        let dense_bytes = factor(64).stored_elements() * 8;
+        assert!(
+            v_bytes < dense_bytes / 4,
+            "sparse charge {v_bytes} must undercut dense {dense_bytes}"
+        );
+        let mut c = FactorCache::new(2 * v_bytes);
+        assert!(c.insert(fp(1), Arc::clone(&v)));
+        assert!(c.insert(fp(2), vecchia(64, 4)));
+        assert_eq!(c.stats().bytes, 2 * v_bytes);
+        // Mixed-kind eviction: a dense factor bigger than one slot evicts
+        // Vecchia entries by the same LRU rule.
+        assert!(c.get(fp(2)).is_some());
+        assert!(c.insert(fp(3), vecchia(64, 4)));
+        assert!(!c.contains(fp(1)), "LRU vecchia entry evicted");
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().bytes, 2 * v_bytes);
+    }
+
+    #[test]
     fn reinsert_after_eviction_keeps_pin_state_of_replaced_entry() {
         let mut c = FactorCache::new(usize::MAX);
         c.insert(fp(1), factor(8));

@@ -15,6 +15,11 @@ use geostat::{CovarianceKernel, Location};
 use mvn_core::{Factor, FactorKind, MvnEngine};
 use tlr::CompressionTol;
 
+/// Largest location count for which a Vecchia spec uses the `O(n²)` maximin
+/// ordering; beyond it the `O(n log n)` diagonal coordinate sweep takes over
+/// (see [`geostat::vecchia`]).
+pub const VECCHIA_MAXIMIN_LIMIT: usize = 10_000;
+
 /// The cache key of a factored covariance: a stable 64-bit hash of the full
 /// [`CovSpec`] (see the [module docs](self) for what it covers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,6 +97,29 @@ impl CovSpec {
         }
     }
 
+    /// A Vecchia-factor spec with no standardization: ordered conditioning on
+    /// `m` nearest previously-ordered neighbors — the `O(n·m)` format for
+    /// problems no dense or TLR factorization fits. The ordering and neighbor
+    /// structure are a deterministic function of the spec (see
+    /// [`CovSpec::build_factor`]), so the fingerprint only needs `m`.
+    pub fn vecchia(
+        locations: Vec<Location>,
+        kernel: CovarianceKernel,
+        nugget: f64,
+        tile_size: usize,
+        m: usize,
+    ) -> Self {
+        Self {
+            locations,
+            kernel,
+            nugget,
+            tile_size,
+            kind: FactorKind::Vecchia { m },
+            tlr_tol: 0.0,
+            standardize: false,
+        }
+    }
+
     /// Switch the spec to factoring the correlation matrix (see
     /// [`CovSpec::standardize`]).
     pub fn standardized(mut self) -> Self {
@@ -115,6 +143,10 @@ impl CovSpec {
                 h.write_bytes(b"tlr");
                 h.write_usize(mean_rank);
                 h.write_f64(self.tlr_tol);
+            }
+            FactorKind::Vecchia { m } => {
+                h.write_bytes(b"vecchia");
+                h.write_usize(m);
             }
         }
         h.write_bytes(if self.standardize { b"corr" } else { b"cov" });
@@ -170,13 +202,23 @@ impl CovSpec {
         {
             return Err("tlr tolerance must be positive and finite".to_string());
         }
+        if let FactorKind::Vecchia { m } = self.kind {
+            if m == 0 {
+                return Err("vecchia conditioning-set size must be positive".to_string());
+            }
+            if m >= self.locations.len() && self.locations.len() > 1 {
+                return Err(
+                    "vecchia conditioning-set size must be below the location count".to_string(),
+                );
+            }
+        }
         Ok(())
     }
 
     /// The TLR rank cap encoded in [`CovSpec::kind`] (`0` = uncapped).
     fn max_rank(&self) -> usize {
         match self.kind {
-            FactorKind::Dense => 0,
+            FactorKind::Dense | FactorKind::Vecchia { .. } => 0,
             FactorKind::Tlr { mean_rank } => {
                 if mean_rank == 0 {
                     usize::MAX
@@ -185,6 +227,21 @@ impl CovSpec {
                 }
             }
         }
+    }
+
+    /// Deterministic Vecchia conditioning structure for this spec's geometry:
+    /// maximin ordering up to [`VECCHIA_MAXIMIN_LIMIT`] locations (quality),
+    /// diagonal coordinate sweep beyond it (the `O(n²)` preprocessing would
+    /// dominate), with `m`-nearest conditioning sets either way. A pure
+    /// function of the spec, so equal fingerprints imply identical plans.
+    fn vecchia_plan(&self, m: usize) -> Result<mvn_core::VecchiaPlan, String> {
+        let order = if self.locations.len() <= VECCHIA_MAXIMIN_LIMIT {
+            geostat::maximin_order(&self.locations)
+        } else {
+            geostat::coordinate_order(&self.locations)
+        };
+        let (starts, neighbors) = geostat::conditioning_sets(&self.locations, &order, m);
+        mvn_core::VecchiaPlan::new(order, starts, neighbors).map_err(|e| e.to_string())
     }
 
     /// Assemble the covariance (or correlation) matrix and factor it on the
@@ -198,6 +255,37 @@ impl CovSpec {
             self.tile_size > 0 && !self.locations.is_empty(),
             "spec must have locations and a positive tile size"
         );
+        if let FactorKind::Vecchia { m } = self.kind {
+            // The Vecchia backend never assembles a matrix: the plan is pure
+            // geometry and the conditioning solves pull covariance entries on
+            // demand. Standardization divides by the constant stationary
+            // variance (the same √(C(0)+nugget) the other paths use), with
+            // the library's diagonal jitter.
+            let plan = self.vecchia_plan(m)?;
+            let locs = &self.locations;
+            let kernel = &self.kernel;
+            let nugget = self.nugget;
+            let factored = if self.standardize {
+                let sd2 = kernel.cov(0.0) + nugget;
+                engine.factor_vecchia(plan, move |i, j| {
+                    if i == j {
+                        1.0 + 1e-10
+                    } else {
+                        kernel.cov_loc(&locs[i], &locs[j]) / sd2
+                    }
+                })
+            } else {
+                engine.factor_vecchia(plan, move |i, j| {
+                    let c = kernel.cov_loc(&locs[i], &locs[j]);
+                    if i == j {
+                        c + nugget
+                    } else {
+                        c
+                    }
+                })
+            };
+            return factored.map_err(|e| e.to_string());
+        }
         if self.standardize {
             let cov = self.kernel.dense_covariance(&self.locations, self.nugget);
             match self.kind {
@@ -214,6 +302,7 @@ impl CovSpec {
                     );
                     engine.factor_tlr(corr).map_err(|e| e.to_string())
                 }
+                FactorKind::Vecchia { .. } => unreachable!("handled above"),
             }
         } else {
             match self.kind {
@@ -233,6 +322,7 @@ impl CovSpec {
                     );
                     engine.factor_tlr(sigma).map_err(|e| e.to_string())
                 }
+                FactorKind::Vecchia { .. } => unreachable!("handled above"),
             }
         }
     }

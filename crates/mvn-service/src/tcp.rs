@@ -387,6 +387,16 @@ pub fn parse_spec(v: &Json) -> Result<CovSpec, String> {
         "tlr" => FactorKind::Tlr {
             mean_rank: v.get("max_rank").and_then(Json::as_usize).unwrap_or(0),
         },
+        "vecchia" => {
+            let m = v
+                .get("m")
+                .and_then(Json::as_usize)
+                .ok_or("vecchia kind needs a positive \"m\"")?;
+            if m == 0 {
+                return Err("vecchia \"m\" must be positive".to_string());
+            }
+            FactorKind::Vecchia { m }
+        }
         other => return Err(format!("unknown factor kind {other:?}")),
     };
     let tlr_tol = v.get("tol").and_then(Json::as_f64).unwrap_or(1e-6);
@@ -459,6 +469,9 @@ pub fn render_spec(spec: &CovSpec) -> String {
                 ",\"kind\":\"tlr\",\"max_rank\":{mean_rank},\"tol\":"
             ));
             write_f64(&mut s, spec.tlr_tol);
+        }
+        FactorKind::Vecchia { m } => {
+            s.push_str(&format!(",\"kind\":\"vecchia\",\"m\":{m}"));
         }
     }
     if spec.standardize {

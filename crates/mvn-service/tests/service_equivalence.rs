@@ -168,6 +168,75 @@ fn concurrent_clients_match_direct_engine_bitwise_across_shards_and_deadlines() 
 }
 
 #[test]
+fn served_vecchia_specs_match_direct_engine_bitwise_and_hit_the_cache() {
+    // The third backend through the full serving path: a Vecchia spec must be
+    // fingerprinted, batched, cached and served exactly like dense/TLR — and
+    // every served probability must equal the direct engine solve bit for
+    // bit. Two conditioning-set sizes over the same grid are two distinct
+    // fingerprints.
+    let samples = 400;
+    let locs = regular_grid(6, 6);
+    let kernel = CovarianceKernel::Exponential {
+        sigma2: 1.0,
+        range: 0.2,
+    };
+    let specs = [
+        CovSpec::vecchia(locs.clone(), kernel, 1e-8, 8, 12),
+        CovSpec::vecchia(locs.clone(), kernel, 1e-8, 8, 20),
+    ];
+    let n = specs[0].n();
+    let mvn = test_mvn(samples);
+    let ps = problems(n, 5, -0.15);
+    let want: Vec<Vec<f64>> = specs.iter().map(|s| reference(s, &ps, &mvn)).collect();
+
+    for shards in [1usize, 2] {
+        let service =
+            MvnService::start(service_cfg(shards, Duration::from_millis(1), samples)).unwrap();
+        let handles: Vec<SpecHandle> = specs.iter().map(|s| SpecHandle::new(s.clone())).collect();
+        // Interleaved pipelined traffic over both fingerprints.
+        let tickets: Vec<(usize, usize, Ticket)> = ps
+            .iter()
+            .enumerate()
+            .flat_map(|(k, p)| (0..handles.len()).map(move |si| (si, k, p.clone())))
+            .map(|(si, k, p)| (si, k, service.submit(&handles[si], p).unwrap()))
+            .collect();
+        for (si, k, t) in tickets {
+            let got = t.wait().unwrap().result.prob;
+            let w = want[si][k];
+            assert!(
+                got.to_bits() == w.to_bits(),
+                "shards={shards} spec={si} problem={k}: served {got} vs direct {w}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, (ps.len() * specs.len()) as u64);
+        // Each Vecchia fingerprint is factored at most once; follow-up
+        // traffic must hit the cached sparse factor.
+        assert!(stats.cache_misses() <= specs.len() as u64);
+        for h in &handles {
+            let out = service
+                .solve(h, &vec![-0.5; n], &vec![f64::INFINITY; n])
+                .unwrap();
+            assert!(out.cache_hit, "vecchia follow-up traffic must hit");
+        }
+    }
+
+    // Malformed conditioning sizes are rejected at submission with a typed
+    // spec error, before reaching a shard.
+    let service = MvnService::start(service_cfg(1, Duration::ZERO, samples)).unwrap();
+    for bad_m in [0usize, n] {
+        let bad = CovSpec::vecchia(locs.clone(), kernel, 1e-8, 8, bad_m);
+        assert!(matches!(
+            service.submit(
+                &SpecHandle::new(bad),
+                Problem::new(vec![0.0; n], vec![1.0; n])
+            ),
+            Err(ServiceError::InvalidSpec(_))
+        ));
+    }
+}
+
+#[test]
 fn micro_batcher_coalesces_pipelined_requests() {
     // With a generous deadline, a burst of same-fingerprint requests must be
     // served in batches larger than one (and every result still equals the
