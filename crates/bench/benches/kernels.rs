@@ -539,12 +539,67 @@ fn bench_vecchia(_c: &mut Criterion) {
     }
 }
 
+/// Tracing-overhead guard: the same fused factor+sweep workload timed with
+/// the [`obs`] recorder disabled and enabled, reported as a percentage in
+/// the `mean_ns` field (`obs_overhead_pct`; CI fails the run above 5%). A
+/// one-shot paired measurement, not criterion statistics — the two arms run
+/// interleaved over identical deterministic work, so the ratio is stable
+/// even if the absolute times wander.
+fn bench_obs_overhead(_c: &mut Criterion) {
+    use std::time::Instant;
+
+    let n = 256;
+    let nb = 32;
+    let f = |i: usize, j: usize| {
+        (-((i as f64 - j as f64).abs()) / 150.0).exp() + if i == j { 1e-4 } else { 0.0 }
+    };
+    let a = vec![-0.3; n];
+    let b = vec![f64::INFINITY; n];
+    let cfg = MvnConfig {
+        sample_size: 1000,
+        seed: 20240518,
+        scheduler: Scheduler::Dag { workers: 0 },
+        ..Default::default()
+    };
+    let run = || {
+        let mut sigma = SymTileMatrix::from_fn(n, nb, f);
+        black_box(mvn_prob_dense_fused(&mut sigma, &a, &b, &cfg).unwrap())
+    };
+
+    // Warm up once per arm so neither pays first-touch costs.
+    run();
+    obs::set_enabled(true);
+    run();
+    obs::take_events();
+    obs::set_enabled(false);
+
+    let reps = 6;
+    let (mut off_ns, mut on_ns) = (0u128, 0u128);
+    for _ in 0..reps {
+        let t = Instant::now();
+        run();
+        off_ns += t.elapsed().as_nanos();
+
+        obs::set_enabled(true);
+        let t = Instant::now();
+        run();
+        on_ns += t.elapsed().as_nanos();
+        obs::set_enabled(false);
+        // Drop the recorded events so buffers never grow across reps.
+        obs::take_events();
+    }
+
+    let pct = (on_ns as f64 / off_ns as f64 - 1.0) * 100.0;
+    println!("{{\"benchmark\":\"obs_overhead_pct\",\"mean_ns\":{pct:.3},\"samples\":{reps}}}");
+}
+
 criterion_group!(
     benches,
     bench_qmc_kernel,
     bench_tile_kernels,
     bench_factorizations,
     bench_scheduling,
-    bench_vecchia
+    bench_vecchia,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -25,6 +25,18 @@
 //! lines (the repo's BENCH_kernels.json schema); `samples` carries the node
 //! count. The chaos mode adds `dist_chaos_*` points, including the
 //! measured detection-to-recovered wall time.
+//!
+//! Observability flags (combinable with any mode above):
+//! * `--trace <out.json>` — enable workspace tracing, merge the coordinator's
+//!   own timeline (pid 0) with every collected worker lane (one pid per
+//!   worker report stream) and write a Chrome-trace JSON file loadable in
+//!   `chrome://tracing` / Perfetto.
+//! * `--metrics` — print the process-wide metrics registry to stderr in
+//!   Prometheus text format after the run.
+//!
+//! Each solve also prints a `#`-prefixed per-rank phase table (compute vs
+//! tile-fetch-wait vs serve, the Fig. 7 decomposition) next to the distsim
+//! prediction.
 
 use distsim::{pmvn_task_graph, simulate, typical_mean_rank, ClusterSpec, ProblemSpec};
 use mvn_bench::{exceedance_limits, full_scale_requested, mvn_config};
@@ -59,6 +71,72 @@ fn emit(name: &str, seconds: f64, nodes: usize) {
     );
 }
 
+/// Accumulates worker trace lanes across solves so `--trace` can write one
+/// merged Chrome-trace file at exit. Each non-empty per-rank event stream
+/// from a [`DistReport`] becomes its own pid lane (worker processes from
+/// different solves are genuinely different OS processes); the coordinator's
+/// own events are prepended as pid 0 at write time.
+#[derive(Default)]
+struct TraceOut {
+    groups: Vec<(u64, Vec<obs::Event>)>,
+}
+
+impl TraceOut {
+    fn collect(&mut self, report: &DistReport) {
+        for lane in &report.worker_traces {
+            if !lane.is_empty() {
+                self.groups
+                    .push((self.groups.len() as u64 + 1, lane.clone()));
+            }
+        }
+    }
+
+    fn write(mut self, path: &str) {
+        obs::set_enabled(false);
+        // Pool threads may be mid-drop on an open span guard (guards emit
+        // End even after disable); give them a beat so the coordinator lane
+        // is balanced.
+        std::thread::sleep(Duration::from_millis(100));
+        self.groups.insert(0, (0, obs::take_events()));
+        let lanes: Vec<(u64, &[obs::Event])> = self
+            .groups
+            .iter()
+            .map(|(pid, events)| (*pid, events.as_slice()))
+            .collect();
+        let json = obs::export_chrome_trace(&lanes);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "# trace: wrote {} lanes ({} bytes) to {path}",
+                lanes.len(),
+                json.len()
+            ),
+            Err(e) => {
+                eprintln!("# trace: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Print the measured per-rank phase decomposition (the Fig. 7 view: where
+/// did each process spend its time) as `#`-prefixed human-readable lines so
+/// the stdout JSON-lines protocol stays machine-parseable.
+fn print_phase_table(tag: &str, report: &DistReport) {
+    let s = |ns: u64| ns as f64 / 1e9;
+    println!(
+        "# {tag} phases: {:>4} {:>12} {:>14} {:>12}",
+        "rank", "compute (s)", "fetch-wait (s)", "serve (s)"
+    );
+    for rank in 0..report.per_node_compute_ns.len() {
+        println!(
+            "# {tag} phases: {rank:>4} {:>12.4} {:>14.4} {:>12.4}",
+            s(report.per_node_compute_ns[rank]),
+            s(report.per_node_fetch_wait_ns[rank]),
+            s(report.per_node_serve_ns[rank]),
+        );
+    }
+}
+
 fn check_bitwise(tag: &str, got: MvnResult, want: MvnResult) {
     if got.prob.to_bits() != want.prob.to_bits()
         || got.std_error.to_bits() != want.std_error.to_bits()
@@ -85,7 +163,7 @@ fn predicted_makespan(n: usize, nb: usize, qmc: usize, kind: FactorKind, nodes: 
     simulate(&pmvn_task_graph(&spec, &cluster), &cluster).makespan
 }
 
-fn scaling(full: bool, only_nodes: Option<usize>) {
+fn scaling(full: bool, only_nodes: Option<usize>, trace: &mut TraceOut) {
     let (n, nb, qmc) = if full {
         (400, 40, 10_000)
     } else {
@@ -138,6 +216,8 @@ fn scaling(full: bool, only_nodes: Option<usize>) {
                 std::process::exit(1);
             });
             check_bitwise(&format!("{kind_name} x{nodes}"), report.result, reference);
+            trace.collect(&report);
+            print_phase_table(&format!("{kind_name} x{nodes}"), &report);
             let wall = report.wall.as_secs_f64();
             let predicted = predicted_makespan(n, nb, qmc, kind, nodes);
             println!(
@@ -159,7 +239,7 @@ fn scaling(full: bool, only_nodes: Option<usize>) {
     }
 }
 
-fn smoke() {
+fn smoke(trace: &mut TraceOut) {
     let (n, nb, qmc, nodes) = (60, 16, 256, 4);
     let cfg = mvn_config(qmc);
     let (a, b) = exceedance_limits(n);
@@ -175,6 +255,8 @@ fn smoke() {
         std::process::exit(1);
     });
     check_bitwise("dense smoke", dr.result, dense_ref);
+    trace.collect(&dr);
+    print_phase_table("dense smoke", &dr);
     emit("dist_smoke_dense_wall", dr.wall.as_secs_f64(), nodes);
 
     let tr = solve_tlr(&tlr, &a, &b, &cfg, &dist_config(nodes)).unwrap_or_else(|e| {
@@ -182,6 +264,8 @@ fn smoke() {
         std::process::exit(1);
     });
     check_bitwise("tlr smoke", tr.result, tlr_ref);
+    trace.collect(&tr);
+    print_phase_table("tlr smoke", &tr);
     emit("dist_smoke_tlr_wall", tr.wall.as_secs_f64(), nodes);
 
     println!(
@@ -193,7 +277,7 @@ fn smoke() {
 /// Fault-injected smoke: derive a planned fault from the seed, run the
 /// distributed solve under both recovery policies, and require the
 /// recovered probability to be bitwise identical to the engine's.
-fn chaos(seed: u64) {
+fn chaos(seed: u64, trace: &mut TraceOut) {
     let (n, nb, qmc, nodes) = (60usize, 16usize, 256usize, 4usize);
     let cfg = mvn_config(qmc);
     let (a, b) = exceedance_limits(n);
@@ -227,6 +311,8 @@ fn chaos(seed: u64) {
             report.result,
             reference,
         );
+        trace.collect(&report);
+        print_phase_table(&format!("chaos {kind}"), &report);
         println!(
             "# chaos {kind} ({recovery:?}): {} recoveries, {} replayed tasks, {} reconnects, recovered in {:.3}s",
             report.recoveries,
@@ -262,6 +348,19 @@ fn main() {
             }
         }
         _ => {
+            // `--trace <path>` turns on tracing before any solve so the
+            // coordinator propagates MVN_DIST_TRACE into every worker it
+            // spawns; lanes are merged and written once, at exit.
+            let trace_path = args
+                .iter()
+                .position(|a| a == "--trace")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            if trace_path.is_some() {
+                obs::set_enabled(true);
+            }
+            let mut trace = TraceOut::default();
+
             // `--chaos [seed]` is position-independent so CI can run
             // `--smoke --chaos 1` as one invocation.
             let chaos_seed = args.iter().position(|a| a == "--chaos").map(|i| {
@@ -270,10 +369,10 @@ fn main() {
                     .unwrap_or(1)
             });
             if args.iter().any(|a| a == "--smoke") {
-                smoke();
+                smoke(&mut trace);
             }
             if let Some(seed) = chaos_seed {
-                chaos(seed);
+                chaos(seed, &mut trace);
             }
             if chaos_seed.is_none() && !args.iter().any(|a| a == "--smoke") {
                 // `--nodes K` runs the replay at a single process count.
@@ -282,7 +381,14 @@ fn main() {
                     .position(|a| a == "--nodes")
                     .and_then(|i| args.get(i + 1))
                     .and_then(|v| v.parse().ok());
-                scaling(full_scale_requested(), only_nodes);
+                scaling(full_scale_requested(), only_nodes, &mut trace);
+            }
+
+            if let Some(path) = trace_path {
+                trace.write(&path);
+            }
+            if args.iter().any(|a| a == "--metrics") {
+                eprint!("{}", obs::render_prometheus(&[]));
             }
         }
     }

@@ -35,11 +35,22 @@
 //! The load generator speaks the real TCP wire protocol (`ServiceClient`),
 //! so the measured path includes JSON parsing, socket hops, routing,
 //! micro-batching and the factor cache.
+//!
+//! Observability flags (combinable with any mode):
+//!
+//! * `--trace <out.json>` — enable workspace tracing for the whole run and
+//!   write the process timeline as Chrome-trace JSON at exit (loadable in
+//!   `chrome://tracing` / Perfetto).
+//! * `--metrics` — after the run, scrape the server's wire metrics endpoint
+//!   (`{"metrics":true}`) and print the Prometheus text to stderr; in
+//!   `--soak` mode (servers are per-phase and already gone) the process
+//!   registry is rendered directly instead.
 
 use geostat::{regular_grid, CovarianceKernel};
 use mvn_service::{
-    render_solve_request, render_solve_request_deadline, render_stats_request, render_warm_request,
-    CovSpec, Json, MvnServer, MvnService, ServiceClient, ServiceConfig,
+    render_metrics_request, render_solve_request, render_solve_request_deadline,
+    render_stats_request, render_warm_request, CovSpec, Json, MvnServer, MvnService, ServiceClient,
+    ServiceConfig,
 };
 use qmc::Xoshiro256pp;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -355,6 +366,24 @@ fn run_soak(secs: usize, clients: usize, grid: usize, samples: usize, p99_ms: us
     );
 }
 
+/// Flush the process trace recorder to `path` as Chrome-trace JSON
+/// (single-process: everything in pid lane 0).
+fn write_trace(path: &str) {
+    obs::set_enabled(false);
+    // Service threads may be a few instructions away from dropping an open
+    // span guard (guards emit End even after disable); give them a beat so
+    // the exported trace is balanced.
+    std::thread::sleep(Duration::from_millis(100));
+    let json = obs::export_current(0);
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("trace: wrote {} bytes to {path}", json.len()),
+        Err(e) => {
+            eprintln!("trace: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let soak = std::env::args().any(|a| a == "--soak");
@@ -363,9 +392,20 @@ fn main() {
     let shards = arg_usize("--shards", 2);
     let grid = arg_usize("--grid", if soak { 5 } else { 6 });
     let samples = arg_usize("--samples", if smoke || soak { 500 } else { 2000 });
+    let trace_path = arg_value("--trace");
+    let want_metrics = std::env::args().any(|a| a == "--metrics");
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+    }
 
     if soak {
         run_soak(secs, clients, grid, samples, arg_usize("--p99-ms", 5000));
+        if want_metrics {
+            eprint!("{}", obs::render_prometheus(&[]));
+        }
+        if let Some(path) = trace_path {
+            write_trace(&path);
+        }
         return;
     }
 
@@ -448,6 +488,20 @@ fn main() {
     all.sort_unstable();
     let completed = all.len();
     let stats = service.stats();
+
+    // Scrape the wire metrics endpoint while the server is still up — this
+    // exercises the same path an external Prometheus scraper would use.
+    if want_metrics {
+        let mut client = ServiceClient::connect(addr).expect("connect for metrics");
+        let resp = client
+            .request(&render_metrics_request(990_000))
+            .expect("metrics scrape");
+        let text = resp
+            .get("metrics")
+            .and_then(Json::as_str)
+            .expect("metrics response must carry the text exposition");
+        eprint!("{text}");
+    }
     drop(server);
 
     let pct = |q: f64| -> u64 {
@@ -510,5 +564,9 @@ fn main() {
             "smoke: accounting must balance"
         );
         eprintln!("smoke OK");
+    }
+
+    if let Some(path) = trace_path {
+        write_trace(&path);
     }
 }

@@ -604,6 +604,7 @@ impl MvnEngine {
     /// ([`tile_la::potrf_tiled_stream`]) instead of materializing the graph;
     /// the factor is bitwise identical either way.
     pub fn factor_dense(&self, mut sigma: SymTileMatrix) -> Result<Factor, CholeskyError> {
+        let _span = obs::span_with("engine_factor_dense", &[("n", sigma.n() as u64)]);
         match self.cfg.scheduler {
             Scheduler::Streaming { lookahead, .. } => {
                 tile_la::potrf_tiled_stream(&mut sigma, &self.pool, lookahead)?;
@@ -618,6 +619,7 @@ impl MvnEngine {
     /// [streaming](MvnEngineBuilder::streaming) engine uses
     /// [`tlr::potrf_tlr_stream`].
     pub fn factor_tlr(&self, mut sigma: TlrMatrix) -> Result<Factor, TlrCholeskyError> {
+        let _span = obs::span_with("engine_factor_tlr", &[("n", sigma.n() as u64)]);
         match self.cfg.scheduler {
             Scheduler::Streaming { lookahead, .. } => {
                 tlr::potrf_tlr_stream(&mut sigma, &self.pool, lookahead)?;
@@ -638,6 +640,7 @@ impl MvnEngine {
     where
         C: Fn(usize, usize) -> f64 + Sync,
     {
+        let _span = obs::span_with("engine_factor_vecchia", &[("n", plan.n() as u64)]);
         crate::vecchia::build_vecchia_factor(plan, &cov, &self.pool).map(Factor::Vecchia)
     }
 
@@ -801,6 +804,11 @@ impl MvnEngine {
         }
 
         let n_panels = cfg.sample_size.div_ceil(cfg.panel_width);
+        let _sweep_span = obs::span_with(
+            "engine_sweep",
+            &[("items", items.len() as u64), ("panels", n_panels as u64)],
+        );
+        let plan_start = obs::enabled().then(obs::now_ns);
         // A point set is a pure function of (kind, dimension, seed), so items
         // of equal dimension share one set — exactly the set a solo solve of
         // that dimension would build. Building per *distinct* dimension (not
@@ -818,6 +826,11 @@ impl MvnEngine {
                 })
             })
             .collect();
+        if let Some(start) = plan_start {
+            // The point-set/plan construction phase, distinct from the sweep
+            // tasks that follow it on the timeline.
+            obs::complete_since("engine_plan_build", start, &[("dims", dims.len() as u64)]);
+        }
 
         // One independent write-task per (item, panel) pair, flattened so
         // every pair becomes one slot of a pool-level map. With a streaming

@@ -52,7 +52,7 @@ use crate::proto::{
 };
 use crate::store::TileValue;
 use crate::worker::{
-    BIND_ENV, CONNECT_RETRIES_ENV, CRASH_AFTER_ENV, CRASH_RANK_ENV, RETRY_BASE_MS_ENV,
+    BIND_ENV, CONNECT_RETRIES_ENV, CRASH_AFTER_ENV, CRASH_RANK_ENV, RETRY_BASE_MS_ENV, TRACE_ENV,
 };
 use distsim::ProcessGrid;
 use tile_la::TileLayout;
@@ -227,6 +227,21 @@ pub struct DistReport {
     /// Summed wall time from each loss detection to the recovered rank's
     /// report (0 in a healthy run; overlapping recoveries sum).
     pub recovery_wall: Duration,
+    /// Per-rank nanoseconds in compute kernels — factor tasks plus panel
+    /// sweeps (index = rank the work was done *for*, like `per_node_comm`).
+    pub per_node_compute_ns: Vec<u64>,
+    /// Per-rank nanoseconds blocked waiting for input tiles (local
+    /// finalization waits and remote fetches, including retries).
+    pub per_node_fetch_wait_ns: Vec<u64>,
+    /// Per-rank nanoseconds serving tiles to peers, accrued up to each
+    /// rank's report time (index = the serving process's own rank).
+    pub per_node_serve_ns: Vec<u64>,
+    /// Trace events shipped by the workers, grouped by *sender* rank (empty
+    /// unless tracing was enabled); export them with
+    /// [`obs::export_chrome_trace`] using one `pid` lane per rank — the
+    /// convention is `pid = rank + 1`, with the coordinator's own events on
+    /// `pid` 0 — to get one merged multi-process timeline.
+    pub worker_traces: Vec<Vec<obs::Event>>,
 }
 
 /// Solve a dense-factor MVN problem across `dist.nodes` worker processes.
@@ -366,6 +381,12 @@ fn spawn_worker(dist: &DistConfig, addr: &str, with_faults: bool) -> Result<Chil
     if with_faults && !dist.faults.is_empty() {
         envs.push((FAULTS_ENV.to_string(), dist.faults.to_env()));
     }
+    if obs::enabled() {
+        // Tracing in the coordinator process implies tracing the workers:
+        // their recorded events ride the done reports back for the merged
+        // timeline. (An explicit MVN_DIST_TRACE in `worker_env` also works.)
+        envs.push((TRACE_ENV.to_string(), "1".to_string()));
+    }
     envs.push((BIND_ENV.to_string(), dist.bind_addr.clone()));
     envs.push((
         CONNECT_RETRIES_ENV.to_string(),
@@ -482,6 +503,7 @@ fn run(
     }
 
     let start = Instant::now();
+    let solve_start = obs::now_ns();
     let deadline = start + dist.timeout;
     let listener = TcpListener::bind(format!("{}:0", dist.bind_addr))
         .map_err(|e| DistError::Spawn(format!("binding coordinator socket: {e}")))?;
@@ -528,6 +550,12 @@ fn run(
             None => std::thread::sleep(Duration::from_millis(2)),
         }
     }
+
+    obs::complete_since(
+        "dist_handshake",
+        solve_start,
+        &[("nodes", dist.nodes as u64)],
+    );
 
     // Ship each rank its setup: the problem plus its owned initial tiles.
     let grid = ProcessGrid::new(dist.nodes);
@@ -583,6 +611,10 @@ fn run(
     let mut panels_filled = 0usize;
     let mut rank_done: Vec<bool> = vec![false; dist.nodes];
     let mut per_node_comm = vec![0u64; dist.nodes];
+    let mut per_node_compute_ns = vec![0u64; dist.nodes];
+    let mut per_node_fetch_wait_ns = vec![0u64; dist.nodes];
+    let mut per_node_serve_ns = vec![0u64; dist.nodes];
+    let mut worker_traces: Vec<Vec<obs::Event>> = vec![Vec::new(); dist.nodes];
     let mut fetches = 0u64;
     let mut replayed_tasks = 0u64;
     let mut reconnects = 0u64;
@@ -696,9 +728,22 @@ fn run(
                         rank_done[r] = true;
                     }
                     per_node_comm[r] += done.comm_bytes;
+                    per_node_compute_ns[r] += done.compute_ns;
+                    per_node_fetch_wait_ns[r] += done.fetch_wait_ns;
+                    // Serving is process-wide, so it belongs to the sender,
+                    // not the rank the report was done *for*.
+                    per_node_serve_ns[event.rank] += done.serve_ns;
                     fetches += done.fetches;
                     replayed_tasks += done.replayed_tasks;
                     reconnects += done.reconnects;
+                    // Always-on registry counters, so a `{"metrics":true}`
+                    // scrape (or `mvn_dist --metrics`) sees dist transfer
+                    // and recovery activity without any extra plumbing.
+                    obs::counter("mvn_dist_fetches_total").add(done.fetches);
+                    obs::counter("mvn_dist_comm_bytes_total").add(done.comm_bytes);
+                    obs::counter("mvn_dist_replayed_tasks_total").add(done.replayed_tasks);
+                    obs::counter("mvn_dist_reconnects_total").add(done.reconnects);
+                    worker_traces[event.rank].extend(done.trace);
                     if let Some(t0) = pending_recovery.remove(&r) {
                         recovery_wall += t0.elapsed();
                     }
@@ -792,12 +837,24 @@ fn run(
         .collect::<Result<Vec<_>, _>>()?;
     let result = combine_panel_results(&ordered);
     let wall = start.elapsed();
+    obs::complete_since(
+        "dist_solve",
+        solve_start,
+        &[
+            ("nodes", dist.nodes as u64),
+            ("recoveries", recoveries),
+            ("fetches", fetches),
+        ],
+    );
 
     for writer in writers.iter_mut().flatten() {
         let _ = write_msg(writer, &proto::shutdown());
     }
     guard.reap(Duration::from_secs(5));
 
+    obs::counter("mvn_dist_solves_total").inc();
+    obs::counter("mvn_dist_recoveries_total").add(recoveries);
+    obs::histogram("mvn_dist_solve_wall_ns").record(wall.as_nanos() as u64);
     Ok(DistReport {
         result,
         nodes: dist.nodes,
@@ -809,6 +866,10 @@ fn run(
         replayed_tasks,
         reconnects,
         recovery_wall,
+        per_node_compute_ns,
+        per_node_fetch_wait_ns,
+        per_node_serve_ns,
+        worker_traces,
     })
 }
 

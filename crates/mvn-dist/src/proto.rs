@@ -13,7 +13,9 @@
 //!
 //! * worker → coordinator: `{"type":"hello","listen":addr}` then, later,
 //!   one or more `{"type":"done","epoch":e,"for":r,"panels":[[p,mean,count],..],
-//!   "comm_bytes":..,"fetches":..,"replayed":..,"reconnects":..}` reports
+//!   "comm_bytes":..,"fetches":..,"replayed":..,"reconnects":..,
+//!   "compute_ns":..,"fetch_wait_ns":..,"serve_ns":..}` reports (plus an
+//!   optional `"trace":[..]` event list when tracing is enabled)
 //!   (`for` names the rank whose work the report carries — the sender's own
 //!   rank normally, a dead rank's after a re-own recovery) or
 //!   `{"type":"error","kind":..,..}`.
@@ -137,6 +139,20 @@ pub struct DoneMsg {
     pub replayed_tasks: u64,
     /// Peer connections re-established after an error or sever.
     pub reconnects: u64,
+    /// Nanoseconds spent inside compute kernels (factor tasks + panel
+    /// sweeps) for this report's work.
+    pub compute_ns: u64,
+    /// Nanoseconds blocked waiting for input tiles (local finalization
+    /// waits and remote fetches, including retries).
+    pub fetch_wait_ns: u64,
+    /// Nanoseconds spent serving tiles to peers, accrued up to report time
+    /// (serving continues until shutdown; only the sender's own report
+    /// carries this, re-own reports leave it 0 to avoid double counting).
+    pub serve_ns: u64,
+    /// Trace events recorded on the sender since the last report (empty
+    /// unless tracing is enabled on the worker); the coordinator merges
+    /// them into one multi-process timeline, one `pid` lane per rank.
+    pub trace: Vec<obs::Event>,
 }
 
 /// Coordinator → worker recovery control: the new cluster view after a
@@ -236,6 +252,13 @@ fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
     v.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| format!("missing/invalid field {key:?}"))
+}
+
+/// An optional numeric field defaulting to 0 — used for accounting fields
+/// added after the first wire revision, so a report from an older sender
+/// still decodes.
+fn opt_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_usize).unwrap_or(0) as u64
 }
 
 /// `{"type":"hello","listen":addr}` — the worker's first message.
@@ -609,29 +632,110 @@ pub fn ctrl_from_json(v: &Json) -> Result<CtrlMsg, String> {
     }
 }
 
+/// Encode one trace event as `[ph, label, ts_ns, tid, dur_ns, [[k,v],..]]`
+/// (Chrome-trace phase letters; `dur_ns` is 0 for non-complete events).
+fn trace_event_to_json(e: &obs::Event) -> Json {
+    let (ph, dur_ns) = match e.kind {
+        obs::EventKind::Begin => ("B", 0),
+        obs::EventKind::End => ("E", 0),
+        obs::EventKind::Complete { dur_ns } => ("X", dur_ns),
+        obs::EventKind::Instant => ("i", 0),
+    };
+    Json::Arr(vec![
+        Json::Str(ph.into()),
+        Json::Str(e.label.into()),
+        num(e.ts_ns as usize),
+        num(e.tid as usize),
+        num(dur_ns as usize),
+        Json::Arr(
+            e.args()
+                .iter()
+                .map(|&(k, v)| Json::Arr(vec![Json::Str(k.into()), num(v as usize)]))
+                .collect(),
+        ),
+    ])
+}
+
+fn trace_event_from_json(v: &Json) -> Result<obs::Event, String> {
+    let [ph, label, ts, tid, dur, args] = v.as_arr().ok_or("trace event must be an array")? else {
+        return Err("trace event must have six elements".into());
+    };
+    let dur_ns = dur.as_usize().ok_or("invalid trace duration")? as u64;
+    let kind = match ph.as_str().ok_or("invalid trace phase")? {
+        "B" => obs::EventKind::Begin,
+        "E" => obs::EventKind::End,
+        "X" => obs::EventKind::Complete { dur_ns },
+        "i" => obs::EventKind::Instant,
+        other => return Err(format!("unknown trace phase {other:?}")),
+    };
+    // Labels and argument keys are re-interned on the receiving side; the
+    // leak is bounded by the number of distinct instrumentation labels.
+    let mut packed = [("", 0u64); obs::MAX_ARGS];
+    let mut nargs = 0usize;
+    for kv in args.as_arr().ok_or("invalid trace args")? {
+        let [k, val] = kv.as_arr().ok_or("trace arg must be a pair")? else {
+            return Err("trace arg must be a pair".into());
+        };
+        if nargs < obs::MAX_ARGS {
+            packed[nargs] = (
+                obs::intern(k.as_str().ok_or("invalid trace arg key")?),
+                val.as_usize().ok_or("invalid trace arg value")? as u64,
+            );
+            nargs += 1;
+        }
+    }
+    Ok(obs::Event {
+        kind,
+        label: obs::intern(label.as_str().ok_or("invalid trace label")?),
+        ts_ns: ts.as_usize().ok_or("invalid trace timestamp")? as u64,
+        tid: tid.as_usize().ok_or("invalid trace tid")? as u64,
+        args: packed,
+        nargs: nargs as u8,
+    })
+}
+
+fn trace_from_json(v: &Json) -> Result<Vec<obs::Event>, String> {
+    match v.get("trace").and_then(Json::as_arr) {
+        Some(events) => events.iter().map(trace_event_from_json).collect(),
+        None => Ok(Vec::new()),
+    }
+}
+
 /// Encode a worker's final (done or error) message.
 pub fn worker_msg_to_json(m: &WorkerMsg) -> Json {
     match m {
-        WorkerMsg::Done(d) => obj(vec![
-            ("type", Json::Str("done".into())),
-            ("for", num(d.for_rank)),
-            ("epoch", num(d.epoch as usize)),
-            (
-                "panels",
-                Json::Arr(
-                    d.panels
-                        .iter()
-                        .map(|&(p, mean, count)| {
-                            Json::Arr(vec![num(p), Json::Num(mean), num(count)])
-                        })
-                        .collect(),
+        WorkerMsg::Done(d) => {
+            let mut fields = vec![
+                ("type", Json::Str("done".into())),
+                ("for", num(d.for_rank)),
+                ("epoch", num(d.epoch as usize)),
+                (
+                    "panels",
+                    Json::Arr(
+                        d.panels
+                            .iter()
+                            .map(|&(p, mean, count)| {
+                                Json::Arr(vec![num(p), Json::Num(mean), num(count)])
+                            })
+                            .collect(),
+                    ),
                 ),
-            ),
-            ("comm_bytes", num(d.comm_bytes as usize)),
-            ("fetches", num(d.fetches as usize)),
-            ("replayed", num(d.replayed_tasks as usize)),
-            ("reconnects", num(d.reconnects as usize)),
-        ]),
+                ("comm_bytes", num(d.comm_bytes as usize)),
+                ("fetches", num(d.fetches as usize)),
+                ("replayed", num(d.replayed_tasks as usize)),
+                ("reconnects", num(d.reconnects as usize)),
+                ("compute_ns", num(d.compute_ns as usize)),
+                ("fetch_wait_ns", num(d.fetch_wait_ns as usize)),
+                ("serve_ns", num(d.serve_ns as usize)),
+            ];
+            if !d.trace.is_empty() {
+                fields.push((
+                    "trace",
+                    Json::Arr(d.trace.iter().map(trace_event_to_json).collect()),
+                ));
+            }
+            obj(fields)
+        }
         WorkerMsg::Error(WorkerErrorMsg::Factorization { pivot }) => obj(vec![
             ("type", Json::Str("error".into())),
             ("kind", Json::Str("factorization".into())),
@@ -671,6 +775,10 @@ pub fn worker_msg_from_json(v: &Json) -> Result<WorkerMsg, String> {
                 fetches: get_usize(v, "fetches")? as u64,
                 replayed_tasks: get_usize(v, "replayed")? as u64,
                 reconnects: get_usize(v, "reconnects")? as u64,
+                compute_ns: opt_u64(v, "compute_ns"),
+                fetch_wait_ns: opt_u64(v, "fetch_wait_ns"),
+                serve_ns: opt_u64(v, "serve_ns"),
+                trace: trace_from_json(v)?,
             }))
         }
         "error" => match get_str(v, "kind")? {
@@ -795,6 +903,35 @@ mod tests {
             fetches: 6,
             replayed_tasks: 11,
             reconnects: 1,
+            compute_ns: 987_654_321,
+            fetch_wait_ns: 55_000,
+            serve_ns: 7_700,
+            trace: vec![
+                obs::Event {
+                    kind: obs::EventKind::Begin,
+                    label: obs::intern("dist_factor"),
+                    ts_ns: 1_000,
+                    tid: 2,
+                    args: [(obs::intern("rank"), 3), ("", 0), ("", 0)],
+                    nargs: 1,
+                },
+                obs::Event {
+                    kind: obs::EventKind::End,
+                    label: obs::intern("dist_factor"),
+                    ts_ns: 2_500,
+                    tid: 2,
+                    args: [("", 0); obs::MAX_ARGS],
+                    nargs: 0,
+                },
+                obs::Event {
+                    kind: obs::EventKind::Complete { dur_ns: 640 },
+                    label: obs::intern("dist_fetch_wait"),
+                    ts_ns: 1_200,
+                    tid: 2,
+                    args: [(obs::intern("i"), 4), (obs::intern("j"), 1), ("", 0)],
+                    nargs: 2,
+                },
+            ],
         });
         match worker_msg_from_json(&Json::parse(&worker_msg_to_json(&done).to_string()).unwrap())
             .unwrap()
@@ -805,6 +942,30 @@ mod tests {
                 assert_eq!(d.comm_bytes, 12345);
                 assert_eq!((d.for_rank, d.epoch), (3, 2));
                 assert_eq!((d.replayed_tasks, d.reconnects), (11, 1));
+                assert_eq!(
+                    (d.compute_ns, d.fetch_wait_ns, d.serve_ns),
+                    (987_654_321, 55_000, 7_700)
+                );
+                assert_eq!(d.trace.len(), 3);
+                assert_eq!(d.trace[0].kind, obs::EventKind::Begin);
+                assert_eq!(d.trace[0].label, "dist_factor");
+                assert_eq!(d.trace[0].args(), &[("rank", 3)]);
+                assert_eq!(d.trace[1].kind, obs::EventKind::End);
+                assert_eq!((d.trace[1].ts_ns, d.trace[1].tid), (2_500, 2));
+                assert_eq!(d.trace[2].kind, obs::EventKind::Complete { dur_ns: 640 });
+                assert_eq!(d.trace[2].args(), &[("i", 4), ("j", 1)]);
+            }
+            _ => panic!("expected done"),
+        }
+        // A first-revision report (no phase fields, no trace) still decodes.
+        let legacy = concat!(
+            "{\"type\":\"done\",\"for\":0,\"epoch\":0,\"panels\":[],",
+            "\"comm_bytes\":9,\"fetches\":1,\"replayed\":0,\"reconnects\":0}"
+        );
+        match worker_msg_from_json(&Json::parse(legacy).unwrap()).unwrap() {
+            WorkerMsg::Done(d) => {
+                assert_eq!((d.compute_ns, d.fetch_wait_ns, d.serve_ns), (0, 0, 0));
+                assert!(d.trace.is_empty());
             }
             _ => panic!("expected done"),
         }

@@ -50,7 +50,7 @@
 use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -93,6 +93,11 @@ pub const CONNECT_RETRIES_ENV: &str = "MVN_DIST_CONNECT_RETRIES";
 /// 50, doubling each attempt with deterministic jitter); set from
 /// `DistConfig::retry_base`.
 pub const RETRY_BASE_MS_ENV: &str = "MVN_DIST_RETRY_BASE_MS";
+/// Env var: any non-empty value other than `"0"` enables [`obs`] tracing in
+/// the worker process; the recorded events ride the done report back to the
+/// coordinator for the merged multi-process timeline. Set automatically by
+/// the coordinator when tracing is enabled in its own process.
+pub const TRACE_ENV: &str = "MVN_DIST_TRACE";
 
 /// Cap on any single retry backoff sleep.
 const RETRY_CAP: Duration = Duration::from_millis(500);
@@ -192,6 +197,9 @@ struct WorkerCtx {
     shutdown: AtomicBool,
     shutdown_cv: Condvar,
     shutdown_mx: Mutex<bool>,
+    /// Nanoseconds the serving threads spent answering peer tile requests
+    /// (accumulated per request; snapshot rides the done report).
+    serve_ns: AtomicU64,
 }
 
 impl WorkerCtx {
@@ -223,6 +231,9 @@ struct LinkStats {
     comm_bytes: u64,
     fetches: u64,
     reconnects: u64,
+    /// Time this thread spent blocked in [`ensure_final`] waiting for input
+    /// tiles (local finalization waits, remote fetches, and retries).
+    fetch_wait_ns: u64,
 }
 
 /// Per-thread fetch connections (keyed by resolved address, so a fold that
@@ -320,8 +331,24 @@ impl SizedRead {
 /// thread will finalize it), or a remote fetch with re-routing retries.
 fn ensure_final(ctx: &WorkerCtx, links: &mut PeerLinks, id: TileId) -> Result<(), WorkerErrorMsg> {
     if ctx.store.has_final(id) {
-        return Ok(());
+        return Ok(()); // resident hit: not a wait, not counted
     }
+    let wait_start = obs::now_ns();
+    let result = ensure_final_wait(ctx, links, id);
+    links.stats.fetch_wait_ns += obs::now_ns().saturating_sub(wait_start);
+    obs::complete_since(
+        "dist_fetch_wait",
+        wait_start,
+        &[("i", id.0 as u64), ("j", id.1 as u64)],
+    );
+    result
+}
+
+fn ensure_final_wait(
+    ctx: &WorkerCtx,
+    links: &mut PeerLinks,
+    id: TileId,
+) -> Result<(), WorkerErrorMsg> {
     let owner = ctx.grid.owner(id.0, id.1);
     let mut attempt: u32 = 0;
     let mut last_err = String::from("never attempted");
@@ -426,6 +453,9 @@ fn connect_with_retries(
 /// Run one worker process against the coordinator at `coordinator_addr`.
 /// Returns after the coordinator orders shutdown (or disconnects).
 pub fn run_worker(coordinator_addr: &str) -> Result<(), String> {
+    if std::env::var(TRACE_ENV).is_ok_and(|v| !v.is_empty() && v != "0") {
+        obs::set_enabled(true);
+    }
     let salt = std::process::id() as u64;
     let retries = env_u64(CONNECT_RETRIES_ENV, 5);
     let retry_base = Duration::from_millis(env_u64(RETRY_BASE_MS_ENV, 50));
@@ -478,6 +508,7 @@ pub fn run_worker(coordinator_addr: &str) -> Result<(), String> {
         shutdown: AtomicBool::new(false),
         shutdown_cv: Condvar::new(),
         shutdown_mx: Mutex::new(false),
+        serve_ns: AtomicU64::new(0),
     });
 
     // Serving threads: answer peer tile requests, independent of the
@@ -549,9 +580,27 @@ fn run_pipeline(ctx: &Arc<WorkerCtx>, panels: &[usize]) -> Result<DoneMsg, Worke
     let pool = WorkerPool::new(effective_workers(p.workers));
     let window = effective_lookahead(p.lookahead, pool.workers());
 
+    let factor_span =
+        obs::enabled().then(|| obs::span_with("dist_factor", &[("rank", ctx.rank as u64)]));
     let executed = factor(ctx, &mut links, &pool, window)?;
-    let panel_results = sweep_assigned(ctx, &mut links, panels, Some((&pool, window)))?;
+    drop(factor_span);
+    let sweep_span = obs::enabled().then(|| {
+        obs::span_with(
+            "dist_sweep",
+            &[("rank", ctx.rank as u64), ("panels", panels.len() as u64)],
+        )
+    });
+    let (panel_results, _) = sweep_assigned(ctx, &mut links, panels, Some((&pool, window)))?;
+    drop(sweep_span);
 
+    // Kernel time (factor tasks + panel sweeps) from the pool's always-on
+    // per-label accounting — the Fig.-7-style compute leg of the breakdown.
+    let compute_ns: u64 = pool
+        .stats()
+        .tasks_by_label
+        .iter()
+        .map(|&(_, _, ns)| ns)
+        .sum();
     Ok(DoneMsg {
         for_rank: ctx.rank,
         epoch: ctx.view.epoch(),
@@ -562,6 +611,14 @@ fn run_pipeline(ctx: &Arc<WorkerCtx>, panels: &[usize]) -> Result<DoneMsg, Worke
         // factor task it re-executes from initial data is replay work.
         replayed_tasks: if ctx.born_epoch > 0 { executed } else { 0 },
         reconnects: links.stats.reconnects,
+        compute_ns,
+        fetch_wait_ns: links.stats.fetch_wait_ns,
+        serve_ns: ctx.serve_ns.load(Ordering::Relaxed),
+        trace: if obs::enabled() {
+            obs::take_events()
+        } else {
+            Vec::new()
+        },
     })
 }
 
@@ -661,19 +718,28 @@ fn factor(
     Ok(executed)
 }
 
+/// Per-panel sweep results `(panel index, panel probability mean,
+/// live-chain count)` plus the sequential path's measured sweep-kernel
+/// nanoseconds (see [`sweep_assigned`]).
+type SweepOutcome = (Vec<(usize, f64, usize)>, u64);
+
 /// Sweep the given panels against the fully assembled factor. With a pool,
 /// panels stream through `stream_map` (the main pipeline); without, they
 /// run sequentially in panel order (the replay path). Both produce
 /// bit-identical per-panel results — a panel's result depends only on the
 /// panel index and the factor bits.
+///
+/// The second return value is the sequential path's measured sweep-kernel
+/// time; the pooled path returns 0 there because its kernel time is already
+/// captured by the pool's per-label accounting.
 fn sweep_assigned(
     ctx: &Arc<WorkerCtx>,
     links: &mut PeerLinks,
     panels: &[usize],
     pool: Option<(&WorkerPool, usize)>,
-) -> Result<Vec<(usize, f64, usize)>, WorkerErrorMsg> {
+) -> Result<SweepOutcome, WorkerErrorMsg> {
     if panels.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), 0));
     }
     let p = &ctx.problem;
     let layout = ctx.layout;
@@ -707,6 +773,7 @@ fn sweep_assigned(
             lookahead: p.lookahead,
         },
     };
+    let mut seq_sweep_ns = 0u64;
     let results: Vec<(f64, usize)> = match pool {
         Some((pool, window)) => {
             let cost = |_: usize, _: &usize| (nt * cfg.panel_width) as f64;
@@ -727,14 +794,23 @@ fn sweep_assigned(
         }
         None => panels
             .iter()
-            .map(|&panel| sweep_panel(&factor, layout, &p.a, &p.b, points_ref, &cfg, panel))
+            .map(|&panel| {
+                let t0 = obs::now_ns();
+                let r = sweep_panel(&factor, layout, &p.a, &p.b, points_ref, &cfg, panel);
+                seq_sweep_ns += obs::now_ns().saturating_sub(t0);
+                obs::complete_since("dist_panel_sweep", t0, &[("panel", panel as u64)]);
+                r
+            })
             .collect(),
     };
-    Ok(panels
-        .iter()
-        .zip(results)
-        .map(|(&panel, (mean, count))| (panel, mean, count))
-        .collect())
+    Ok((
+        panels
+            .iter()
+            .zip(results)
+            .map(|(&panel, (mean, count))| (panel, mean, count))
+            .collect(),
+        seq_sweep_ns,
+    ))
 }
 
 /// Re-own recovery: replay a dead rank's factor plan slice from its initial
@@ -779,6 +855,13 @@ fn replay_rank_inner(
     let mut skip: HashSet<TileId> = HashSet::new();
     let mut touched: HashSet<TileId> = HashSet::new();
     let mut replayed = 0u64;
+    let mut kernel_ns = 0u64;
+    let replay_span = obs::enabled().then(|| {
+        obs::span_with(
+            "dist_replay",
+            &[("rank", reown.rank as u64), ("epoch", reown.epoch)],
+        )
+    });
 
     for step in crate::plan::rank_slice(&plan, &ctx.grid, reown.rank) {
         // First touch of a tile decides once whether to replay it: if a
@@ -800,6 +883,7 @@ fn replay_rank_inner(
             ))
         })?;
         let pivot0 = layout.tile_start(step.out.0);
+        let t0 = obs::now_ns();
         run_kernel(
             step.kernel,
             out,
@@ -810,6 +894,7 @@ fn replay_rank_inner(
             tlr_tol,
             tlr_max_rank,
         );
+        kernel_ns += obs::now_ns().saturating_sub(t0);
         replayed += 1;
         if let Some(pivot) = status.pivot() {
             return Err(WorkerErrorMsg::Factorization { pivot });
@@ -820,7 +905,8 @@ fn replay_rank_inner(
         }
     }
 
-    let panel_results = sweep_assigned(ctx, &mut links, &reown.panels, None)?;
+    let (panel_results, sweep_ns) = sweep_assigned(ctx, &mut links, &reown.panels, None)?;
+    drop(replay_span);
     let _ = started; // recovery wall time is measured by the coordinator
     Ok(DoneMsg {
         for_rank: reown.rank,
@@ -830,6 +916,16 @@ fn replay_rank_inner(
         fetches: links.stats.fetches,
         replayed_tasks: replayed,
         reconnects: links.stats.reconnects,
+        compute_ns: kernel_ns + sweep_ns,
+        // Serving time is process-wide and already attributed to this
+        // process's own-rank report.
+        serve_ns: 0,
+        fetch_wait_ns: links.stats.fetch_wait_ns,
+        trace: if obs::enabled() {
+            obs::take_events()
+        } else {
+            Vec::new()
+        },
     })
 }
 
@@ -919,6 +1015,11 @@ fn serve_tiles(listener: TcpListener, ctx: Arc<WorkerCtx>) {
             let mut reader = BufReader::new(peer_read);
             let mut writer = stream;
             while let Ok(Some(msg)) = read_msg(&mut reader) {
+                // Serve time runs from request receipt to response written
+                // (idle time blocked on the peer's next request is not
+                // serving); a wait for the local pipeline to finalize the
+                // tile *is* — the thread is occupied on the peer's behalf.
+                let t0 = obs::now_ns();
                 let Ok(id) = proto::parse_tile_request(&msg) else {
                     return;
                 };
@@ -941,6 +1042,13 @@ fn serve_tiles(listener: TcpListener, ctx: Arc<WorkerCtx>) {
                 if write_msg(&mut writer, &response).is_err() {
                     return;
                 }
+                ctx.serve_ns
+                    .fetch_add(obs::now_ns().saturating_sub(t0), Ordering::Relaxed);
+                obs::complete_since(
+                    "dist_serve_tile",
+                    t0,
+                    &[("i", id.0 as u64), ("j", id.1 as u64)],
+                );
             }
         });
     }

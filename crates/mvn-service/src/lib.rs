@@ -76,8 +76,8 @@ pub use service::{
 };
 pub use spec::{CovSpec, FactorFingerprint};
 pub use tcp::{
-    render_solve_request, render_solve_request_deadline, render_stats_request,
-    render_unpin_request, render_warm_request, MvnServer, ServiceClient,
+    render_metrics_request, render_solve_request, render_solve_request_deadline,
+    render_stats_request, render_unpin_request, render_warm_request, MvnServer, ServiceClient,
 };
 pub use wire::json;
 pub use wire::Json;

@@ -68,7 +68,6 @@ use mvn_core::{
     EngineError, Factor, MvnConfig, MvnEngine, MvnResult, Problem, ProblemError, Scheduler,
 };
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -335,6 +334,9 @@ struct SolveRequest {
     /// Shed (answer [`ServiceError::DeadlineExceeded`]) if still queued past
     /// this instant.
     deadline: Option<Instant>,
+    /// Monotonic enqueue stamp ([`obs::now_ns`]), for the queue-wait
+    /// histogram and (when tracing) the `svc_queue_wait` timeline event.
+    enqueued_ns: u64,
     tx: mpsc::Sender<Response>,
 }
 
@@ -363,17 +365,62 @@ enum WorkItem {
     Cache(CacheRequest),
 }
 
+/// Everything behind one shard's queue mutex: the queue itself plus every
+/// request counter of the shard. Keeping the counters under the *same* lock
+/// as the queue is what makes a [`MvnService::stats`] scrape consistent: a
+/// request is, at every release of this lock, in exactly one of
+/// {queued, in flight, completed}, so `completed + queue_depth == submitted`
+/// holds for every snapshot — not just at quiescence. (Counters used to be
+/// service-global atomics bumped outside the queue lock; a scrape racing a
+/// submission or a batch could observe a request in zero or two states.)
 struct QueueState {
     items: VecDeque<WorkItem>,
     shutdown: bool,
+    /// Queued solve requests (cache ops in `items` are not requests).
+    queued: u64,
+    /// Solve requests dequeued into a forming/serving batch, not answered yet.
+    in_flight: u64,
+    /// Solve requests admitted (queued + in flight + completed).
+    submitted: u64,
+    /// Solve requests answered (successes, typed errors, deadline sheds).
+    completed: u64,
+    /// Submissions rejected by admission control (never admitted).
+    rejected: u64,
+    /// Deadline sheds (a subset of `completed`).
+    deadline_shed: u64,
+    /// Batches served to completion.
+    batches: u64,
+    /// Requests solved successfully (excludes sheds and errors).
+    solved: u64,
+    /// Served batches that mixed more than one fingerprint.
+    mixed_batches: u64,
+    /// Batch-size histogram of served batches (see [`ServiceStats`]).
+    batch_hist: [u64; BATCH_HIST_BUCKETS],
+}
+
+impl QueueState {
+    fn new() -> Self {
+        Self {
+            items: VecDeque::new(),
+            shutdown: false,
+            queued: 0,
+            in_flight: 0,
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            deadline_shed: 0,
+            batches: 0,
+            solved: 0,
+            mixed_batches: 0,
+            batch_hist: [0; BATCH_HIST_BUCKETS],
+        }
+    }
 }
 
 /// Per-shard state shared between the submitting threads and the dispatcher.
 struct Shard {
     queue: Mutex<QueueState>,
     cv: Condvar,
-    batches: AtomicU64,
-    solved: AtomicU64,
     snapshot: Mutex<ShardSnapshot>,
 }
 
@@ -383,27 +430,35 @@ struct ShardSnapshot {
     pool: Option<PoolStats>,
 }
 
-/// Service-wide counters shared with the shard dispatchers.
-struct ServiceShared {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    deadline_shed: AtomicU64,
-    mixed_batches: AtomicU64,
-    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
-}
-
 /// A point-in-time snapshot of one shard (see [`ServiceStats`]).
+///
+/// All request counters of one shard are read under the shard's queue lock
+/// in a single critical section, so they are mutually consistent:
+/// `completed + queue_depth == submitted` holds *within every `ShardStats`*,
+/// even while batches are mid-flight.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
-    /// Requests currently queued.
+    /// Requests admitted and not yet answered: still queued *or* dequeued
+    /// into a batch that has not completed (in flight).
     pub queue_depth: usize,
-    /// Batches dispatched so far.
+    /// Requests admitted to this shard.
+    pub submitted: u64,
+    /// Requests answered by this shard (successes, errors, and sheds).
+    pub completed: u64,
+    /// Submissions this shard rejected by admission control.
+    pub rejected: u64,
+    /// Requests shed because their deadline lapsed in the queue.
+    pub deadline_shed: u64,
+    /// Batches served so far.
     pub batches: u64,
-    /// Requests answered so far.
+    /// Requests solved successfully so far (excludes sheds and errors).
     pub solved: u64,
+    /// Served batches that mixed more than one fingerprint.
+    pub mixed_batches: u64,
+    /// This shard's batch-size histogram (see [`ServiceStats::batch_hist`]).
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
     /// The shard's factor-cache counters.
     pub cache: CacheStats,
     /// The shard engine's pool counters (`None` until the first batch).
@@ -411,13 +466,18 @@ pub struct ShardStats {
 }
 
 /// A point-in-time snapshot of the whole service.
+///
+/// Service-wide totals are sums of per-shard snapshots, each taken under its
+/// shard's queue lock — so `completed + queue_depth() == submitted` holds in
+/// *every* snapshot (each shard's triple is internally consistent, and a sum
+/// of consistent triples is consistent), not just at quiescence.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
-    /// Requests admitted (including ones still queued).
+    /// Requests admitted (including ones still queued or in flight).
     pub submitted: u64,
     /// Requests answered — successes, per-request errors, and deadline
-    /// sheds all count, so `completed + queue_depth == submitted` holds at
-    /// quiescence.
+    /// sheds all count, so `completed + queue_depth() == submitted` holds
+    /// in every snapshot.
     pub completed: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
@@ -436,7 +496,8 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Requests currently queued across all shards.
+    /// Requests admitted but not yet answered across all shards (queued or
+    /// in flight in a batch).
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.queue_depth).sum()
     }
@@ -513,7 +574,6 @@ fn batch_bucket(size: usize) -> usize {
 pub struct MvnService {
     cfg: ServiceConfig,
     shards: Vec<Arc<Shard>>,
-    shared: Arc<ServiceShared>,
     dispatchers: Vec<JoinHandle<()>>,
 }
 
@@ -522,14 +582,6 @@ impl MvnService {
     pub fn start(cfg: ServiceConfig) -> Result<Self, EngineError> {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
-        let shared = Arc::new(ServiceShared {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            deadline_shed: AtomicU64::new(0),
-            mixed_batches: AtomicU64::new(0),
-            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
-        });
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut dispatchers = Vec::with_capacity(cfg.shards);
         for _ in 0..cfg.shards {
@@ -550,19 +602,13 @@ impl MvnService {
                 })
                 .build()?;
             let shard = Arc::new(Shard {
-                queue: Mutex::new(QueueState {
-                    items: VecDeque::new(),
-                    shutdown: false,
-                }),
+                queue: Mutex::new(QueueState::new()),
                 cv: Condvar::new(),
-                batches: AtomicU64::new(0),
-                solved: AtomicU64::new(0),
                 snapshot: Mutex::new(ShardSnapshot::default()),
             });
             shards.push(Arc::clone(&shard));
             let ctx = DispatcherCtx {
                 shard,
-                shared: Arc::clone(&shared),
                 shard_idx: shards.len() - 1,
                 max_batch: cfg.max_batch,
                 batch_delay: cfg.batch_delay,
@@ -579,7 +625,6 @@ impl MvnService {
         Ok(Self {
             cfg,
             shards,
-            shared,
             dispatchers,
         })
     }
@@ -629,23 +674,28 @@ impl MvnService {
                 return Err(ServiceError::ShuttingDown);
             }
             if st.items.len() >= self.cfg.queue_capacity {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                st.rejected += 1;
                 return Err(ServiceError::Overloaded {
                     shard: idx,
                     depth: st.items.len(),
                     capacity: self.cfg.queue_capacity,
                 });
             }
+            // Admission and the `submitted` count land in the same critical
+            // section, so no stats scrape can see the request queued but not
+            // submitted (or vice versa).
+            st.submitted += 1;
+            st.queued += 1;
             st.items.push_back(WorkItem::Solve(SolveRequest {
                 spec: Arc::clone(&handle.spec),
                 fp: handle.fp,
                 problem,
                 deadline,
+                enqueued_ns: obs::now_ns(),
                 tx,
             }));
             shard.cv.notify_one();
         }
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket { rx, shard: idx })
     }
 
@@ -718,32 +768,54 @@ impl MvnService {
         Ok(CacheTicket { rx, shard: idx })
     }
 
-    /// A point-in-time snapshot of every counter the service keeps.
+    /// A point-in-time snapshot of every counter the service keeps. Each
+    /// shard is read in one critical section of its queue lock, so every
+    /// [`ShardStats`] — and therefore the service-wide sums — satisfies
+    /// `completed + queue_depth == submitted` even while requests are in
+    /// flight.
     pub fn stats(&self) -> ServiceStats {
-        let shards = self
+        let shards: Vec<ShardStats> = self
             .shards
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let queue_depth = s.queue.lock().unwrap().items.len();
+                let q = s.queue.lock().unwrap();
+                let shard = ShardStats {
+                    shard: i,
+                    queue_depth: (q.queued + q.in_flight) as usize,
+                    submitted: q.submitted,
+                    completed: q.completed,
+                    rejected: q.rejected,
+                    deadline_shed: q.deadline_shed,
+                    batches: q.batches,
+                    solved: q.solved,
+                    mixed_batches: q.mixed_batches,
+                    batch_hist: q.batch_hist,
+                    cache: CacheStats::default(),
+                    pool: None,
+                };
+                drop(q);
                 let snap = s.snapshot.lock().unwrap().clone();
                 ShardStats {
-                    shard: i,
-                    queue_depth,
-                    batches: s.batches.load(Ordering::Relaxed),
-                    solved: s.solved.load(Ordering::Relaxed),
                     cache: snap.cache,
                     pool: snap.pool,
+                    ..shard
                 }
             })
             .collect();
+        let mut batch_hist = [0u64; BATCH_HIST_BUCKETS];
+        for s in &shards {
+            for (total, b) in batch_hist.iter_mut().zip(s.batch_hist) {
+                *total += b;
+            }
+        }
         ServiceStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            deadline_shed: self.shared.deadline_shed.load(Ordering::Relaxed),
-            mixed_batches: self.shared.mixed_batches.load(Ordering::Relaxed),
-            batch_hist: std::array::from_fn(|i| self.shared.batch_hist[i].load(Ordering::Relaxed)),
+            submitted: shards.iter().map(|s| s.submitted).sum(),
+            completed: shards.iter().map(|s| s.completed).sum(),
+            rejected: shards.iter().map(|s| s.rejected).sum(),
+            deadline_shed: shards.iter().map(|s| s.deadline_shed).sum(),
+            mixed_batches: shards.iter().map(|s| s.mixed_batches).sum(),
+            batch_hist,
             shards,
         }
     }
@@ -765,7 +837,6 @@ impl Drop for MvnService {
 /// Everything a shard dispatcher needs besides its engine and cache.
 struct DispatcherCtx {
     shard: Arc<Shard>,
-    shared: Arc<ServiceShared>,
     shard_idx: usize,
     max_batch: usize,
     batch_delay: Duration,
@@ -774,7 +845,12 @@ struct DispatcherCtx {
 
 /// One unit of dispatcher work out of [`collect_work`].
 enum Work {
-    Batch(Vec<SolveRequest>),
+    Batch {
+        batch: Vec<SolveRequest>,
+        /// [`obs::now_ns`] stamp of the first dequeue, for the
+        /// `svc_batch_form` timeline event (`None` when tracing is off).
+        form_start: Option<u64>,
+    },
     Cache(CacheRequest),
 }
 
@@ -789,11 +865,15 @@ fn lapsed(r: &SolveRequest) -> Option<Duration> {
     }
 }
 
-/// Answer a deadline-expired request without solving it. Sheds count as
-/// completions so `completed + queue_depth == submitted` keeps holding.
-fn shed(ctx: &DispatcherCtx, r: SolveRequest, missed_by: Duration) {
-    ctx.shared.deadline_shed.fetch_add(1, Ordering::Relaxed);
-    ctx.shared.completed.fetch_add(1, Ordering::Relaxed);
+/// Answer a deadline-expired request without solving it. Runs with the shard
+/// queue lock held (`st`): the request moves from queued to completed in one
+/// critical section, so sheds keep `completed + queue_depth == submitted`
+/// true at every lock release. The channel send never blocks, so holding the
+/// lock across it is fine.
+fn shed(ctx: &DispatcherCtx, st: &mut QueueState, r: SolveRequest, missed_by: Duration) {
+    st.queued -= 1;
+    st.deadline_shed += 1;
+    st.completed += 1;
     let _ = r.tx.send(Err(ServiceError::DeadlineExceeded {
         shard: ctx.shard_idx,
         missed_by,
@@ -825,7 +905,7 @@ fn collect_work(
         match st.items.pop_front() {
             Some(WorkItem::Cache(c)) => return Some(Work::Cache(c)),
             Some(WorkItem::Solve(r)) => match lapsed(&r) {
-                Some(missed) => shed(ctx, r, missed),
+                Some(missed) => shed(ctx, &mut st, r, missed),
                 None => break r,
             },
             None => {
@@ -836,6 +916,13 @@ fn collect_work(
             }
         }
     };
+    // The primary moves from queued to in flight inside the critical section
+    // that popped it, as does every later joiner — a stats scrape taken
+    // while this batch forms (the lock is released during the flush wait)
+    // sees each request in exactly one state.
+    st.queued -= 1;
+    st.in_flight += 1;
+    let form_start = obs::enabled().then(obs::now_ns);
     let primary_fp = first.fp;
     let flush_at = Instant::now() + ctx.batch_delay;
     let mut batch = vec![first];
@@ -855,12 +942,14 @@ fn collect_work(
                 }
                 WorkItem::Solve(r) => {
                     if let Some(missed) = lapsed(&r) {
-                        shed(ctx, r, missed);
+                        shed(ctx, &mut st, r, missed);
                         continue;
                     }
                     let joins = batch.len() < ctx.max_batch
                         && (r.fp == primary_fp || (ctx.cross_spec && cache.contains(r.fp)));
                     if joins {
+                        st.queued -= 1;
+                        st.in_flight += 1;
                         batch.push(r);
                     } else {
                         blocked_waiting = true;
@@ -887,7 +976,7 @@ fn collect_work(
         let (guard, _timeout) = shard.cv.wait_timeout(st, wait_until - now).unwrap();
         st = guard;
     }
-    Some(Work::Batch(batch))
+    Some(Work::Batch { batch, form_start })
 }
 
 /// Render a caught panic payload for [`ServiceError::Internal`].
@@ -965,10 +1054,51 @@ fn serve_batch(
     engine: &MvnEngine,
     cache: &mut FactorCache,
     batch: Vec<SolveRequest>,
+    batch_id: u64,
+    form_start: Option<u64>,
 ) {
     let size = batch.len();
-    ctx.shard.batches.fetch_add(1, Ordering::Relaxed);
-    ctx.shared.batch_hist[batch_bucket(size)].fetch_add(1, Ordering::Relaxed);
+    let shard_arg = ctx.shard_idx as u64;
+    let tracing = obs::enabled();
+    if tracing {
+        // Per-member queue-wait and the batch-forming window, linked to the
+        // solve/reply spans below by the (shard, batch) argument pair.
+        if let Some(t0) = form_start {
+            obs::complete_since(
+                "svc_batch_form",
+                t0,
+                &[
+                    ("shard", shard_arg),
+                    ("batch", batch_id),
+                    ("size", size as u64),
+                ],
+            );
+        }
+        for r in &batch {
+            obs::complete_since(
+                "svc_queue_wait",
+                r.enqueued_ns,
+                &[("shard", shard_arg), ("batch", batch_id)],
+            );
+        }
+    }
+    // Always-on metrics (independent of tracing).
+    let now = obs::now_ns();
+    let wait_hist = obs::histogram("mvn_service_queue_wait_ns");
+    for r in &batch {
+        wait_hist.record(now.saturating_sub(r.enqueued_ns));
+    }
+    obs::histogram("mvn_service_batch_size").record(size as u64);
+    let solve_span = tracing.then(|| {
+        obs::span_with(
+            "svc_solve",
+            &[
+                ("shard", shard_arg),
+                ("batch", batch_id),
+                ("size", size as u64),
+            ],
+        )
+    });
 
     // Group by fingerprint in first-appearance order.
     let mut groups: Vec<(FactorFingerprint, Arc<CovSpec>)> = Vec::new();
@@ -983,9 +1113,7 @@ fn serve_batch(
             });
         group_of.push(g);
     }
-    if groups.len() > 1 {
-        ctx.shared.mixed_batches.fetch_add(1, Ordering::Relaxed);
-    }
+    let mixed = groups.len() > 1;
 
     // The response channels stay *outside* the panic boundary so even a
     // panic out of the factorization or the solve (a bug, or a pathological
@@ -1044,17 +1172,31 @@ fn serve_batch(
             Err(payload) => Err(ServiceError::Internal(panic_message(payload))),
         };
 
-    // Every counter is published *before* the responses go out.
+    drop(solve_span);
+
+    // Every counter is published *before* the responses go out, and the
+    // whole batch moves from in flight to completed in one critical section
+    // of the queue lock — a scrape racing this batch sees it either entirely
+    // in flight or entirely completed, never split.
     let solved_now = match &outcome {
         Ok(slots) => slots.iter().filter(|s| s.is_ok()).count() as u64,
         Err(_) => 0,
     };
-    ctx.shard.solved.fetch_add(solved_now, Ordering::Relaxed);
-    ctx.shared
-        .completed
-        .fetch_add(size as u64, Ordering::Relaxed);
+    {
+        let mut st = ctx.shard.queue.lock().unwrap();
+        st.in_flight -= size as u64;
+        st.completed += size as u64;
+        st.batches += 1;
+        st.solved += solved_now;
+        if mixed {
+            st.mixed_batches += 1;
+        }
+        st.batch_hist[batch_bucket(size)] += 1;
+    }
     publish_snapshot(ctx, engine, cache);
 
+    let _reply_span =
+        tracing.then(|| obs::span_with("svc_reply", &[("shard", shard_arg), ("batch", batch_id)]));
     match outcome {
         Ok(slots) => {
             for (slot, tx) in slots.into_iter().zip(txs) {
@@ -1080,10 +1222,17 @@ fn serve_batch(
 fn dispatcher_main(ctx: DispatcherCtx, engine: MvnEngine, cache_capacity: usize) {
     let mut cache = FactorCache::new(cache_capacity);
     let mut scratch = VecDeque::new();
+    // Shard-local batch sequence number; with the shard index it uniquely
+    // labels a batch in the trace, linking queue-wait/form/solve/reply
+    // events of the same batch.
+    let mut batch_seq: u64 = 0;
     while let Some(work) = collect_work(&ctx, &cache, &mut scratch) {
         match work {
             Work::Cache(req) => serve_cache_op(&ctx, &engine, &mut cache, req),
-            Work::Batch(batch) => serve_batch(&ctx, &engine, &mut cache, batch),
+            Work::Batch { batch, form_start } => {
+                batch_seq += 1;
+                serve_batch(&ctx, &engine, &mut cache, batch, batch_seq, form_start);
+            }
         }
     }
 }

@@ -54,6 +54,15 @@
 //! — the full [`ServiceStats`](crate::ServiceStats) snapshot, so operators
 //! and load tests scrape hit rates and queue depths without process-internal
 //! access.
+//!
+//! Metrics request: `{"id":5,"metrics":true}` → `{"id":5,"metrics":"…"}`
+//! where the payload is Prometheus-style text exposition (JSON-escaped, so
+//! `\n`-separated `# TYPE` + sample lines): every instrument of the process
+//! [`obs`] metrics registry (queue-wait and batch-size histograms with
+//! p50/p95/p99, plus whatever else the process registered) followed by a
+//! consistent [`ServiceStats`](crate::ServiceStats) snapshot re-rendered as
+//! `mvn_service_*` / `mvn_pool_*` gauges. Scrape it with `nc`:
+//! `echo '{"id":1,"metrics":true}' | nc 127.0.0.1 9000`.
 
 use crate::json::{write_escaped, write_f64, Json};
 use crate::service::{
@@ -241,6 +250,9 @@ fn handle_line(service: &MvnService, line: &str) -> Pending {
         .unwrap_or(0);
     if req.get("stats").and_then(Json::as_bool) == Some(true) {
         return Pending::Ready(render_stats(id, service));
+    }
+    if req.get("metrics").and_then(Json::as_bool) == Some(true) {
+        return Pending::Ready(render_metrics(id, service));
     }
     if req.get("warm").and_then(Json::as_bool) == Some(true) {
         let pin = req.get("pin").and_then(Json::as_bool).unwrap_or(false);
@@ -539,6 +551,11 @@ pub fn render_stats_request(id: u64) -> String {
     format!("{{\"id\":{id},\"stats\":true}}")
 }
 
+/// Render a metrics request line (Prometheus-style text exposition back).
+pub fn render_metrics_request(id: u64) -> String {
+    format!("{{\"id\":{id},\"metrics\":true}}")
+}
+
 fn render_response(id: u64, response: Result<SolveOutput, ServiceError>) -> String {
     match response {
         Ok(out) => {
@@ -630,6 +647,67 @@ fn render_stats(id: u64, service: &MvnService) -> String {
         ));
     }
     s.push_str("]}}");
+    s
+}
+
+/// Render the process metrics registry plus a consistent service snapshot as
+/// Prometheus text exposition, wrapped in one JSON response line.
+fn render_metrics(id: u64, service: &MvnService) -> String {
+    let st = service.stats();
+    let mut extra: Vec<(String, f64)> = vec![
+        ("mvn_service_submitted_total".into(), st.submitted as f64),
+        ("mvn_service_completed_total".into(), st.completed as f64),
+        ("mvn_service_rejected_total".into(), st.rejected as f64),
+        (
+            "mvn_service_deadline_shed_total".into(),
+            st.deadline_shed as f64,
+        ),
+        ("mvn_service_queue_depth".into(), st.queue_depth() as f64),
+        ("mvn_service_batches_total".into(), st.batches() as f64),
+        (
+            "mvn_service_mixed_batches_total".into(),
+            st.mixed_batches as f64,
+        ),
+        ("mvn_service_solved_total".into(), st.solved() as f64),
+        ("mvn_service_mean_batch_size".into(), st.mean_batch_size()),
+        ("mvn_cache_hits_total".into(), st.cache_hits() as f64),
+        ("mvn_cache_misses_total".into(), st.cache_misses() as f64),
+        (
+            "mvn_cache_evictions_total".into(),
+            st.cache_evictions() as f64,
+        ),
+        (
+            "mvn_cache_oversized_total".into(),
+            st.cache_oversized() as f64,
+        ),
+        ("mvn_cache_pinned".into(), st.cache_pinned() as f64),
+        ("mvn_cache_hit_rate".into(), st.cache_hit_rate()),
+        (
+            "mvn_cache_entries".into(),
+            st.shards.iter().map(|s| s.cache.entries).sum::<usize>() as f64,
+        ),
+        (
+            "mvn_cache_bytes".into(),
+            st.shards.iter().map(|s| s.cache.bytes).sum::<usize>() as f64,
+        ),
+    ];
+    let (mut workers, mut graphs, mut tasks, mut streams) = (0u64, 0u64, 0u64, 0u64);
+    for sh in &st.shards {
+        if let Some(p) = &sh.pool {
+            workers += p.workers as u64;
+            graphs += p.graphs_run;
+            tasks += p.tasks_run;
+            streams += p.streams_run;
+        }
+    }
+    extra.push(("mvn_pool_workers".into(), workers as f64));
+    extra.push(("mvn_pool_graphs_total".into(), graphs as f64));
+    extra.push(("mvn_pool_tasks_total".into(), tasks as f64));
+    extra.push(("mvn_pool_streams_total".into(), streams as f64));
+    let text = obs::render_prometheus(&extra);
+    let mut s = format!("{{\"id\":{id},\"metrics\":");
+    write_escaped(&mut s, &text);
+    s.push('}');
     s
 }
 

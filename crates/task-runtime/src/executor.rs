@@ -52,6 +52,11 @@ pub(crate) fn run_inline(graph: &mut TaskGraph<'_>) -> ExecutionTrace {
     let mut records = Vec::with_capacity(n);
     let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
     for i in 0..n {
+        // Per-task trace span, mirroring the threaded worker loop (inline
+        // execution is always "worker 0"); one relaxed load when tracing is
+        // off.
+        let span = obs::enabled()
+            .then(|| obs::span_with(obs::intern(&graph.spec(i).name), &[("worker", 0)]));
         let start = t0.elapsed().as_secs_f64();
         if let Some(f) = graph.take_closure(i) {
             if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
@@ -59,6 +64,7 @@ pub(crate) fn run_inline(graph: &mut TaskGraph<'_>) -> ExecutionTrace {
             }
         }
         let end = t0.elapsed().as_secs_f64();
+        drop(span);
         records.push(TaskRecord {
             task: i,
             name: graph.spec(i).name.clone(),

@@ -25,7 +25,7 @@ use crate::executor::{run_inline, ExecutionTrace, TaskRecord};
 use crate::graph::{TaskClosure, TaskGraph};
 use crate::stream::{StreamJob, StreamStats, StreamSubmitter};
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -95,6 +95,9 @@ struct Job {
     records: Mutex<Vec<TaskRecord>>,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     t0: Instant,
+    /// Pool-wide submission id of this graph, carried by the per-task trace
+    /// spans so a timeline can attribute tasks to their graph.
+    graph_id: u64,
 }
 
 /// Releases a finished task's dependents and decrements the job's global
@@ -133,7 +136,7 @@ impl Job {
     /// The caller must not let the returned job outlive the borrows captured
     /// by the graph's closures without first waiting for [`Job::wait_done`]:
     /// only once `remaining` is zero have all closures been consumed.
-    unsafe fn new(graph: &mut TaskGraph<'_>) -> Self {
+    unsafe fn new(graph: &mut TaskGraph<'_>, graph_id: u64) -> Self {
         let n = graph.len();
         let mut closures: Vec<Mutex<Option<TaskClosure<'static>>>> = Vec::with_capacity(n);
         for i in 0..n {
@@ -167,6 +170,7 @@ impl Job {
             records: Mutex::new(Vec::with_capacity(n)),
             panic: Mutex::new(None),
             t0: Instant::now(),
+            graph_id,
         }
     }
 
@@ -174,6 +178,14 @@ impl Job {
     fn worker_loop(&self, worker_id: usize) {
         while let Some(task) = self.queue.pop(&self.remaining) {
             let _completion = CompletionGuard { job: self, task };
+            // Per-task trace span (one relaxed load when tracing is off; the
+            // label intern and argument capture only happen when it is on).
+            let _span = obs::enabled().then(|| {
+                obs::span_with(
+                    obs::intern(&self.names[task]),
+                    &[("worker", worker_id as u64), ("graph", self.graph_id)],
+                )
+            });
             let start = self.t0.elapsed().as_secs_f64();
             let closure = self.closures[task].lock().unwrap().take();
             if let Some(f) = closure {
@@ -238,7 +250,7 @@ struct PoolState {
 }
 
 /// A snapshot of pool usage counters (see [`WorkerPool::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolStats {
     /// Number of worker threads owned by the pool (constant for its whole
     /// lifetime — the pool never spawns on demand).
@@ -253,6 +265,22 @@ pub struct PoolStats {
     /// bounded by the largest lookahead window any session used (the
     /// `O(lookahead)` peak-task-storage guarantee, asserted by tests).
     pub stream_peak_tasks: usize,
+    /// Always-on cumulative per-task-kind timing: `(label, count,
+    /// total nanoseconds)`, sorted by label. Covers every execution path
+    /// (materialized, inline and streamed) of this pool, so an engine or
+    /// serving snapshot can tell factorization kernels from panel sweeps
+    /// without enabling tracing.
+    pub tasks_by_label: Vec<(String, u64, u64)>,
+}
+
+impl PoolStats {
+    /// The `(count, total ns)` recorded for task kind `label` so far.
+    pub fn label_timing(&self, label: &str) -> Option<(u64, u64)> {
+        self.tasks_by_label
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|&(_, c, ns)| (c, ns))
+    }
 }
 
 /// A persistent pool of worker threads executing [`TaskGraph`]s.
@@ -283,6 +311,10 @@ pub struct WorkerPool {
     tasks_run: AtomicU64,
     streams_run: AtomicU64,
     stream_peak_tasks: AtomicUsize,
+    /// Cumulative per-task-kind `(count, ns)` across every execution path;
+    /// merged once per graph/stream (not per task), so the always-on cost is
+    /// one short lock per submission.
+    label_times: Mutex<BTreeMap<String, (u64, u64)>>,
 }
 
 impl WorkerPool {
@@ -317,6 +349,48 @@ impl WorkerPool {
             tasks_run: AtomicU64::new(0),
             streams_run: AtomicU64::new(0),
             stream_peak_tasks: AtomicUsize::new(0),
+            label_times: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Accumulate a drained graph's per-task records into the per-label
+    /// timing map: aggregated locally first, so the shared lock is taken once
+    /// per graph regardless of task count.
+    fn merge_label_records(&self, records: &[TaskRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut local: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for r in records {
+            let ns = ((r.end - r.start).max(0.0) * 1e9) as u64;
+            let e = local.entry(r.name.as_str()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += ns;
+        }
+        let mut times = self.label_times.lock().unwrap();
+        for (name, (c, ns)) in local {
+            match times.get_mut(name) {
+                Some(e) => {
+                    e.0 += c;
+                    e.1 += ns;
+                }
+                None => {
+                    times.insert(name.to_string(), (c, ns));
+                }
+            }
+        }
+    }
+
+    /// Merge a streaming session's per-label `(count, ns)` map.
+    fn merge_label_map(&self, by_label: BTreeMap<String, (u64, u64)>) {
+        if by_label.is_empty() {
+            return;
+        }
+        let mut times = self.label_times.lock().unwrap();
+        for (name, (c, ns)) in by_label {
+            let e = times.entry(name).or_insert((0, 0));
+            e.0 += c;
+            e.1 += ns;
         }
     }
 
@@ -356,7 +430,7 @@ impl WorkerPool {
             };
             match job {
                 PoolJob::Graph(job) => job.worker_loop(worker_id),
-                PoolJob::Stream(job) => job.worker_loop(),
+                PoolJob::Stream(job) => job.worker_loop(worker_id),
             }
         }
     }
@@ -371,12 +445,20 @@ impl WorkerPool {
     /// worker count never changes after construction, which is what the
     /// pool-reuse tests assert against (no thread growth across submissions).
     pub fn stats(&self) -> PoolStats {
+        let tasks_by_label = self
+            .label_times
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, &(c, ns))| (name.clone(), c, ns))
+            .collect();
         PoolStats {
             workers: self.workers(),
             graphs_run: self.graphs_run.load(Ordering::Relaxed),
             tasks_run: self.tasks_run.load(Ordering::Relaxed),
             streams_run: self.streams_run.load(Ordering::Relaxed),
             stream_peak_tasks: self.stream_peak_tasks.load(Ordering::Relaxed),
+            tasks_by_label,
         }
     }
 
@@ -398,10 +480,12 @@ impl WorkerPool {
         if n == 0 {
             return ExecutionTrace::default();
         }
-        self.graphs_run.fetch_add(1, Ordering::Relaxed);
+        let graph_id = self.graphs_run.fetch_add(1, Ordering::Relaxed) + 1;
         self.tasks_run.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads.is_empty() || n <= 2 {
-            return run_inline(graph);
+            let trace = run_inline(graph);
+            self.merge_label_records(&trace.records);
+            return trace;
         }
 
         // A task closure cannot submit to the pool that is executing it: the
@@ -415,7 +499,9 @@ impl WorkerPool {
         // order is a valid topological order, and the outer job's dependency
         // accounting is untouched).
         if self.must_run_inline(std::thread::current().id()) {
-            return run_inline(graph);
+            let trace = run_inline(graph);
+            self.merge_label_records(&trace.records);
+            return trace;
         }
 
         let (trace, panic) = {
@@ -424,7 +510,7 @@ impl WorkerPool {
             // consumed, so no borrow captured by the graph's closures
             // outlives this call; worker threads may briefly keep the (by
             // then closure-free) job alive past it.
-            let job = Arc::new(unsafe { Job::new(graph) });
+            let job = Arc::new(unsafe { Job::new(graph, graph_id) });
             {
                 let mut st = self.shared.state.lock().unwrap();
                 st.epoch += 1;
@@ -438,6 +524,7 @@ impl WorkerPool {
             let outcome = (job.take_trace(), job.panic.lock().unwrap().take());
             outcome
         };
+        self.merge_label_records(&trace.records);
         if let Some(payload) = panic {
             resume_unwind(payload);
         }
@@ -485,7 +572,8 @@ impl WorkerPool {
             // run the whole session inline, like `run` does.
             let mut s = StreamSubmitter::inline(lookahead);
             let out = catch_unwind(AssertUnwindSafe(|| f(&mut s)));
-            let (stats, panic) = s.finish();
+            let (stats, by_label, panic) = s.finish();
+            self.merge_label_map(by_label);
             self.record_stream(&stats);
             match out {
                 Ok(r) => {
@@ -497,13 +585,14 @@ impl WorkerPool {
                 Err(payload) => resume_unwind(payload),
             }
         } else {
-            let (out, stats, panic) = {
+            let (out, stats, by_label, panic) = {
                 let _submission = self.submit_lock.lock().unwrap();
                 // Published while the submission closure runs under the
                 // lock, so nested pool entry from this thread is routed
                 // inline (see `must_run_inline`) instead of deadlocking.
                 *self.stream_submitter.lock().unwrap() = Some(me);
-                let job = Arc::new(StreamJob::new(lookahead));
+                let stream_id = self.streams_run.load(Ordering::Relaxed) + 1;
+                let job = Arc::new(StreamJob::new(lookahead, stream_id));
                 {
                     let mut st = self.shared.state.lock().unwrap();
                     st.epoch += 1;
@@ -515,11 +604,12 @@ impl WorkerPool {
                 // already-submitted closures (and the borrows they captured)
                 // must be consumed before this frame unwinds.
                 let out = catch_unwind(AssertUnwindSafe(|| f(&mut s)));
-                let (stats, panic) = s.finish();
+                let (stats, by_label, panic) = s.finish();
                 *self.stream_submitter.lock().unwrap() = None;
                 self.shared.state.lock().unwrap().job = None;
-                (out, stats, panic)
+                (out, stats, by_label, panic)
             };
+            self.merge_label_map(by_label);
             self.record_stream(&stats);
             match out {
                 Ok(r) => {
@@ -889,5 +979,60 @@ mod tests {
         let trace = pool.run(&mut g);
         assert!(trace.records.is_empty());
         assert_eq!(pool.stats().graphs_run, 0);
+    }
+
+    #[test]
+    fn per_label_timing_counts_every_execution_path() {
+        // The always-on `tasks_by_label` accounting must see materialized,
+        // inline-shortcut and streamed tasks alike, with exact counts.
+        for workers in [1usize, 3] {
+            let pool = WorkerPool::new(workers);
+            let mut reg = HandleRegistry::new();
+            // Materialized graph: 6 "alpha" + 2 "beta" tasks.
+            let mut g = TaskGraph::new();
+            for i in 0..8 {
+                let h = reg.register(format!("h{i}"));
+                let name = if i < 6 { "alpha" } else { "beta" };
+                g.submit(
+                    TaskSpec::new(name).access(h, AccessMode::Write),
+                    Some(Box::new(move || {
+                        std::hint::black_box(i);
+                    })),
+                );
+            }
+            pool.run(&mut g);
+            // Small graph (inline shortcut on any pool): 2 more "beta".
+            let mut small = TaskGraph::new();
+            for i in 0..2 {
+                let h = reg.register(format!("s{i}"));
+                small.submit(TaskSpec::new("beta").access(h, AccessMode::Write), None);
+            }
+            pool.run(&mut small);
+            // Streamed: 5 "gamma".
+            pool.stream(4, |s| {
+                for i in 0..5 {
+                    let h = reg.register(format!("g{i}"));
+                    s.submit(TaskSpec::new("gamma").access(h, AccessMode::Write), None);
+                }
+            });
+            let stats = pool.stats();
+            assert_eq!(
+                stats.label_timing("alpha").map(|(c, _)| c),
+                Some(6),
+                "workers={workers}"
+            );
+            assert_eq!(stats.label_timing("beta").map(|(c, _)| c), Some(4));
+            assert_eq!(stats.label_timing("gamma").map(|(c, _)| c), Some(5));
+            assert_eq!(stats.label_timing("delta"), None);
+            // Labels come out sorted (deterministic snapshots).
+            let labels: Vec<&str> = stats
+                .tasks_by_label
+                .iter()
+                .map(|(l, _, _)| l.as_str())
+                .collect();
+            let mut sorted = labels.clone();
+            sorted.sort_unstable();
+            assert_eq!(labels, sorted);
+        }
     }
 }

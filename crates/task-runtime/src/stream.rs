@@ -31,10 +31,15 @@
 use crate::graph::{HazardTracker, TaskClosure, TaskSink};
 use crate::task::TaskSpec;
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Per-label `(count, total ns)` accumulated by one streaming session and
+/// merged into the pool's always-on timing map when the session drains.
+pub(crate) type LabelTimes = BTreeMap<String, (u64, u64)>;
 
 /// Resolve a lookahead-window request into a concrete window size.
 ///
@@ -74,6 +79,10 @@ struct LiveTask {
     closure: Option<TaskClosure<'static>>,
     pending: usize,
     dependents: Vec<usize>,
+    /// Task-kind label (moved out of the spec at submission), for the
+    /// always-on per-label timing and the per-task trace spans — the spec
+    /// itself is not retained by the stream.
+    name: String,
 }
 
 struct StreamState {
@@ -88,6 +97,9 @@ struct StreamState {
     closed: bool,
     /// First task panic, re-raised by `stream` after the drain.
     panic: Option<Box<dyn Any + Send>>,
+    /// Per-label `(count, ns)` of retired tasks; updated under the state
+    /// lock already held at completion, so it adds no synchronization.
+    by_label: LabelTimes,
 }
 
 /// One published streaming session: shared between the submitting thread and
@@ -101,10 +113,12 @@ pub(crate) struct StreamJob {
     /// Wakes the submitter waiting for the final drain.
     done_cv: Condvar,
     lookahead: usize,
+    /// Pool-wide id of this session, carried by the per-task trace spans.
+    stream_id: u64,
 }
 
 impl StreamJob {
-    pub(crate) fn new(lookahead: usize) -> Self {
+    pub(crate) fn new(lookahead: usize, stream_id: u64) -> Self {
         Self {
             state: Mutex::new(StreamState {
                 live: HashMap::new(),
@@ -113,27 +127,35 @@ impl StreamJob {
                 peak: 0,
                 closed: false,
                 panic: None,
+                by_label: LabelTimes::new(),
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
             done_cv: Condvar::new(),
             lookahead,
+            stream_id,
         }
     }
 
     /// Worker side: execute ready tasks until the session is closed *and*
     /// drained.
-    pub(crate) fn worker_loop(&self) {
+    pub(crate) fn worker_loop(&self, worker_id: usize) {
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(id) = st.ready.pop_front() {
-                let closure = st
-                    .live
-                    .get_mut(&id)
-                    .expect("ready task must be live")
-                    .closure
-                    .take();
+                let task = st.live.get_mut(&id).expect("ready task must be live");
+                let closure = task.closure.take();
+                // Per-task trace span: label interned only while tracing is
+                // on (the name lives in the live map, which is about to be
+                // unlocked).
+                let span = obs::enabled().then(|| {
+                    obs::span_with(
+                        obs::intern(&task.name),
+                        &[("worker", worker_id as u64), ("stream", self.stream_id)],
+                    )
+                });
                 drop(st);
+                let t0 = Instant::now();
                 if let Some(f) = closure {
                     // Contain the panic so the pool thread survives; the
                     // first payload is re-raised by `stream` after the drain.
@@ -144,8 +166,10 @@ impl StreamJob {
                         }
                     }
                 }
+                let dur_ns = t0.elapsed().as_nanos() as u64;
+                drop(span);
                 st = self.state.lock().unwrap();
-                self.complete(id, &mut st);
+                self.complete(id, &mut st, dur_ns);
             } else if st.closed && st.live.is_empty() {
                 return;
             } else {
@@ -156,8 +180,11 @@ impl StreamJob {
 
     /// Retire a finished task: release its dependents, free its window slot,
     /// and signal the submitter.
-    fn complete(&self, id: usize, st: &mut StreamState) {
+    fn complete(&self, id: usize, st: &mut StreamState, dur_ns: u64) {
         let task = st.live.remove(&id).expect("completed task must be live");
+        let e = st.by_label.entry(task.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += dur_ns;
         for dep in task.dependents {
             let t = st
                 .live
@@ -186,6 +213,7 @@ enum StreamTarget<'p> {
     Inline {
         tasks: u64,
         first_panic: Option<Box<dyn Any + Send>>,
+        by_label: LabelTimes,
     },
     Pool(&'p StreamJob),
 }
@@ -220,6 +248,7 @@ impl<'p, 'env> StreamSubmitter<'p, 'env> {
             target: StreamTarget::Inline {
                 tasks: 0,
                 first_panic: None,
+                by_label: LabelTimes::new(),
             },
             lookahead,
             hazards: HazardTracker::default(),
@@ -250,18 +279,30 @@ impl<'p, 'env> StreamSubmitter<'p, 'env> {
     /// retires.
     pub fn submit(&mut self, spec: TaskSpec, closure: Option<TaskClosure<'env>>) -> usize {
         match &mut self.target {
-            StreamTarget::Inline { tasks, first_panic } => {
+            StreamTarget::Inline {
+                tasks,
+                first_panic,
+                by_label,
+            } => {
                 // Submission order is a valid topological order under the
                 // sequential-task-flow contract, so the inline stream needs
                 // no hazard tracking: run the task now. Panic semantics match
                 // the executor's inline path (drain, re-raise the first).
                 let id = *tasks as usize;
                 *tasks += 1;
+                let span = obs::enabled()
+                    .then(|| obs::span_with(obs::intern(&spec.name), &[("worker", 0)]));
+                let t0 = Instant::now();
                 if let Some(f) = closure {
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                         first_panic.get_or_insert(payload);
                     }
                 }
+                let dur_ns = t0.elapsed().as_nanos() as u64;
+                drop(span);
+                let e = by_label.entry(spec.name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += dur_ns;
                 id
             }
             StreamTarget::Pool(job) => {
@@ -298,6 +339,10 @@ impl<'p, 'env> StreamSubmitter<'p, 'env> {
                         closure,
                         pending,
                         dependents: Vec::new(),
+                        // Placeholder until the spec is released by the
+                        // hazard recording below; the real label is moved in
+                        // before the lock drops, so workers always see it.
+                        name: String::new(),
                     },
                 );
                 st.peak = st.peak.max(st.live.len());
@@ -312,21 +357,31 @@ impl<'p, 'env> StreamSubmitter<'p, 'env> {
                 // when a handle — e.g. a factor tile swept by every panel —
                 // is read by thousands of tasks over the session.
                 self.hazards.record(&spec, id, |d| st.live.contains_key(&d));
+                st.live
+                    .get_mut(&id)
+                    .expect("task inserted above is live")
+                    .name = spec.name;
                 id
             }
         }
     }
 
     /// Close the session and block until every submitted task has retired.
-    /// Returns the session counters and the first task panic, if any.
-    pub(crate) fn finish(self) -> (StreamStats, Option<Box<dyn Any + Send>>) {
+    /// Returns the session counters, the per-label `(count, ns)` timing map
+    /// (merged into the pool's always-on stats), and the first task panic.
+    pub(crate) fn finish(self) -> (StreamStats, LabelTimes, Option<Box<dyn Any + Send>>) {
         match self.target {
-            StreamTarget::Inline { tasks, first_panic } => (
+            StreamTarget::Inline {
+                tasks,
+                first_panic,
+                by_label,
+            } => (
                 StreamStats {
                     tasks,
                     peak_in_flight: usize::from(tasks > 0),
                     lookahead: self.lookahead,
                 },
+                by_label,
                 first_panic,
             ),
             StreamTarget::Pool(job) => {
@@ -341,7 +396,7 @@ impl<'p, 'env> StreamSubmitter<'p, 'env> {
                     peak_in_flight: st.peak,
                     lookahead: job.lookahead,
                 };
-                (stats, st.panic.take())
+                (stats, std::mem::take(&mut st.by_label), st.panic.take())
             }
         }
     }
